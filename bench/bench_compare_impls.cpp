@@ -1,0 +1,165 @@
+// Experiment CMP -- the practical comparison the paper motivates
+// (Section 1: unpredictable, overlapping queries over a large vector;
+// Section 5: relation to complete-scan algorithms):
+//
+//   Who wins, by how much, and where is the crossover as the partial-scan
+//   width r approaches m?
+//
+// Regenerated tables:
+//   CMPa: mixed-workload throughput (ops/s) per implementation across
+//         update fractions, at small r << m.
+//   CMPb: crossover sweep -- scan-only throughput as r grows toward m:
+//         the full-snapshot baseline becomes competitive only when scans
+//         are nearly complete; the paper's algorithms win for r << m.
+//
+// Wall-clock numbers are hardware-specific; the *shape* (ordering and
+// crossover region) is the reproduced result.  StarvationError cannot
+// occur here (caps are disabled), so non-wait-free baselines may in
+// principle stall; at this host's contention levels they do not.
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "baseline/double_collect.h"
+#include "baseline/full_snapshot.h"
+#include "baseline/lock_snapshot.h"
+#include "baseline/seqlock_snapshot.h"
+#include "bench/harness.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/cas_psnap.h"
+#include "core/register_psnap.h"
+#include "workload/workload.h"
+
+using namespace psnap;
+
+namespace {
+
+using Factory = std::function<std::unique_ptr<core::PartialSnapshot>(
+    std::uint32_t m, std::uint32_t n)>;
+
+struct Impl {
+  const char* label;
+  Factory make;
+};
+
+const Impl kImpls[] = {
+    {"fig3-cas",
+     [](std::uint32_t m, std::uint32_t n) {
+       return std::unique_ptr<core::PartialSnapshot>(
+           new core::CasPartialSnapshot(m, n));
+     }},
+    {"fig1-register",
+     [](std::uint32_t m, std::uint32_t n) {
+       return std::unique_ptr<core::PartialSnapshot>(
+           new core::RegisterPartialSnapshot(m, n));
+     }},
+    {"full-snapshot",
+     [](std::uint32_t m, std::uint32_t n) {
+       return std::unique_ptr<core::PartialSnapshot>(
+           new baseline::FullSnapshot(m, n));
+     }},
+    {"double-collect",
+     [](std::uint32_t m, std::uint32_t n) {
+       return std::unique_ptr<core::PartialSnapshot>(
+           new baseline::DoubleCollectSnapshot(m, n));
+     }},
+    {"seqlock",
+     [](std::uint32_t m, std::uint32_t) {
+       return std::unique_ptr<core::PartialSnapshot>(
+           new baseline::SeqlockSnapshot(m));
+     }},
+    {"lock",
+     [](std::uint32_t m, std::uint32_t) {
+       return std::unique_ptr<core::PartialSnapshot>(
+           new baseline::LockSnapshot(m));
+     }},
+};
+
+// Mixed workload throughput: each worker runs an OpStream for a fixed
+// duration.
+double mixed_throughput(const Impl& impl, std::uint32_t m, std::uint32_t r,
+                        std::uint32_t workers, double update_fraction,
+                        double seconds) {
+  auto snap = impl.make(m, workers);
+  std::atomic<std::uint64_t> total_ops{0};
+  bench::run_workers(workers, [&](std::uint32_t w, bench::WorkerStats&) {
+    workload::OpMix mix;
+    mix.update_fraction = update_fraction;
+    mix.scan_r = r;
+    mix.scan_kind = workload::ScanSetKind::kUniform;
+    workload::OpStream stream(mix, m, /*seed=*/w + 1);
+    workload::Op op;
+    std::vector<std::uint64_t> out;
+    std::uint64_t ops = 0;
+    bench::StopAfter stop(seconds);
+    while (!stop.expired()) {
+      for (int burst = 0; burst < 64; ++burst) {
+        stream.next(op);
+        if (op.is_update) {
+          snap->update(op.update_index, ops);
+        } else {
+          snap->scan(op.scan_set, out);
+        }
+        ++ops;
+      }
+    }
+    total_ops.fetch_add(ops);
+  });
+  return double(total_ops.load()) / seconds;
+}
+
+void table_mixed(std::uint32_t workers, double seconds) {
+  constexpr std::uint32_t kM = 256;
+  constexpr std::uint32_t kR = 4;
+  TablePrinter table({"impl", "10% updates ops/s", "50% updates ops/s",
+                      "90% updates ops/s"});
+  for (const Impl& impl : kImpls) {
+    std::vector<std::string> row{impl.label};
+    for (double uf : {0.1, 0.5, 0.9}) {
+      double ops = mixed_throughput(impl, kM, kR, workers, uf, seconds);
+      row.push_back(TablePrinter::fmt(ops / 1e6, 3) + "M");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout,
+              "CMPa: mixed-workload throughput, m=256, r=4, " +
+                  std::to_string(workers) +
+                  " threads -- paper: local algorithms win when r << m");
+  std::cout << "\n";
+}
+
+void table_crossover(std::uint32_t workers, double seconds) {
+  constexpr std::uint32_t kM = 256;
+  TablePrinter table({"impl", "r=2", "r=16", "r=64", "r=256(=m)"});
+  for (const Impl& impl : kImpls) {
+    std::vector<std::string> row{impl.label};
+    for (std::uint32_t r : {2u, 16u, 64u, 256u}) {
+      double ops = mixed_throughput(impl, kM, r, workers, 0.3, seconds);
+      row.push_back(TablePrinter::fmt(ops / 1e6, 3) + "M");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout,
+              "CMPb: throughput vs scan width r (m=256, 30% updates) -- "
+              "paper: crossover only as r approaches m");
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("threads", "4", "worker threads");
+  flags.define("seconds", "0.4", "measured duration per cell");
+  if (!flags.parse(argc, argv)) return 1;
+
+  std::printf("Experiment CMP: implementation comparison (Sections 1, 5)\n\n");
+  auto workers = static_cast<std::uint32_t>(flags.get_uint("threads"));
+  double seconds = flags.get_double("seconds");
+  table_mixed(workers, seconds);
+  table_crossover(workers, seconds);
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Experiment LOC -- the paper's Section 1 motivation:
+//   "The motivation of this work is to make the complexity of partial
+//    scan operations dependent only on the number of components they
+//    access (we talk about a local implementation) rather than the total
+//    number of components in the shared object."
+//
+// Regenerated table: steps and wall-clock per partial scan (r fixed) as m
+// grows, for every implementation.  Expected shape: the paper's two
+// algorithms and the per-component baselines stay flat; the full-snapshot
+// extraction baseline grows linearly with m (and its updates too).
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "baseline/double_collect.h"
+#include "baseline/full_snapshot.h"
+#include "baseline/lock_snapshot.h"
+#include "baseline/seqlock_snapshot.h"
+#include "bench/harness.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/cas_psnap.h"
+#include "core/register_psnap.h"
+
+using namespace psnap;
+
+namespace {
+
+using Factory = std::function<std::unique_ptr<core::PartialSnapshot>(
+    std::uint32_t m, std::uint32_t n)>;
+
+struct Impl {
+  const char* label;
+  Factory make;
+  bool steps_meaningful;  // lock baseline performs no base-object steps
+};
+
+const Impl kImpls[] = {
+    {"fig3-cas",
+     [](std::uint32_t m, std::uint32_t n) {
+       return std::unique_ptr<core::PartialSnapshot>(
+           new core::CasPartialSnapshot(m, n));
+     },
+     true},
+    {"fig1-register",
+     [](std::uint32_t m, std::uint32_t n) {
+       return std::unique_ptr<core::PartialSnapshot>(
+           new core::RegisterPartialSnapshot(m, n));
+     },
+     true},
+    {"full-snapshot",
+     [](std::uint32_t m, std::uint32_t n) {
+       return std::unique_ptr<core::PartialSnapshot>(
+           new baseline::FullSnapshot(m, n));
+     },
+     true},
+    {"double-collect",
+     [](std::uint32_t m, std::uint32_t n) {
+       return std::unique_ptr<core::PartialSnapshot>(
+           new baseline::DoubleCollectSnapshot(m, n));
+     },
+     true},
+    {"seqlock",
+     [](std::uint32_t m, std::uint32_t) {
+       return std::unique_ptr<core::PartialSnapshot>(
+           new baseline::SeqlockSnapshot(m));
+     },
+     true},
+    {"lock",
+     [](std::uint32_t m, std::uint32_t) {
+       return std::unique_ptr<core::PartialSnapshot>(
+           new baseline::LockSnapshot(m));
+     },
+     false},
+};
+
+void run(std::uint64_t scans, std::uint32_t r) {
+  TablePrinter scan_table({"impl", "m", "scan steps", "scan ns",
+                           "update steps", "update ns"});
+  for (const Impl& impl : kImpls) {
+    for (std::uint32_t m : {16u, 128u, 1024u, 8192u}) {
+      auto snap = impl.make(m, 3);
+      std::atomic<bool> stop{false};
+      OnlineStats scan_steps, update_steps;
+      double scan_ns = 0, update_ns = 0;
+      bench::run_workers(2, [&](std::uint32_t w, bench::WorkerStats&) {
+        if (w == 0) {
+          // Updater measures its own cost while providing contention.
+          std::uint64_t k = 0;
+          Timer timer;
+          std::uint64_t count = 0;
+          while (!stop.load(std::memory_order_relaxed)) {
+            update_steps.add(double(bench::measured_steps(
+                [&] { snap->update(static_cast<std::uint32_t>(k % m), ++k); })));
+            ++count;
+          }
+          update_ns = timer.elapsed_seconds() * 1e9 / double(count);
+        } else {
+          std::vector<std::uint32_t> indices(r);
+          for (std::uint32_t j = 0; j < r; ++j) indices[j] = j * (m / r);
+          std::vector<std::uint64_t> out;
+          Timer timer;
+          for (std::uint64_t i = 0; i < scans; ++i) {
+            scan_steps.add(double(
+                bench::measured_steps([&] { snap->scan(indices, out); })));
+          }
+          scan_ns = timer.elapsed_seconds() * 1e9 / double(scans);
+          stop = true;
+        }
+      });
+      scan_table.add_row(
+          {impl.label, TablePrinter::fmt(std::uint64_t(m)),
+           impl.steps_meaningful ? TablePrinter::fmt(scan_steps.mean()) : "-",
+           TablePrinter::fmt(scan_ns, 0),
+           impl.steps_meaningful ? TablePrinter::fmt(update_steps.mean())
+                                 : "-",
+           TablePrinter::fmt(update_ns, 0)});
+    }
+  }
+  scan_table.print(
+      std::cout,
+      "LOC: partial-scan cost vs m (r=" + std::to_string(r) +
+          ", 1 concurrent updater) -- paper: local implementations stay "
+          "flat, full-snapshot extraction grows with m");
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("scans", "20000", "scans per configuration");
+  flags.define("r", "4", "partial scan width");
+  if (!flags.parse(argc, argv)) return 1;
+
+  std::printf("Experiment LOC: locality of partial scans (Section 1 "
+              "motivation)\n\n");
+  run(flags.get_uint("scans"), static_cast<std::uint32_t>(flags.get_uint("r")));
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Experiment MICRO: google-benchmark latencies for every substrate layer.
+//
+// These are the raw ingredient costs behind the step counts the other
+// benches report: base-object operations, reclamation primitives, interval
+// merging, active set operations, and single-threaded snapshot operations.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "activeset/faicas_active_set.h"
+#include "activeset/register_active_set.h"
+#include "baseline/full_snapshot.h"
+#include "core/cas_psnap.h"
+#include "core/register_psnap.h"
+#include "exec/exec.h"
+#include "intervals/interval_set.h"
+#include "primitives/primitives.h"
+#include "reclaim/ebr.h"
+#include "reclaim/hazard.h"
+
+namespace {
+
+using namespace psnap;
+
+void BM_RegisterLoad(benchmark::State& state) {
+  primitives::Register<std::uint64_t> reg(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.load());
+  }
+}
+BENCHMARK(BM_RegisterLoad);
+
+void BM_RegisterStore(benchmark::State& state) {
+  primitives::Register<std::uint64_t> reg(1);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    reg.store(++k);
+  }
+}
+BENCHMARK(BM_RegisterStore);
+
+void BM_CasSuccess(benchmark::State& state) {
+  primitives::CasObject<std::uint64_t> obj(0);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.compare_and_swap(k, k + 1));
+    ++k;
+  }
+}
+BENCHMARK(BM_CasSuccess);
+
+void BM_FetchIncrement(benchmark::State& state) {
+  primitives::FetchIncrement fai;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fai.fetch_increment());
+  }
+}
+BENCHMARK(BM_FetchIncrement);
+
+void BM_EbrPinUnpin(benchmark::State& state) {
+  reclaim::EbrDomain domain;
+  for (auto _ : state) {
+    auto guard = domain.pin();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_EbrPinUnpin);
+
+void BM_EbrRetireReclaim(benchmark::State& state) {
+  reclaim::EbrDomain domain;
+  for (auto _ : state) {
+    domain.retire(new std::uint64_t(1));
+  }
+}
+BENCHMARK(BM_EbrRetireReclaim);
+
+void BM_HazardProtect(benchmark::State& state) {
+  reclaim::HazardDomain domain;
+  std::atomic<std::uint64_t*> src{new std::uint64_t(7)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(domain.protect(src, 0));
+    domain.clear(0);
+  }
+  delete src.load();
+}
+BENCHMARK(BM_HazardProtect);
+
+void BM_IntervalMerge(benchmark::State& state) {
+  auto base = intervals::IntervalSet::from_intervals(
+      {{1, 100}, {200, 300}, {400, 500}});
+  std::vector<std::uint64_t> points{150, 151, 350};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.merged_with_points(points));
+  }
+}
+BENCHMARK(BM_IntervalMerge);
+
+void BM_FaiCasJoinLeave(benchmark::State& state) {
+  // Unbounded churn: one fresh slot per join, as the paper specifies.
+  activeset::FaiCasActiveSet as(2);
+  exec::ScopedPid pid(0);
+  for (auto _ : state) {
+    as.join();
+    as.leave();
+  }
+}
+BENCHMARK(BM_FaiCasJoinLeave)->Iterations(1 << 20);
+
+void BM_RegisterAsJoinLeave(benchmark::State& state) {
+  activeset::RegisterActiveSet as(4);
+  exec::ScopedPid pid(0);
+  for (auto _ : state) {
+    as.join();
+    as.leave();
+  }
+}
+BENCHMARK(BM_RegisterAsJoinLeave);
+
+void BM_FaiCasGetSetAfterChurn(benchmark::State& state) {
+  activeset::FaiCasActiveSet as(2);
+  exec::ScopedPid pid(0);
+  for (int i = 0; i < 10000; ++i) {
+    as.join();
+    as.leave();
+  }
+  std::vector<std::uint32_t> members;
+  for (auto _ : state) {
+    as.get_set(members);
+  }
+}
+BENCHMARK(BM_FaiCasGetSetAfterChurn);
+
+void BM_Fig3Update(benchmark::State& state) {
+  core::CasPartialSnapshot snap(64, 2);
+  exec::ScopedPid pid(0);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    snap.update(static_cast<std::uint32_t>(k % 64), ++k);
+  }
+}
+BENCHMARK(BM_Fig3Update);
+
+void BM_Fig3Scan(benchmark::State& state) {
+  core::CasPartialSnapshot snap(1024, 2);
+  exec::ScopedPid pid(0);
+  std::vector<std::uint32_t> indices;
+  for (std::uint32_t j = 0; j < state.range(0); ++j) {
+    indices.push_back(j * 16);
+  }
+  std::vector<std::uint64_t> out;
+  for (auto _ : state) {
+    snap.scan(indices, out);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Fig3Scan)->RangeMultiplier(2)->Range(1, 64)->Complexity();
+
+void BM_Fig1Scan(benchmark::State& state) {
+  core::RegisterPartialSnapshot snap(1024, 2);
+  exec::ScopedPid pid(0);
+  std::vector<std::uint32_t> indices;
+  for (std::uint32_t j = 0; j < state.range(0); ++j) {
+    indices.push_back(j * 16);
+  }
+  std::vector<std::uint64_t> out;
+  for (auto _ : state) {
+    snap.scan(indices, out);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Fig1Scan)->RangeMultiplier(2)->Range(1, 64)->Complexity();
+
+void BM_FullSnapshotScan(benchmark::State& state) {
+  baseline::FullSnapshot snap(static_cast<std::uint32_t>(state.range(0)), 2);
+  exec::ScopedPid pid(0);
+  std::vector<std::uint32_t> indices{0};
+  std::vector<std::uint64_t> out;
+  for (auto _ : state) {
+    snap.scan(indices, out);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullSnapshotScan)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

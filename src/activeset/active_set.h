@@ -1,0 +1,49 @@
+// The active set abstraction (paper Section 2.1).
+//
+// An active set tracks a dynamic group of processes:
+//   * join / leave change the calling process's membership and return ack.
+//     Calls by one process must alternate, starting with join.
+//   * getSet returns a set S of process ids that
+//       - contains every process that is *active* (its join completed
+//         before getSet was invoked and it has not yet called leave), and
+//       - contains no process that is *inactive* (its leave completed
+//         before getSet was invoked and it has not called join since), and
+//       - may contain any subset of processes that are mid-join/mid-leave.
+//
+// Note this is deliberately weaker than linearizability: two concurrent
+// getSets may resolve concurrent joiners differently.  The partial snapshot
+// algorithms only need the guarantee above (Section 3's correctness
+// argument), and the verification module checks exactly it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace psnap::activeset {
+
+class ActiveSet {
+ public:
+  virtual ~ActiveSet() = default;
+
+  // All three operations act on behalf of exec::ctx().pid, which must be a
+  // valid process id below the max_processes the object was built with.
+  virtual void join() = 0;
+  virtual void leave() = 0;
+
+  // Appends the member set, sorted and duplicate-free, into out (cleared
+  // first).  An output parameter so hot paths can reuse capacity.
+  virtual void get_set(std::vector<std::uint32_t>& out) = 0;
+
+  virtual std::string_view name() const = 0;
+
+  virtual std::uint32_t max_processes() const = 0;
+
+  std::vector<std::uint32_t> get_set() {
+    std::vector<std::uint32_t> out;
+    get_set(out);
+    return out;
+  }
+};
+
+}  // namespace psnap::activeset

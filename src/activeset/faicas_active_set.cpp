@@ -1,0 +1,99 @@
+#include "activeset/faicas_active_set.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "exec/exec.h"
+
+namespace psnap::activeset {
+
+using intervals::IntervalSet;
+
+FaiCasActiveSet::FaiCasActiveSet(std::uint32_t max_processes)
+    : FaiCasActiveSet(max_processes, Options{}) {}
+
+FaiCasActiveSet::FaiCasActiveSet(std::uint32_t max_processes, Options options)
+    : n_(max_processes),
+      options_(options),
+      c_(new IntervalSet()),
+      my_slot_(max_processes) {
+  PSNAP_ASSERT(max_processes > 0);
+}
+
+FaiCasActiveSet::~FaiCasActiveSet() {
+  // Retired lists are drained by the EbrDomain destructor; the currently
+  // published list is still owned here.
+  delete c_.peek();
+}
+
+void FaiCasActiveSet::join() {
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  std::uint64_t l = h_.fetch_increment();  // 1-based slot index
+  if (options_.max_joins != 0) {
+    PSNAP_ASSERT_MSG(l <= options_.max_joins,
+                     "bounded FaiCasActiveSet exceeded its join budget");
+  }
+  i_.at(l - 1).store(kIdBase + pid);
+  my_slot_[pid].value = l;
+}
+
+void FaiCasActiveSet::leave() {
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  std::uint64_t l = my_slot_[pid].value;
+  PSNAP_ASSERT_MSG(l != 0, "leave without a preceding join");
+  i_.at(l - 1).store(kVacated);
+  my_slot_[pid].value = 0;
+}
+
+void FaiCasActiveSet::get_set(std::vector<std::uint32_t>& out) {
+  out.clear();
+  auto guard = ebr_.pin();
+
+  const IntervalSet* old_c = c_.load();
+  std::uint64_t h = h_.read();
+
+  std::vector<std::uint64_t> vacated;
+  const IntervalSet empty;
+  const IntervalSet& skip =
+      options_.publish_skip_list ? *old_c : empty;
+  if (h > 0) {
+    skip.for_each_gap(1, h, [&](std::uint64_t l) {
+      std::uint64_t entry = i_.at(l - 1).load();
+      if (entry == kVacated) {
+        vacated.push_back(l);
+      } else if (entry != kEmpty) {
+        out.push_back(static_cast<std::uint32_t>(entry - kIdBase));
+      }
+      // kEmpty: a process between its fetch&increment and its id write.
+      // Neither a member nor skippable -- see the header comment.
+    });
+  }
+
+  if (options_.publish_skip_list && !vacated.empty()) {
+    // Publish oldC ∪ vacated with one CAS; on failure another getSet
+    // advanced the list and our additions will be rediscovered (charged,
+    // in the amortized analysis, to the leaves that wrote the zeros).
+    auto* new_c = new IntervalSet(
+        old_c->merged_with_points(std::move(vacated), options_.coalesce));
+    if (c_.compare_and_swap_bool(old_c, new_c)) {
+      publications_.fetch_add(1, std::memory_order_relaxed);
+      ebr_.retire(const_cast<IntervalSet*>(old_c));
+    } else {
+      delete new_c;
+    }
+  }
+
+  // The same process can legitimately appear in two slots within one scan
+  // of I (it left slot a and re-joined into slot b mid-getSet); the
+  // abstraction returns a set, so deduplicate.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+std::size_t FaiCasActiveSet::published_intervals() const {
+  return c_.peek()->size();
+}
+
+}  // namespace psnap::activeset

@@ -1,0 +1,103 @@
+// The paper's new active set algorithm (Figure 2, Section 4.1).
+//
+//   join:   l <- fetch&increment(H);  I[l] <- id          (O(1) steps)
+//   leave:  I[l] <- 0                                     (O(1) steps)
+//   getSet: oldC <- C; h <- H
+//           walk I[1..h], skipping indices covered by oldC's intervals;
+//           vacated entries are gathered and the union is published back
+//           to C with a single compare&swap (losers simply move on).
+//
+// Invariant (the paper's one-line correctness argument): an index appears
+// in an interval stored in C only after the corresponding entry of I was
+// set to 0, and that entry never changes thereafter.
+//
+// One deviation from the pseudocode, required to keep that invariant true:
+// the pseudocode tests "entry = 0" for vacated slots, but a slot can also
+// read as fresh/unwritten when a joiner has performed its fetch&increment
+// and not yet written its id.  Treating that transient state as vacated
+// would permanently skip a process that is about to become active,
+// violating the invariant ("... is set to 0 and never changes thereafter"
+// -- a mid-join slot *does* still change).  We therefore distinguish three
+// slot states: kEmpty (allocated, id not yet written; skipped but NOT added
+// to the interval list), kVacated (left; added to the list), and an id.
+// A mid-join process is neither active nor inactive, so omitting it is
+// allowed by the specification.
+//
+// Space: slots are never recycled, exactly as in the paper (Section 6
+// leaves recycling open).  When a bound on the total number of joins is
+// known a priori the constructor accepts it and asserts it is respected,
+// which is the bounded-space variant the paper sketches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "activeset/active_set.h"
+#include "common/padding.h"
+#include "intervals/interval_set.h"
+#include "primitives/primitives.h"
+#include "reclaim/ebr.h"
+#include "segarray/segmented_array.h"
+
+namespace psnap::activeset {
+
+class FaiCasActiveSet final : public ActiveSet {
+ public:
+  struct Options {
+    // Coalesce adjacent intervals when publishing (Section 4.1's rule).
+    // Disabled only by the ABL-1 ablation bench.
+    bool coalesce = true;
+    // Publish the vacated-interval list at all.  Disabled only by the
+    // ablation bench, to measure how getSet cost degrades without C.
+    bool publish_skip_list = true;
+    // If nonzero, the a-priori bound on joins in this execution: the slot
+    // array is conceptually bounded and exceeding the bound is a usage
+    // error (asserted).
+    std::uint64_t max_joins = 0;
+  };
+
+  explicit FaiCasActiveSet(std::uint32_t max_processes);
+  FaiCasActiveSet(std::uint32_t max_processes, Options options);
+  ~FaiCasActiveSet() override;
+
+  void join() override;
+  void leave() override;
+  void get_set(std::vector<std::uint32_t>& out) override;
+  using ActiveSet::get_set;
+
+  std::string_view name() const override { return "faicas-as"; }
+  std::uint32_t max_processes() const override { return n_; }
+
+  // --- observability for tests and benches ---
+  // Length of the currently published interval list.
+  std::size_t published_intervals() const;
+  // Highest slot index handed out so far.
+  std::uint64_t slots_used() const { return h_.peek(); }
+  // Number of successful publications of a new interval list.
+  std::uint64_t skip_list_publications() const {
+    return publications_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Slot states; ids are stored as pid + kIdBase so they collide with
+  // neither sentinel.
+  static constexpr std::uint64_t kEmpty = 0;    // allocated, id not written
+  static constexpr std::uint64_t kVacated = 1;  // left; eligible for skipping
+  static constexpr std::uint64_t kIdBase = 2;
+
+  std::uint32_t n_;
+  Options options_;
+
+  primitives::FetchIncrement h_;  // highest issued slot index (1-based)
+  primitives::CasObject<const intervals::IntervalSet*> c_;
+  segarray::SegmentedArray<primitives::Register<std::uint64_t>> i_;
+
+  // Per-process slot index from the most recent join (local state).
+  std::vector<CachelinePadded<std::uint64_t>> my_slot_;
+
+  reclaim::EbrDomain ebr_;
+  std::atomic<std::uint64_t> publications_{0};
+};
+
+}  // namespace psnap::activeset

@@ -1,0 +1,30 @@
+#include "activeset/lock_active_set.h"
+
+#include "common/assert.h"
+#include "exec/exec.h"
+
+namespace psnap::activeset {
+
+void LockActiveSet::join() {
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  std::scoped_lock lock(mu_);
+  auto [it, inserted] = members_.insert(pid);
+  PSNAP_ASSERT_MSG(inserted, "join by an already-active process");
+}
+
+void LockActiveSet::leave() {
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  std::scoped_lock lock(mu_);
+  std::size_t erased = members_.erase(pid);
+  PSNAP_ASSERT_MSG(erased == 1, "leave by a non-active process");
+}
+
+void LockActiveSet::get_set(std::vector<std::uint32_t>& out) {
+  out.clear();
+  std::scoped_lock lock(mu_);
+  out.assign(members_.begin(), members_.end());
+}
+
+}  // namespace psnap::activeset

@@ -1,0 +1,35 @@
+// Mutex-based active set.
+//
+// Reference model only: trivially correct (every operation is atomic under
+// one lock), used by tests as the oracle the lock-free implementations are
+// compared against, and by benches as the "what a lock costs" baseline.
+// Not wait-free; performs no base-object steps in the paper's model.
+#pragma once
+
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "activeset/active_set.h"
+
+namespace psnap::activeset {
+
+class LockActiveSet final : public ActiveSet {
+ public:
+  explicit LockActiveSet(std::uint32_t max_processes) : n_(max_processes) {}
+
+  void join() override;
+  void leave() override;
+  void get_set(std::vector<std::uint32_t>& out) override;
+  using ActiveSet::get_set;
+
+  std::string_view name() const override { return "lock-as"; }
+  std::uint32_t max_processes() const override { return n_; }
+
+ private:
+  std::uint32_t n_;
+  std::mutex mu_;
+  std::set<std::uint32_t> members_;
+};
+
+}  // namespace psnap::activeset

@@ -1,0 +1,32 @@
+#include "activeset/register_active_set.h"
+
+#include "common/assert.h"
+#include "exec/exec.h"
+
+namespace psnap::activeset {
+
+RegisterActiveSet::RegisterActiveSet(std::uint32_t max_processes)
+    : n_(max_processes), flags_(max_processes) {
+  PSNAP_ASSERT(max_processes > 0);
+}
+
+void RegisterActiveSet::join() {
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  flags_[pid].store(1);
+}
+
+void RegisterActiveSet::leave() {
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  flags_[pid].store(0);
+}
+
+void RegisterActiveSet::get_set(std::vector<std::uint32_t>& out) {
+  out.clear();
+  for (std::uint32_t p = 0; p < n_; ++p) {
+    if (flags_[p].load() != 0) out.push_back(p);
+  }
+}
+
+}  // namespace psnap::activeset

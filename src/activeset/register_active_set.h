@@ -1,0 +1,40 @@
+// Register-only active set.
+//
+// This stands in for the adaptive collect of Afek, Stupp and Touitou [3]
+// that the paper plugs into Figure 1 (see DESIGN.md, substitutions): one
+// single-writer flag register per process, and a getSet that collects all
+// of them.  join/leave are one register write (O(1)); getSet is O(n) where
+// n is the maximum number of processes, rather than the adaptive O(Cs^2)
+// of [3].  The active-set *specification* is met exactly, so Figure 1's
+// correctness is unchanged; only the additive active-set term of Theorem 1
+// differs, and the benches report that term separately.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "activeset/active_set.h"
+#include "primitives/primitives.h"
+
+namespace psnap::activeset {
+
+class RegisterActiveSet final : public ActiveSet {
+ public:
+  explicit RegisterActiveSet(std::uint32_t max_processes);
+
+  void join() override;
+  void leave() override;
+  void get_set(std::vector<std::uint32_t>& out) override;
+  using ActiveSet::get_set;
+
+  std::string_view name() const override { return "register-as"; }
+  std::uint32_t max_processes() const override { return n_; }
+
+ private:
+  std::uint32_t n_;
+  // One SWMR flag per process; 1 = active.  vector of Register is fine:
+  // Register is not copyable after construction, so build in place.
+  std::vector<primitives::Register<std::uint64_t>> flags_;
+};
+
+}  // namespace psnap::activeset

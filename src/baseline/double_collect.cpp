@@ -1,0 +1,80 @@
+#include "baseline/double_collect.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.h"
+#include "core/op_stats.h"
+#include "exec/exec.h"
+
+namespace psnap::baseline {
+
+DoubleCollectSnapshot::DoubleCollectSnapshot(std::uint32_t num_components,
+                                             std::uint32_t max_processes,
+                                             std::uint64_t max_collects_per_scan,
+                                             std::uint64_t initial_value)
+    : m_(num_components),
+      n_(max_processes),
+      max_collects_(max_collects_per_scan),
+      r_(num_components),
+      counter_(max_processes) {
+  PSNAP_ASSERT(m_ > 0 && n_ > 0);
+  for (std::uint32_t i = 0; i < m_; ++i) {
+    r_[i].init(new SimpleRecord{initial_value, i, core::kInitPid},
+               /*label=*/i);
+  }
+}
+
+DoubleCollectSnapshot::~DoubleCollectSnapshot() {
+  for (auto& reg : r_) delete reg.peek();
+}
+
+void DoubleCollectSnapshot::update(std::uint32_t i, std::uint64_t v) {
+  PSNAP_ASSERT(i < m_);
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  core::tls_op_stats().reset();
+  auto guard = ebr_.pin();
+  std::unique_ptr<SimpleRecord> rec(
+      new SimpleRecord{v, ++counter_[pid].value, pid});
+  const SimpleRecord* old = r_[i].exchange(rec.get());
+  rec.release();
+  ebr_.retire(const_cast<SimpleRecord*>(old));
+}
+
+void DoubleCollectSnapshot::scan(std::span<const std::uint32_t> indices,
+                                 std::vector<std::uint64_t>& out) {
+  out.clear();
+  if (indices.empty()) return;
+  core::OpStats& stats = core::tls_op_stats();
+  stats.reset();
+  auto guard = ebr_.pin();
+
+  std::vector<std::uint32_t> canonical = core::canonical_indices(indices);
+  std::vector<const SimpleRecord*> prev(canonical.size(), nullptr);
+  std::vector<const SimpleRecord*> cur(canonical.size(), nullptr);
+  bool have_prev = false;
+
+  while (true) {
+    ++stats.collects;
+    if (max_collects_ != 0 && stats.collects > max_collects_) {
+      throw StarvationError(stats.collects - 1);
+    }
+    for (std::size_t j = 0; j < canonical.size(); ++j) {
+      cur[j] = r_[canonical[j]].load();
+    }
+    if (have_prev && std::equal(cur.begin(), cur.end(), prev.begin())) {
+      break;
+    }
+    prev.swap(cur);
+    have_prev = true;
+  }
+
+  out.reserve(indices.size());
+  for (std::uint32_t i : indices) {
+    auto it = std::lower_bound(canonical.begin(), canonical.end(), i);
+    out.push_back(cur[static_cast<std::size_t>(it - canonical.begin())]->value);
+  }
+}
+
+}  // namespace psnap::baseline

@@ -1,0 +1,72 @@
+// Double-collect partial snapshot: the paper's Section 1 "simple variant of
+// the original non-blocking snapshot algorithm of Afek et al.".
+//
+// A scan repeatedly collects the requested components and returns once two
+// consecutive collects are identical.  There is no helping, so "individual
+// scans may never terminate: a slow scanner can keep seeing different
+// collects if fast updates are concurrently being performed" -- the
+// implementation is lock-free (updates always make progress) but NOT
+// wait-free.  Used as a correctness baseline at low contention, and by the
+// ABL-2 ablation bench to demonstrate the starvation the helping mechanism
+// exists to prevent.
+//
+// A scan that exceeds the configured collect cap throws StarvationError
+// rather than returning an inconsistent result.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/padding.h"
+#include "core/partial_snapshot.h"
+#include "core/record.h"
+#include "primitives/primitives.h"
+#include "reclaim/ebr.h"
+
+namespace psnap::baseline {
+
+class StarvationError : public std::runtime_error {
+ public:
+  explicit StarvationError(std::uint64_t collects)
+      : std::runtime_error("scan starved after " + std::to_string(collects) +
+                           " collects"),
+        collects(collects) {}
+
+  std::uint64_t collects;
+};
+
+class DoubleCollectSnapshot final : public core::PartialSnapshot {
+ public:
+  // max_collects_per_scan == 0 means retry forever.
+  DoubleCollectSnapshot(std::uint32_t num_components,
+                        std::uint32_t max_processes,
+                        std::uint64_t max_collects_per_scan = 0,
+                        std::uint64_t initial_value = 0);
+  ~DoubleCollectSnapshot() override;
+
+  std::uint32_t num_components() const override { return m_; }
+  std::string_view name() const override { return "double-collect"; }
+  bool is_wait_free() const override { return false; }
+  bool is_local() const override { return true; }
+
+  void update(std::uint32_t i, std::uint64_t v) override;
+  void scan(std::span<const std::uint32_t> indices,
+            std::vector<std::uint64_t>& out) override;
+
+ private:
+  // Plain (value, tag) records: no embedded views, that is the point.
+  struct SimpleRecord {
+    std::uint64_t value;
+    std::uint64_t counter;
+    std::uint32_t pid;
+  };
+
+  std::uint32_t m_;
+  std::uint32_t n_;
+  std::uint64_t max_collects_;
+  std::vector<primitives::Register<const SimpleRecord*>> r_;
+  reclaim::EbrDomain ebr_;
+  std::vector<CachelinePadded<std::uint64_t>> counter_;
+};
+
+}  // namespace psnap::baseline

@@ -1,0 +1,114 @@
+#include "baseline/full_snapshot.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.h"
+#include "core/op_stats.h"
+#include "exec/exec.h"
+
+namespace psnap::baseline {
+
+FullSnapshot::FullSnapshot(std::uint32_t num_components,
+                           std::uint32_t max_processes,
+                           std::uint64_t initial_value)
+    : m_(num_components),
+      n_(max_processes),
+      r_(num_components),
+      counter_(max_processes) {
+  PSNAP_ASSERT(m_ > 0 && n_ > 0);
+  for (std::uint32_t i = 0; i < m_; ++i) {
+    r_[i].init(new FullRecord{initial_value, i, core::kInitPid, {}},
+               /*label=*/i);
+  }
+}
+
+FullSnapshot::~FullSnapshot() {
+  for (auto& reg : r_) delete reg.peek();
+}
+
+std::vector<std::uint64_t> FullSnapshot::embedded_full_scan() {
+  core::OpStats& stats = core::tls_op_stats();
+  stats.embedded_args = m_;
+
+  // "Moved twice" helping rule; see the condition-(2) discussion in
+  // register_psnap.cpp -- the same multi-writer soundness argument applies
+  // here verbatim.
+  struct PerPid {
+    const FullRecord* moved[2] = {nullptr, nullptr};
+    std::uint32_t count = 0;
+  };
+  std::vector<PerPid> seen(n_);
+  auto note_move = [&seen](const FullRecord* rec) -> const FullRecord* {
+    PerPid& s = seen[rec->pid];
+    for (std::uint32_t k = 0; k < s.count; ++k) {
+      if (s.moved[k] == rec) return nullptr;
+    }
+    s.moved[s.count++] = rec;
+    if (s.count < 2) return nullptr;
+    return s.moved[0]->counter > s.moved[1]->counter ? s.moved[0]
+                                                     : s.moved[1];
+  };
+
+  std::vector<const FullRecord*> prev(m_, nullptr);
+  std::vector<const FullRecord*> cur(m_, nullptr);
+  bool have_prev = false;
+
+  while (true) {
+    ++stats.collects;
+    PSNAP_ASSERT_MSG(stats.collects <= 2ull * n_ + 3,
+                     "full-snapshot embedded scan exceeded its collect bound");
+    const FullRecord* borrow = nullptr;
+    for (std::uint32_t j = 0; j < m_; ++j) {
+      cur[j] = r_[j].load();
+      if (have_prev && cur[j] != prev[j] && borrow == nullptr) {
+        borrow = note_move(cur[j]);
+      }
+    }
+    if (borrow != nullptr) {
+      stats.borrowed = true;
+      return borrow->full_view;
+    }
+    if (have_prev && std::equal(cur.begin(), cur.end(), prev.begin())) {
+      std::vector<std::uint64_t> view(m_);
+      for (std::uint32_t j = 0; j < m_; ++j) view[j] = cur[j]->value;
+      return view;
+    }
+    prev.swap(cur);
+    have_prev = true;
+  }
+}
+
+void FullSnapshot::update(std::uint32_t i, std::uint64_t v) {
+  PSNAP_ASSERT(i < m_);
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  core::tls_op_stats().reset();
+  auto guard = ebr_.pin();
+
+  std::vector<std::uint64_t> view = embedded_full_scan();
+  std::unique_ptr<FullRecord> rec(
+      new FullRecord{v, ++counter_[pid].value, pid, std::move(view)});
+  const FullRecord* old = r_[i].exchange(rec.get());
+  rec.release();
+  ebr_.retire(const_cast<FullRecord*>(old));
+}
+
+void FullSnapshot::scan(std::span<const std::uint32_t> indices,
+                        std::vector<std::uint64_t>& out) {
+  out.clear();
+  if (indices.empty()) return;
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  core::tls_op_stats().reset();
+  auto guard = ebr_.pin();
+
+  std::vector<std::uint64_t> view = embedded_full_scan();
+  out.reserve(indices.size());
+  for (std::uint32_t i : indices) {
+    PSNAP_ASSERT(i < m_);
+    out.push_back(view[i]);
+  }
+}
+
+}  // namespace psnap::baseline

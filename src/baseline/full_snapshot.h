@@ -1,0 +1,58 @@
+// Complete-scan snapshot baseline (Afek et al. [1], as recapped in the
+// paper's Section 3, with the Section 3 helping rule).
+//
+// This is the implementation the paper calls "wasteful": a snapshot object
+// trivially implements a partial snapshot object by extracting the
+// requested components from a complete scan (Section 1).  Every embedded
+// scan reads all m components, every update carries a full m-entry view,
+// and therefore both operations cost Omega(m) no matter how small the
+// partial scan's argument set is.  The LOC and CMP benches plot it against
+// the paper's algorithms to reproduce the locality argument.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/padding.h"
+#include "core/partial_snapshot.h"
+#include "core/record.h"  // kInitPid
+#include "primitives/primitives.h"
+#include "reclaim/ebr.h"
+
+namespace psnap::baseline {
+
+class FullSnapshot final : public core::PartialSnapshot {
+ public:
+  FullSnapshot(std::uint32_t num_components, std::uint32_t max_processes,
+               std::uint64_t initial_value = 0);
+  ~FullSnapshot() override;
+
+  std::uint32_t num_components() const override { return m_; }
+  std::string_view name() const override { return "full-snapshot"; }
+  bool is_wait_free() const override { return true; }
+  bool is_local() const override { return false; }
+
+  void update(std::uint32_t i, std::uint64_t v) override;
+  void scan(std::span<const std::uint32_t> indices,
+            std::vector<std::uint64_t>& out) override;
+
+ private:
+  struct FullRecord {
+    std::uint64_t value;
+    std::uint64_t counter;
+    std::uint32_t pid;
+    std::vector<std::uint64_t> full_view;  // all m components
+
+    bool is_initial() const { return pid == core::kInitPid; }
+  };
+
+  std::vector<std::uint64_t> embedded_full_scan();
+
+  std::uint32_t m_;
+  std::uint32_t n_;
+  std::vector<primitives::Register<const FullRecord*>> r_;
+  reclaim::EbrDomain ebr_;
+  std::vector<CachelinePadded<std::uint64_t>> counter_;
+};
+
+}  // namespace psnap::baseline

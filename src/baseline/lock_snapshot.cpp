@@ -1,0 +1,24 @@
+#include "baseline/lock_snapshot.h"
+
+#include "common/assert.h"
+
+namespace psnap::baseline {
+
+void LockSnapshot::update(std::uint32_t i, std::uint64_t v) {
+  PSNAP_ASSERT(i < data_.size());
+  std::scoped_lock lock(mu_);
+  data_[i] = v;
+}
+
+void LockSnapshot::scan(std::span<const std::uint32_t> indices,
+                        std::vector<std::uint64_t>& out) {
+  out.clear();
+  out.reserve(indices.size());
+  std::scoped_lock lock(mu_);
+  for (std::uint32_t i : indices) {
+    PSNAP_ASSERT(i < data_.size());
+    out.push_back(data_[i]);
+  }
+}
+
+}  // namespace psnap::baseline

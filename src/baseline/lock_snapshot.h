@@ -1,0 +1,37 @@
+// Global-mutex partial snapshot.
+//
+// The practical strawman: one lock serializes everything, so consistency is
+// trivial and per-operation cost is O(r) plus lock traffic.  Blocking (a
+// suspended lock holder stalls the system) and performs no base-object
+// steps in the paper's model; the CMP bench reports wall-clock only.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "core/partial_snapshot.h"
+
+namespace psnap::baseline {
+
+class LockSnapshot final : public core::PartialSnapshot {
+ public:
+  LockSnapshot(std::uint32_t num_components, std::uint64_t initial_value = 0)
+      : data_(num_components, initial_value) {}
+
+  std::uint32_t num_components() const override {
+    return static_cast<std::uint32_t>(data_.size());
+  }
+  std::string_view name() const override { return "lock"; }
+  bool is_wait_free() const override { return false; }
+  bool is_local() const override { return true; }
+
+  void update(std::uint32_t i, std::uint64_t v) override;
+  void scan(std::span<const std::uint32_t> indices,
+            std::vector<std::uint64_t>& out) override;
+
+ private:
+  std::mutex mu_;
+  std::vector<std::uint64_t> data_;
+};
+
+}  // namespace psnap::baseline

@@ -1,0 +1,59 @@
+#include "baseline/seqlock_snapshot.h"
+
+#include "common/assert.h"
+#include "core/op_stats.h"
+
+namespace psnap::baseline {
+
+SeqlockSnapshot::SeqlockSnapshot(std::uint32_t num_components,
+                                 std::uint64_t max_attempts_per_scan,
+                                 std::uint64_t initial_value)
+    : m_(num_components), max_attempts_(max_attempts_per_scan), data_(m_) {
+  PSNAP_ASSERT(m_ > 0);
+  for (std::uint32_t i = 0; i < m_; ++i) {
+    data_[i].init(initial_value, /*label=*/i);
+  }
+}
+
+void SeqlockSnapshot::update(std::uint32_t i, std::uint64_t v) {
+  PSNAP_ASSERT(i < m_);
+  core::tls_op_stats().reset();
+  // Acquire the writer "lock" by making the version odd.
+  while (true) {
+    std::uint64_t v0 = version_.load();
+    if (v0 % 2 == 1) continue;  // another writer holds it
+    if (version_.compare_and_swap_bool(v0, v0 + 1)) {
+      data_[i].store(v);
+      // Only the holder modifies an odd version, so this CAS cannot fail.
+      bool released = version_.compare_and_swap_bool(v0 + 1, v0 + 2);
+      PSNAP_ASSERT(released);
+      return;
+    }
+  }
+}
+
+void SeqlockSnapshot::scan(std::span<const std::uint32_t> indices,
+                           std::vector<std::uint64_t>& out) {
+  out.clear();
+  if (indices.empty()) return;
+  core::OpStats& stats = core::tls_op_stats();
+  stats.reset();
+  std::vector<std::uint64_t> values(indices.size());
+  while (true) {
+    ++stats.collects;
+    if (max_attempts_ != 0 && stats.collects > max_attempts_) {
+      throw StarvationError(stats.collects - 1);
+    }
+    std::uint64_t v0 = version_.load();
+    if (v0 % 2 == 1) continue;
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      PSNAP_ASSERT(indices[j] < m_);
+      values[j] = data_[indices[j]].load();
+    }
+    std::uint64_t v1 = version_.load();
+    if (v1 == v0) break;
+  }
+  out = std::move(values);
+}
+
+}  // namespace psnap::baseline

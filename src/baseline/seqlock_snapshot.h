@@ -1,0 +1,42 @@
+// Global-seqlock partial snapshot.
+//
+// A single version counter guards the whole vector: writers make it odd,
+// write, make it even; readers retry whenever the version moved.  Readers
+// are invisible (no writes), which makes scans cheap at low update rates
+// -- and starvation-prone at high ones, exactly like the double-collect
+// algorithm but with a single global conflict domain instead of a per-
+// component one.  A scan exceeding the retry cap throws StarvationError.
+#pragma once
+
+#include <vector>
+
+#include "baseline/double_collect.h"  // StarvationError
+#include "core/partial_snapshot.h"
+#include "primitives/primitives.h"
+
+namespace psnap::baseline {
+
+class SeqlockSnapshot final : public core::PartialSnapshot {
+ public:
+  // max_attempts_per_scan == 0 means retry forever.
+  SeqlockSnapshot(std::uint32_t num_components,
+                  std::uint64_t max_attempts_per_scan = 0,
+                  std::uint64_t initial_value = 0);
+
+  std::uint32_t num_components() const override { return m_; }
+  std::string_view name() const override { return "seqlock"; }
+  bool is_wait_free() const override { return false; }
+  bool is_local() const override { return true; }
+
+  void update(std::uint32_t i, std::uint64_t v) override;
+  void scan(std::span<const std::uint32_t> indices,
+            std::vector<std::uint64_t>& out) override;
+
+ private:
+  std::uint32_t m_;
+  std::uint64_t max_attempts_;
+  primitives::CasObject<std::uint64_t> version_;
+  std::vector<primitives::Register<std::uint64_t>> data_;
+};
+
+}  // namespace psnap::baseline

@@ -1,0 +1,110 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/assert.h"
+
+namespace psnap {
+
+void CliFlags::define(const std::string& name, const std::string& default_value,
+                      const std::string& help) {
+  PSNAP_ASSERT_MSG(!flags_.count(name), "duplicate flag definition: " + name);
+  flags_[name] = Flag{default_value, help};
+}
+
+bool CliFlags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    std::string body = arg.substr(2);
+    std::string key, value;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      key = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      key = body;
+      auto it = flags_.find(key);
+      bool is_bool =
+          it != flags_.end() &&
+          (it->second.value == "true" || it->second.value == "false");
+      if (is_bool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s requires a value\n", key.c_str());
+        return false;
+      }
+    }
+    auto it = flags_.find(key);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::find(const std::string& name) const {
+  auto it = flags_.find(name);
+  PSNAP_ASSERT_MSG(it != flags_.end(), "flag not defined: " + name);
+  return it->second;
+}
+
+std::string CliFlags::get_string(const std::string& name) const {
+  return find(name).value;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  return std::strtoll(find(name).value.c_str(), nullptr, 10);
+}
+
+std::uint64_t CliFlags::get_uint(const std::string& name) const {
+  return std::strtoull(find(name).value.c_str(), nullptr, 10);
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return std::strtod(find(name).value.c_str(), nullptr);
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  const std::string& v = find(name).value;
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::vector<std::uint64_t> CliFlags::get_uint_list(
+    const std::string& name) const {
+  std::vector<std::uint64_t> out;
+  const std::string& v = find(name).value;
+  std::size_t pos = 0;
+  while (pos < v.size()) {
+    std::size_t comma = v.find(',', pos);
+    if (comma == std::string::npos) comma = v.size();
+    out.push_back(std::strtoull(v.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void CliFlags::print_usage(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", program.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::fprintf(stderr, "  --%s (default: %s)\n      %s\n", name.c_str(),
+                 flag.value.c_str(), flag.help.c_str());
+  }
+}
+
+}  // namespace psnap

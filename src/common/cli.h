@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Supports "--key=value", "--key value" and boolean "--flag".  Unknown flags
+// are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace psnap {
+
+class CliFlags {
+ public:
+  // Declares a flag with a default and a help line, then call parse().
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  // Parses argv; returns false (after printing usage) on error or --help.
+  bool parse(int argc, char** argv);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  std::uint64_t get_uint(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  // Comma-separated integer list, e.g. "--sizes=1,2,4,8".
+  std::vector<std::uint64_t> get_uint_list(const std::string& name) const;
+
+  void print_usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+  };
+  const Flag& find(const std::string& name) const;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace psnap

@@ -1,0 +1,65 @@
+// Deterministic, seedable random number generation.
+//
+// Every randomized component in the library (workloads, schedules, property
+// tests) draws from these generators so that any failure is reproducible
+// from a single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace psnap {
+
+// SplitMix64: used to expand one seed into independent stream seeds.
+// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: the main generator.  Small, fast, and high quality; see
+// Blackman & Vigna, "Scrambled linear pseudorandom number generators", 2018.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  // Uniform over [0, bound).  bound must be > 0.  Uses Lemire's unbiased
+  // multiply-shift rejection method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // True with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  // Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // k distinct values from [0, n), in sorted order.  k must be <= n.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                        std::uint32_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace psnap

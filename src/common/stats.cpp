@@ -1,0 +1,106 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace psnap {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  std::uint64_t n = n_ + other.n_;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.n_) /
+                            static_cast<double>(n);
+  double m2 = m2_ + other.m2_ +
+              delta * delta * static_cast<double>(n_) *
+                  static_cast<double>(other.n_) / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n;
+  mean_ = mean;
+  m2_ = m2;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  PSNAP_ASSERT(!samples.empty());
+  PSNAP_ASSERT(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  PSNAP_ASSERT(xs.size() == ys.size());
+  PSNAP_ASSERT(xs.size() >= 2);
+  double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.intercept = sy / n;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double e = ys[i] - (fit.intercept + fit.slope * xs[i]);
+    ss_res += e * e;
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+LinearFit fit_power_law(const std::vector<double>& xs,
+                        const std::vector<double>& ys) {
+  std::vector<double> lx, ly;
+  lx.reserve(xs.size());
+  ly.reserve(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    PSNAP_ASSERT(xs[i] > 0 && ys[i] > 0);
+    lx.push_back(std::log(xs[i]));
+    ly.push_back(std::log(ys[i]));
+  }
+  return fit_linear(lx, ly);
+}
+
+}  // namespace psnap

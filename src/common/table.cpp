@@ -1,0 +1,82 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/assert.h"
+
+namespace psnap {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  PSNAP_ASSERT(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  PSNAP_ASSERT_MSG(cells.size() == headers_.size(),
+                   "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string TablePrinter::fmt(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+void TablePrinter::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  if (!title.empty()) {
+    os << "== " << title << " ==\n";
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) {
+        os << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace psnap

@@ -1,0 +1,41 @@
+// Aligned text / CSV table output for the benchmark harness.
+//
+// Every bench binary prints its results through TablePrinter so that the
+// rows in bench_output.txt line up with the experiment tables described in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace psnap {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Cell helpers; each add_row call must supply one cell per header.
+  void add_row(std::vector<std::string> cells);
+
+  // Formats a double with the given precision, trimming trailing noise.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(std::int64_t v);
+
+  // Renders with space-aligned columns, a header underline, and an optional
+  // title.  Suitable for terminals and for diffing bench_output.txt.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  // Comma-separated form for downstream plotting.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psnap

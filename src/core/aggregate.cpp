@@ -1,0 +1,21 @@
+#include "core/aggregate.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace psnap::core {
+
+std::pair<std::uint64_t, std::uint64_t> scan_min_max(
+    PartialSnapshot& snapshot, std::span<const std::uint32_t> indices) {
+  PSNAP_ASSERT_MSG(!indices.empty(), "scan_min_max needs components");
+  using MinMax = std::pair<std::uint64_t, std::uint64_t>;
+  return scan_reduce(
+      snapshot, indices,
+      MinMax{~std::uint64_t{0}, 0},
+      [](MinMax acc, std::uint64_t v) {
+        return MinMax{std::min(acc.first, v), std::max(acc.second, v)};
+      });
+}
+
+}  // namespace psnap::core

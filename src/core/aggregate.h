@@ -1,0 +1,47 @@
+// Consistent aggregation over partial scans.
+//
+// The paper's related-work section (Section 5) discusses Jayanti's
+// f-array, which returns a function of *all* components.  The partial
+// snapshot object gives the natural generalization for free: evaluate f
+// over an atomic view of any chosen subset.  These helpers package that
+// pattern -- they are exactly "partial scan, then fold locally", so every
+// guarantee (linearizability, wait-freedom, locality) carries over from
+// the underlying scan unchanged: the aggregate equals f applied to the
+// component values at the scan's linearization point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "core/partial_snapshot.h"
+
+namespace psnap::core {
+
+// Folds f over a consistent view of the given components.
+// f: (Accumulator, std::uint64_t value) -> Accumulator.
+template <class Accumulator, class Fn>
+Accumulator scan_reduce(PartialSnapshot& snapshot,
+                        std::span<const std::uint32_t> indices,
+                        Accumulator init, Fn&& f) {
+  thread_local std::vector<std::uint64_t> scratch;
+  snapshot.scan(indices, scratch);
+  Accumulator acc = std::move(init);
+  for (std::uint64_t v : scratch) {
+    acc = f(std::move(acc), v);
+  }
+  return acc;
+}
+
+// Sum of a consistent view (the stock-portfolio valuation of Section 1).
+inline std::uint64_t scan_sum(PartialSnapshot& snapshot,
+                              std::span<const std::uint32_t> indices) {
+  return scan_reduce(snapshot, indices, std::uint64_t{0},
+                     [](std::uint64_t acc, std::uint64_t v) { return acc + v; });
+}
+
+// Minimum and maximum of a consistent view.  Requires a non-empty subset.
+std::pair<std::uint64_t, std::uint64_t> scan_min_max(
+    PartialSnapshot& snapshot, std::span<const std::uint32_t> indices);
+
+}  // namespace psnap::core

@@ -1,0 +1,235 @@
+#include "core/cas_psnap.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.h"
+#include "core/op_stats.h"
+#include "exec/exec.h"
+
+namespace psnap::core {
+
+CasPartialSnapshot::CasPartialSnapshot(std::uint32_t num_components,
+                                       std::uint32_t max_processes)
+    : CasPartialSnapshot(num_components, max_processes, Options{}) {}
+
+CasPartialSnapshot::CasPartialSnapshot(std::uint32_t num_components,
+                                       std::uint32_t max_processes,
+                                       Options options,
+                                       std::uint64_t initial_value)
+    : m_(num_components),
+      n_(max_processes),
+      options_(options),
+      r_(num_components),
+      s_(max_processes),
+      as_(std::make_unique<activeset::FaiCasActiveSet>(max_processes,
+                                                       options.active_set)),
+      counter_(max_processes) {
+  PSNAP_ASSERT(m_ > 0 && n_ > 0);
+  for (std::uint32_t i = 0; i < m_; ++i) {
+    r_[i].init(new Record{initial_value, i, kInitPid, {}}, /*label=*/i);
+  }
+}
+
+CasPartialSnapshot::~CasPartialSnapshot() {
+  for (auto& obj : r_) delete obj.peek();
+  for (auto& reg : s_) delete reg.peek();
+}
+
+View CasPartialSnapshot::embedded_scan(std::span<const std::uint32_t> args) {
+  OpStats& stats = tls_op_stats();
+  stats.embedded_args = args.size();
+  if (args.empty()) return {};
+
+  // Condition-(2) bookkeeping.
+  //
+  // CAS mode (the paper's Figure 3): per *location*, the distinct records
+  // seen there in first-seen order; the third one's view is borrowed.
+  // Three distinct values in one location are necessarily two changes over
+  // time (a location shows one value per collect), so the second and third
+  // were installed during this scan, and -- because updates publish with
+  // CAS -- the third value's updater read the component after the second
+  // was installed, i.e. after this scan began (Section 4.2's argument).
+  //
+  // Write mode (ABL-3 ablation, plain-overwrite updates): the CAS argument
+  // is unavailable, so we fall back to Figure 1's moved-twice per-process
+  // rule (see register_psnap.cpp), which stays correct under plain writes.
+  struct PerLocation {
+    const Record* recs[3] = {nullptr, nullptr, nullptr};
+    std::uint32_t count = 0;
+  };
+  std::vector<PerLocation> seen_loc;
+  struct PerPid {
+    const Record* moved[2] = {nullptr, nullptr};
+    std::uint32_t count = 0;
+  };
+  std::vector<PerPid> seen_pid;
+  if (options_.use_cas) {
+    seen_loc.resize(args.size());
+  } else {
+    seen_pid.resize(n_);
+  }
+
+  auto note_loc = [&seen_loc](std::size_t j,
+                              const Record* rec) -> const Record* {
+    PerLocation& s = seen_loc[j];
+    for (std::uint32_t k = 0; k < s.count; ++k) {
+      if (s.recs[k] == rec) return nullptr;
+    }
+    s.recs[s.count++] = rec;
+    // Paper: "let (v, view, c, id) be the third value seen in that
+    // location".  Unlike Figure 1 this is by observation order, not by
+    // highest counter.
+    return s.count == 3 ? s.recs[2] : nullptr;
+  };
+  auto note_move = [&seen_pid](const Record* rec) -> const Record* {
+    PSNAP_ASSERT(!rec->is_initial());
+    PerPid& s = seen_pid[rec->pid];
+    for (std::uint32_t k = 0; k < s.count; ++k) {
+      if (s.moved[k] == rec) return nullptr;
+    }
+    s.moved[s.count++] = rec;
+    if (s.count < 2) return nullptr;
+    return s.moved[0]->counter > s.moved[1]->counter ? s.moved[0]
+                                                     : s.moved[1];
+  };
+
+  std::vector<const Record*> prev(args.size(), nullptr);
+  std::vector<const Record*> cur(args.size(), nullptr);
+  bool have_prev = false;
+
+  const std::uint64_t collect_bound =
+      options_.use_cas ? 2ull * args.size() + 3 : 2ull * n_ + 3;
+
+  while (true) {
+    ++stats.collects;
+    // Theorem 3's wait-freedom argument: every pair of differing
+    // consecutive collects means some location changed, and a location can
+    // change at most twice before its third distinct value fires
+    // condition (2); hence at most 2r+1 collects in CAS mode.
+    PSNAP_ASSERT_MSG(stats.collects <= collect_bound,
+                     "figure-3 embedded scan exceeded its collect bound");
+    const Record* borrow = nullptr;
+    for (std::size_t j = 0; j < args.size(); ++j) {
+      cur[j] = r_[args[j]].load();
+      if (borrow != nullptr) continue;
+      if (options_.use_cas) {
+        borrow = note_loc(j, cur[j]);
+      } else if (have_prev && cur[j] != prev[j]) {
+        borrow = note_move(cur[j]);
+      }
+    }
+    if (borrow != nullptr) {
+      stats.borrowed = true;
+      return borrow->view;
+    }
+    if (have_prev && std::equal(cur.begin(), cur.end(), prev.begin())) {
+      View view;
+      view.reserve(args.size());
+      for (std::size_t j = 0; j < args.size(); ++j) {
+        view.push_back(ViewEntry{args[j], cur[j]->value});
+      }
+      return view;
+    }
+    prev.swap(cur);
+    have_prev = true;
+  }
+}
+
+void CasPartialSnapshot::update(std::uint32_t i, std::uint64_t v) {
+  PSNAP_ASSERT(i < m_);
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  tls_op_stats().reset();
+  auto guard = ebr_.pin();
+
+  // Figure 3 reads the current record before anything else; the CAS at the
+  // end succeeds only if the component was not updated in between.
+  const Record* old = r_[i].load();
+
+  std::vector<std::uint32_t> scanners;
+  as_->get_set(scanners);
+  tls_op_stats().getset_size = scanners.size();
+
+  std::vector<std::uint32_t> union_args;
+  for (std::uint32_t p : scanners) {
+    const IndexSet* announced = s_[p].load();
+    if (announced != nullptr) {
+      union_args.insert(union_args.end(), announced->indices.begin(),
+                        announced->indices.end());
+    }
+  }
+  std::sort(union_args.begin(), union_args.end());
+  union_args.erase(std::unique(union_args.begin(), union_args.end()),
+                   union_args.end());
+
+  View view = embedded_scan(union_args);
+
+  // Counter is bumped only when the record is actually published
+  // (paper: "if the compare&swap was successful then counter++"); tags of
+  // *published* records stay unique either way, because a failed record is
+  // never visible to anyone.
+  // unique_ptr until publication: survives both the CAS-failure path and
+  // an injected halt at the publish step without leaking.
+  std::unique_ptr<Record> rec(
+      new Record{v, counter_[pid].value + 1, pid, std::move(view)});
+  if (options_.use_cas) {
+    const Record* prev = r_[i].compare_and_swap(old, rec.get());
+    if (prev == old) {
+      rec.release();
+      ++counter_[pid].value;
+      ebr_.retire(const_cast<Record*>(old));
+    } else {
+      // Linearized immediately before the update that beat us; our record
+      // was never published, so unique_ptr frees it.
+      tls_op_stats().cas_failed = true;
+    }
+  } else {
+    // ABL-3 ablation: publish with a plain overwrite, as Figure 1 does.
+    // A CasObject has no store operation, so emulate the register write
+    // with a CAS retry loop; this path exists only to measure what the
+    // paper's switch to CAS buys (Section 4's second modification).
+    ++counter_[pid].value;
+    const Record* cur = old;
+    while (true) {
+      const Record* prev = r_[i].compare_and_swap(cur, rec.get());
+      if (prev == cur) break;
+      cur = prev;
+    }
+    rec.release();
+    ebr_.retire(const_cast<Record*>(cur));
+  }
+}
+
+void CasPartialSnapshot::scan(std::span<const std::uint32_t> indices,
+                              std::vector<std::uint64_t>& out) {
+  out.clear();
+  if (indices.empty()) return;
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  for (std::uint32_t i : indices) PSNAP_ASSERT(i < m_);
+  tls_op_stats().reset();
+  auto guard = ebr_.pin();
+
+  std::vector<std::uint32_t> canonical = canonical_indices(indices);
+
+  std::unique_ptr<IndexSet> announce(new IndexSet{canonical});
+  const IndexSet* old_announce = s_[pid].exchange(announce.get());
+  announce.release();
+  if (old_announce != nullptr) {
+    ebr_.retire(const_cast<IndexSet*>(old_announce));
+  }
+  as_->join();
+  View view = embedded_scan(canonical);
+  as_->leave();
+
+  out.reserve(indices.size());
+  for (std::uint32_t i : indices) {
+    const ViewEntry* e = view_find(view, i);
+    PSNAP_ASSERT_MSG(e != nullptr,
+                     "borrowed view is missing an announced component");
+    out.push_back(e->value);
+  }
+}
+
+}  // namespace psnap::core

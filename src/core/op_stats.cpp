@@ -1,0 +1,10 @@
+#include "core/op_stats.h"
+
+namespace psnap::core {
+
+OpStats& tls_op_stats() {
+  thread_local OpStats stats;
+  return stats;
+}
+
+}  // namespace psnap::core

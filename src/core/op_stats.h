@@ -1,0 +1,33 @@
+// Per-operation observability counters.
+//
+// Reset at the start of every update/scan and filled in as the operation
+// runs.  The benchmark harness reads them after each call to reproduce the
+// quantities Theorems 1-3 are stated in (collects per embedded scan,
+// embedded-scan argument counts, getSet sizes) without perturbing the
+// algorithms.  Thread-local, so concurrent benchmark threads see their own.
+#pragma once
+
+#include <cstdint>
+
+namespace psnap::core {
+
+struct OpStats {
+  // Collects performed by the operation's embedded scan.
+  std::uint64_t collects = 0;
+  // Operation terminated through condition (2) (borrowed a view).
+  bool borrowed = false;
+  // Number of argument components of the embedded scan (for updates: the
+  // size of the union of announced scan sets).
+  std::uint64_t embedded_args = 0;
+  // Number of scanners returned by getSet (updates only).
+  std::uint64_t getset_size = 0;
+  // The update's compare&swap failed (CAS-based algorithm only).
+  bool cas_failed = false;
+
+  void reset() { *this = OpStats{}; }
+};
+
+// Stats of the most recent operation performed by this thread.
+OpStats& tls_op_stats();
+
+}  // namespace psnap::core

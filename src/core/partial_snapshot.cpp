@@ -1,0 +1,13 @@
+#include "core/partial_snapshot.h"
+
+#include <numeric>
+
+namespace psnap::core {
+
+std::vector<std::uint64_t> PartialSnapshot::scan_all() {
+  std::vector<std::uint32_t> indices(num_components());
+  std::iota(indices.begin(), indices.end(), 0u);
+  return scan(std::span<const std::uint32_t>(indices));
+}
+
+}  // namespace psnap::core

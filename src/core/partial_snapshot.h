@@ -1,0 +1,65 @@
+// The partial snapshot object interface (paper Section 2.1).
+//
+// A partial snapshot object stores a vector of m components from a domain D
+// (here: uint64_t) and provides two linearizable operations:
+//
+//   * update(i, v): set component i to v;
+//   * scan(i1..ir): atomically read components i1..ir -- the returned
+//     values must all have been simultaneously present at the scan's
+//     linearization point.
+//
+// Implementations in this library:
+//   core::RegisterPartialSnapshot  -- Figure 1 (registers only)
+//   core::CasPartialSnapshot       -- Figure 3 (CAS + F&I; local scans)
+//   baseline::FullSnapshot         -- complete-scan extraction baseline
+//   baseline::DoubleCollectSnapshot-- lock-free, no helping (not wait-free)
+//   baseline::LockSnapshot         -- global mutex reference
+//   baseline::SeqlockSnapshot      -- global seqlock reference
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace psnap::core {
+
+class PartialSnapshot {
+ public:
+  virtual ~PartialSnapshot() = default;
+
+  virtual std::uint32_t num_components() const = 0;
+  virtual std::string_view name() const = 0;
+
+  // True if every operation completes in a bounded number of its own steps.
+  virtual bool is_wait_free() const = 0;
+  // True if scan complexity depends only on r (never on m) -- the property
+  // the paper is after.
+  virtual bool is_local() const = 0;
+
+  // Sets component i (0-based, < num_components) to v on behalf of
+  // exec::ctx().pid.
+  virtual void update(std::uint32_t i, std::uint64_t v) = 0;
+
+  // Reads the given components atomically; out[k] receives the value of
+  // indices[k] (indices may be unsorted and may contain duplicates; an
+  // empty set yields an empty result).  Clears and fills `out`.
+  virtual void scan(std::span<const std::uint32_t> indices,
+                    std::vector<std::uint64_t>& out) = 0;
+
+  // Convenience forms.
+  std::vector<std::uint64_t> scan(std::span<const std::uint32_t> indices) {
+    std::vector<std::uint64_t> out;
+    scan(indices, out);
+    return out;
+  }
+  std::vector<std::uint64_t> scan(std::initializer_list<std::uint32_t> il) {
+    std::vector<std::uint32_t> idx(il);
+    return scan(std::span<const std::uint32_t>(idx));
+  }
+  // Complete scan (partial scan of all components).
+  std::vector<std::uint64_t> scan_all();
+};
+
+}  // namespace psnap::core

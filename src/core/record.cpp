@@ -1,0 +1,23 @@
+#include "core/record.h"
+
+#include <algorithm>
+
+namespace psnap::core {
+
+const ViewEntry* view_find(const View& view, std::uint32_t index) {
+  auto it = std::lower_bound(
+      view.begin(), view.end(), index,
+      [](const ViewEntry& e, std::uint32_t i) { return e.index < i; });
+  if (it == view.end() || it->index != index) return nullptr;
+  return &*it;
+}
+
+std::vector<std::uint32_t> canonical_indices(
+    std::span<const std::uint32_t> indices) {
+  std::vector<std::uint32_t> out(indices.begin(), indices.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace psnap::core

@@ -1,0 +1,62 @@
+// Shared record types for the snapshot algorithms.
+//
+// Both algorithms store, per component, a pointer to an immutable heap
+// record carrying (value, view, counter, id) -- the paper's large register
+// contents, realized as its own suggested variant "store a pointer to a set
+// of registers" (Section 3).  Records are:
+//
+//   * immutable after publication: a record is fully built before the
+//     store/CAS that publishes it, and never written again;
+//   * uniquely tagged: (pid, counter) pairs are never reused across
+//     *published* records, reproducing the paper's "no two write operations
+//     write exactly the same contents" ABA argument;
+//   * reclaimed through EBR: readers dereference records only while pinned,
+//     so pointer identity is also ABA-safe within one operation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace psnap::core {
+
+// pid value used for the pre-installed initial records (not a real process).
+inline constexpr std::uint32_t kInitPid = ~std::uint32_t{0};
+
+// One (component, value) pair of an embedded-scan result.
+struct ViewEntry {
+  std::uint32_t index;
+  std::uint64_t value;
+
+  friend bool operator==(const ViewEntry&, const ViewEntry&) = default;
+};
+
+// A view is a vector of ViewEntry sorted by component index.  Scans that
+// terminate by borrowing (condition (2)) binary-search it, per the paper's
+// small-register remark after Theorem 1.
+using View = std::vector<ViewEntry>;
+
+// Looks up `index` in a sorted view; returns nullptr if absent.
+const ViewEntry* view_find(const View& view, std::uint32_t index);
+
+struct Record {
+  std::uint64_t value = 0;
+  std::uint64_t counter = 0;     // per-process publication counter
+  std::uint32_t pid = kInitPid;  // writing process
+  View view;                     // the update's embedded-scan result
+
+  bool is_initial() const { return pid == kInitPid; }
+};
+
+// An announced index set (the contents of the paper's A[p] / S[p]
+// registers): sorted, duplicate-free component indices, heap-allocated and
+// published by pointer.
+struct IndexSet {
+  std::vector<std::uint32_t> indices;
+};
+
+// Canonicalizes an arbitrary index list: sorted, duplicates removed.
+std::vector<std::uint32_t> canonical_indices(
+    std::span<const std::uint32_t> indices);
+
+}  // namespace psnap::core

@@ -1,0 +1,202 @@
+#include "core/register_psnap.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "activeset/register_active_set.h"
+#include "common/assert.h"
+#include "core/op_stats.h"
+#include "exec/exec.h"
+
+namespace psnap::core {
+
+RegisterPartialSnapshot::RegisterPartialSnapshot(
+    std::uint32_t num_components, std::uint32_t max_processes,
+    std::unique_ptr<activeset::ActiveSet> active_set,
+    std::uint64_t initial_value)
+    : m_(num_components),
+      n_(max_processes),
+      r_(num_components),
+      a_(max_processes),
+      as_(active_set ? std::move(active_set)
+                     : std::make_unique<activeset::RegisterActiveSet>(
+                           max_processes)),
+      counter_(max_processes) {
+  PSNAP_ASSERT(m_ > 0 && n_ > 0);
+  PSNAP_ASSERT(as_->max_processes() >= n_);
+  for (std::uint32_t i = 0; i < m_; ++i) {
+    // Initial records carry the sentinel pid and the component index as the
+    // counter, which keeps every record tag unique.
+    r_[i].init(new Record{initial_value, i, kInitPid, {}}, /*label=*/i);
+  }
+}
+
+RegisterPartialSnapshot::~RegisterPartialSnapshot() {
+  for (auto& reg : r_) delete reg.peek();
+  for (auto& reg : a_) delete reg.peek();
+}
+
+View RegisterPartialSnapshot::embedded_scan(
+    std::span<const std::uint32_t> args) {
+  OpStats& stats = tls_op_stats();
+  stats.embedded_args = args.size();
+  if (args.empty()) return {};
+
+  // Condition-(2) bookkeeping.  The paper phrases the rule as "three
+  // different values written by the same process have been seen (in any
+  // locations)", which is the classic single-writer formulation: with one
+  // register per process, three distinct values can only be observed as
+  // two *changes* over time, proving two writes happened during this scan.
+  // In the multi-writer object a process's old records can sit in several
+  // components simultaneously, so three distinct values may all predate
+  // the scan and borrowing would be unsound (the borrowed view could miss
+  // updates that completed before we started).  We therefore implement the
+  // rule the proof actually uses: a process must be observed to *move*
+  // twice -- publish two distinct records that each appeared as a change
+  // between consecutive collects of this scan.  Both moves then happened
+  // during the scan, so the later of the two belongs to an update whose
+  // embedded scan (and getSet) started after ours -- precisely the
+  // condition the paper's correctness argument requires.
+  //
+  // Pointer identity is sound throughout: we are EBR-pinned for the whole
+  // operation, so no observed record can be freed and its address reused.
+  struct PerPid {
+    const Record* moved[2] = {nullptr, nullptr};
+    std::uint32_t count = 0;
+  };
+  std::vector<PerPid> seen(n_);
+
+  // Called for a record that just appeared as a change at some location;
+  // returns the record to borrow from once its process has two moves.
+  auto note_move = [&seen](const Record* rec) -> const Record* {
+    PSNAP_ASSERT(!rec->is_initial());  // initial records are never published
+    PerPid& s = seen[rec->pid];
+    for (std::uint32_t k = 0; k < s.count; ++k) {
+      if (s.moved[k] == rec) return nullptr;  // already counted
+    }
+    s.moved[s.count++] = rec;
+    if (s.count < 2) return nullptr;
+    // Borrow the later of the two moves ("the one with the highest counter
+    // field"): its update began after the earlier move's write, hence
+    // after this scan began.
+    return s.moved[0]->counter > s.moved[1]->counter ? s.moved[0]
+                                                     : s.moved[1];
+  };
+
+  std::vector<const Record*> prev(args.size(), nullptr);
+  std::vector<const Record*> cur(args.size(), nullptr);
+  bool have_prev = false;
+
+  while (true) {
+    ++stats.collects;
+    // Wait-freedom bound (Section 3): every differing pair of consecutive
+    // collects contributes at least one fresh move, and 2n+1 moves force
+    // some process to two moves.  The assert turns a lost helping path
+    // into a loud failure instead of an unbounded loop.
+    PSNAP_ASSERT_MSG(stats.collects <= 2ull * n_ + 3,
+                     "figure-1 embedded scan exceeded its collect bound");
+    const Record* borrow = nullptr;
+    for (std::size_t j = 0; j < args.size(); ++j) {
+      cur[j] = r_[args[j]].load();
+      if (have_prev && cur[j] != prev[j] && borrow == nullptr) {
+        borrow = note_move(cur[j]);
+      }
+    }
+    if (borrow != nullptr) {
+      // Condition (2): borrow the embedded-scan result of an update that
+      // started after we did.
+      stats.borrowed = true;
+      return borrow->view;
+    }
+    if (have_prev && std::equal(cur.begin(), cur.end(), prev.begin())) {
+      // Condition (1): both collects saw the same records, so those values
+      // coexisted at every instant between the collects.
+      View view;
+      view.reserve(args.size());
+      for (std::size_t j = 0; j < args.size(); ++j) {
+        view.push_back(ViewEntry{args[j], cur[j]->value});
+      }
+      return view;
+    }
+    prev.swap(cur);
+    have_prev = true;
+  }
+}
+
+void RegisterPartialSnapshot::update(std::uint32_t i, std::uint64_t v) {
+  PSNAP_ASSERT(i < m_);
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  tls_op_stats().reset();
+  auto guard = ebr_.pin();
+
+  // Gather the components needed by announced scanners; the embedded scan
+  // reads exactly those (the whole point of *partial* helping).
+  std::vector<std::uint32_t> scanners;
+  as_->get_set(scanners);
+  tls_op_stats().getset_size = scanners.size();
+
+  std::vector<std::uint32_t> union_args;
+  for (std::uint32_t p : scanners) {
+    const IndexSet* announced = a_[p].load();
+    if (announced != nullptr) {
+      union_args.insert(union_args.end(), announced->indices.begin(),
+                        announced->indices.end());
+    }
+  }
+  std::sort(union_args.begin(), union_args.end());
+  union_args.erase(std::unique(union_args.begin(), union_args.end()),
+                   union_args.end());
+
+  View view = embedded_scan(union_args);
+
+  // unique_ptr until publication: if this process halts at the publish
+  // step (crash injection, Section 2's failure model), the unpublished
+  // record unwinds instead of leaking.
+  std::unique_ptr<Record> rec(
+      new Record{v, ++counter_[pid].value, pid, std::move(view)});
+  // The write that linearizes the update.  exchange (one register step,
+  // see primitives.h) returns the replaced record so exactly one thread
+  // retires it.
+  const Record* old = r_[i].exchange(rec.get());
+  rec.release();
+  ebr_.retire(const_cast<Record*>(old));
+}
+
+void RegisterPartialSnapshot::scan(std::span<const std::uint32_t> indices,
+                                   std::vector<std::uint64_t>& out) {
+  out.clear();
+  if (indices.empty()) return;
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  for (std::uint32_t i : indices) PSNAP_ASSERT(i < m_);
+  tls_op_stats().reset();
+  auto guard = ebr_.pin();
+
+  std::vector<std::uint32_t> canonical = canonical_indices(indices);
+
+  // Announce, then join: an update whose getSet sees us joined is
+  // guaranteed to read our announcement.
+  std::unique_ptr<IndexSet> announce(new IndexSet{canonical});
+  const IndexSet* old_announce = a_[pid].exchange(announce.get());
+  announce.release();
+  if (old_announce != nullptr) {
+    ebr_.retire(const_cast<IndexSet*>(old_announce));
+  }
+  as_->join();
+  View view = embedded_scan(canonical);
+  as_->leave();
+
+  // Extract the requested components, in the caller's order, by binary
+  // search (the paper's small-register remark after Theorem 1).  The
+  // correctness argument guarantees every announced index is present.
+  out.reserve(indices.size());
+  for (std::uint32_t i : indices) {
+    const ViewEntry* e = view_find(view, i);
+    PSNAP_ASSERT_MSG(e != nullptr,
+                     "borrowed view is missing an announced component");
+    out.push_back(e->value);
+  }
+}
+
+}  // namespace psnap::core

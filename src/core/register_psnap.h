@@ -1,0 +1,86 @@
+// Figure 1: wait-free partial snapshot from registers.
+//
+// Per component i, a register R[i] holds (a pointer to) an immutable record
+// (value, view, counter, id).  Updates write a fresh record whose view is
+// the result of an *embedded partial scan* covering the union of the
+// component sets announced by currently-active scanners; scanners announce
+// in A[pid] and register themselves in an active set around their embedded
+// scan.  An embedded scan terminates when either
+//
+//   (1) two consecutive collects are identical (the values were
+//       simultaneously present between the collects), or
+//   (2) the same process has been observed to publish two records that
+//       each *appeared as a change* during this scan ("moved twice"): the
+//       later of the two belongs to an update whose own embedded scan
+//       started after this one, so its view may be borrowed (it covers our
+//       announced components -- asserted at extraction time).  This is the
+//       multi-writer-sound reading of the paper's "three different values
+//       written by the same process have been seen (in any locations)";
+//       see the implementation comment for why the literal reading is a
+//       single-writer artifact.
+//
+// Linearization (paper Section 3): updates at their register write; a
+// condition-(1) embedded scan between its two identical collects; a
+// condition-(2) embedded scan at the linearization point of the embedded
+// scan it borrows from; a scan at its embedded scan.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "activeset/active_set.h"
+#include "common/padding.h"
+#include "core/partial_snapshot.h"
+#include "core/record.h"
+#include "primitives/primitives.h"
+#include "reclaim/ebr.h"
+
+namespace psnap::core {
+
+class RegisterPartialSnapshot final : public PartialSnapshot {
+ public:
+  // active_set defaults to the register-only implementation (the paper's
+  // Figure 1 uses a register-based active set); injectable so benches can
+  // pair Figure 1 with the Figure 2 active set too.
+  RegisterPartialSnapshot(std::uint32_t num_components,
+                          std::uint32_t max_processes,
+                          std::unique_ptr<activeset::ActiveSet> active_set =
+                              nullptr,
+                          std::uint64_t initial_value = 0);
+  ~RegisterPartialSnapshot() override;
+
+  std::uint32_t num_components() const override { return m_; }
+  std::string_view name() const override { return "fig1-register"; }
+  bool is_wait_free() const override { return true; }
+  // Scans are contention-local but the helping machinery makes update cost
+  // depend on scanner announcements, not on m; scan steps never depend on
+  // m either.  (The active-set term of the default register active set is
+  // O(n); see DESIGN.md substitutions.)
+  bool is_local() const override { return true; }
+
+  void update(std::uint32_t i, std::uint64_t v) override;
+  void scan(std::span<const std::uint32_t> indices,
+            std::vector<std::uint64_t>& out) override;
+
+  activeset::ActiveSet& active_set() { return *as_; }
+
+ private:
+  // Runs the embedded partial scan over `args` (sorted unique).  Returns a
+  // sorted view covering at least `args`... for condition (1) exactly
+  // `args`; for condition (2) whatever the borrowed view covers (a superset
+  // of every set announced by scanners that joined before this embedded
+  // scan began -- which is what scan() relies on).
+  View embedded_scan(std::span<const std::uint32_t> args);
+
+  std::uint32_t m_;
+  std::uint32_t n_;
+  std::vector<primitives::Register<const Record*>> r_;
+  std::vector<primitives::Register<const IndexSet*>> a_;
+  std::unique_ptr<activeset::ActiveSet> as_;
+  reclaim::EbrDomain ebr_;
+  // Per-process publication counters (only the owner writes; reads by the
+  // owner only), giving unique (pid, counter) record tags.
+  std::vector<CachelinePadded<std::uint64_t>> counter_;
+};
+
+}  // namespace psnap::core

@@ -1,0 +1,26 @@
+#include "exec/exec.h"
+
+#include "common/assert.h"
+
+namespace psnap::exec {
+
+ThreadCtx& ctx() {
+  thread_local ThreadCtx tls_ctx;
+  return tls_ctx;
+}
+
+ScopedPid::ScopedPid(std::uint32_t pid) : saved_(ctx().pid) {
+  PSNAP_ASSERT_MSG(saved_ == kInvalidPid,
+                   "thread already has a pid; ScopedPid must not nest");
+  ctx().pid = pid;
+}
+
+ScopedPid::~ScopedPid() { ctx().pid = saved_; }
+
+ScopedLogger::ScopedLogger(AccessLogger* logger) : saved_(ctx().logger) {
+  ctx().logger = logger;
+}
+
+ScopedLogger::~ScopedLogger() { ctx().logger = saved_; }
+
+}  // namespace psnap::exec

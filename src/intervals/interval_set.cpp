@@ -1,0 +1,115 @@
+#include "intervals/interval_set.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace psnap::intervals {
+
+namespace {
+
+// Normalizes a sorted-by-lo interval vector: merges overlapping intervals,
+// and adjacent ones too when merge_adjacent is set.
+std::vector<Interval> coalesce_sorted(std::vector<Interval> v,
+                                      bool merge_adjacent) {
+  std::vector<Interval> out;
+  out.reserve(v.size());
+  for (const Interval& iv : v) {
+    PSNAP_ASSERT(iv.lo <= iv.hi);
+    if (!out.empty()) {
+      Interval& last = out.back();
+      // The adjacency disjunct only evaluates when iv.lo > last.hi, so
+      // last.hi + 1 cannot overflow there.
+      if (iv.lo <= last.hi || (merge_adjacent && iv.lo == last.hi + 1)) {
+        last.hi = std::max(last.hi, iv.hi);
+        continue;
+      }
+    }
+    out.push_back(iv);
+  }
+  return out;
+}
+
+}  // namespace
+
+IntervalSet IntervalSet::from_intervals(std::vector<Interval> raw,
+                                        bool merge_adjacent) {
+  std::sort(raw.begin(), raw.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  IntervalSet set;
+  set.intervals_ = coalesce_sorted(std::move(raw), merge_adjacent);
+  return set;
+}
+
+IntervalSet IntervalSet::from_points(std::vector<std::uint64_t> points,
+                                     bool merge_adjacent) {
+  std::vector<Interval> raw;
+  raw.reserve(points.size());
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  for (std::uint64_t p : points) raw.push_back(Interval{p, p});
+  IntervalSet set;
+  set.intervals_ = coalesce_sorted(std::move(raw), merge_adjacent);
+  return set;
+}
+
+IntervalSet IntervalSet::merged_with_points(std::vector<std::uint64_t> points,
+                                            bool merge_adjacent) const {
+  return merged_with(IntervalSet::from_points(std::move(points), merge_adjacent),
+                     merge_adjacent);
+}
+
+IntervalSet IntervalSet::merged_with(const IntervalSet& other,
+                                     bool merge_adjacent) const {
+  // Standard sorted two-way merge, then a coalescing pass.
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size() + other.intervals_.size());
+  std::merge(intervals_.begin(), intervals_.end(), other.intervals_.begin(),
+             other.intervals_.end(), std::back_inserter(merged),
+             [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  IntervalSet set;
+  set.intervals_ = coalesce_sorted(std::move(merged), merge_adjacent);
+  return set;
+}
+
+bool IntervalSet::contains(std::uint64_t x) const {
+  // Binary search on interval lower bounds.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), x,
+      [](std::uint64_t v, const Interval& iv) { return v < iv.lo; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return x >= it->lo && x <= it->hi;
+}
+
+std::uint64_t IntervalSet::cardinality() const {
+  std::uint64_t n = 0;
+  for (const Interval& iv : intervals_) n += iv.hi - iv.lo + 1;
+  return n;
+}
+
+bool IntervalSet::is_canonical() const {
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (intervals_[i].lo > intervals_[i].hi) return false;
+    if (i > 0) {
+      // Strictly increasing with a gap of at least one point: otherwise the
+      // intervals should have been coalesced.
+      if (intervals_[i].lo <= intervals_[i - 1].hi) return false;
+      if (intervals_[i].lo == intervals_[i - 1].hi + 1) return false;
+    }
+  }
+  return true;
+}
+
+std::string IntervalSet::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (i) out += ", ";
+    out += "[" + std::to_string(intervals_[i].lo) + "," +
+           std::to_string(intervals_[i].hi) + "]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace psnap::intervals

@@ -1,0 +1,13 @@
+// The primitives are header-only templates; this translation unit exists to
+// anchor the static library and to force-compile the common instantiations
+// used across the project, catching template errors early.
+#include "primitives/primitives.h"
+
+namespace psnap::primitives {
+
+template class Register<std::uint64_t>;
+template class Register<void*>;
+template class CasObject<std::uint64_t>;
+template class CasObject<void*>;
+
+}  // namespace psnap::primitives

@@ -1,0 +1,138 @@
+// Linearizable shared base objects, step-instrumented.
+//
+// These are the paper's model-level primitives (Section 2 / Section 4):
+// read/write registers, compare&swap objects, and fetch&increment objects.
+// Every operation:
+//   * is a single std::atomic operation with seq_cst ordering, so the
+//     implementation really is linearizable at the hardware level, and
+//   * reports exactly one "step" to the execution layer, which is the unit
+//     in which Theorems 1-3 are stated and in which our benches measure.
+//
+// Objects may carry a label (component index) so locality tests can assert
+// which components an operation touched.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "exec/exec.h"
+
+namespace psnap::primitives {
+
+// Atomic read/write register.  T must be a type std::atomic supports
+// natively (we use pointers and 64-bit integers throughout).
+template <class T>
+class Register {
+ public:
+  Register() : value_(T{}) {}
+  explicit Register(T initial, std::uint64_t label = exec::kNoLabel)
+      : value_(initial), label_(label) {}
+
+  // Construction-phase initialization (before the object is shared); not a
+  // step.  Registers live in vectors, and std::atomic makes them
+  // non-assignable, so containers default-construct and then init().
+  void init(T initial, std::uint64_t label = exec::kNoLabel) {
+    value_.store(initial, std::memory_order_relaxed);
+    label_ = label;
+  }
+
+  void set_label(std::uint64_t label) { label_ = label; }
+
+  T load() const {
+    exec::on_step(exec::ObjKind::kRegister, label_);
+    return value_.load(std::memory_order_seq_cst);
+  }
+
+  void store(T desired) {
+    exec::on_step(exec::ObjKind::kRegister, label_);
+    value_.store(desired, std::memory_order_seq_cst);
+  }
+
+  // Atomic swap.  Counted as one register step: the algorithms use it only
+  // where the paper writes a plain write, and the returned previous value
+  // is used purely for memory reclamation (retire-exactly-once), never for
+  // synchronization decisions.  See RegisterPartialSnapshot::update.
+  T exchange(T desired) {
+    exec::on_step(exec::ObjKind::kRegister, label_);
+    return value_.exchange(desired, std::memory_order_seq_cst);
+  }
+
+  // Test-only peek that does not count a step or act as a schedule point.
+  T peek() const { return value_.load(std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<T> value_;
+  std::uint64_t label_ = exec::kNoLabel;
+};
+
+// compare&swap object (Section 4): holds a value; compare_and_swap(old,new)
+// installs new iff the current value equals old, returning the previous
+// value.  We also expose the boolean-success form used in Figure 3.
+template <class T>
+class CasObject {
+ public:
+  CasObject() : value_(T{}) {}
+  explicit CasObject(T initial, std::uint64_t label = exec::kNoLabel)
+      : value_(initial), label_(label) {}
+
+  // Construction-phase initialization; see Register::init.
+  void init(T initial, std::uint64_t label = exec::kNoLabel) {
+    value_.store(initial, std::memory_order_relaxed);
+    label_ = label;
+  }
+
+  void set_label(std::uint64_t label) { label_ = label; }
+
+  T load() const {
+    exec::on_step(exec::ObjKind::kCas, label_);
+    return value_.load(std::memory_order_seq_cst);
+  }
+
+  // Returns the value held immediately before the operation (the paper's
+  // interface).  The swap happened iff the return value equals `expected`.
+  T compare_and_swap(T expected, T desired) {
+    exec::on_step(exec::ObjKind::kCas, label_);
+    T prev = expected;
+    value_.compare_exchange_strong(prev, desired, std::memory_order_seq_cst,
+                                   std::memory_order_seq_cst);
+    return prev;
+  }
+
+  bool compare_and_swap_bool(T expected, T desired) {
+    return compare_and_swap(expected, desired) == expected;
+  }
+
+  T peek() const { return value_.load(std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<T> value_;
+  std::uint64_t label_ = exec::kNoLabel;
+};
+
+// fetch&increment object (Section 4): atomically increments and returns the
+// *new* value; also readable without modification (the paper assumes this).
+class FetchIncrement {
+ public:
+  FetchIncrement() = default;
+  explicit FetchIncrement(std::uint64_t initial,
+                          std::uint64_t label = exec::kNoLabel)
+      : value_(initial), label_(label) {}
+
+  std::uint64_t fetch_increment() {
+    exec::on_step(exec::ObjKind::kFai, label_);
+    return value_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  std::uint64_t read() const {
+    exec::on_step(exec::ObjKind::kFai, label_);
+    return value_.load(std::memory_order_seq_cst);
+  }
+
+  std::uint64_t peek() const { return value_.load(std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+  std::uint64_t label_ = exec::kNoLabel;
+};
+
+}  // namespace psnap::primitives

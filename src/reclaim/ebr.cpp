@@ -1,0 +1,138 @@
+#include "reclaim/ebr.h"
+
+#include <unordered_map>
+
+#include "common/assert.h"
+
+namespace psnap::reclaim {
+
+namespace {
+
+std::uint64_t next_domain_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread cache: domain id -> slot index.  Keyed by id, not pointer, so a
+// domain reallocated at a previous domain's address cannot alias its slots.
+std::unordered_map<std::uint64_t, std::uint32_t>& slot_cache() {
+  thread_local std::unordered_map<std::uint64_t, std::uint32_t> cache;
+  return cache;
+}
+
+// Retire-list length that triggers a reclamation attempt.
+constexpr std::size_t kReclaimThreshold = 64;
+
+}  // namespace
+
+EbrDomain::EbrDomain() : domain_id_(next_domain_id()), slots_(kMaxThreads) {}
+
+EbrDomain::~EbrDomain() {
+  // Precondition: quiescent.  Free everything outstanding.
+  for (Slot& slot : slots_) {
+    PSNAP_ASSERT_MSG(slot.epoch.load(std::memory_order_relaxed) == kIdle,
+                     "EbrDomain destroyed while a thread is pinned");
+    for (RetiredNode& node : slot.retired) {
+      node.deleter(node.ptr);
+      freed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    slot.retired.clear();
+  }
+}
+
+std::uint32_t EbrDomain::slot_for_this_thread() {
+  auto& cache = slot_cache();
+  auto it = cache.find(domain_id_);
+  if (it != cache.end()) return it->second;
+  for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (slots_[i].in_use.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel)) {
+      cache.emplace(domain_id_, i);
+      return i;
+    }
+  }
+  PSNAP_ASSERT_MSG(false, "EbrDomain thread capacity exhausted");
+  return 0;  // unreachable
+}
+
+EbrDomain::Guard::Guard(EbrDomain& domain)
+    : domain_(domain), slot_(domain.slot_for_this_thread()) {
+  Slot& slot = domain_.slots_[slot_];
+  outermost_ = (slot.depth == 0);
+  ++slot.depth;
+  if (!outermost_) return;
+  // Publish the pinned epoch; re-check so we never pin an epoch that has
+  // already been left behind (the classic EBR entry protocol).
+  std::uint64_t e = domain_.global_epoch_.load(std::memory_order_seq_cst);
+  while (true) {
+    slot.epoch.store(e, std::memory_order_seq_cst);
+    std::uint64_t e2 = domain_.global_epoch_.load(std::memory_order_seq_cst);
+    if (e2 == e) break;
+    e = e2;
+  }
+}
+
+EbrDomain::Guard::~Guard() {
+  Slot& slot = domain_.slots_[slot_];
+  PSNAP_ASSERT(slot.depth > 0);
+  --slot.depth;
+  if (!outermost_) return;
+  slot.epoch.store(kIdle, std::memory_order_seq_cst);
+  if (slot.retired.size() >= kReclaimThreshold) {
+    domain_.try_reclaim();
+  }
+}
+
+void EbrDomain::retire_raw(void* node, void (*deleter)(void*)) {
+  PSNAP_ASSERT(node != nullptr);
+  Slot& slot = slots_[slot_for_this_thread()];
+  slot.retired.push_back(
+      RetiredNode{node, deleter,
+                  global_epoch_.load(std::memory_order_seq_cst)});
+  retired_.fetch_add(1, std::memory_order_relaxed);
+  if (slot.retired.size() >= kReclaimThreshold && slot.depth == 0) {
+    try_reclaim();
+  }
+}
+
+void EbrDomain::try_reclaim() {
+  std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  bool can_advance = true;
+  for (Slot& slot : slots_) {
+    if (!slot.in_use.load(std::memory_order_acquire)) continue;
+    std::uint64_t pinned = slot.epoch.load(std::memory_order_seq_cst);
+    if (pinned != kIdle && pinned != e) {
+      can_advance = false;
+      break;
+    }
+  }
+  if (can_advance) {
+    // Multiple threads may race here; compare_exchange keeps the epoch from
+    // skipping generations.
+    std::uint64_t expected = e;
+    global_epoch_.compare_exchange_strong(expected, e + 1,
+                                          std::memory_order_seq_cst);
+  }
+  // Free this thread's eligible nodes: retired in an epoch at least two
+  // generations behind the current one.
+  std::uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+  if (now < 2) return;
+  free_eligible(slots_[slot_for_this_thread()], now - 2);
+}
+
+void EbrDomain::free_eligible(Slot& slot, std::uint64_t safe_epoch) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < slot.retired.size(); ++i) {
+    RetiredNode& node = slot.retired[i];
+    if (node.epoch <= safe_epoch) {
+      node.deleter(node.ptr);
+      freed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      slot.retired[kept++] = node;
+    }
+  }
+  slot.retired.resize(kept);
+}
+
+}  // namespace psnap::reclaim

@@ -1,0 +1,112 @@
+// Epoch-based reclamation (EBR).
+//
+// The snapshot algorithms publish immutable heap records through atomic
+// pointers (the paper's "large registers", or its explicit small-register
+// variant that stores "a pointer to a set of registers").  A reader that
+// loads such a pointer must be able to dereference it even if a concurrent
+// update has already replaced it; EBR provides that guarantee.
+//
+// Scheme (Fraser-style, three logical generations):
+//  * A global epoch counter advances when every pinned thread has observed
+//    the current epoch.
+//  * Threads pin the current epoch for the duration of one operation
+//    (operations here are wait-free and short, so epochs advance quickly).
+//  * A node retired in epoch e is freed once the global epoch reaches e+2:
+//    at that point no pinned thread can still hold a reference from e.
+//
+// EBR pins and retires are memory management, not shared-object "steps" in
+// the paper's model, so they deliberately do not call exec::on_step().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/padding.h"
+
+namespace psnap::reclaim {
+
+class EbrDomain {
+ public:
+  // Maximum number of distinct threads that may ever use one domain.
+  static constexpr std::uint32_t kMaxThreads = 128;
+
+  EbrDomain();
+  // Precondition: no thread is pinned and no operation is in flight.
+  // Frees every outstanding retired node.
+  ~EbrDomain();
+
+  EbrDomain(const EbrDomain&) = delete;
+  EbrDomain& operator=(const EbrDomain&) = delete;
+
+  // RAII pin.  Reentrant: nested guards on the same thread are no-ops, so
+  // an update may pin and call helper code that also pins.
+  class Guard {
+   public:
+    explicit Guard(EbrDomain& domain);
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EbrDomain& domain_;
+    std::uint32_t slot_;
+    bool outermost_;
+  };
+
+  Guard pin() { return Guard(*this); }
+
+  // Hands the node to the domain; it is deleted once no pinned thread can
+  // still reference it.  May be called while pinned.
+  template <class T>
+  void retire(T* node) {
+    retire_raw(node, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  void retire_raw(void* node, void (*deleter)(void*));
+
+  // Attempts to advance the epoch and free eligible nodes.  Called
+  // automatically on retire-list pressure; exposed for tests.
+  void try_reclaim();
+
+  // --- observability (tests and the micro bench) ---
+  std::uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t retired_count() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t freed_count() const {
+    return freed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t outstanding() const { return retired_count() - freed_count(); }
+
+ private:
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  struct RetiredNode {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  struct alignas(kCachelineBytes) Slot {
+    std::atomic<std::uint64_t> epoch{kIdle};
+    std::atomic<bool> in_use{false};
+    // Owner-thread-only state (the destructor is the one exception, and it
+    // runs without concurrency by precondition).
+    std::uint32_t depth = 0;
+    std::vector<RetiredNode> retired;
+  };
+
+  std::uint32_t slot_for_this_thread();
+  void free_eligible(Slot& slot, std::uint64_t safe_epoch);
+
+  std::atomic<std::uint64_t> global_epoch_{0};
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> freed_{0};
+  const std::uint64_t domain_id_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace psnap::reclaim

@@ -1,0 +1,115 @@
+#include "reclaim/hazard.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/assert.h"
+
+namespace psnap::reclaim {
+
+namespace {
+
+std::uint64_t next_domain_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::unordered_map<std::uint64_t, std::uint32_t>& slot_cache() {
+  thread_local std::unordered_map<std::uint64_t, std::uint32_t> cache;
+  return cache;
+}
+
+}  // namespace
+
+HazardDomain::HazardDomain() : domain_id_(next_domain_id()), slots_(kMaxThreads) {}
+
+HazardDomain::~HazardDomain() {
+  for (Slot& slot : slots_) {
+    for (RetiredNode& node : slot.retired) {
+      node.deleter(node.ptr);
+      freed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    slot.retired.clear();
+  }
+}
+
+std::uint32_t HazardDomain::slot_for_this_thread() {
+  auto& cache = slot_cache();
+  auto it = cache.find(domain_id_);
+  if (it != cache.end()) return it->second;
+  for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (slots_[i].in_use.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel)) {
+      cache.emplace(domain_id_, i);
+      return i;
+    }
+  }
+  PSNAP_ASSERT_MSG(false, "HazardDomain thread capacity exhausted");
+  return 0;  // unreachable
+}
+
+void* HazardDomain::protect_raw(const std::atomic<void*>& src,
+                                std::uint32_t index) {
+  PSNAP_ASSERT(index < kHazardsPerThread);
+  Slot& slot = slots_[slot_for_this_thread()];
+  void* p = src.load(std::memory_order_seq_cst);
+  while (true) {
+    slot.hazards[index].store(p, std::memory_order_seq_cst);
+    void* p2 = src.load(std::memory_order_seq_cst);
+    if (p2 == p) return p;
+    p = p2;
+  }
+}
+
+void HazardDomain::clear(std::uint32_t index) {
+  PSNAP_ASSERT(index < kHazardsPerThread);
+  slots_[slot_for_this_thread()].hazards[index].store(
+      nullptr, std::memory_order_seq_cst);
+}
+
+void HazardDomain::clear_all() {
+  Slot& slot = slots_[slot_for_this_thread()];
+  for (auto& h : slot.hazards) h.store(nullptr, std::memory_order_seq_cst);
+}
+
+void HazardDomain::retire_raw(void* node, void (*deleter)(void*)) {
+  PSNAP_ASSERT(node != nullptr);
+  Slot& slot = slots_[slot_for_this_thread()];
+  slot.retired.push_back(RetiredNode{node, deleter});
+  retired_.fetch_add(1, std::memory_order_relaxed);
+  // Michael's bound: scan when the local list exceeds twice the global
+  // hazard capacity, giving amortized O(1) and bounded garbage.
+  if (slot.retired.size() >= 2 * kMaxThreads * kHazardsPerThread) {
+    scan_and_free();
+  }
+}
+
+void HazardDomain::scan_and_free() {
+  std::vector<void*> protected_ptrs;
+  protected_ptrs.reserve(kMaxThreads * kHazardsPerThread);
+  for (Slot& slot : slots_) {
+    if (!slot.in_use.load(std::memory_order_acquire)) continue;
+    for (auto& h : slot.hazards) {
+      void* p = h.load(std::memory_order_seq_cst);
+      if (p != nullptr) protected_ptrs.push_back(p);
+    }
+  }
+  std::sort(protected_ptrs.begin(), protected_ptrs.end());
+
+  Slot& mine = slots_[slot_for_this_thread()];
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < mine.retired.size(); ++i) {
+    RetiredNode& node = mine.retired[i];
+    if (std::binary_search(protected_ptrs.begin(), protected_ptrs.end(),
+                           node.ptr)) {
+      mine.retired[kept++] = node;
+    } else {
+      node.deleter(node.ptr);
+      freed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  mine.retired.resize(kept);
+}
+
+}  // namespace psnap::reclaim

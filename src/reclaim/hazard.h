@@ -1,0 +1,86 @@
+// Hazard pointers (Michael, 2004).
+//
+// Alternative reclamation substrate.  The snapshot algorithms use EBR
+// (coarse, operation-scoped pins suit their short wait-free operations);
+// hazard pointers trade per-pointer bookkeeping for bounded garbage, which
+// matters for long-running scans.  Built and tested as a first-class
+// substrate, benchmarked against EBR in the micro suite so the trade-off is
+// visible; see DESIGN.md S2.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/padding.h"
+
+namespace psnap::reclaim {
+
+class HazardDomain {
+ public:
+  static constexpr std::uint32_t kMaxThreads = 128;
+  static constexpr std::uint32_t kHazardsPerThread = 4;
+
+  HazardDomain();
+  // Precondition: quiescent.  Frees all retired nodes.
+  ~HazardDomain();
+
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  // Repeatedly loads src and publishes the value as hazardous until the
+  // publication is stable (classic protect loop).  index selects one of the
+  // calling thread's hazard slots.
+  template <class T>
+  T* protect(const std::atomic<T*>& src, std::uint32_t index) {
+    return static_cast<T*>(protect_raw(
+        reinterpret_cast<const std::atomic<void*>&>(src), index));
+  }
+
+  void* protect_raw(const std::atomic<void*>& src, std::uint32_t index);
+
+  // Clears one hazard slot of the calling thread.
+  void clear(std::uint32_t index);
+  // Clears all hazard slots of the calling thread.
+  void clear_all();
+
+  template <class T>
+  void retire(T* node) {
+    retire_raw(node, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  void retire_raw(void* node, void (*deleter)(void*));
+
+  // Frees every retired node not currently protected.  Called automatically
+  // on retire pressure; exposed for tests.
+  void scan_and_free();
+
+  std::uint64_t retired_count() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t freed_count() const {
+    return freed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t outstanding() const { return retired_count() - freed_count(); }
+
+ private:
+  struct RetiredNode {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  struct alignas(kCachelineBytes) Slot {
+    std::atomic<void*> hazards[kHazardsPerThread] = {};
+    std::atomic<bool> in_use{false};
+    std::vector<RetiredNode> retired;  // owner-thread-only
+  };
+
+  std::uint32_t slot_for_this_thread();
+
+  const std::uint64_t domain_id_;
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> freed_{0};
+  std::vector<Slot> slots_;
+};
+
+}  // namespace psnap::reclaim

@@ -1,0 +1,44 @@
+#include "runtime/explore.h"
+
+#include "common/assert.h"
+
+namespace psnap::runtime {
+
+ExploreStats explore_dfs(
+    const std::function<SimScheduler::RunResult(
+        const std::vector<std::uint32_t>& script)>& run_one,
+    ExploreOptions options) {
+  ExploreStats stats;
+  std::vector<std::uint32_t> script;
+
+  while (stats.schedules_run < options.max_schedules) {
+    SimScheduler::RunResult result = run_one(script);
+    ++stats.schedules_run;
+    PSNAP_ASSERT(result.chosen_rank.size() == result.num_runnable.size());
+
+    // Backtrack: deepest choice point with an untried alternative.
+    std::size_t depth = result.chosen_rank.size();
+    while (depth > 0 &&
+           result.chosen_rank[depth - 1] + 1 >= result.num_runnable[depth - 1]) {
+      --depth;
+    }
+    if (depth == 0) {
+      stats.exhausted = true;
+      return stats;
+    }
+    script.assign(result.chosen_rank.begin(),
+                  result.chosen_rank.begin() +
+                      static_cast<std::ptrdiff_t>(depth));
+    ++script.back();
+  }
+  return stats;
+}
+
+void explore_random(const std::function<void(std::uint64_t seed)>& run_one,
+                    std::uint64_t runs, std::uint64_t seed_base) {
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    run_one(seed_base + i);
+  }
+}
+
+}  // namespace psnap::runtime

@@ -1,0 +1,46 @@
+// Systematic and randomized schedule exploration.
+//
+// explore_dfs enumerates schedules depth-first with replay: each run
+// returns the choice trace it took; the explorer backtracks to the deepest
+// choice point with an untried alternative and re-runs with that prefix.
+// Every interleaving of the scenario is eventually visited (subject to the
+// schedule budget) -- stateless model checking in the style of VeriSoft,
+// without partial-order reduction (scenarios are kept small instead).
+//
+// explore_random runs the scenario under independent seeded random
+// schedules; cheaper per-run coverage for bigger scenarios.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/sim_scheduler.h"
+
+namespace psnap::runtime {
+
+struct ExploreOptions {
+  // Upper bound on schedules to run; exploration stops early when the
+  // space is exhausted.
+  std::uint64_t max_schedules = 10000;
+};
+
+struct ExploreStats {
+  std::uint64_t schedules_run = 0;
+  // True if every interleaving was covered within the budget.
+  bool exhausted = false;
+};
+
+// run_one must build a fresh scenario, run it under a SimScheduler
+// configured with the given script (Policy::kScriptThenLowest), perform its
+// correctness checks, and return the scheduler's RunResult.
+ExploreStats explore_dfs(
+    const std::function<SimScheduler::RunResult(
+        const std::vector<std::uint32_t>& script)>& run_one,
+    ExploreOptions options = ExploreOptions{});
+
+// Runs the scenario `runs` times with seeds seed_base, seed_base+1, ...
+// run_one receives the seed and should configure Policy::kRandom.
+void explore_random(const std::function<void(std::uint64_t seed)>& run_one,
+                    std::uint64_t runs, std::uint64_t seed_base = 1);
+
+}  // namespace psnap::runtime

@@ -1,0 +1,221 @@
+#include "runtime/sim_scheduler.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/assert.h"
+
+namespace psnap::runtime {
+
+namespace {
+enum class ProcState : std::uint8_t {
+  kNotStarted,  // thread not yet launched
+  kRunning,     // executing between steps (scheduler must wait)
+  kReady,       // parked at a step boundary, waiting for a grant
+  kDone,        // body returned (or crashed)
+};
+
+// Thrown through the process body to simulate a halting failure; caught by
+// the process wrapper.  The algorithms' RAII guards (EBR pins, scoped
+// state) unwind cleanly, which mirrors a real crash as far as *shared*
+// state is concerned: everything the process published stays published,
+// everything it had not yet written never appears.
+struct SimCrash {};
+}  // namespace
+
+// Shared coordination block.  One mutex serializes all state transitions;
+// simplicity over throughput is the right trade for a model checker.
+struct SimScheduler::Proc {
+  std::uint32_t pid;
+  std::function<void()> body;
+  std::thread thread;
+
+  // Guarded by the scheduler-wide mutex (stored here for locality).
+  ProcState state = ProcState::kNotStarted;
+  bool granted = false;
+  bool crash_granted = false;     // next grant is a crash, not a step
+  std::uint64_t steps_taken = 0;  // this process's own step count
+  std::uint64_t crash_at = 0;     // 0 = never crash
+};
+
+namespace {
+
+struct SchedulerCore {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t total_steps = 0;
+};
+
+}  // namespace
+
+class SimScheduler::Hook final : public exec::SimHook {
+ public:
+  Hook(SchedulerCore& core, Proc& proc) : core_(core), proc_(proc) {}
+
+  void on_step(exec::ObjKind, std::uint64_t) override {
+    std::unique_lock lock(core_.mu);
+    proc_.state = ProcState::kReady;
+    core_.cv.notify_all();
+    core_.cv.wait(lock, [&] { return proc_.granted; });
+    proc_.granted = false;
+    if (proc_.crash_granted) {
+      // Halting failure: unwind the body without executing this step.
+      lock.unlock();
+      throw SimCrash{};
+    }
+    proc_.state = ProcState::kRunning;
+    ++proc_.steps_taken;
+    ++core_.total_steps;
+  }
+
+ private:
+  SchedulerCore& core_;
+  Proc& proc_;
+};
+
+SimScheduler::SimScheduler() : SimScheduler(Options{}) {}
+
+SimScheduler::SimScheduler(Options options) : options_(std::move(options)) {}
+
+SimScheduler::~SimScheduler() {
+  for (auto& proc : procs_) {
+    PSNAP_ASSERT_MSG(!proc->thread.joinable(),
+                     "SimScheduler destroyed with unjoined processes");
+  }
+}
+
+void SimScheduler::add_process(std::function<void()> body) {
+  auto proc = std::make_unique<Proc>();
+  proc->pid = static_cast<std::uint32_t>(procs_.size());
+  proc->body = std::move(body);
+  procs_.push_back(std::move(proc));
+}
+
+SimScheduler::RunResult SimScheduler::run() {
+  PSNAP_ASSERT_MSG(!procs_.empty(), "no processes registered");
+  SchedulerCore core;
+  RunResult result;
+  Xoshiro256 rng(options_.seed);
+
+  // Launch every process; each parks at its first step (or finishes
+  // immediately if it performs none).
+  std::vector<std::unique_ptr<Hook>> hooks;
+  hooks.reserve(procs_.size());
+  for (auto& proc : procs_) {
+    hooks.push_back(std::make_unique<Hook>(core, *proc));
+  }
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    Proc& proc = *procs_[i];
+    Hook* hook = hooks[i].get();
+    {
+      std::scoped_lock lock(core.mu);
+      proc.state = ProcState::kRunning;
+    }
+    proc.crash_at = 0;
+    for (const Options::Crash& crash : options_.crashes) {
+      if (crash.pid == proc.pid) proc.crash_at = crash.at_step;
+    }
+    proc.thread = std::thread([&proc, hook, &core] {
+      exec::ScopedPid pid_guard(proc.pid);
+      exec::ThreadCtx& ctx = exec::ctx();
+      exec::SimHook* saved = ctx.hook;
+      ctx.hook = hook;
+      try {
+        proc.body();
+      } catch (const SimCrash&) {
+        // Halting failure injected by the scheduler; RAII state unwound.
+      }
+      ctx.hook = saved;
+      std::scoped_lock lock(core.mu);
+      proc.state = ProcState::kDone;
+      core.cv.notify_all();
+    });
+  }
+
+  std::size_t script_pos = 0;
+  {
+    std::unique_lock lock(core.mu);
+    while (true) {
+      // Wait until no process is mid-execution: each is Ready or Done.
+      core.cv.wait(lock, [&] {
+        return std::all_of(procs_.begin(), procs_.end(), [](const auto& p) {
+          return p->state == ProcState::kReady || p->state == ProcState::kDone;
+        });
+      });
+
+      // Crash processes whose budget is exhausted before considering them
+      // runnable: the fatal grant unwinds them without executing a step.
+      for (auto& proc : procs_) {
+        if (proc->state == ProcState::kReady && proc->crash_at != 0 &&
+            proc->steps_taken + 1 >= proc->crash_at) {
+          proc->crash_granted = true;
+          proc->granted = true;
+          core.cv.notify_all();
+        }
+      }
+      // Block until every crash-granted process has finished unwinding.
+      // This wait must have a *blocking* predicate: the generic
+      // all-ready-or-done predicate above is already true while the
+      // victim is still parked, and a wait with a true predicate does not
+      // release the mutex -- the victim could then never acquire it to
+      // transition to kDone (a livelock found the hard way).
+      core.cv.wait(lock, [&] {
+        return std::all_of(procs_.begin(), procs_.end(), [](const auto& p) {
+          return !p->crash_granted || p->state == ProcState::kDone;
+        });
+      });
+
+      std::vector<Proc*> runnable;
+      for (auto& proc : procs_) {
+        if (proc->state == ProcState::kReady) runnable.push_back(proc.get());
+      }
+      if (runnable.empty()) break;  // all done
+
+      if (core.total_steps >= options_.max_total_steps) {
+        result.hit_step_limit = true;
+        // Drain: grant everything round-robin so threads can finish;
+        // callers treat the run as inconclusive.  (Only reachable when
+        // exploring non-wait-free algorithms.)
+        PSNAP_ASSERT_MSG(false, "sim run exceeded max_total_steps");
+      }
+
+      std::uint32_t rank = 0;
+      if (options_.policy == Policy::kScriptThenLowest) {
+        if (script_pos < options_.script.size()) {
+          rank = options_.script[script_pos];
+          PSNAP_ASSERT_MSG(rank < runnable.size(),
+                           "schedule script rank out of range");
+        }
+        ++script_pos;
+      } else if (options_.policy == Policy::kRandomBiased) {
+        rank = static_cast<std::uint32_t>(rng.next_below(runnable.size()));
+        if (rng.next_bool(options_.bias_probability)) {
+          for (std::uint32_t r = 0; r < runnable.size(); ++r) {
+            if (runnable[r]->pid == options_.bias_pid) {
+              rank = r;
+              break;
+            }
+          }
+        }
+      } else {
+        rank = static_cast<std::uint32_t>(rng.next_below(runnable.size()));
+      }
+      result.chosen_rank.push_back(rank);
+      result.num_runnable.push_back(
+          static_cast<std::uint32_t>(runnable.size()));
+
+      Proc* chosen = runnable[rank];
+      chosen->granted = true;
+      chosen->state = ProcState::kRunning;
+      core.cv.notify_all();
+    }
+    result.total_steps = core.total_steps;
+  }
+
+  for (auto& proc : procs_) proc->thread.join();
+  return result;
+}
+
+}  // namespace psnap::runtime

@@ -1,0 +1,102 @@
+// Deterministic scheduler for model-checking concurrent algorithms.
+//
+// Every base-object operation in src/primitives reports to exec::on_step();
+// under SimScheduler each such step becomes a scheduling point: the calling
+// thread parks until the scheduler grants it, and the scheduler runs
+// exactly one logical process between consecutive grants.  The resulting
+// execution is a fully serialized sequence of base-object steps -- exactly
+// the interleaving model of the paper's Section 2 -- chosen by a policy:
+//
+//   * kScript+fallback: follow an explicit choice list, then lowest-index
+//     runnable (used by the DFS explorer in explore.h for systematic
+//     enumeration with replay);
+//   * kRandom: seeded uniform choice (used by randomized sweeps).
+//
+// The full choice sequence actually taken is returned by run(), making any
+// failing schedule reproducible byte-for-byte.
+//
+// Code between steps runs unserialized, which is sound because all shared
+// state in the algorithms under test is accessed through step-counted
+// primitives (or through the EBR internals, which are racefree on their
+// own atomics).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/exec.h"
+
+namespace psnap::runtime {
+
+class SimScheduler {
+ public:
+  enum class Policy {
+    kScriptThenLowest,  // follow script_; afterwards pick lowest runnable
+    kRandom,            // seeded uniform choice among runnable processes
+    // Like kRandom, but with probability bias_probability the process with
+    // pid bias_pid is granted (when runnable).  Used to drive adversarial
+    // asymmetric schedules, e.g. a fast updater starving a scanner into
+    // the helping path.
+    kRandomBiased,
+  };
+
+  struct Options {
+    Policy policy = Policy::kScriptThenLowest;
+    std::uint64_t seed = 1;
+    // Choice ranks (index into the sorted runnable set) consumed in order.
+    std::vector<std::uint32_t> script;
+    // kRandomBiased parameters.
+    std::uint32_t bias_pid = 0;
+    double bias_probability = 0.9;
+    // Halting-failure injection (the paper's Section 2 failure model):
+    // entry {pid, k} crashes process pid at its k-th base-object step --
+    // the step never executes and the process never runs again, leaving
+    // whatever operation it was inside permanently pending.  The other
+    // processes must still terminate (wait-freedom) and the history must
+    // still check out (linearizability with pending operations).
+    struct Crash {
+      std::uint32_t pid;
+      std::uint64_t at_step;  // 1-based count of the process's own steps
+    };
+    std::vector<Crash> crashes;
+    // Abort the run if any single process exceeds this many steps
+    // (guards against livelock when exploring non-wait-free algorithms).
+    std::uint64_t max_total_steps = 1u << 20;
+  };
+
+  struct RunResult {
+    // Rank chosen at every choice point, with the number of runnable
+    // processes at that point (for DFS backtracking).
+    std::vector<std::uint32_t> chosen_rank;
+    std::vector<std::uint32_t> num_runnable;
+    std::uint64_t total_steps = 0;
+    bool hit_step_limit = false;
+  };
+
+  SimScheduler();
+  explicit SimScheduler(Options options);
+  ~SimScheduler();
+
+  SimScheduler(const SimScheduler&) = delete;
+  SimScheduler& operator=(const SimScheduler&) = delete;
+
+  // Registers a logical process; its pid is the order of addition.  The
+  // body runs on a dedicated thread with exec::ctx().pid set accordingly.
+  void add_process(std::function<void()> body);
+
+  // Runs all processes to completion under the policy.
+  RunResult run();
+
+ private:
+  struct Proc;
+  class Hook;
+
+  Options options_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+};
+
+}  // namespace psnap::runtime

@@ -1,0 +1,11 @@
+// Header-only template; this TU anchors the library and force-instantiates
+// the configuration used by the active set.
+#include "segarray/segmented_array.h"
+
+#include <atomic>
+
+namespace psnap::segarray {
+
+template class SegmentedArray<std::atomic<std::uint64_t>, 1024, 1 << 12>;
+
+}  // namespace psnap::segarray

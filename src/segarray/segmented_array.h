@@ -1,0 +1,105 @@
+// Lock-free grow-only segmented array.
+//
+// Figure 2's active set uses an unbounded array I[1..] of registers: each
+// join claims a fresh slot via fetch&increment and the slot is never
+// recycled (the paper leaves recycling as an open problem, Section 6).
+// SegmentedArray provides that unbounded array: a fixed directory of
+// atomically installed fixed-size segments.  Slot addresses are stable
+// forever once created, which the algorithm relies on (a leave writes 0
+// into its old slot with no synchronization beyond the register write).
+//
+// Segment installation uses a single CAS on the directory entry; losers
+// delete their segment.  Installation is memory management, not an
+// algorithm step, so it is not counted by exec::on_step (the contained
+// elements are themselves step-counted primitives).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/assert.h"
+
+namespace psnap::segarray {
+
+// Defaults give 4M slots with a 32KB directory per array instance; both
+// parameters are compile-time tunable.
+template <class T, std::size_t kSegmentSize = 1024,
+          std::size_t kMaxSegments = 1 << 12>
+class SegmentedArray {
+  static_assert(kSegmentSize > 0 && (kSegmentSize & (kSegmentSize - 1)) == 0,
+                "segment size must be a power of two");
+
+ public:
+  SegmentedArray() {
+    for (auto& d : directory_) d.store(nullptr, std::memory_order_relaxed);
+  }
+
+  ~SegmentedArray() {
+    for (auto& d : directory_) {
+      delete d.load(std::memory_order_relaxed);
+    }
+  }
+
+  SegmentedArray(const SegmentedArray&) = delete;
+  SegmentedArray& operator=(const SegmentedArray&) = delete;
+
+  static constexpr std::uint64_t capacity() {
+    return static_cast<std::uint64_t>(kSegmentSize) * kMaxSegments;
+  }
+
+  // Returns the element at index, creating its segment if needed.  The
+  // reference is valid for the lifetime of the array.
+  T& at(std::uint64_t index) {
+    PSNAP_ASSERT_MSG(index < capacity(), "SegmentedArray capacity exceeded");
+    std::size_t seg = static_cast<std::size_t>(index / kSegmentSize);
+    std::size_t off = static_cast<std::size_t>(index % kSegmentSize);
+    Segment* s = directory_[seg].load(std::memory_order_acquire);
+    if (s == nullptr) {
+      s = install_segment(seg);
+    }
+    return s->slots[off];
+  }
+
+  // Read-only variant that must not allocate: returns nullptr if the
+  // segment does not exist yet (the caller treats the slot as
+  // "never written").
+  const T* try_at(std::uint64_t index) const {
+    PSNAP_ASSERT_MSG(index < capacity(), "SegmentedArray capacity exceeded");
+    std::size_t seg = static_cast<std::size_t>(index / kSegmentSize);
+    std::size_t off = static_cast<std::size_t>(index % kSegmentSize);
+    const Segment* s = directory_[seg].load(std::memory_order_acquire);
+    if (s == nullptr) return nullptr;
+    return &s->slots[off];
+  }
+
+  // Number of segments currently allocated (observability for tests).
+  std::size_t allocated_segments() const {
+    std::size_t n = 0;
+    for (const auto& d : directory_) {
+      if (d.load(std::memory_order_relaxed) != nullptr) ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Segment {
+    T slots[kSegmentSize]{};
+  };
+
+  Segment* install_segment(std::size_t seg) {
+    // Value-initialized segment is fully constructed before publication;
+    // the release CAS orders initialization before any acquire load.
+    auto fresh = std::make_unique<Segment>();
+    Segment* expected = nullptr;
+    if (directory_[seg].compare_exchange_strong(expected, fresh.get(),
+                                                std::memory_order_acq_rel)) {
+      return fresh.release();
+    }
+    return expected;  // another thread won; ours is freed by unique_ptr
+  }
+
+  std::atomic<Segment*> directory_[kMaxSegments];
+};
+
+}  // namespace psnap::segarray

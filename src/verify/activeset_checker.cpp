@@ -1,0 +1,125 @@
+#include "verify/activeset_checker.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.h"
+
+namespace psnap::verify {
+
+namespace {
+
+struct MemberOp {
+  bool is_join;
+  std::uint64_t invoke_seq;
+  std::uint64_t respond_seq;
+};
+
+std::string fail(const Operation& get_set, const std::string& why) {
+  return "getSet " + get_set.to_string() + ": " + why;
+}
+
+}  // namespace
+
+ActiveSetCheckOutcome check_active_set_validity(
+    const std::vector<Operation>& ops) {
+  ActiveSetCheckOutcome outcome;
+
+  // Per-process join/leave timeline, sorted by invocation.  Pending
+  // member operations keep their invocation (that is when obligations
+  // end) and an infinite response, so last_completed below never selects
+  // them while next_after does -- exactly the "neither active nor
+  // inactive from invocation on" semantics.
+  std::map<std::uint32_t, std::vector<MemberOp>> timelines;
+  std::vector<const Operation*> get_sets;
+  for (const Operation& op : ops) {
+    switch (op.type) {
+      case Operation::Type::kJoin:
+      case Operation::Type::kLeave:
+        timelines[op.pid].push_back(MemberOp{
+            op.type == Operation::Type::kJoin, op.invoke_seq, op.respond_seq});
+        break;
+      case Operation::Type::kGetSet:
+        if (op.complete()) get_sets.push_back(&op);
+        break;
+      default:
+        break;  // snapshot operations are not our concern
+    }
+  }
+
+  for (auto& [pid, timeline] : timelines) {
+    std::sort(timeline.begin(), timeline.end(),
+              [](const MemberOp& a, const MemberOp& b) {
+                return a.invoke_seq < b.invoke_seq;
+              });
+    // Alternation contract: join, leave, join, ...
+    for (std::size_t k = 0; k < timeline.size(); ++k) {
+      bool expect_join = (k % 2 == 0);
+      if (timeline[k].is_join != expect_join) {
+        outcome.ok = false;
+        outcome.diagnosis = "process " + std::to_string(pid) +
+                            " violates join/leave alternation";
+        return outcome;
+      }
+    }
+  }
+
+  for (const Operation* g : get_sets) {
+    for (auto& [pid, timeline] : timelines) {
+      // State of p at G's invocation, considering only completed ops, and
+      // whether p invokes a conflicting transition before G responds.
+      //
+      // last_completed: the latest join/leave of p whose response precedes
+      // G's invocation (nullptr if none).
+      const MemberOp* last_completed = nullptr;
+      const MemberOp* next_after = nullptr;  // earliest op invoked after that
+      for (const MemberOp& mo : timeline) {
+        if (mo.respond_seq < g->invoke_seq) {
+          if (last_completed == nullptr ||
+              mo.respond_seq > last_completed->respond_seq) {
+            last_completed = &mo;
+          }
+        }
+      }
+      for (const MemberOp& mo : timeline) {
+        if (last_completed != nullptr &&
+            mo.invoke_seq <= last_completed->invoke_seq) {
+          continue;
+        }
+        if (last_completed == nullptr || mo.invoke_seq > last_completed->invoke_seq) {
+          if (next_after == nullptr || mo.invoke_seq < next_after->invoke_seq) {
+            next_after = &mo;
+          }
+        }
+      }
+
+      bool in_result = std::binary_search(g->set_result.begin(),
+                                          g->set_result.end(), pid);
+
+      bool active_throughout =
+          last_completed != nullptr && last_completed->is_join &&
+          (next_after == nullptr || next_after->invoke_seq > g->respond_seq);
+      bool inactive_throughout =
+          (last_completed == nullptr || !last_completed->is_join) &&
+          (next_after == nullptr || next_after->invoke_seq > g->respond_seq);
+
+      if (active_throughout && !in_result) {
+        outcome.ok = false;
+        outcome.diagnosis =
+            fail(*g, "missing process " + std::to_string(pid) +
+                         " which was active throughout");
+        return outcome;
+      }
+      if (inactive_throughout && in_result) {
+        outcome.ok = false;
+        outcome.diagnosis =
+            fail(*g, "contains process " + std::to_string(pid) +
+                         " which was inactive throughout");
+        return outcome;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace psnap::verify

@@ -1,0 +1,44 @@
+// Direct validity checking for active set histories (paper Section 2.1).
+//
+// The active set specification is weaker than linearizability, so instead
+// of a linearization search we check the stated property directly.  For
+// every getSet G in the history:
+//
+//   * must-include: every process p whose join completed before G was
+//     invoked and whose next leave (if any) was invoked after G responded
+//     must appear in G's result;
+//   * must-exclude: every process p whose leave completed before G was
+//     invoked and whose next join (if any) was invoked after G responded
+//     must be absent; likewise processes that never joined before G
+//     responded;
+//   * processes mid-join or mid-leave during G may appear either way.
+//
+// These are exactly the guarantees Figure 1/Figure 3's correctness proof
+// consumes ("the getSet performed by U must include process p because p
+// completed its join before calling E").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/history.h"
+
+namespace psnap::verify {
+
+struct ActiveSetCheckOutcome {
+  bool ok = true;
+  std::string diagnosis;  // set when !ok
+};
+
+// ops: the full history of kJoin/kLeave/kGetSet operations (updates/scans
+// are ignored).  join/leave alternation per process is also validated.
+//
+// Pending join/leave operations (halting failures) are accepted when they
+// are the process's last operation: a process that crashed inside join or
+// leave is "neither active nor inactive" from that invocation onward, so
+// getSets may report it either way -- no obligation in either direction.
+// Pending getSets are skipped (they returned nothing to check).
+ActiveSetCheckOutcome check_active_set_validity(
+    const std::vector<Operation>& ops);
+
+}  // namespace psnap::verify

@@ -1,0 +1,106 @@
+#include "verify/history.h"
+
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace psnap::verify {
+
+std::string Operation::to_string() const {
+  std::ostringstream os;
+  os << "p" << pid << " ";
+  switch (type) {
+    case Type::kUpdate:
+      os << "update(" << index << ", " << value << ")";
+      break;
+    case Type::kScan: {
+      os << "scan(";
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (i) os << ",";
+        os << indices[i];
+      }
+      os << ") -> (";
+      for (std::size_t i = 0; i < result.size(); ++i) {
+        if (i) os << ",";
+        os << result[i];
+      }
+      os << ")";
+      break;
+    }
+    case Type::kJoin:
+      os << "join";
+      break;
+    case Type::kLeave:
+      os << "leave";
+      break;
+    case Type::kGetSet: {
+      os << "getSet -> {";
+      for (std::size_t i = 0; i < set_result.size(); ++i) {
+        if (i) os << ",";
+        os << set_result[i];
+      }
+      os << "}";
+      break;
+    }
+  }
+  os << " [" << invoke_seq << ", ";
+  if (complete()) {
+    os << respond_seq;
+  } else {
+    os << "pending";
+  }
+  os << "]";
+  return os.str();
+}
+
+std::size_t History::begin_op(Operation op) {
+  op.invoke_seq = next_seq();
+  op.respond_seq = kPending;
+  std::scoped_lock lock(mu_);
+  ops_.push_back(std::move(op));
+  return ops_.size() - 1;
+}
+
+void History::complete_op(std::size_t handle) {
+  std::uint64_t seq = next_seq();
+  std::scoped_lock lock(mu_);
+  PSNAP_ASSERT(handle < ops_.size());
+  PSNAP_ASSERT(!ops_[handle].complete());
+  ops_[handle].respond_seq = seq;
+}
+
+void History::complete_scan(std::size_t handle,
+                            std::vector<std::uint64_t> result) {
+  std::uint64_t seq = next_seq();
+  std::scoped_lock lock(mu_);
+  PSNAP_ASSERT(handle < ops_.size());
+  Operation& op = ops_[handle];
+  PSNAP_ASSERT(op.type == Operation::Type::kScan && !op.complete());
+  op.result = std::move(result);
+  op.respond_seq = seq;
+}
+
+void History::complete_get_set(std::size_t handle,
+                               std::vector<std::uint32_t> set_result) {
+  std::uint64_t seq = next_seq();
+  std::scoped_lock lock(mu_);
+  PSNAP_ASSERT(handle < ops_.size());
+  Operation& op = ops_[handle];
+  PSNAP_ASSERT(op.type == Operation::Type::kGetSet && !op.complete());
+  op.set_result = std::move(set_result);
+  op.respond_seq = seq;
+}
+
+std::vector<Operation> History::operations() const {
+  std::scoped_lock lock(mu_);
+  return ops_;
+}
+
+std::string History::to_string() const {
+  std::scoped_lock lock(mu_);
+  std::ostringstream os;
+  for (const Operation& op : ops_) os << op.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace psnap::verify

@@ -1,0 +1,71 @@
+// Operation histories for correctness checking.
+//
+// A history is a sequence of invocation/response pairs with a global order:
+// operation A really-happened-before B iff A's response sequence number is
+// smaller than B's invocation sequence number.  Under the deterministic
+// scheduler the sequence numbers are exact; under native threads they come
+// from an atomic counter, which is sound for the checkers used there.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace psnap::verify {
+
+inline constexpr std::uint64_t kPending = ~std::uint64_t{0};
+
+struct Operation {
+  enum class Type : std::uint8_t { kUpdate, kScan, kJoin, kLeave, kGetSet };
+
+  Type type;
+  std::uint32_t pid = 0;
+  std::uint64_t invoke_seq = 0;
+  std::uint64_t respond_seq = kPending;
+
+  // kUpdate payload.
+  std::uint32_t index = 0;
+  std::uint64_t value = 0;
+
+  // kScan payload.
+  std::vector<std::uint32_t> indices;
+  std::vector<std::uint64_t> result;
+
+  // kGetSet payload.
+  std::vector<std::uint32_t> set_result;
+
+  bool complete() const { return respond_seq != kPending; }
+
+  std::string to_string() const;
+};
+
+// Thread-safe append-only history.
+class History {
+ public:
+  // Returns an operation handle; fill the payload through it and call
+  // complete_op when the operation returns.
+  std::size_t begin_op(Operation op);
+  void complete_op(std::size_t handle);
+  // Completes with payload fields that are only known at response time.
+  void complete_scan(std::size_t handle, std::vector<std::uint64_t> result);
+  void complete_get_set(std::size_t handle,
+                        std::vector<std::uint32_t> set_result);
+
+  // Snapshot of all operations (call after the run has quiesced).
+  std::vector<Operation> operations() const;
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t next_seq() {
+    return seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  mutable std::mutex mu_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::vector<Operation> ops_;
+};
+
+}  // namespace psnap::verify

@@ -1,0 +1,76 @@
+#include "verify/realtime_checker.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace psnap::verify {
+
+RealtimeChecker::RealtimeChecker(std::uint32_t num_components)
+    : logs_(num_components) {}
+
+void RealtimeChecker::record_write_begin(std::uint32_t component,
+                                         std::uint64_t value,
+                                         std::uint64_t now_nanos) {
+  PSNAP_ASSERT(component < logs_.size());
+  WriteLog& log = logs_[component];
+  PSNAP_ASSERT_MSG(value == log.begin.size() + 1,
+                   "writer must produce values 1,2,3,... in order");
+  log.begin.push_back(now_nanos);
+}
+
+void RealtimeChecker::record_write_end(std::uint32_t component,
+                                       std::uint64_t value,
+                                       std::uint64_t now_nanos) {
+  PSNAP_ASSERT(component < logs_.size());
+  WriteLog& log = logs_[component];
+  PSNAP_ASSERT(value == log.begin.size() && value == log.end.size() + 1);
+  log.end.push_back(now_nanos);
+}
+
+RealtimeChecker::Outcome RealtimeChecker::check(
+    const std::vector<ScanObservation>& scans) const {
+  constexpr std::uint64_t kInf = ~std::uint64_t{0};
+  Outcome outcome;
+  for (const ScanObservation& scan : scans) {
+    PSNAP_ASSERT(scan.indices.size() == scan.values.size());
+    // Intersect the possible-presence windows of all observed values and
+    // the scan's own interval.
+    std::uint64_t lo = scan.invoke_nanos;
+    std::uint64_t hi = scan.respond_nanos;
+    std::uint32_t lo_comp = ~std::uint32_t{0}, hi_comp = ~std::uint32_t{0};
+    for (std::size_t j = 0; j < scan.indices.size(); ++j) {
+      std::uint32_t comp = scan.indices[j];
+      std::uint64_t value = scan.values[j];
+      PSNAP_ASSERT(comp < logs_.size());
+      const WriteLog& log = logs_[comp];
+      PSNAP_ASSERT_MSG(value <= log.begin.size(),
+                       "scan observed a value that was never written");
+      // Value k is possibly present from begin[k-1] (0 for the initial
+      // value) until end[k] (infinity if k+1 was never written).
+      std::uint64_t b = value == 0 ? 0 : log.begin[value - 1];
+      std::uint64_t e = value < log.end.size() ? log.end[value] : kInf;
+      if (b > lo) {
+        lo = b;
+        lo_comp = comp;
+      }
+      if (e < hi) {
+        hi = e;
+        hi_comp = comp;
+      }
+    }
+    if (lo > hi) {
+      outcome.ok = false;
+      outcome.diagnosis =
+          "torn scan: value of component " + std::to_string(lo_comp) +
+          " cannot have coexisted with value of component " +
+          std::to_string(hi_comp) +
+          " inside the scan interval (window [" + std::to_string(lo) + ", " +
+          std::to_string(hi) + "])";
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace psnap::verify

@@ -1,0 +1,68 @@
+// Sound real-time consistency checking for native-thread stress tests.
+//
+// Precise linearizability checking does not scale to multi-million-op
+// native runs, so stress tests use a sound (no false alarms) interval
+// check instead, under a constrained workload:
+//
+//   * each component i has exactly ONE dedicated writer thread, writing the
+//     strictly increasing values 1, 2, 3, ...;
+//   * every write k on component i is logged with wall-clock timestamps
+//     taken immediately before and after the update call: [b_{i,k}, e_{i,k}];
+//   * value k is therefore present in component i no earlier than b_{i,k}
+//     and no later than e_{i,k+1} (the possible-presence window; the true
+//     window is contained in it).
+//
+// A scan returning value k_j for component i_j is judged inconsistent --
+// definitely not linearizable -- if the possible-presence windows of its
+// values cannot pairwise intersect at a time inside the scan's own
+// interval:   max_j b_j > min_j e_j.  This catches torn scans (mixing an
+// old value of one component with a much newer value of another) while
+// never flagging a correct implementation; the deterministic-scheduler
+// tests provide the exact check on small histories.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psnap::verify {
+
+class RealtimeChecker {
+ public:
+  // num_components dedicated-writer components.
+  explicit RealtimeChecker(std::uint32_t num_components);
+
+  // The component's writer calls these around each update(i, k) call, with
+  // k = 1, 2, 3, ... strictly increasing.  Not thread-safe across writers
+  // of the same component (by design there is exactly one).
+  void record_write_begin(std::uint32_t component, std::uint64_t value,
+                          std::uint64_t now_nanos);
+  void record_write_end(std::uint32_t component, std::uint64_t value,
+                        std::uint64_t now_nanos);
+
+  struct ScanObservation {
+    std::uint64_t invoke_nanos;
+    std::uint64_t respond_nanos;
+    std::vector<std::uint32_t> indices;
+    std::vector<std::uint64_t> values;
+  };
+
+  struct Outcome {
+    bool ok = true;
+    std::string diagnosis;
+  };
+
+  // Call after all threads joined.  Checks every scan observation.
+  Outcome check(const std::vector<ScanObservation>& scans) const;
+
+ private:
+  struct WriteLog {
+    // begin[k-1] / end[k-1] are the timestamps around the write of value k.
+    std::vector<std::uint64_t> begin;
+    std::vector<std::uint64_t> end;
+  };
+
+  std::vector<WriteLog> logs_;
+};
+
+}  // namespace psnap::verify

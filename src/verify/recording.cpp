@@ -1,0 +1,56 @@
+#include "verify/recording.h"
+
+#include "exec/exec.h"
+
+namespace psnap::verify {
+
+void RecordingSnapshot::update(std::uint32_t i, std::uint64_t v) {
+  Operation op;
+  op.type = Operation::Type::kUpdate;
+  op.pid = exec::ctx().pid;
+  op.index = i;
+  op.value = v;
+  std::size_t handle = history_.begin_op(std::move(op));
+  delegate_.update(i, v);
+  history_.complete_op(handle);
+}
+
+void RecordingSnapshot::scan(std::span<const std::uint32_t> indices,
+                             std::vector<std::uint64_t>& out) {
+  Operation op;
+  op.type = Operation::Type::kScan;
+  op.pid = exec::ctx().pid;
+  op.indices.assign(indices.begin(), indices.end());
+  std::size_t handle = history_.begin_op(std::move(op));
+  delegate_.scan(indices, out);
+  history_.complete_scan(handle, out);
+}
+
+void RecordingActiveSet::join() {
+  Operation op;
+  op.type = Operation::Type::kJoin;
+  op.pid = exec::ctx().pid;
+  std::size_t handle = history_.begin_op(std::move(op));
+  delegate_.join();
+  history_.complete_op(handle);
+}
+
+void RecordingActiveSet::leave() {
+  Operation op;
+  op.type = Operation::Type::kLeave;
+  op.pid = exec::ctx().pid;
+  std::size_t handle = history_.begin_op(std::move(op));
+  delegate_.leave();
+  history_.complete_op(handle);
+}
+
+void RecordingActiveSet::get_set(std::vector<std::uint32_t>& out) {
+  Operation op;
+  op.type = Operation::Type::kGetSet;
+  op.pid = exec::ctx().pid;
+  std::size_t handle = history_.begin_op(std::move(op));
+  delegate_.get_set(out);
+  history_.complete_get_set(handle, out);
+}
+
+}  // namespace psnap::verify

@@ -1,0 +1,54 @@
+// History-recording decorators for the objects under test.
+//
+// Wrap any PartialSnapshot or ActiveSet; every operation is logged into a
+// History with invocation/response sequence numbers taken immediately
+// before/after the delegate call.  The wrappers add no base-object steps.
+#pragma once
+
+#include "activeset/active_set.h"
+#include "core/partial_snapshot.h"
+#include "verify/history.h"
+
+namespace psnap::verify {
+
+class RecordingSnapshot final : public core::PartialSnapshot {
+ public:
+  RecordingSnapshot(core::PartialSnapshot& delegate, History& history)
+      : delegate_(delegate), history_(history) {}
+
+  std::uint32_t num_components() const override {
+    return delegate_.num_components();
+  }
+  std::string_view name() const override { return delegate_.name(); }
+  bool is_wait_free() const override { return delegate_.is_wait_free(); }
+  bool is_local() const override { return delegate_.is_local(); }
+
+  void update(std::uint32_t i, std::uint64_t v) override;
+  void scan(std::span<const std::uint32_t> indices,
+            std::vector<std::uint64_t>& out) override;
+
+ private:
+  core::PartialSnapshot& delegate_;
+  History& history_;
+};
+
+class RecordingActiveSet final : public activeset::ActiveSet {
+ public:
+  RecordingActiveSet(activeset::ActiveSet& delegate, History& history)
+      : delegate_(delegate), history_(history) {}
+
+  void join() override;
+  void leave() override;
+  void get_set(std::vector<std::uint32_t>& out) override;
+
+  std::string_view name() const override { return delegate_.name(); }
+  std::uint32_t max_processes() const override {
+    return delegate_.max_processes();
+  }
+
+ private:
+  activeset::ActiveSet& delegate_;
+  History& history_;
+};
+
+}  // namespace psnap::verify

@@ -1,0 +1,63 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace psnap::workload {
+
+ScanSetGenerator::ScanSetGenerator(ScanSetKind kind, std::uint32_t m,
+                                   std::uint32_t r, double zipf_theta)
+    : kind_(kind), m_(m), r_(r), zipf_(m, kind == ScanSetKind::kZipfian
+                                              ? zipf_theta
+                                              : 0.0) {
+  PSNAP_ASSERT(r >= 1 && r <= m);
+}
+
+void ScanSetGenerator::next(Xoshiro256& rng,
+                            std::vector<std::uint32_t>& out) const {
+  out.clear();
+  switch (kind_) {
+    case ScanSetKind::kUniform: {
+      auto sample = rng.sample_without_replacement(m_, r_);
+      out.assign(sample.begin(), sample.end());
+      break;
+    }
+    case ScanSetKind::kContiguous: {
+      std::uint32_t start =
+          static_cast<std::uint32_t>(rng.next_below(m_ - r_ + 1));
+      for (std::uint32_t k = 0; k < r_; ++k) out.push_back(start + k);
+      break;
+    }
+    case ScanSetKind::kZipfian: {
+      // Rejection sampling of r distinct Zipf picks; r << m in practice so
+      // collisions are rare.
+      while (out.size() < r_) {
+        auto c = static_cast<std::uint32_t>(zipf_.sample(rng));
+        if (std::find(out.begin(), out.end(), c) == out.end()) {
+          out.push_back(c);
+        }
+      }
+      std::sort(out.begin(), out.end());
+      break;
+    }
+  }
+}
+
+OpStream::OpStream(const OpMix& mix, std::uint32_t m, std::uint64_t seed)
+    : mix_(mix),
+      m_(m),
+      rng_(seed),
+      scan_gen_(mix.scan_kind, m, mix.scan_r, mix.zipf_theta),
+      update_zipf_(m, mix.zipfian_updates ? mix.zipf_theta : 0.0) {}
+
+void OpStream::next(Op& op) {
+  op.is_update = rng_.next_bool(mix_.update_fraction);
+  if (op.is_update) {
+    op.update_index = static_cast<std::uint32_t>(update_zipf_.sample(rng_));
+  } else {
+    scan_gen_.next(rng_, op.scan_set);
+  }
+}
+
+}  // namespace psnap::workload

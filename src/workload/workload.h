@@ -1,0 +1,67 @@
+// Workload generation for the benchmark harness and stress tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/zipf.h"
+
+namespace psnap::workload {
+
+enum class ScanSetKind : std::uint8_t {
+  kUniform,     // r distinct components uniformly from [0, m)
+  kContiguous,  // a window [start, start + r) with uniform start
+  kZipfian,     // r distinct components, Zipf-popular ones more likely
+};
+
+// Generates the component sets partial scans ask for.
+class ScanSetGenerator {
+ public:
+  ScanSetGenerator(ScanSetKind kind, std::uint32_t m, std::uint32_t r,
+                   double zipf_theta = 0.8);
+
+  // Fills out with r distinct sorted indices.
+  void next(Xoshiro256& rng, std::vector<std::uint32_t>& out) const;
+
+  std::uint32_t r() const { return r_; }
+
+ private:
+  ScanSetKind kind_;
+  std::uint32_t m_;
+  std::uint32_t r_;
+  ZipfSampler zipf_;
+};
+
+// Mixed operation stream description for throughput benches.
+struct OpMix {
+  double update_fraction = 0.5;  // remainder are scans
+  ScanSetKind scan_kind = ScanSetKind::kUniform;
+  std::uint32_t scan_r = 4;
+  // Component choice for updates.
+  bool zipfian_updates = false;
+  double zipf_theta = 0.8;
+};
+
+struct Op {
+  bool is_update;
+  std::uint32_t update_index;      // valid if is_update
+  std::vector<std::uint32_t> scan_set;  // valid if !is_update
+};
+
+class OpStream {
+ public:
+  OpStream(const OpMix& mix, std::uint32_t m, std::uint64_t seed);
+
+  // Generates the next operation (deterministic given the seed).
+  void next(Op& op);
+
+ private:
+  OpMix mix_;
+  std::uint32_t m_;
+  Xoshiro256 rng_;
+  ScanSetGenerator scan_gen_;
+  ZipfSampler update_zipf_;
+};
+
+}  // namespace psnap::workload

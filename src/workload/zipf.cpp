@@ -1,0 +1,39 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace psnap::workload {
+
+namespace {
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+}  // namespace
+
+// Gray et al.'s rejection-free approximation (the YCSB generator).
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  PSNAP_ASSERT(n > 0);
+  PSNAP_ASSERT(theta >= 0.0 && theta < 1.0);
+  zeta2_ = zeta(2, theta);
+  zetan_ = zeta(n, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) / (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t ZipfSampler::sample(Xoshiro256& rng) const {
+  if (theta_ == 0.0) return rng.next_below(n_);
+  double u = rng.next_double();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto rank = static_cast<std::uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+}  // namespace psnap::workload

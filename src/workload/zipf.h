@@ -1,0 +1,34 @@
+// Zipfian sampling over [0, n).
+//
+// The paper's motivating workload -- stock databases queried for small,
+// overlapping, unpredictable portfolios -- has skewed popularity; the
+// benchmark harness uses Zipf-distributed component choices to model it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace psnap::workload {
+
+class ZipfSampler {
+ public:
+  // theta in [0, 1): 0 is uniform; 0.99 is the YCSB-style heavy skew.
+  ZipfSampler(std::uint64_t n, double theta);
+
+  // Samples a rank in [0, n); rank 0 is the most popular.
+  std::uint64_t sample(Xoshiro256& rng) const;
+
+  std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace psnap::workload

@@ -1,0 +1,29 @@
+#include "common/assert.h"
+
+#include <gtest/gtest.h>
+
+namespace psnap {
+namespace {
+
+TEST(Assert, PassingAssertIsSilent) {
+  PSNAP_ASSERT(1 + 1 == 2);
+  PSNAP_ASSERT_MSG(true, "never shown");
+}
+
+TEST(Assert, EvaluationsAreCounted) {
+  std::uint64_t before = detail::tls_assert_evaluations;
+  PSNAP_ASSERT(true);
+  PSNAP_ASSERT(true);
+  EXPECT_EQ(detail::tls_assert_evaluations, before + 2);
+}
+
+TEST(AssertDeathTest, FailingAssertAborts) {
+  EXPECT_DEATH(PSNAP_ASSERT(1 == 2), "invariant violated");
+}
+
+TEST(AssertDeathTest, MessageIncluded) {
+  EXPECT_DEATH(PSNAP_ASSERT_MSG(false, "the-details"), "the-details");
+}
+
+}  // namespace
+}  // namespace psnap

@@ -1,0 +1,154 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace psnap {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference value from the published SplitMix64 algorithm with seed 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextBelowInRange) {
+  Xoshiro256 rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowOneIsZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, NextInInclusiveBounds) {
+  Xoshiro256 rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t v = rng.next_in(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextBoolExtremes) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Xoshiro256, NextBoolRoughlyCalibrated) {
+  Xoshiro256 rng(19);
+  int heads = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.next_bool(0.3)) ++heads;
+  }
+  double p = double(heads) / kTrials;
+  EXPECT_NEAR(p, 0.3, 0.02);
+}
+
+TEST(Xoshiro256, UniformityChiSquaredSmoke) {
+  // 10 buckets, 50k samples: every bucket within 10% of expectation.
+  Xoshiro256 rng(23);
+  std::vector<int> buckets(10, 0);
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++buckets[static_cast<std::size_t>(rng.next_below(10))];
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, kSamples / 10, kSamples / 100);
+  }
+}
+
+TEST(Xoshiro256, ShufflePreservesElements) {
+  Xoshiro256 rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Xoshiro256, ShuffleActuallyPermutes) {
+  Xoshiro256 rng(31);
+  std::vector<int> v(32);
+  for (int i = 0; i < 32; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // probability of identity is astronomically small
+}
+
+TEST(Xoshiro256, SampleWithoutReplacementDistinctSorted) {
+  Xoshiro256 rng(37);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto sample = rng.sample_without_replacement(50, 10);
+    ASSERT_EQ(sample.size(), 10u);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    std::set<std::uint32_t> distinct(sample.begin(), sample.end());
+    EXPECT_EQ(distinct.size(), 10u);
+    for (auto x : sample) EXPECT_LT(x, 50u);
+  }
+}
+
+TEST(Xoshiro256, SampleWithoutReplacementFullRange) {
+  Xoshiro256 rng(41);
+  auto sample = rng.sample_without_replacement(8, 8);
+  ASSERT_EQ(sample.size(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Xoshiro256, SampleCoversRangeOverTrials) {
+  Xoshiro256 rng(43);
+  std::set<std::uint32_t> seen;
+  for (int trial = 0; trial < 200; ++trial) {
+    for (auto x : rng.sample_without_replacement(16, 4)) seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+}  // namespace
+}  // namespace psnap

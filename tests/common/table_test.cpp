@@ -1,0 +1,71 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace psnap {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  // Header present, underline present, both rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // All four non-underline lines have aligned second column start.
+  std::istringstream is(out);
+  std::string header;
+  std::getline(is, header);
+  auto col = header.find("value");
+  std::string line;
+  std::getline(is, line);  // underline
+  while (std::getline(is, line)) {
+    ASSERT_GE(line.size(), col);
+  }
+}
+
+TEST(TablePrinter, TitleEmitted) {
+  TablePrinter t({"a"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os, "My Table");
+  EXPECT_NE(os.str().find("== My Table =="), std::string::npos);
+}
+
+TEST(TablePrinter, CsvRoundTrip) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TablePrinter, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(TablePrinter::fmt(std::int64_t{-7}), "-7");
+  EXPECT_EQ(TablePrinter::fmt(0.5, 0), "0");  // rounds toward even
+}
+
+TEST(TablePrinter, RowCount) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"x"});
+  t.add_row({"y"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace psnap

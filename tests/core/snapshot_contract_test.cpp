@@ -1,0 +1,183 @@
+// Sequential behavioural contract shared by every partial snapshot
+// implementation (the paper's two algorithms and all four baselines).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "baseline/double_collect.h"
+#include "baseline/full_snapshot.h"
+#include "baseline/lock_snapshot.h"
+#include "baseline/seqlock_snapshot.h"
+#include "core/cas_psnap.h"
+#include "core/partial_snapshot.h"
+#include "core/register_psnap.h"
+#include "exec/exec.h"
+
+namespace psnap::core {
+namespace {
+
+using Factory = std::function<std::unique_ptr<PartialSnapshot>(
+    std::uint32_t m, std::uint32_t n)>;
+
+struct Impl {
+  std::string label;
+  Factory make;
+};
+
+Impl all_impls[] = {
+    {"fig1_register",
+     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
+       return std::make_unique<RegisterPartialSnapshot>(m, n);
+     }},
+    {"fig3_cas",
+     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
+       return std::make_unique<CasPartialSnapshot>(m, n);
+     }},
+    {"fig3_write_ablation",
+     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
+       CasPartialSnapshot::Options options;
+       options.use_cas = false;
+       return std::make_unique<CasPartialSnapshot>(m, n, options);
+     }},
+    {"full_snapshot",
+     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
+       return std::make_unique<baseline::FullSnapshot>(m, n);
+     }},
+    {"double_collect",
+     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
+       return std::make_unique<baseline::DoubleCollectSnapshot>(m, n);
+     }},
+    {"lock",
+     [](std::uint32_t m, std::uint32_t) -> std::unique_ptr<PartialSnapshot> {
+       return std::make_unique<baseline::LockSnapshot>(m);
+     }},
+    {"seqlock",
+     [](std::uint32_t m, std::uint32_t) -> std::unique_ptr<PartialSnapshot> {
+       return std::make_unique<baseline::SeqlockSnapshot>(m);
+     }},
+};
+
+class SnapshotContractTest : public ::testing::TestWithParam<Impl> {
+ protected:
+  std::unique_ptr<PartialSnapshot> make(std::uint32_t m, std::uint32_t n = 4) {
+    return GetParam().make(m, n);
+  }
+};
+
+TEST_P(SnapshotContractTest, InitialValuesAreZero) {
+  auto snap = make(8);
+  exec::ScopedPid pid(0);
+  EXPECT_EQ(snap->scan({0, 3, 7}),
+            (std::vector<std::uint64_t>{0, 0, 0}));
+}
+
+TEST_P(SnapshotContractTest, UpdateThenScanRoundTrip) {
+  auto snap = make(4);
+  exec::ScopedPid pid(0);
+  snap->update(2, 77);
+  EXPECT_EQ(snap->scan({2}), (std::vector<std::uint64_t>{77}));
+}
+
+TEST_P(SnapshotContractTest, UpdatesToDistinctComponentsIndependent) {
+  auto snap = make(4);
+  exec::ScopedPid pid(0);
+  snap->update(0, 1);
+  snap->update(1, 2);
+  snap->update(3, 4);
+  EXPECT_EQ(snap->scan({0, 1, 2, 3}),
+            (std::vector<std::uint64_t>{1, 2, 0, 4}));
+}
+
+TEST_P(SnapshotContractTest, LastUpdateWins) {
+  auto snap = make(2);
+  exec::ScopedPid pid(0);
+  snap->update(0, 1);
+  snap->update(0, 2);
+  snap->update(0, 3);
+  EXPECT_EQ(snap->scan({0}), (std::vector<std::uint64_t>{3}));
+}
+
+TEST_P(SnapshotContractTest, ScanPreservesRequestOrder) {
+  auto snap = make(4);
+  exec::ScopedPid pid(0);
+  snap->update(0, 10);
+  snap->update(1, 11);
+  snap->update(2, 12);
+  EXPECT_EQ(snap->scan({2, 0, 1}),
+            (std::vector<std::uint64_t>{12, 10, 11}));
+}
+
+TEST_P(SnapshotContractTest, ScanWithDuplicates) {
+  auto snap = make(4);
+  exec::ScopedPid pid(0);
+  snap->update(1, 5);
+  EXPECT_EQ(snap->scan({1, 1, 1}),
+            (std::vector<std::uint64_t>{5, 5, 5}));
+}
+
+TEST_P(SnapshotContractTest, EmptyScanReturnsEmpty) {
+  auto snap = make(4);
+  exec::ScopedPid pid(0);
+  std::vector<std::uint32_t> none;
+  EXPECT_TRUE(snap->scan(std::span<const std::uint32_t>(none)).empty());
+}
+
+TEST_P(SnapshotContractTest, ScanAllCoversEveryComponent) {
+  auto snap = make(5);
+  exec::ScopedPid pid(0);
+  for (std::uint32_t i = 0; i < 5; ++i) snap->update(i, i * 100);
+  EXPECT_EQ(snap->scan_all(),
+            (std::vector<std::uint64_t>{0, 100, 200, 300, 400}));
+}
+
+TEST_P(SnapshotContractTest, SingleComponentObject) {
+  auto snap = make(1);
+  exec::ScopedPid pid(0);
+  snap->update(0, 9);
+  EXPECT_EQ(snap->scan({0}), (std::vector<std::uint64_t>{9}));
+}
+
+TEST_P(SnapshotContractTest, DifferentPidsCanUpdate) {
+  // Multi-writer: any process may update any component.
+  auto snap = make(2, 4);
+  {
+    exec::ScopedPid pid(0);
+    snap->update(0, 1);
+  }
+  {
+    exec::ScopedPid pid(3);
+    snap->update(0, 2);
+  }
+  exec::ScopedPid pid(1);
+  EXPECT_EQ(snap->scan({0}), (std::vector<std::uint64_t>{2}));
+}
+
+TEST_P(SnapshotContractTest, ManyUpdatesManyScans) {
+  auto snap = make(16);
+  exec::ScopedPid pid(0);
+  for (std::uint64_t round = 1; round <= 50; ++round) {
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      snap->update(i, round * 100 + i);
+    }
+    auto values = snap->scan({3, 7, 11});
+    EXPECT_EQ(values[0], round * 100 + 3);
+    EXPECT_EQ(values[1], round * 100 + 7);
+    EXPECT_EQ(values[2], round * 100 + 11);
+  }
+}
+
+TEST_P(SnapshotContractTest, FlagsReportedConsistently) {
+  auto snap = make(2);
+  EXPECT_FALSE(snap->name().empty());
+  EXPECT_EQ(snap->num_components(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImplementations, SnapshotContractTest,
+                         ::testing::ValuesIn(all_impls),
+                         [](const ::testing::TestParamInfo<Impl>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace psnap::core

@@ -1,0 +1,96 @@
+#include "exec/exec.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "primitives/primitives.h"
+
+namespace psnap::exec {
+namespace {
+
+TEST(StepCounters, StartAtZero) {
+  StepCounters c;
+  EXPECT_EQ(c.total, 0u);
+  for (std::size_t k = 0; k < kNumObjKinds; ++k) EXPECT_EQ(c.by_kind[k], 0u);
+}
+
+TEST(StepCounters, OnStepIncrements) {
+  ctx().steps.reset();
+  on_step(ObjKind::kRegister);
+  on_step(ObjKind::kRegister);
+  on_step(ObjKind::kCas);
+  on_step(ObjKind::kFai);
+  EXPECT_EQ(ctx().steps.total, 4u);
+  EXPECT_EQ(ctx().steps.by_kind[size_t(ObjKind::kRegister)], 2u);
+  EXPECT_EQ(ctx().steps.by_kind[size_t(ObjKind::kCas)], 1u);
+  EXPECT_EQ(ctx().steps.by_kind[size_t(ObjKind::kFai)], 1u);
+}
+
+TEST(StepCounters, DifferenceOperator) {
+  StepCounters a, b;
+  a.total = 10;
+  a.by_kind[0] = 7;
+  b.total = 4;
+  b.by_kind[0] = 3;
+  StepCounters d = a - b;
+  EXPECT_EQ(d.total, 6u);
+  EXPECT_EQ(d.by_kind[0], 4u);
+}
+
+TEST(ThreadCtx, PerThreadIsolation) {
+  ctx().steps.reset();
+  on_step(ObjKind::kRegister);
+  std::uint64_t other_total = 99;
+  std::thread t([&] {
+    other_total = ctx().steps.total;  // fresh thread-local context
+  });
+  t.join();
+  EXPECT_EQ(other_total, 0u);
+  EXPECT_EQ(ctx().steps.total, 1u);
+}
+
+TEST(ScopedPid, SetsAndRestores) {
+  EXPECT_EQ(ctx().pid, kInvalidPid);
+  {
+    ScopedPid guard(5);
+    EXPECT_EQ(ctx().pid, 5u);
+  }
+  EXPECT_EQ(ctx().pid, kInvalidPid);
+}
+
+TEST(ScopedPidDeathTest, NestingAborts) {
+  ScopedPid guard(1);
+  EXPECT_DEATH(ScopedPid inner(2), "already has a pid");
+}
+
+TEST(RecordingLogger, CapturesLabelledAccesses) {
+  primitives::Register<std::uint64_t> reg(0, /*label=*/42);
+  RecordingLogger logger;
+  {
+    ScopedLogger guard(&logger);
+    reg.store(7);
+    (void)reg.load();
+  }
+  (void)reg.load();  // not logged
+  ASSERT_EQ(logger.accesses().size(), 2u);
+  EXPECT_EQ(logger.accesses()[0].label, 42u);
+  EXPECT_EQ(logger.accesses()[0].kind, ObjKind::kRegister);
+}
+
+TEST(RecordingLogger, RestoredOnScopeExit) {
+  RecordingLogger outer_logger;
+  RecordingLogger inner_logger;
+  primitives::Register<std::uint64_t> reg(0, 1);
+  ScopedLogger outer(&outer_logger);
+  {
+    ScopedLogger inner(&inner_logger);
+    reg.store(1);
+  }
+  reg.store(2);
+  EXPECT_EQ(inner_logger.accesses().size(), 1u);
+  EXPECT_EQ(outer_logger.accesses().size(), 1u);
+}
+
+}  // namespace
+}  // namespace psnap::exec

@@ -1,0 +1,164 @@
+#include "primitives/primitives.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "exec/exec.h"
+
+namespace psnap::primitives {
+namespace {
+
+using exec::ObjKind;
+
+std::uint64_t reg_steps() {
+  return exec::ctx().steps.by_kind[std::size_t(ObjKind::kRegister)];
+}
+std::uint64_t cas_steps() {
+  return exec::ctx().steps.by_kind[std::size_t(ObjKind::kCas)];
+}
+std::uint64_t fai_steps() {
+  return exec::ctx().steps.by_kind[std::size_t(ObjKind::kFai)];
+}
+
+TEST(Register, LoadStoreRoundTrip) {
+  Register<std::uint64_t> reg(17);
+  EXPECT_EQ(reg.load(), 17u);
+  reg.store(42);
+  EXPECT_EQ(reg.load(), 42u);
+}
+
+TEST(Register, ExchangeReturnsPrevious) {
+  Register<std::uint64_t> reg(1);
+  EXPECT_EQ(reg.exchange(2), 1u);
+  EXPECT_EQ(reg.load(), 2u);
+}
+
+TEST(Register, EveryOperationIsOneStep) {
+  Register<std::uint64_t> reg(0);
+  exec::ctx().steps.reset();
+  reg.store(1);
+  (void)reg.load();
+  (void)reg.exchange(2);
+  EXPECT_EQ(reg_steps(), 3u);
+  EXPECT_EQ(exec::ctx().steps.total, 3u);
+}
+
+TEST(Register, PeekIsNotAStep) {
+  Register<std::uint64_t> reg(5);
+  exec::ctx().steps.reset();
+  EXPECT_EQ(reg.peek(), 5u);
+  EXPECT_EQ(exec::ctx().steps.total, 0u);
+}
+
+TEST(Register, InitDoesNotStep) {
+  Register<std::uint64_t> reg;
+  exec::ctx().steps.reset();
+  reg.init(9, 3);
+  EXPECT_EQ(exec::ctx().steps.total, 0u);
+  EXPECT_EQ(reg.peek(), 9u);
+}
+
+TEST(CasObject, SuccessfulCas) {
+  CasObject<std::uint64_t> obj(10);
+  EXPECT_EQ(obj.compare_and_swap(10, 20), 10u);  // returns previous
+  EXPECT_EQ(obj.load(), 20u);
+}
+
+TEST(CasObject, FailedCasLeavesValue) {
+  CasObject<std::uint64_t> obj(10);
+  EXPECT_EQ(obj.compare_and_swap(99, 20), 10u);
+  EXPECT_EQ(obj.load(), 10u);
+}
+
+TEST(CasObject, BoolForm) {
+  CasObject<std::uint64_t> obj(1);
+  EXPECT_TRUE(obj.compare_and_swap_bool(1, 2));
+  EXPECT_FALSE(obj.compare_and_swap_bool(1, 3));
+  EXPECT_EQ(obj.load(), 2u);
+}
+
+TEST(CasObject, StepsCounted) {
+  CasObject<std::uint64_t> obj(0);
+  exec::ctx().steps.reset();
+  (void)obj.load();
+  (void)obj.compare_and_swap(0, 1);
+  EXPECT_EQ(cas_steps(), 2u);
+}
+
+TEST(FetchIncrement, ReturnsNewValue) {
+  FetchIncrement fai;
+  EXPECT_EQ(fai.fetch_increment(), 1u);
+  EXPECT_EQ(fai.fetch_increment(), 2u);
+  EXPECT_EQ(fai.read(), 2u);
+}
+
+TEST(FetchIncrement, InitialValueRespected) {
+  FetchIncrement fai(100);
+  EXPECT_EQ(fai.fetch_increment(), 101u);
+}
+
+TEST(FetchIncrement, StepsCounted) {
+  FetchIncrement fai;
+  exec::ctx().steps.reset();
+  (void)fai.fetch_increment();
+  (void)fai.read();
+  EXPECT_EQ(fai_steps(), 2u);
+}
+
+TEST(FetchIncrement, ConcurrentIncrementsAreUnique) {
+  FetchIncrement fai;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::vector<std::uint64_t>> values(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fai, &values, t] {
+      values[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        values[t].push_back(fai.fetch_increment());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<std::uint64_t> all;
+  for (auto& v : values) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], i + 1);  // exactly 1..N, no duplicates, no gaps
+  }
+}
+
+TEST(CasObject, ConcurrentCasExactlyOneWinnerPerRound) {
+  CasObject<std::uint64_t> obj(0);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 2000;
+  std::atomic<int> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t round = 0; round < kRounds; ++round) {
+        if (obj.compare_and_swap_bool(round, round + 1)) {
+          wins.fetch_add(1);
+        }
+        // Wait for the round to complete before the next attempt.
+        while (obj.peek() == round) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), kRounds);  // exactly one winner per round
+  EXPECT_EQ(obj.peek(), std::uint64_t(kRounds));
+}
+
+TEST(Register, PointerSpecialization) {
+  int x = 1, y = 2;
+  Register<int*> reg(&x);
+  EXPECT_EQ(reg.load(), &x);
+  EXPECT_EQ(reg.exchange(&y), &x);
+  EXPECT_EQ(reg.load(), &y);
+}
+
+}  // namespace
+}  // namespace psnap::primitives

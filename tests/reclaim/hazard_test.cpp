@@ -1,0 +1,120 @@
+#include "reclaim/hazard.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace psnap::reclaim {
+namespace {
+
+struct Node {
+  static std::atomic<int> live;
+  Node() { live.fetch_add(1); }
+  ~Node() { live.fetch_sub(1); }
+  int value = 0;
+};
+std::atomic<int> Node::live{0};
+
+TEST(Hazard, ProtectReturnsCurrentPointer) {
+  HazardDomain domain;
+  std::atomic<Node*> src{new Node};
+  Node* p = domain.protect(src, 0);
+  EXPECT_EQ(p, src.load());
+  domain.clear(0);
+  delete src.load();
+}
+
+TEST(Hazard, ProtectedNodeSurvivesScan) {
+  Node::live = 0;
+  HazardDomain domain;
+  std::atomic<Node*> src{new Node};
+  Node* p = domain.protect(src, 0);
+  domain.retire(p);
+  domain.scan_and_free();
+  EXPECT_EQ(Node::live.load(), 1);  // still protected
+  domain.clear(0);
+  domain.scan_and_free();
+  EXPECT_EQ(Node::live.load(), 0);
+}
+
+TEST(Hazard, UnprotectedNodesFreedByScan) {
+  Node::live = 0;
+  HazardDomain domain;
+  for (int i = 0; i < 50; ++i) domain.retire(new Node);
+  domain.scan_and_free();
+  EXPECT_EQ(Node::live.load(), 0);
+  EXPECT_EQ(domain.outstanding(), 0u);
+}
+
+TEST(Hazard, DestructorDrains) {
+  Node::live = 0;
+  {
+    HazardDomain domain;
+    for (int i = 0; i < 9; ++i) domain.retire(new Node);
+  }
+  EXPECT_EQ(Node::live.load(), 0);
+}
+
+TEST(Hazard, ProtectFollowsConcurrentSwaps) {
+  // The protect loop must re-validate: after it returns, the returned
+  // pointer was both the source value and published as hazardous at one
+  // instant, so it can never be freed under us.
+  Node::live = 0;
+  {
+    HazardDomain domain;
+    std::atomic<Node*> src{new Node};
+    std::atomic<bool> stop{false};
+
+    std::thread swapper([&] {
+      while (!stop) {
+        Node* fresh = new Node;
+        Node* old = src.exchange(fresh);
+        domain.retire(old);
+      }
+    });
+
+    for (int i = 0; i < 2000; ++i) {
+      Node* p = domain.protect(src, 0);
+      // Touching the node must be safe.
+      EXPECT_GE(p->value, 0);
+      domain.clear(0);
+    }
+    stop = true;
+    swapper.join();
+    delete src.load();
+    // Retired nodes sit in the swapper's per-thread list; only the domain
+    // destructor drains other threads' lists.
+  }
+  EXPECT_EQ(Node::live.load(), 0);
+}
+
+TEST(Hazard, MultipleIndicesIndependent) {
+  HazardDomain domain;
+  std::atomic<Node*> a{new Node}, b{new Node};
+  Node* pa = domain.protect(a, 0);
+  Node* pb = domain.protect(b, 1);
+  domain.retire(pa);
+  domain.retire(pb);
+  domain.clear(0);
+  domain.scan_and_free();
+  // Only b remains protected.
+  EXPECT_EQ(domain.outstanding(), 1u);
+  domain.clear_all();
+  domain.scan_and_free();
+  EXPECT_EQ(domain.outstanding(), 0u);
+}
+
+TEST(Hazard, RetirePressureTriggersAutomaticScan) {
+  Node::live = 0;
+  HazardDomain domain;
+  // Exceed the 2 * capacity threshold; an automatic scan must have fired.
+  constexpr int kNodes =
+      2 * int(HazardDomain::kMaxThreads * HazardDomain::kHazardsPerThread) + 64;
+  for (int i = 0; i < kNodes; ++i) domain.retire(new Node);
+  EXPECT_LT(domain.outstanding(), std::uint64_t(kNodes));
+}
+
+}  // namespace
+}  // namespace psnap::reclaim

@@ -1,0 +1,110 @@
+#include "segarray/segmented_array.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace psnap::segarray {
+namespace {
+
+TEST(SegmentedArray, ElementsValueInitialized) {
+  SegmentedArray<std::atomic<std::uint64_t>, 16, 8> arr;
+  EXPECT_EQ(arr.at(0).load(), 0u);
+  EXPECT_EQ(arr.at(100).load(), 0u);
+}
+
+TEST(SegmentedArray, WriteReadAcrossSegments) {
+  SegmentedArray<std::atomic<std::uint64_t>, 16, 8> arr;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    arr.at(i).store(i * 3);
+  }
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(arr.at(i).load(), i * 3);
+  }
+}
+
+TEST(SegmentedArray, SegmentsAllocatedLazily) {
+  SegmentedArray<std::atomic<std::uint64_t>, 16, 8> arr;
+  EXPECT_EQ(arr.allocated_segments(), 0u);
+  arr.at(0).store(1);
+  EXPECT_EQ(arr.allocated_segments(), 1u);
+  arr.at(17).store(1);  // second segment
+  EXPECT_EQ(arr.allocated_segments(), 2u);
+  arr.at(1).store(1);  // existing segment
+  EXPECT_EQ(arr.allocated_segments(), 2u);
+}
+
+TEST(SegmentedArray, TryAtDoesNotAllocate) {
+  SegmentedArray<std::atomic<std::uint64_t>, 16, 8> arr;
+  EXPECT_EQ(arr.try_at(5), nullptr);
+  EXPECT_EQ(arr.allocated_segments(), 0u);
+  arr.at(5).store(7);
+  ASSERT_NE(arr.try_at(5), nullptr);
+  EXPECT_EQ(arr.try_at(5)->load(), 7u);
+}
+
+TEST(SegmentedArray, ReferencesAreStable) {
+  SegmentedArray<std::atomic<std::uint64_t>, 16, 8> arr;
+  auto& slot = arr.at(3);
+  slot.store(11);
+  // Touch many other segments; the original reference must stay valid.
+  for (std::uint64_t i = 16; i < 128; i += 16) arr.at(i).store(1);
+  EXPECT_EQ(arr.at(3).load(), 11u);
+  EXPECT_EQ(&arr.at(3), &slot);
+}
+
+TEST(SegmentedArray, CapacityComputed) {
+  using Small = SegmentedArray<std::atomic<std::uint64_t>, 16, 8>;
+  EXPECT_EQ(Small::capacity(), 128u);
+}
+
+TEST(SegmentedArrayDeathTest, OutOfCapacityAborts) {
+  SegmentedArray<std::atomic<std::uint64_t>, 16, 8> arr;
+  EXPECT_DEATH(arr.at(128), "capacity");
+}
+
+TEST(SegmentedArray, ConcurrentInstallRace) {
+  // Many threads hammer the same fresh segments; each slot must end up
+  // with exactly the values written (no lost segment, no double install).
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kSlots = 512;
+  SegmentedArray<std::atomic<std::uint64_t>, 64, 16> arr;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&arr, t] {
+      for (std::uint64_t i = 0; i < kSlots; ++i) {
+        arr.at(i).fetch_add(std::uint64_t(t) + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Sum of 1..kThreads added once per slot.
+  constexpr std::uint64_t kExpected = kThreads * (kThreads + 1) / 2;
+  for (std::uint64_t i = 0; i < kSlots; ++i) {
+    ASSERT_EQ(arr.at(i).load(), kExpected) << "slot " << i;
+  }
+}
+
+TEST(SegmentedArray, ConcurrentDisjointWriters) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPer = 1000;
+  SegmentedArray<std::atomic<std::uint64_t>, 128, 64> arr;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&arr, t] {
+      for (std::uint64_t i = 0; i < kPer; ++i) {
+        std::uint64_t idx = std::uint64_t(t) * kPer + i;
+        arr.at(idx).store(idx + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::uint64_t i = 0; i < kThreads * kPer; ++i) {
+    ASSERT_EQ(arr.at(i).load(), i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace psnap::segarray

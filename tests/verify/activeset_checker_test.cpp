@@ -1,0 +1,144 @@
+#include "verify/activeset_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace psnap::verify {
+namespace {
+
+Operation member_op(Operation::Type type, std::uint32_t pid, std::uint64_t inv,
+                    std::uint64_t res) {
+  Operation op;
+  op.type = type;
+  op.pid = pid;
+  op.invoke_seq = inv;
+  op.respond_seq = res;
+  return op;
+}
+
+Operation get_set(std::vector<std::uint32_t> result, std::uint64_t inv,
+                  std::uint64_t res, std::uint32_t pid = 99) {
+  Operation op;
+  op.type = Operation::Type::kGetSet;
+  op.pid = pid;
+  op.set_result = std::move(result);
+  op.invoke_seq = inv;
+  op.respond_seq = res;
+  return op;
+}
+
+TEST(ActiveSetChecker, EmptyHistoryOk) {
+  EXPECT_TRUE(check_active_set_validity({}).ok);
+}
+
+TEST(ActiveSetChecker, ActiveProcessMustAppear) {
+  std::vector<Operation> ops{
+      member_op(Operation::Type::kJoin, 1, 0, 1),
+      get_set({1}, 2, 3),
+  };
+  EXPECT_TRUE(check_active_set_validity(ops).ok);
+  ops[1] = get_set({}, 2, 3);
+  auto outcome = check_active_set_validity(ops);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.diagnosis.find("missing"), std::string::npos);
+}
+
+TEST(ActiveSetChecker, InactiveProcessMustNotAppear) {
+  std::vector<Operation> ops{
+      member_op(Operation::Type::kJoin, 1, 0, 1),
+      member_op(Operation::Type::kLeave, 1, 2, 3),
+      get_set({1}, 4, 5),
+  };
+  auto outcome = check_active_set_validity(ops);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.diagnosis.find("inactive"), std::string::npos);
+}
+
+TEST(ActiveSetChecker, NeverJoinedMustNotAppear) {
+  std::vector<Operation> ops{
+      get_set({3}, 0, 1),
+      member_op(Operation::Type::kJoin, 3, 2, 3),
+  };
+  EXPECT_FALSE(check_active_set_validity(ops).ok);
+}
+
+TEST(ActiveSetChecker, MidJoinMayAppearEitherWay) {
+  // Join overlaps the getSet: both answers valid.
+  std::vector<Operation> with{
+      member_op(Operation::Type::kJoin, 1, 0, 3),
+      get_set({1}, 1, 2),
+  };
+  std::vector<Operation> without{
+      member_op(Operation::Type::kJoin, 1, 0, 3),
+      get_set({}, 1, 2),
+  };
+  EXPECT_TRUE(check_active_set_validity(with).ok);
+  EXPECT_TRUE(check_active_set_validity(without).ok);
+}
+
+TEST(ActiveSetChecker, MidLeaveMayAppearEitherWay) {
+  std::vector<Operation> with{
+      member_op(Operation::Type::kJoin, 1, 0, 1),
+      member_op(Operation::Type::kLeave, 1, 2, 5),
+      get_set({1}, 3, 4),
+  };
+  std::vector<Operation> without{
+      member_op(Operation::Type::kJoin, 1, 0, 1),
+      member_op(Operation::Type::kLeave, 1, 2, 5),
+      get_set({}, 3, 4),
+  };
+  EXPECT_TRUE(check_active_set_validity(with).ok);
+  EXPECT_TRUE(check_active_set_validity(without).ok);
+}
+
+TEST(ActiveSetChecker, LeaveInvokedDuringGetSetReleasesObligation) {
+  // p joined before G, but its leave was invoked before G responded:
+  // p may be reported absent.
+  std::vector<Operation> ops{
+      member_op(Operation::Type::kJoin, 1, 0, 1),
+      get_set({}, 2, 5),
+      member_op(Operation::Type::kLeave, 1, 3, 4),
+  };
+  EXPECT_TRUE(check_active_set_validity(ops).ok);
+}
+
+TEST(ActiveSetChecker, RejoinObligationTracksLatestState) {
+  std::vector<Operation> ops{
+      member_op(Operation::Type::kJoin, 1, 0, 1),
+      member_op(Operation::Type::kLeave, 1, 2, 3),
+      member_op(Operation::Type::kJoin, 1, 4, 5),
+      get_set({1}, 6, 7),
+  };
+  EXPECT_TRUE(check_active_set_validity(ops).ok);
+  ops[3] = get_set({}, 6, 7);
+  EXPECT_FALSE(check_active_set_validity(ops).ok);
+}
+
+TEST(ActiveSetChecker, AlternationViolationDetected) {
+  std::vector<Operation> ops{
+      member_op(Operation::Type::kJoin, 1, 0, 1),
+      member_op(Operation::Type::kJoin, 1, 2, 3),
+  };
+  auto outcome = check_active_set_validity(ops);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.diagnosis.find("alternation"), std::string::npos);
+}
+
+TEST(ActiveSetChecker, LeaveFirstViolatesAlternation) {
+  std::vector<Operation> ops{
+      member_op(Operation::Type::kLeave, 1, 0, 1),
+  };
+  EXPECT_FALSE(check_active_set_validity(ops).ok);
+}
+
+TEST(ActiveSetChecker, MultipleProcessesIndependent) {
+  std::vector<Operation> ops{
+      member_op(Operation::Type::kJoin, 1, 0, 1),
+      member_op(Operation::Type::kJoin, 2, 2, 3),
+      member_op(Operation::Type::kLeave, 1, 4, 5),
+      get_set({2}, 6, 7),
+  };
+  EXPECT_TRUE(check_active_set_validity(ops).ok);
+}
+
+}  // namespace
+}  // namespace psnap::verify

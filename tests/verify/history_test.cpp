@@ -1,0 +1,103 @@
+#include "verify/history.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace psnap::verify {
+namespace {
+
+TEST(History, SequenceNumbersIncrease) {
+  History h;
+  Operation op;
+  op.type = Operation::Type::kUpdate;
+  auto h1 = h.begin_op(op);
+  auto h2 = h.begin_op(op);
+  h.complete_op(h1);
+  h.complete_op(h2);
+  auto ops = h.operations();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_LT(ops[0].invoke_seq, ops[1].invoke_seq);
+  EXPECT_LT(ops[1].invoke_seq, ops[0].respond_seq);
+  EXPECT_LT(ops[0].respond_seq, ops[1].respond_seq);
+}
+
+TEST(History, PendingUntilCompleted) {
+  History h;
+  Operation op;
+  op.type = Operation::Type::kJoin;
+  auto handle = h.begin_op(op);
+  EXPECT_FALSE(h.operations()[0].complete());
+  h.complete_op(handle);
+  EXPECT_TRUE(h.operations()[0].complete());
+}
+
+TEST(History, ScanResultAttachedAtResponse) {
+  History h;
+  Operation op;
+  op.type = Operation::Type::kScan;
+  op.indices = {1, 2};
+  auto handle = h.begin_op(op);
+  h.complete_scan(handle, {10, 20});
+  auto ops = h.operations();
+  EXPECT_EQ(ops[0].result, (std::vector<std::uint64_t>{10, 20}));
+}
+
+TEST(History, GetSetResultAttachedAtResponse) {
+  History h;
+  Operation op;
+  op.type = Operation::Type::kGetSet;
+  auto handle = h.begin_op(op);
+  h.complete_get_set(handle, {3, 5});
+  EXPECT_EQ(h.operations()[0].set_result, (std::vector<std::uint32_t>{3, 5}));
+}
+
+TEST(History, ToStringContainsOps) {
+  History h;
+  Operation op;
+  op.type = Operation::Type::kUpdate;
+  op.pid = 3;
+  op.index = 1;
+  op.value = 9;
+  h.complete_op(h.begin_op(op));
+  std::string s = h.to_string();
+  EXPECT_NE(s.find("p3 update(1, 9)"), std::string::npos);
+}
+
+TEST(History, ConcurrentRecordingIsSafe) {
+  History h;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kOps; ++i) {
+        Operation op;
+        op.type = Operation::Type::kUpdate;
+        op.pid = static_cast<std::uint32_t>(t);
+        h.complete_op(h.begin_op(op));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto ops = h.operations();
+  ASSERT_EQ(ops.size(), std::size_t(kThreads) * kOps);
+  for (const auto& op : ops) {
+    EXPECT_TRUE(op.complete());
+    EXPECT_LT(op.invoke_seq, op.respond_seq);
+  }
+}
+
+TEST(OperationToString, ScanFormat) {
+  Operation op;
+  op.type = Operation::Type::kScan;
+  op.pid = 1;
+  op.indices = {0, 2};
+  op.result = {5, 7};
+  op.invoke_seq = 3;
+  op.respond_seq = 9;
+  EXPECT_EQ(op.to_string(), "p1 scan(0,2) -> (5,7) [3, 9]");
+}
+
+}  // namespace
+}  // namespace psnap::verify

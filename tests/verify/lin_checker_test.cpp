@@ -1,0 +1,268 @@
+// The checker itself must be trustworthy: feed it handcrafted histories
+// with known verdicts.
+#include "verify/lin_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace psnap::verify {
+namespace {
+
+Operation update(std::uint32_t pid, std::uint32_t index, std::uint64_t value,
+                 std::uint64_t inv, std::uint64_t res) {
+  Operation op;
+  op.type = Operation::Type::kUpdate;
+  op.pid = pid;
+  op.index = index;
+  op.value = value;
+  op.invoke_seq = inv;
+  op.respond_seq = res;
+  return op;
+}
+
+Operation scan(std::uint32_t pid, std::vector<std::uint32_t> indices,
+               std::vector<std::uint64_t> result, std::uint64_t inv,
+               std::uint64_t res) {
+  Operation op;
+  op.type = Operation::Type::kScan;
+  op.pid = pid;
+  op.indices = std::move(indices);
+  op.result = std::move(result);
+  op.invoke_seq = inv;
+  op.respond_seq = res;
+  return op;
+}
+
+LinCheckOptions opts(std::uint32_t m) {
+  LinCheckOptions o;
+  o.num_components = m;
+  return o;
+}
+
+TEST(LinChecker, EmptyHistoryIsLinearizable) {
+  auto outcome = check_snapshot_linearizable({}, opts(2));
+  EXPECT_EQ(outcome.result, LinResult::kLinearizable);
+}
+
+TEST(LinChecker, SequentialUpdateThenScan) {
+  std::vector<Operation> ops{
+      update(0, 0, 7, 0, 1),
+      scan(1, {0}, {7}, 2, 3),
+  };
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(1)).result,
+            LinResult::kLinearizable);
+}
+
+TEST(LinChecker, ScanOfInitialValue) {
+  std::vector<Operation> ops{
+      scan(0, {0, 1}, {0, 0}, 0, 1),
+  };
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(2)).result,
+            LinResult::kLinearizable);
+}
+
+TEST(LinChecker, StaleReadAfterCompletedUpdateIsRejected) {
+  // Update finished before the scan started, yet the scan saw the old
+  // value: not linearizable.
+  std::vector<Operation> ops{
+      update(0, 0, 5, 0, 1),
+      scan(1, {0}, {0}, 2, 3),
+  };
+  auto outcome = check_snapshot_linearizable(ops, opts(1));
+  EXPECT_EQ(outcome.result, LinResult::kNotLinearizable);
+  EXPECT_FALSE(outcome.diagnosis.empty());
+}
+
+TEST(LinChecker, ConcurrentUpdateMayOrMayNotBeSeen) {
+  // Scan overlaps the update: both old and new value are acceptable.
+  std::vector<Operation> old_seen{
+      update(0, 0, 5, 0, 3),
+      scan(1, {0}, {0}, 1, 2),
+  };
+  std::vector<Operation> new_seen{
+      update(0, 0, 5, 0, 3),
+      scan(1, {0}, {5}, 1, 2),
+  };
+  EXPECT_EQ(check_snapshot_linearizable(old_seen, opts(1)).result,
+            LinResult::kLinearizable);
+  EXPECT_EQ(check_snapshot_linearizable(new_seen, opts(1)).result,
+            LinResult::kLinearizable);
+}
+
+TEST(LinChecker, TornScanRejected) {
+  // Two sequential updates to different components; a scan that sees the
+  // second update but not the first (which completed earlier) is torn.
+  std::vector<Operation> ops{
+      update(0, 0, 1, 0, 1),  // component 0 := 1
+      update(0, 1, 2, 2, 3),  // component 1 := 2
+      scan(1, {0, 1}, {0, 2}, 4, 5),
+  };
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(2)).result,
+            LinResult::kNotLinearizable);
+}
+
+TEST(LinChecker, TornScanOfConcurrentUpdatesAccepted) {
+  // Same shape but the updates overlap the scan: either order is valid, so
+  // observing {0 -> initial, 1 -> 2} is fine (update0 linearizes after the
+  // scan, update1 before).
+  std::vector<Operation> ops{
+      update(0, 0, 1, 0, 9),
+      update(1, 1, 2, 0, 9),
+      scan(2, {0, 1}, {0, 2}, 0, 9),
+  };
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(2)).result,
+            LinResult::kLinearizable);
+}
+
+TEST(LinChecker, RealTimeOrderOfUpdatesRespected) {
+  // p0 writes 1 then 2 sequentially to the same component; a later scan
+  // must not see 1.
+  std::vector<Operation> ops{
+      update(0, 0, 1, 0, 1),
+      update(0, 0, 2, 2, 3),
+      scan(1, {0}, {1}, 4, 5),
+  };
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(1)).result,
+            LinResult::kNotLinearizable);
+}
+
+TEST(LinChecker, TwoScansMustAgreeOnOrder) {
+  // Two concurrent updates to the same component; two sequential scans
+  // that observe them in contradictory orders cannot both linearize.
+  std::vector<Operation> ops{
+      update(0, 0, 1, 0, 9),
+      update(1, 0, 2, 0, 9),
+      scan(2, {0}, {1}, 1, 2),
+      scan(2, {0}, {2}, 3, 4),
+      scan(3, {0}, {2}, 1, 2),
+      scan(3, {0}, {1}, 3, 4),
+  };
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(1)).result,
+            LinResult::kNotLinearizable);
+}
+
+TEST(LinChecker, OppositeOrderScansRejectedEvenWhenConcurrent) {
+  // The classic snapshot cycle: scan A = (1, 0) forces U0 < A < U1 and
+  // scan B = (0, 1) forces U1 < B < U0 -- a contradiction regardless of
+  // the scans being concurrent, because each scan is a single atomic
+  // point.  (Piecewise reads would happily produce this pair; a snapshot
+  // object must not.)
+  std::vector<Operation> ops{
+      update(0, 0, 1, 0, 9),
+      update(1, 1, 1, 0, 9),
+      scan(2, {0, 1}, {1, 0}, 0, 9),
+      scan(3, {0, 1}, {0, 1}, 0, 9),
+  };
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(2)).result,
+            LinResult::kNotLinearizable);
+}
+
+TEST(LinChecker, ChainAcrossComponentsSequentialContradiction) {
+  std::vector<Operation> ops{
+      update(0, 0, 1, 0, 9),
+      update(1, 1, 1, 0, 9),
+      scan(2, {0, 1}, {1, 0}, 1, 2),
+      // This scan STARTS after the first scan responded, and claims the
+      // opposite order of the two updates: impossible.
+      scan(2, {0, 1}, {0, 1}, 3, 4),
+  };
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(2)).result,
+            LinResult::kNotLinearizable);
+}
+
+TEST(LinChecker, DuplicateValuesDistinguishedByInterval) {
+  // Same value written twice; scans are still checkable.
+  std::vector<Operation> ops{
+      update(0, 0, 5, 0, 1),
+      update(0, 0, 5, 2, 3),
+      scan(1, {0}, {5}, 4, 5),
+  };
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(1)).result,
+            LinResult::kLinearizable);
+}
+
+TEST(LinChecker, PartialScanSubsetOnly) {
+  // Scans over different subsets of a 3-component object.
+  std::vector<Operation> ops{
+      update(0, 0, 1, 0, 1),
+      update(0, 2, 3, 2, 3),
+      scan(1, {0, 2}, {1, 3}, 4, 5),
+      scan(1, {1}, {0}, 6, 7),
+  };
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(3)).result,
+            LinResult::kLinearizable);
+}
+
+TEST(LinChecker, NodesVisitedReported) {
+  std::vector<Operation> ops{
+      update(0, 0, 1, 0, 1),
+      scan(1, {0}, {1}, 2, 3),
+  };
+  auto outcome = check_snapshot_linearizable(ops, opts(1));
+  EXPECT_GT(outcome.nodes_visited, 0u);
+}
+
+TEST(LinChecker, PendingUpdateMayBeOmitted) {
+  // A crashed update whose effect never became visible: scans may see the
+  // old value forever.
+  Operation pending = update(0, 0, 7, 0, 1);
+  pending.respond_seq = kPending;
+  std::vector<Operation> ops{pending, scan(1, {0}, {0}, 2, 3)};
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(1)).result,
+            LinResult::kLinearizable);
+}
+
+TEST(LinChecker, PendingUpdateMayTakeEffect) {
+  // A crashed update whose write did land: scans may see the new value.
+  Operation pending = update(0, 0, 7, 0, 1);
+  pending.respond_seq = kPending;
+  std::vector<Operation> ops{pending, scan(1, {0}, {7}, 2, 3)};
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(1)).result,
+            LinResult::kLinearizable);
+}
+
+TEST(LinChecker, PendingUpdateCannotFlipFlop) {
+  // Once a later scan observed the pending update's value, an even later
+  // scan cannot revert to the old value.
+  Operation pending = update(0, 0, 7, 0, 1);
+  pending.respond_seq = kPending;
+  std::vector<Operation> ops{
+      pending,
+      scan(1, {0}, {7}, 2, 3),
+      scan(1, {0}, {0}, 4, 5),
+  };
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(1)).result,
+            LinResult::kNotLinearizable);
+}
+
+TEST(LinChecker, PendingUpdateCannotTakeEffectBeforeInvocation) {
+  // A scan that completed before the crashed update was even invoked must
+  // not see its value.
+  Operation pending = update(0, 0, 7, 4, 5);
+  pending.respond_seq = kPending;
+  std::vector<Operation> ops{
+      scan(1, {0}, {7}, 0, 1),
+      pending,
+  };
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(1)).result,
+            LinResult::kNotLinearizable);
+}
+
+TEST(LinChecker, PendingScanIsIgnored) {
+  Operation pending_scan = scan(1, {0}, {}, 0, 1);
+  pending_scan.respond_seq = kPending;
+  pending_scan.result.clear();
+  std::vector<Operation> ops{update(0, 0, 1, 2, 3), pending_scan};
+  EXPECT_EQ(check_snapshot_linearizable(ops, opts(1)).result,
+            LinResult::kLinearizable);
+}
+
+TEST(LinCheckerDeathTest, TooManyOperationsRejected) {
+  std::vector<Operation> ops;
+  for (int i = 0; i < 65; ++i) {
+    ops.push_back(update(0, 0, 1, 2 * i, 2 * i + 1));
+  }
+  EXPECT_DEATH(check_snapshot_linearizable(ops, opts(1)), "64");
+}
+
+}  // namespace
+}  // namespace psnap::verify

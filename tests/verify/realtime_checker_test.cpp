@@ -1,0 +1,94 @@
+#include "verify/realtime_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace psnap::verify {
+namespace {
+
+using Scan = RealtimeChecker::ScanObservation;
+
+TEST(RealtimeChecker, ConsistentScanAccepted) {
+  RealtimeChecker checker(2);
+  // comp 0: value 1 written during [10, 20]
+  checker.record_write_begin(0, 1, 10);
+  checker.record_write_end(0, 1, 20);
+  // comp 1: value 1 written during [15, 25]
+  checker.record_write_begin(1, 1, 15);
+  checker.record_write_end(1, 1, 25);
+  // Scan in [30, 40] sees both values: fine.
+  Scan scan{30, 40, {0, 1}, {1, 1}};
+  EXPECT_TRUE(checker.check({scan}).ok);
+}
+
+TEST(RealtimeChecker, InitialValuesAccepted) {
+  RealtimeChecker checker(2);
+  Scan scan{5, 6, {0, 1}, {0, 0}};
+  EXPECT_TRUE(checker.check({scan}).ok);
+}
+
+TEST(RealtimeChecker, TornScanDetected) {
+  RealtimeChecker checker(2);
+  // comp 0: value 1 at [10,11], value 2 at [20,21]  (value 1 gone by 21)
+  checker.record_write_begin(0, 1, 10);
+  checker.record_write_end(0, 1, 11);
+  checker.record_write_begin(0, 2, 20);
+  checker.record_write_end(0, 2, 21);
+  // comp 1: value 1 at [30,31]  (value 1 not present before 30)
+  checker.record_write_begin(1, 1, 30);
+  checker.record_write_end(1, 1, 31);
+  // A scan claiming comp0==1 (gone by t=21) and comp1==1 (born at t>=30):
+  // impossible at any single instant.
+  Scan scan{5, 50, {0, 1}, {1, 1}};
+  auto outcome = checker.check({scan});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.diagnosis.find("torn"), std::string::npos);
+}
+
+TEST(RealtimeChecker, StaleValueOutsideScanIntervalDetected) {
+  RealtimeChecker checker(1);
+  checker.record_write_begin(0, 1, 10);
+  checker.record_write_end(0, 1, 11);
+  checker.record_write_begin(0, 2, 20);
+  checker.record_write_end(0, 2, 21);
+  // Scan starts at 30, after value 2 certainly replaced value 1, but
+  // claims to have seen value 1.
+  Scan scan{30, 35, {0}, {1}};
+  EXPECT_FALSE(checker.check({scan}).ok);
+}
+
+TEST(RealtimeChecker, FutureValueBeforeWriteDetected) {
+  RealtimeChecker checker(1);
+  checker.record_write_begin(0, 1, 50);
+  checker.record_write_end(0, 1, 60);
+  // Scan completed before the write began yet saw the value.
+  Scan scan{10, 20, {0}, {1}};
+  EXPECT_FALSE(checker.check({scan}).ok);
+}
+
+TEST(RealtimeChecker, OverlapUncertaintyAccepted) {
+  // When windows genuinely overlap, the checker must accept -- it is
+  // deliberately sound, not complete.
+  RealtimeChecker checker(2);
+  checker.record_write_begin(0, 1, 10);
+  checker.record_write_end(0, 1, 30);  // slow write: window is wide
+  checker.record_write_begin(1, 1, 20);
+  checker.record_write_end(1, 1, 40);
+  Scan scan{5, 50, {0, 1}, {1, 0}};  // old comp1 + new comp0: windows overlap
+  EXPECT_TRUE(checker.check({scan}).ok);
+}
+
+TEST(RealtimeCheckerDeathTest, NeverWrittenValueRejected) {
+  RealtimeChecker checker(1);
+  Scan scan{0, 1, {0}, {7}};
+  EXPECT_DEATH((void)checker.check({scan}), "never written");
+}
+
+TEST(RealtimeCheckerDeathTest, OutOfOrderWritesRejected) {
+  RealtimeChecker checker(1);
+  checker.record_write_begin(0, 1, 0);
+  checker.record_write_end(0, 1, 1);
+  EXPECT_DEATH(checker.record_write_begin(0, 3, 2), "in order");
+}
+
+}  // namespace
+}  // namespace psnap::verify

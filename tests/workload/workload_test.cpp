@@ -1,0 +1,123 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/zipf.h"
+
+namespace psnap::workload {
+namespace {
+
+TEST(ZipfSampler, UniformWhenThetaZero) {
+  ZipfSampler zipf(10, 0.0);
+  Xoshiro256 rng(1);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.sample(rng)];
+  for (auto& [rank, count] : counts) {
+    EXPECT_LT(rank, 10u);
+    EXPECT_NEAR(count, kSamples / 10, kSamples / 60);
+  }
+}
+
+TEST(ZipfSampler, SkewFavoursLowRanks) {
+  ZipfSampler zipf(100, 0.9);
+  Xoshiro256 rng(2);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.sample(rng)];
+  // Rank 0 must dominate rank 50 decisively.
+  EXPECT_GT(counts[0], 20 * std::max(counts[50], 1));
+}
+
+TEST(ZipfSampler, AllSamplesInRange) {
+  ZipfSampler zipf(7, 0.5);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 7u);
+  }
+}
+
+TEST(ScanSetGenerator, UniformProducesDistinctSorted) {
+  ScanSetGenerator gen(ScanSetKind::kUniform, 32, 6);
+  Xoshiro256 rng(4);
+  std::vector<std::uint32_t> out;
+  for (int i = 0; i < 200; ++i) {
+    gen.next(rng, out);
+    ASSERT_EQ(out.size(), 6u);
+    ASSERT_TRUE(std::is_sorted(out.begin(), out.end()));
+    std::set<std::uint32_t> distinct(out.begin(), out.end());
+    ASSERT_EQ(distinct.size(), 6u);
+    for (auto c : out) ASSERT_LT(c, 32u);
+  }
+}
+
+TEST(ScanSetGenerator, ContiguousProducesWindows) {
+  ScanSetGenerator gen(ScanSetKind::kContiguous, 32, 4);
+  Xoshiro256 rng(5);
+  std::vector<std::uint32_t> out;
+  for (int i = 0; i < 200; ++i) {
+    gen.next(rng, out);
+    ASSERT_EQ(out.size(), 4u);
+    for (std::size_t j = 1; j < out.size(); ++j) {
+      ASSERT_EQ(out[j], out[j - 1] + 1);
+    }
+    ASSERT_LT(out.back(), 32u);
+  }
+}
+
+TEST(ScanSetGenerator, ZipfianDistinctAndSkewed) {
+  ScanSetGenerator gen(ScanSetKind::kZipfian, 64, 3, 0.9);
+  Xoshiro256 rng(6);
+  std::vector<std::uint32_t> out;
+  std::map<std::uint32_t, int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    gen.next(rng, out);
+    ASSERT_EQ(out.size(), 3u);
+    std::set<std::uint32_t> distinct(out.begin(), out.end());
+    ASSERT_EQ(distinct.size(), 3u);
+    for (auto c : out) ++seen[c];
+  }
+  EXPECT_GT(seen[0], seen[40]);
+}
+
+TEST(OpStream, MixFractionRespected) {
+  OpMix mix;
+  mix.update_fraction = 0.25;
+  mix.scan_r = 2;
+  OpStream stream(mix, 16, 7);
+  Op op;
+  int updates = 0;
+  constexpr int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) {
+    stream.next(op);
+    if (op.is_update) {
+      ++updates;
+      EXPECT_LT(op.update_index, 16u);
+    } else {
+      EXPECT_EQ(op.scan_set.size(), 2u);
+    }
+  }
+  EXPECT_NEAR(double(updates) / kOps, 0.25, 0.02);
+}
+
+TEST(OpStream, DeterministicPerSeed) {
+  OpMix mix;
+  OpStream a(mix, 8, 42), b(mix, 8, 42);
+  Op op_a, op_b;
+  for (int i = 0; i < 500; ++i) {
+    a.next(op_a);
+    b.next(op_b);
+    ASSERT_EQ(op_a.is_update, op_b.is_update);
+    if (op_a.is_update) {
+      ASSERT_EQ(op_a.update_index, op_b.update_index);
+    } else {
+      ASSERT_EQ(op_a.scan_set, op_b.scan_set);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psnap::workload
