@@ -17,8 +17,8 @@
 #include "common/cli.h"
 #include "common/stats.h"
 #include "common/table.h"
-#include "core/cas_psnap.h"
 #include "core/op_stats.h"
+#include "registry/registry.h"
 
 using namespace psnap;
 
@@ -33,9 +33,11 @@ void run(std::uint64_t scans) {
                       "cas failure %"});
   for (bool use_cas : {true, false}) {
     for (std::uint32_t updaters : {1u, 2u, 3u}) {
-      core::CasPartialSnapshot::Options options;
-      options.use_cas = use_cas;
-      core::CasPartialSnapshot snap(kM, updaters + 1, options);
+      // Both variants come from the registry spec language: the paper's
+      // algorithm and its ABL-3 ablation differ by one option.
+      auto snap_ptr = registry::make_snapshot(
+          use_cas ? "fig3_cas" : "fig3_cas:cas=false", kM, updaters + 1);
+      auto& snap = *snap_ptr;
       std::atomic<bool> stop{false};
       std::vector<double> collects;
       std::atomic<std::uint64_t> updates{0}, cas_failures{0};
@@ -44,7 +46,8 @@ void run(std::uint64_t scans) {
             if (w < updaters) {
               std::uint64_t k = 0;
               while (!stop.load(std::memory_order_relaxed)) {
-                snap.update(static_cast<std::uint32_t>(k % kR), ++k);
+                ++k;
+                snap.update(static_cast<std::uint32_t>(k % kR), k);
                 updates.fetch_add(1, std::memory_order_relaxed);
                 if (core::tls_op_stats().cas_failed) {
                   cas_failures.fetch_add(1, std::memory_order_relaxed);

@@ -13,11 +13,12 @@
 #include <cstdio>
 #include <iostream>
 
-#include "activeset/faicas_active_set.h"
+#include "activeset/faicas_active_set.h"  // published_intervals()
 #include "bench/harness.h"
 #include "common/cli.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "registry/registry.h"
 
 using namespace psnap;
 
@@ -25,24 +26,24 @@ namespace {
 
 struct Variant {
   const char* label;
-  bool coalesce;
-  bool publish;
+  const char* spec;  // registry spec selecting the ablation
 };
 
 void run(std::uint64_t rounds) {
   const Variant variants[] = {
-      {"coalesced (paper)", true, true},
-      {"no coalescing", false, true},
-      {"no skip list", true, false},
+      {"coalesced (paper)", "faicas"},
+      {"no coalescing", "faicas:coalesce=false"},
+      {"no skip list", "faicas:publish=false"},
   };
   TablePrinter table({"variant", "churn rounds", "published intervals",
                       "mean getSet steps", "max getSet steps"});
   for (const Variant& variant : variants) {
     for (std::uint64_t volume : {rounds / 4, rounds}) {
-      activeset::FaiCasActiveSet::Options options;
-      options.coalesce = variant.coalesce;
-      options.publish_skip_list = variant.publish;
-      activeset::FaiCasActiveSet as(3, options);
+      auto as_ptr = registry::make_active_set(variant.spec, 3);
+      auto& as = *as_ptr;
+      // published_intervals() is Figure-2 observability, not part of the
+      // ActiveSet interface; the downcast is safe for every faicas spec.
+      auto& faicas = dynamic_cast<activeset::FaiCasActiveSet&>(as);
       OnlineStats getset_cost;
 
       // Churn pattern: pid 0 joins/leaves constantly; pid 1 joins for a
@@ -73,7 +74,7 @@ void run(std::uint64_t rounds) {
         }
       }
       table.add_row({variant.label, TablePrinter::fmt(volume),
-                     TablePrinter::fmt(std::uint64_t(as.published_intervals())),
+                     TablePrinter::fmt(std::uint64_t(faicas.published_intervals())),
                      TablePrinter::fmt(getset_cost.mean()),
                      TablePrinter::fmt(getset_cost.max())});
     }

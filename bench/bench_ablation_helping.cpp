@@ -14,13 +14,12 @@
 #include <cstdio>
 #include <iostream>
 
-#include "baseline/double_collect.h"
+#include "baseline/double_collect.h"  // StarvationError
 #include "bench/harness.h"
 #include "common/cli.h"
 #include "common/table.h"
-#include "core/cas_psnap.h"
 #include "core/op_stats.h"
-#include "core/register_psnap.h"
+#include "registry/registry.h"
 
 using namespace psnap;
 
@@ -38,16 +37,16 @@ struct PressureResult {
   std::uint64_t starved = 0;
 };
 
-template <class Snap>
-PressureResult run_pressure(Snap& snap, std::uint32_t updaters,
-                            std::uint64_t scans) {
+PressureResult run_pressure(core::PartialSnapshot& snap,
+                            std::uint32_t updaters, std::uint64_t scans) {
   PressureResult result;
   std::atomic<bool> stop{false};
   bench::run_workers(updaters + 1, [&](std::uint32_t w, bench::WorkerStats&) {
     if (w < updaters) {
       std::uint64_t k = 0;
       while (!stop.load(std::memory_order_relaxed)) {
-        snap.update(static_cast<std::uint32_t>(k % kR), ++k);
+        ++k;
+        snap.update(static_cast<std::uint32_t>(k % kR), k);
       }
     } else {
       std::vector<std::uint32_t> indices{0, 1};
@@ -72,43 +71,27 @@ void run(std::uint64_t scans, std::uint64_t cap) {
   TablePrinter table({"algorithm", "updaters", "mean collects",
                       "max collects", "bound", "starved"});
   for (std::uint32_t updaters : {1u, 2u, 3u}) {
-    {
-      baseline::DoubleCollectSnapshot snap(kM, updaters + 1, cap);
-      auto result = run_pressure(snap, updaters, scans);
-      table.add_row({"double-collect (cap)",
-                     TablePrinter::fmt(std::uint64_t(updaters)),
+    struct Row {
+      std::string spec;
+      const char* label;
+      std::string bound;
+    };
+    const Row rows[] = {
+        {"double_collect:cap=" + std::to_string(cap), "double-collect (cap)",
+         "none"},
+        {"double_collect", "double-collect (uncapped)", "unbounded"},
+        {"fig1_register", "fig1-register (helping)",
+         "2n+3 = " + std::to_string(2 * (updaters + 1) + 3)},
+        {"fig3_cas", "fig3-cas (helping)",
+         "2r+1 = " + std::to_string(2 * kR + 1)},
+    };
+    for (const Row& row : rows) {
+      auto snap = registry::make_snapshot(row.spec, kM, updaters + 1);
+      auto result = run_pressure(*snap, updaters, scans);
+      table.add_row({row.label, TablePrinter::fmt(std::uint64_t(updaters)),
                      TablePrinter::fmt(result.collects.mean()),
-                     TablePrinter::fmt(result.max_collects), "none",
+                     TablePrinter::fmt(result.max_collects), row.bound,
                      TablePrinter::fmt(result.starved)});
-    }
-    {
-      baseline::DoubleCollectSnapshot snap(kM, updaters + 1, 0);
-      auto result = run_pressure(snap, updaters, scans);
-      table.add_row({"double-collect (uncapped)",
-                     TablePrinter::fmt(std::uint64_t(updaters)),
-                     TablePrinter::fmt(result.collects.mean()),
-                     TablePrinter::fmt(result.max_collects), "unbounded",
-                     "0"});
-    }
-    {
-      core::RegisterPartialSnapshot snap(kM, updaters + 1);
-      auto result = run_pressure(snap, updaters, scans);
-      table.add_row({"fig1-register (helping)",
-                     TablePrinter::fmt(std::uint64_t(updaters)),
-                     TablePrinter::fmt(result.collects.mean()),
-                     TablePrinter::fmt(result.max_collects),
-                     "2n+3 = " +
-                         std::to_string(2 * (updaters + 1) + 3),
-                     "0"});
-    }
-    {
-      core::CasPartialSnapshot snap(kM, updaters + 1);
-      auto result = run_pressure(snap, updaters, scans);
-      table.add_row({"fig3-cas (helping)",
-                     TablePrinter::fmt(std::uint64_t(updaters)),
-                     TablePrinter::fmt(result.collects.mean()),
-                     TablePrinter::fmt(result.max_collects),
-                     "2r+1 = " + std::to_string(2 * kR + 1), "0"});
     }
   }
   table.print(std::cout,

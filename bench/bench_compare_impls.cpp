@@ -18,72 +18,50 @@
 // principle stall; at this host's contention levels they do not.
 #include <atomic>
 #include <cstdio>
-#include <functional>
+#include <stdexcept>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
-#include "baseline/double_collect.h"
-#include "baseline/full_snapshot.h"
-#include "baseline/lock_snapshot.h"
-#include "baseline/seqlock_snapshot.h"
 #include "bench/harness.h"
 #include "common/cli.h"
 #include "common/table.h"
-#include "core/cas_psnap.h"
-#include "core/register_psnap.h"
+#include "registry/registry.h"
 #include "workload/workload.h"
 
 using namespace psnap;
 
 namespace {
 
-using Factory = std::function<std::unique_ptr<core::PartialSnapshot>(
-    std::uint32_t m, std::uint32_t n)>;
-
-struct Impl {
-  const char* label;
-  Factory make;
-};
-
-const Impl kImpls[] = {
-    {"fig3-cas",
-     [](std::uint32_t m, std::uint32_t n) {
-       return std::unique_ptr<core::PartialSnapshot>(
-           new core::CasPartialSnapshot(m, n));
-     }},
-    {"fig1-register",
-     [](std::uint32_t m, std::uint32_t n) {
-       return std::unique_ptr<core::PartialSnapshot>(
-           new core::RegisterPartialSnapshot(m, n));
-     }},
-    {"full-snapshot",
-     [](std::uint32_t m, std::uint32_t n) {
-       return std::unique_ptr<core::PartialSnapshot>(
-           new baseline::FullSnapshot(m, n));
-     }},
-    {"double-collect",
-     [](std::uint32_t m, std::uint32_t n) {
-       return std::unique_ptr<core::PartialSnapshot>(
-           new baseline::DoubleCollectSnapshot(m, n));
-     }},
-    {"seqlock",
-     [](std::uint32_t m, std::uint32_t) {
-       return std::unique_ptr<core::PartialSnapshot>(
-           new baseline::SeqlockSnapshot(m));
-     }},
-    {"lock",
-     [](std::uint32_t m, std::uint32_t) {
-       return std::unique_ptr<core::PartialSnapshot>(
-           new baseline::LockSnapshot(m));
-     }},
-};
+// Specs to compare: either every registered implementation, or the comma-
+// separated --impls list (each entry a registry spec, so ablation options
+// like "fig3_cas:cas=false" work from the command line).
+std::vector<std::string> impl_specs(const std::string& impls_flag) {
+  std::vector<std::string> specs;
+  if (impls_flag.empty()) {
+    for (const registry::SnapshotInfo* info :
+         registry::SnapshotRegistry::instance().all()) {
+      specs.push_back(info->name);
+    }
+  } else {
+    std::size_t pos = 0;
+    while (pos <= impls_flag.size()) {
+      std::size_t comma = impls_flag.find(',', pos);
+      if (comma == std::string::npos) comma = impls_flag.size();
+      if (comma > pos) specs.push_back(impls_flag.substr(pos, comma - pos));
+      pos = comma + 1;
+    }
+  }
+  return specs;
+}
 
 // Mixed workload throughput: each worker runs an OpStream for a fixed
 // duration.
-double mixed_throughput(const Impl& impl, std::uint32_t m, std::uint32_t r,
-                        std::uint32_t workers, double update_fraction,
-                        double seconds) {
-  auto snap = impl.make(m, workers);
+double mixed_throughput(const std::string& spec, std::uint32_t m,
+                        std::uint32_t r, std::uint32_t workers,
+                        double update_fraction, double seconds) {
+  auto snap = registry::make_snapshot(spec, m, workers);
   std::atomic<std::uint64_t> total_ops{0};
   bench::run_workers(workers, [&](std::uint32_t w, bench::WorkerStats&) {
     workload::OpMix mix;
@@ -111,15 +89,16 @@ double mixed_throughput(const Impl& impl, std::uint32_t m, std::uint32_t r,
   return double(total_ops.load()) / seconds;
 }
 
-void table_mixed(std::uint32_t workers, double seconds) {
+void table_mixed(const std::vector<std::string>& specs,
+                 std::uint32_t workers, double seconds) {
   constexpr std::uint32_t kM = 256;
   constexpr std::uint32_t kR = 4;
   TablePrinter table({"impl", "10% updates ops/s", "50% updates ops/s",
                       "90% updates ops/s"});
-  for (const Impl& impl : kImpls) {
-    std::vector<std::string> row{impl.label};
+  for (const std::string& spec : specs) {
+    std::vector<std::string> row{spec};
     for (double uf : {0.1, 0.5, 0.9}) {
-      double ops = mixed_throughput(impl, kM, kR, workers, uf, seconds);
+      double ops = mixed_throughput(spec, kM, kR, workers, uf, seconds);
       row.push_back(TablePrinter::fmt(ops / 1e6, 3) + "M");
     }
     table.add_row(std::move(row));
@@ -131,13 +110,14 @@ void table_mixed(std::uint32_t workers, double seconds) {
   std::cout << "\n";
 }
 
-void table_crossover(std::uint32_t workers, double seconds) {
+void table_crossover(const std::vector<std::string>& specs,
+                     std::uint32_t workers, double seconds) {
   constexpr std::uint32_t kM = 256;
   TablePrinter table({"impl", "r=2", "r=16", "r=64", "r=256(=m)"});
-  for (const Impl& impl : kImpls) {
-    std::vector<std::string> row{impl.label};
+  for (const std::string& spec : specs) {
+    std::vector<std::string> row{spec};
     for (std::uint32_t r : {2u, 16u, 64u, 256u}) {
-      double ops = mixed_throughput(impl, kM, r, workers, 0.3, seconds);
+      double ops = mixed_throughput(spec, kM, r, workers, 0.3, seconds);
       row.push_back(TablePrinter::fmt(ops / 1e6, 3) + "M");
     }
     table.add_row(std::move(row));
@@ -154,12 +134,21 @@ int main(int argc, char** argv) {
   CliFlags flags;
   flags.define("threads", "4", "worker threads");
   flags.define("seconds", "0.4", "measured duration per cell");
+  flags.define("impls", "",
+               "comma-separated registry specs (default: all registered):\n" +
+                   registry::snapshot_catalogue());
   if (!flags.parse(argc, argv)) return 1;
 
   std::printf("Experiment CMP: implementation comparison (Sections 1, 5)\n\n");
   auto workers = static_cast<std::uint32_t>(flags.get_uint("threads"));
   double seconds = flags.get_double("seconds");
-  table_mixed(workers, seconds);
-  table_crossover(workers, seconds);
+  auto specs = impl_specs(flags.get_string("impls"));
+  try {
+    table_mixed(specs, workers, seconds);
+    table_crossover(specs, workers, seconds);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
   return 0;
 }

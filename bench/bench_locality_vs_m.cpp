@@ -10,78 +10,25 @@
 // extraction baseline grows linearly with m (and its updates too).
 #include <atomic>
 #include <cstdio>
-#include <functional>
 #include <iostream>
 #include <memory>
 
-#include "baseline/double_collect.h"
-#include "baseline/full_snapshot.h"
-#include "baseline/lock_snapshot.h"
-#include "baseline/seqlock_snapshot.h"
 #include "bench/harness.h"
 #include "common/cli.h"
 #include "common/table.h"
-#include "core/cas_psnap.h"
-#include "core/register_psnap.h"
+#include "registry/registry.h"
 
 using namespace psnap;
 
 namespace {
 
-using Factory = std::function<std::unique_ptr<core::PartialSnapshot>(
-    std::uint32_t m, std::uint32_t n)>;
-
-struct Impl {
-  const char* label;
-  Factory make;
-  bool steps_meaningful;  // lock baseline performs no base-object steps
-};
-
-const Impl kImpls[] = {
-    {"fig3-cas",
-     [](std::uint32_t m, std::uint32_t n) {
-       return std::unique_ptr<core::PartialSnapshot>(
-           new core::CasPartialSnapshot(m, n));
-     },
-     true},
-    {"fig1-register",
-     [](std::uint32_t m, std::uint32_t n) {
-       return std::unique_ptr<core::PartialSnapshot>(
-           new core::RegisterPartialSnapshot(m, n));
-     },
-     true},
-    {"full-snapshot",
-     [](std::uint32_t m, std::uint32_t n) {
-       return std::unique_ptr<core::PartialSnapshot>(
-           new baseline::FullSnapshot(m, n));
-     },
-     true},
-    {"double-collect",
-     [](std::uint32_t m, std::uint32_t n) {
-       return std::unique_ptr<core::PartialSnapshot>(
-           new baseline::DoubleCollectSnapshot(m, n));
-     },
-     true},
-    {"seqlock",
-     [](std::uint32_t m, std::uint32_t) {
-       return std::unique_ptr<core::PartialSnapshot>(
-           new baseline::SeqlockSnapshot(m));
-     },
-     true},
-    {"lock",
-     [](std::uint32_t m, std::uint32_t) {
-       return std::unique_ptr<core::PartialSnapshot>(
-           new baseline::LockSnapshot(m));
-     },
-     false},
-};
-
 void run(std::uint64_t scans, std::uint32_t r) {
   TablePrinter scan_table({"impl", "m", "scan steps", "scan ns",
                            "update steps", "update ns"});
-  for (const Impl& impl : kImpls) {
+  for (const registry::SnapshotInfo* impl :
+       registry::SnapshotRegistry::instance().all()) {
     for (std::uint32_t m : {16u, 128u, 1024u, 8192u}) {
-      auto snap = impl.make(m, 3);
+      auto snap = impl->make(m, 3, registry::Options{});
       std::atomic<bool> stop{false};
       OnlineStats scan_steps, update_steps;
       double scan_ns = 0, update_ns = 0;
@@ -93,7 +40,7 @@ void run(std::uint64_t scans, std::uint32_t r) {
           std::uint64_t count = 0;
           while (!stop.load(std::memory_order_relaxed)) {
             update_steps.add(double(bench::measured_steps(
-                [&] { snap->update(static_cast<std::uint32_t>(k % m), ++k); })));
+                [&] { ++k; snap->update(static_cast<std::uint32_t>(k % m), k); })));
             ++count;
           }
           update_ns = timer.elapsed_seconds() * 1e9 / double(count);
@@ -111,11 +58,11 @@ void run(std::uint64_t scans, std::uint32_t r) {
         }
       });
       scan_table.add_row(
-          {impl.label, TablePrinter::fmt(std::uint64_t(m)),
-           impl.steps_meaningful ? TablePrinter::fmt(scan_steps.mean()) : "-",
+          {impl->name, TablePrinter::fmt(std::uint64_t(m)),
+           impl->counts_steps ? TablePrinter::fmt(scan_steps.mean()) : "-",
            TablePrinter::fmt(scan_ns, 0),
-           impl.steps_meaningful ? TablePrinter::fmt(update_steps.mean())
-                                 : "-",
+           impl->counts_steps ? TablePrinter::fmt(update_steps.mean())
+                              : "-",
            TablePrinter::fmt(update_ns, 0)});
     }
   }

@@ -7,16 +7,12 @@
 
 #include <memory>
 
-#include "activeset/faicas_active_set.h"
-#include "activeset/register_active_set.h"
-#include "baseline/full_snapshot.h"
-#include "core/cas_psnap.h"
-#include "core/register_psnap.h"
 #include "exec/exec.h"
 #include "intervals/interval_set.h"
 #include "primitives/primitives.h"
 #include "reclaim/ebr.h"
 #include "reclaim/hazard.h"
+#include "registry/registry.h"
 
 namespace {
 
@@ -97,51 +93,53 @@ BENCHMARK(BM_IntervalMerge);
 
 void BM_FaiCasJoinLeave(benchmark::State& state) {
   // Unbounded churn: one fresh slot per join, as the paper specifies.
-  activeset::FaiCasActiveSet as(2);
+  auto as = registry::make_active_set("faicas", 2);
   exec::ScopedPid pid(0);
   for (auto _ : state) {
-    as.join();
-    as.leave();
+    as->join();
+    as->leave();
   }
 }
 BENCHMARK(BM_FaiCasJoinLeave)->Iterations(1 << 20);
 
 void BM_RegisterAsJoinLeave(benchmark::State& state) {
-  activeset::RegisterActiveSet as(4);
+  auto as = registry::make_active_set("register", 4);
   exec::ScopedPid pid(0);
   for (auto _ : state) {
-    as.join();
-    as.leave();
+    as->join();
+    as->leave();
   }
 }
 BENCHMARK(BM_RegisterAsJoinLeave);
 
 void BM_FaiCasGetSetAfterChurn(benchmark::State& state) {
-  activeset::FaiCasActiveSet as(2);
+  auto as = registry::make_active_set("faicas", 2);
   exec::ScopedPid pid(0);
   for (int i = 0; i < 10000; ++i) {
-    as.join();
-    as.leave();
+    as->join();
+    as->leave();
   }
   std::vector<std::uint32_t> members;
   for (auto _ : state) {
-    as.get_set(members);
+    as->get_set(members);
   }
 }
 BENCHMARK(BM_FaiCasGetSetAfterChurn);
 
 void BM_Fig3Update(benchmark::State& state) {
-  core::CasPartialSnapshot snap(64, 2);
+  auto snap = registry::make_snapshot("fig3_cas", 64, 2);
   exec::ScopedPid pid(0);
   std::uint64_t k = 0;
   for (auto _ : state) {
-    snap.update(static_cast<std::uint32_t>(k % 64), ++k);
+    ++k;
+    snap->update(static_cast<std::uint32_t>(k % 64), k);
   }
 }
 BENCHMARK(BM_Fig3Update);
 
 void BM_Fig3Scan(benchmark::State& state) {
-  core::CasPartialSnapshot snap(1024, 2);
+  auto snap_ptr = registry::make_snapshot("fig3_cas", 1024, 2);
+  auto& snap = *snap_ptr;
   exec::ScopedPid pid(0);
   std::vector<std::uint32_t> indices;
   for (std::uint32_t j = 0; j < state.range(0); ++j) {
@@ -156,7 +154,8 @@ void BM_Fig3Scan(benchmark::State& state) {
 BENCHMARK(BM_Fig3Scan)->RangeMultiplier(2)->Range(1, 64)->Complexity();
 
 void BM_Fig1Scan(benchmark::State& state) {
-  core::RegisterPartialSnapshot snap(1024, 2);
+  auto snap_ptr = registry::make_snapshot("fig1_register", 1024, 2);
+  auto& snap = *snap_ptr;
   exec::ScopedPid pid(0);
   std::vector<std::uint32_t> indices;
   for (std::uint32_t j = 0; j < state.range(0); ++j) {
@@ -171,7 +170,9 @@ void BM_Fig1Scan(benchmark::State& state) {
 BENCHMARK(BM_Fig1Scan)->RangeMultiplier(2)->Range(1, 64)->Complexity();
 
 void BM_FullSnapshotScan(benchmark::State& state) {
-  baseline::FullSnapshot snap(static_cast<std::uint32_t>(state.range(0)), 2);
+  auto snap_ptr = registry::make_snapshot(
+      "full_snapshot", static_cast<std::uint32_t>(state.range(0)), 2);
+  auto& snap = *snap_ptr;
   exec::ScopedPid pid(0);
   std::vector<std::uint32_t> indices{0};
   std::vector<std::uint64_t> out;

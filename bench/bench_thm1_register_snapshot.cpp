@@ -12,6 +12,7 @@
 //        width rmax -- the Cs * rmax embedded-scan term.
 #include <atomic>
 #include <cstdio>
+#include <stdexcept>
 #include <iostream>
 
 #include "bench/harness.h"
@@ -19,11 +20,20 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/op_stats.h"
-#include "core/register_psnap.h"
+#include "registry/registry.h"
 
 using namespace psnap;
 
 namespace {
+
+// The implementation under measurement; --impl swaps in any registered
+// spec (the tables are stated for Figure 1, the default).
+std::string g_impl_spec = "fig1_register";
+
+std::unique_ptr<core::PartialSnapshot> make_snap(std::uint32_t m,
+                                                 std::uint32_t n) {
+  return registry::make_snapshot(g_impl_spec, m, n);
+}
 
 // T1a: scan steps vs r, one background updater.
 void table_scan_vs_r(std::uint64_t scans) {
@@ -32,7 +42,8 @@ void table_scan_vs_r(std::uint64_t scans) {
   std::vector<double> xs, ys;
   for (std::uint32_t r : {1u, 2u, 4u, 8u, 16u, 32u}) {
     constexpr std::uint32_t kM = 64;
-    core::RegisterPartialSnapshot snap(kM, 2);
+    auto snap_ptr = make_snap(kM, 2);
+    auto& snap = *snap_ptr;
     std::atomic<bool> stop{false};
     std::vector<double> samples;
     OnlineStats collects;
@@ -40,7 +51,8 @@ void table_scan_vs_r(std::uint64_t scans) {
       if (w == 0) {
         std::uint64_t k = 0;
         while (!stop.load(std::memory_order_relaxed)) {
-          snap.update(k % kM ? 0 : 1, ++k);
+          ++k;
+          snap.update(k % kM ? 0 : 1, k);
         }
       } else {
         std::vector<std::uint32_t> indices(r);
@@ -81,7 +93,8 @@ void table_scan_vs_updaters(std::uint64_t scans) {
   constexpr std::uint32_t kM = 16;
   constexpr std::uint32_t kR = 4;
   for (std::uint32_t cu : {0u, 1u, 2u, 3u}) {
-    core::RegisterPartialSnapshot snap(kM, cu + 2);
+    auto snap_ptr = make_snap(kM, cu + 2);
+    auto& snap = *snap_ptr;
     std::atomic<bool> stop{false};
     std::vector<double> samples;
     OnlineStats collects;
@@ -91,7 +104,8 @@ void table_scan_vs_updaters(std::uint64_t scans) {
         std::uint64_t k = 0;
         // Hammer the scanned components specifically.
         while (!stop.load(std::memory_order_relaxed)) {
-          snap.update(static_cast<std::uint32_t>(k % kR), ++k);
+          ++k;
+          snap.update(static_cast<std::uint32_t>(k % kR), k);
         }
       } else {
         std::vector<std::uint32_t> indices(kR);
@@ -129,7 +143,8 @@ void table_update_vs_scanners(std::uint64_t updates) {
   for (std::uint32_t cs : {0u, 1u, 2u}) {
     for (std::uint32_t rmax : {2u, 8u}) {
       if (cs == 0 && rmax != 2) continue;  // degenerate duplicates
-      core::RegisterPartialSnapshot snap(kM, cs + 2);
+      auto snap_ptr = make_snap(kM, cs + 2);
+      auto& snap = *snap_ptr;
       std::atomic<bool> stop{false};
       OnlineStats steps, args, getset;
       bench::run_workers(cs + 1, [&](std::uint32_t w, bench::WorkerStats&) {
@@ -173,12 +188,21 @@ int main(int argc, char** argv) {
   CliFlags flags;
   flags.define("scans", "30000", "scans per configuration");
   flags.define("updates", "30000", "updates per configuration");
+  flags.define("impl", "fig1_register",
+               "registry spec of the implementation to measure:\n" +
+                   registry::snapshot_catalogue());
   if (!flags.parse(argc, argv)) return 1;
+  g_impl_spec = flags.get_string("impl");
 
   std::printf("Experiment T1: Figure 1, partial snapshot from registers "
               "(Theorem 1)\n\n");
-  table_scan_vs_r(flags.get_uint("scans"));
-  table_scan_vs_updaters(flags.get_uint("scans"));
-  table_update_vs_scanners(flags.get_uint("updates"));
+  try {
+    table_scan_vs_r(flags.get_uint("scans"));
+    table_scan_vs_updaters(flags.get_uint("scans"));
+    table_update_vs_scanners(flags.get_uint("updates"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
   return 0;
 }

@@ -16,11 +16,11 @@
 #include <memory>
 #include <mutex>
 
-#include "activeset/faicas_active_set.h"
-#include "activeset/register_active_set.h"
+#include "activeset/faicas_active_set.h"  // published_intervals()
 #include "bench/harness.h"
 #include "common/cli.h"
 #include "common/table.h"
+#include "registry/registry.h"
 
 using namespace psnap;
 
@@ -30,13 +30,9 @@ namespace {
 void table_worst_case(std::uint64_t rounds) {
   TablePrinter table({"active-set", "op", "worst-case steps", "mean steps",
                       "ops"});
-  for (bool faicas : {true, false}) {
-    std::unique_ptr<activeset::ActiveSet> as;
-    if (faicas) {
-      as = std::make_unique<activeset::FaiCasActiveSet>(4);
-    } else {
-      as = std::make_unique<activeset::RegisterActiveSet>(4);
-    }
+  for (const char* spec : {"faicas", "register"}) {
+    std::unique_ptr<activeset::ActiveSet> as =
+        registry::make_active_set(spec, 4);
     OnlineStats join_steps, leave_steps, getset_steps;
     std::uint64_t join_max = 0, leave_max = 0, getset_max = 0;
     auto merged = bench::run_workers(
@@ -94,9 +90,9 @@ void table_amortized_vs_history(std::uint64_t max_rounds) {
     double on_cost = 0, off_cost = 0;
     std::size_t intervals = 0;
     for (bool publish : {true, false}) {
-      activeset::FaiCasActiveSet::Options options;
-      options.publish_skip_list = publish;
-      activeset::FaiCasActiveSet as(2, options);
+      auto as_ptr = registry::make_active_set(
+          publish ? "faicas" : "faicas:publish=false", 2);
+      auto& as = dynamic_cast<activeset::FaiCasActiveSet&>(*as_ptr);
       exec::ScopedPid pid(0);
       std::vector<std::uint32_t> members;
       OnlineStats cost;
@@ -130,7 +126,8 @@ void table_amortized_vs_contention(std::uint64_t rounds) {
   TablePrinter table({"churners C", "amortized join", "amortized leave",
                       "amortized getSet", "total steps/op"});
   for (std::uint32_t churners : {1u, 2u, 3u, 4u}) {
-    activeset::FaiCasActiveSet as(churners + 1);
+    auto as_ptr = registry::make_active_set("faicas", churners + 1);
+    auto& as = *as_ptr;
     OnlineStats getset_cost;
     std::mutex mu;
     auto merged = bench::run_workers(

@@ -13,18 +13,28 @@
 //   T3d: amortized update steps vs scanners and width (Cs^2 rmax^2 term).
 #include <atomic>
 #include <cstdio>
+#include <stdexcept>
 #include <iostream>
 
 #include "bench/harness.h"
 #include "common/cli.h"
 #include "common/stats.h"
 #include "common/table.h"
-#include "core/cas_psnap.h"
 #include "core/op_stats.h"
+#include "registry/registry.h"
 
 using namespace psnap;
 
 namespace {
+
+// The implementation under measurement; --impl swaps in any registered
+// spec (the tables are stated for Figure 3, the default).
+std::string g_impl_spec = "fig3_cas";
+
+std::unique_ptr<core::PartialSnapshot> make_snap(std::uint32_t m,
+                                                 std::uint32_t n) {
+  return registry::make_snapshot(g_impl_spec, m, n);
+}
 
 // T3a + T3c: scan cost/collect distribution vs r under attack.
 void table_scan_vs_r(std::uint64_t scans) {
@@ -34,7 +44,8 @@ void table_scan_vs_r(std::uint64_t scans) {
   for (std::uint32_t r : {1u, 2u, 4u, 8u, 16u}) {
     constexpr std::uint32_t kM = 32;
     // Adversarial phase: two updaters rotate over the scanned prefix.
-    core::CasPartialSnapshot snap(kM, 4);
+    auto snap_ptr = make_snap(kM, 4);
+    auto& snap = *snap_ptr;
     std::atomic<bool> stop{false};
     std::vector<double> samples;
     std::uint64_t max_collects = 0;
@@ -42,7 +53,8 @@ void table_scan_vs_r(std::uint64_t scans) {
       if (w < 2) {
         std::uint64_t k = 0;
         while (!stop.load(std::memory_order_relaxed)) {
-          snap.update(static_cast<std::uint32_t>(k % r), ++k);
+          ++k;
+          snap.update(static_cast<std::uint32_t>(k % r), k);
         }
       } else {
         std::vector<std::uint32_t> indices(r);
@@ -60,7 +72,8 @@ void table_scan_vs_r(std::uint64_t scans) {
     // Idle phase: no contention.
     double idle_mean = 0;
     {
-      core::CasPartialSnapshot idle_snap(kM, 2);
+      auto idle_ptr = make_snap(kM, 2);
+      auto& idle_snap = *idle_ptr;
       exec::ScopedPid pid(0);
       std::vector<std::uint32_t> indices(r);
       for (std::uint32_t j = 0; j < r; ++j) indices[j] = j;
@@ -98,14 +111,16 @@ void table_scan_vs_m(std::uint64_t scans) {
   TablePrinter table({"m", "mean scan steps", "max scan steps"});
   constexpr std::uint32_t kR = 4;
   for (std::uint32_t m : {8u, 64u, 512u, 4096u}) {
-    core::CasPartialSnapshot snap(m, 3);
+    auto snap_ptr = make_snap(m, 3);
+    auto& snap = *snap_ptr;
     std::atomic<bool> stop{false};
     std::vector<double> samples;
     bench::run_workers(2, [&](std::uint32_t w, bench::WorkerStats&) {
       if (w == 0) {
         std::uint64_t k = 0;
         while (!stop.load(std::memory_order_relaxed)) {
-          snap.update(static_cast<std::uint32_t>(k % m), ++k);
+          ++k;
+          snap.update(static_cast<std::uint32_t>(k % m), k);
         }
       } else {
         std::vector<std::uint32_t> indices(kR);
@@ -141,7 +156,8 @@ void table_update_vs_scanners(std::uint64_t updates) {
   };
   for (Config config : {Config{0, 2}, Config{1, 2}, Config{1, 8},
                         Config{2, 2}, Config{2, 8}}) {
-    core::CasPartialSnapshot snap(kM, config.cs + 2);
+    auto snap_ptr = make_snap(kM, config.cs + 2);
+    auto& snap = *snap_ptr;
     std::atomic<bool> stop{false};
     std::vector<double> samples;
     OnlineStats args;
@@ -186,11 +202,20 @@ int main(int argc, char** argv) {
   CliFlags flags;
   flags.define("scans", "30000", "scans per configuration");
   flags.define("updates", "30000", "updates per configuration");
+  flags.define("impl", "fig3_cas",
+               "registry spec of the implementation to measure:\n" +
+                   registry::snapshot_catalogue());
   if (!flags.parse(argc, argv)) return 1;
+  g_impl_spec = flags.get_string("impl");
 
   std::printf("Experiment T3: Figure 3, local partial scans (Theorem 3)\n\n");
-  table_scan_vs_r(flags.get_uint("scans"));
-  table_scan_vs_m(flags.get_uint("scans"));
-  table_update_vs_scanners(flags.get_uint("updates"));
+  try {
+    table_scan_vs_r(flags.get_uint("scans"));
+    table_scan_vs_m(flags.get_uint("scans"));
+    table_update_vs_scanners(flags.get_uint("updates"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
   return 0;
 }

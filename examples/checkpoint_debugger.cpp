@@ -3,6 +3,7 @@
 // recovery" application (Section 1).
 //
 //   build/examples/checkpoint_debugger [--stages=N] [--items=N]
+//                                      [--impl=<registry spec>]
 //
 // A pipeline of worker stages streams items: stage k consumes what stage
 // k-1 produced.  Each stage publishes its progress counter into one
@@ -19,24 +20,36 @@
 // taken and printed as the recovery point.
 #include <atomic>
 #include <cstdio>
+#include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/cli.h"
-#include "core/cas_psnap.h"
 #include "exec/exec.h"
+#include "registry/registry.h"
 
 int main(int argc, char** argv) {
   psnap::CliFlags flags;
   flags.define("stages", "6", "pipeline stages");
   flags.define("items", "100000", "items pushed through the pipeline");
+  flags.define("impl", "fig3_cas",
+               "registry spec of the snapshot implementation:\n" +
+                   psnap::registry::snapshot_catalogue());
   if (!flags.parse(argc, argv)) return 1;
 
   const auto stages = static_cast<std::uint32_t>(flags.get_uint("stages"));
   const auto items = flags.get_uint("items");
 
-  psnap::core::CasPartialSnapshot progress(stages,
-                                           stages + 1 /* + debugger */);
+  std::unique_ptr<psnap::core::PartialSnapshot> progress_ptr;
+  try {
+    progress_ptr = psnap::registry::make_snapshot(
+        flags.get_string("impl"), stages, stages + 1 /* + debugger */);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  auto& progress = *progress_ptr;
 
   // Local mirrored progress array the stages coordinate through; the
   // snapshot object is the *published*, checkpointable view.

@@ -1,27 +1,45 @@
 // Quickstart: the partial snapshot object in five minutes.
 //
-//   build/examples/quickstart
+//   build/examples/quickstart [--impl=<registry spec>]
 //
 // Creates the paper's headline algorithm (Figure 3: compare&swap based,
 // local partial scans), runs a few updater threads against a couple of
 // scanner threads, and prints what the scans observed together with the
 // per-operation cost counters the library exposes.
 #include <cstdio>
+#include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
-#include "core/cas_psnap.h"
+#include "common/cli.h"
 #include "core/op_stats.h"
 #include "exec/exec.h"
+#include "registry/registry.h"
 
-int main() {
+int main(int argc, char** argv) {
+  psnap::CliFlags flags;
+  flags.define("impl", "fig3_cas",
+               "registry spec of the implementation to run:\n" +
+                   psnap::registry::snapshot_catalogue());
+  if (!flags.parse(argc, argv)) return 1;
+
   constexpr std::uint32_t kComponents = 16;  // m
   constexpr std::uint32_t kProcesses = 4;    // max concurrent processes
 
-  // The partial snapshot object.  Every implementation in the library
-  // shares the core::PartialSnapshot interface, so swapping in
-  // RegisterPartialSnapshot (Figure 1) or a baseline is a one-line change.
-  psnap::core::CasPartialSnapshot snapshot(kComponents, kProcesses);
+  // The partial snapshot object.  Every implementation shares the
+  // core::PartialSnapshot interface and is registered in the central
+  // registry, so --impl=fig1_register (Figure 1) or any baseline spec
+  // swaps the algorithm without touching this program.
+  std::unique_ptr<psnap::core::PartialSnapshot> snapshot_ptr;
+  try {
+    snapshot_ptr = psnap::registry::make_snapshot(flags.get_string("impl"),
+                                                  kComponents, kProcesses);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  auto& snapshot = *snapshot_ptr;
 
   // Two updaters write to disjoint halves of the vector.
   std::vector<std::thread> threads;

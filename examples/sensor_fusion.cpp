@@ -1,6 +1,7 @@
 // Sensor fusion over overlapping, unpredictable sensor subsets.
 //
 //   build/examples/sensor_fusion [--sensors=N] [--readings=N] [--queries=N]
+//                                [--impl=<registry spec>]
 //
 // A sensor array publishes readings into a partial snapshot object; fusion
 // queries ask for consistent views of *query-dependent* subsets (a
@@ -17,13 +18,15 @@
 // the fused estimate mixed incompatible frames.
 #include <atomic>
 #include <cstdio>
+#include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/cli.h"
 #include "common/rng.h"
-#include "core/cas_psnap.h"
 #include "exec/exec.h"
+#include "registry/registry.h"
 #include "workload/workload.h"
 
 int main(int argc, char** argv) {
@@ -31,13 +34,24 @@ int main(int argc, char** argv) {
   flags.define("sensors", "32", "sensors in the array");
   flags.define("readings", "2000", "epochs each sensor publishes");
   flags.define("queries", "20000", "fusion queries");
+  flags.define("impl", "fig3_cas",
+               "registry spec of the snapshot implementation:\n" +
+                   psnap::registry::snapshot_catalogue());
   if (!flags.parse(argc, argv)) return 1;
 
   const auto sensors = static_cast<std::uint32_t>(flags.get_uint("sensors"));
   const auto readings = flags.get_uint("readings");
   const auto queries = flags.get_uint("queries");
 
-  psnap::core::CasPartialSnapshot array(sensors, sensors + 2);
+  std::unique_ptr<psnap::core::PartialSnapshot> array_ptr;
+  try {
+    array_ptr = psnap::registry::make_snapshot(flags.get_string("impl"),
+                                            sensors, sensors + 2);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  auto& array = *array_ptr;
 
   // Sensor threads: groups of sensors share a thread (the protocol cost is
   // per process, not per component).  All advance epoch in lock-step via a

@@ -2,6 +2,7 @@
 // while prices move.
 //
 //   build/examples/stock_portfolio [--stocks=N] [--ticks=N] [--valuations=N]
+//                                  [--impl=<registry spec>]
 //
 // A market thread updates individual stock prices; portfolio threads
 // compute the total value of their holdings with ONE consistent partial
@@ -16,18 +17,23 @@
 // does not equal the constant is a torn read.
 #include <atomic>
 #include <cstdio>
+#include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/cli.h"
-#include "core/cas_psnap.h"
 #include "exec/exec.h"
+#include "registry/registry.h"
 
 int main(int argc, char** argv) {
   psnap::CliFlags flags;
   flags.define("stocks", "64", "number of listed stocks (even)");
   flags.define("ticks", "200000", "price updates performed by the market");
   flags.define("valuations", "50000", "portfolio valuations per auditor");
+  flags.define("impl", "fig3_cas",
+               "registry spec of the snapshot implementation:\n" +
+                   psnap::registry::snapshot_catalogue());
   if (!flags.parse(argc, argv)) return 1;
 
   const auto stocks = static_cast<std::uint32_t>(flags.get_uint("stocks"));
@@ -35,7 +41,14 @@ int main(int argc, char** argv) {
   const auto valuations = flags.get_uint("valuations");
   constexpr std::uint64_t kPairSum = 10000;  // paired stocks sum to this
 
-  psnap::core::CasPartialSnapshot market(stocks, 4);
+  std::unique_ptr<psnap::core::PartialSnapshot> market_ptr;
+  try {
+    market_ptr = psnap::registry::make_snapshot(flags.get_string("impl"), stocks, 4);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  auto& market = *market_ptr;
 
   // Initialize: each pair starts at (kPairSum/2, kPairSum/2).
   {

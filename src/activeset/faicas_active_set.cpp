@@ -75,13 +75,14 @@ void FaiCasActiveSet::get_set(std::vector<std::uint32_t>& out) {
     // Publish oldC ∪ vacated with one CAS; on failure another getSet
     // advanced the list and our additions will be rediscovered (charged,
     // in the amortized analysis, to the leaves that wrote the zeros).
-    auto* new_c = new IntervalSet(
+    // unique_ptr until publication: an injected halt at the CAS step
+    // (crash tests) unwinds without leaking the unpublished list.
+    auto new_c = std::make_unique<IntervalSet>(
         old_c->merged_with_points(std::move(vacated), options_.coalesce));
-    if (c_.compare_and_swap_bool(old_c, new_c)) {
+    if (c_.compare_and_swap_bool(old_c, new_c.get())) {
+      new_c.release();
       publications_.fetch_add(1, std::memory_order_relaxed);
       ebr_.retire(const_cast<IntervalSet*>(old_c));
-    } else {
-      delete new_c;
     }
   }
 

@@ -43,16 +43,20 @@ void DoubleCollectSnapshot::update(std::uint32_t i, std::uint64_t v) {
 }
 
 void DoubleCollectSnapshot::scan(std::span<const std::uint32_t> indices,
-                                 std::vector<std::uint64_t>& out) {
+                                 std::vector<std::uint64_t>& out,
+                                 core::ScanContext& ctx) {
   out.clear();
   if (indices.empty()) return;
   core::OpStats& stats = core::tls_op_stats();
   stats.reset();
+  ctx.begin();
   auto guard = ebr_.pin();
 
-  std::vector<std::uint32_t> canonical = core::canonical_indices(indices);
-  std::vector<const SimpleRecord*> prev(canonical.size(), nullptr);
-  std::vector<const SimpleRecord*> cur(canonical.size(), nullptr);
+  core::canonical_indices_into(indices, ctx.canonical);
+  std::span<const SimpleRecord*> prev =
+      ctx.arena.take<const SimpleRecord*>(ctx.canonical.size());
+  std::span<const SimpleRecord*> cur =
+      ctx.arena.take<const SimpleRecord*>(ctx.canonical.size());
   bool have_prev = false;
 
   while (true) {
@@ -60,20 +64,21 @@ void DoubleCollectSnapshot::scan(std::span<const std::uint32_t> indices,
     if (max_collects_ != 0 && stats.collects > max_collects_) {
       throw StarvationError(stats.collects - 1);
     }
-    for (std::size_t j = 0; j < canonical.size(); ++j) {
-      cur[j] = r_[canonical[j]].load();
+    for (std::size_t j = 0; j < ctx.canonical.size(); ++j) {
+      cur[j] = r_[ctx.canonical[j]].load();
     }
     if (have_prev && std::equal(cur.begin(), cur.end(), prev.begin())) {
       break;
     }
-    prev.swap(cur);
+    std::swap(prev, cur);
     have_prev = true;
   }
 
   out.reserve(indices.size());
   for (std::uint32_t i : indices) {
-    auto it = std::lower_bound(canonical.begin(), canonical.end(), i);
-    out.push_back(cur[static_cast<std::size_t>(it - canonical.begin())]->value);
+    auto it = std::lower_bound(ctx.canonical.begin(), ctx.canonical.end(), i);
+    out.push_back(
+        cur[static_cast<std::size_t>(it - ctx.canonical.begin())]->value);
   }
 }
 

@@ -20,6 +20,7 @@
 #include "common/padding.h"
 #include "core/partial_snapshot.h"
 #include "core/record.h"
+#include "core/scan_context.h"
 #include "primitives/primitives.h"
 #include "reclaim/ebr.h"
 
@@ -51,7 +52,8 @@ class DoubleCollectSnapshot final : public core::PartialSnapshot {
 
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
-            std::vector<std::uint64_t>& out) override;
+            std::vector<std::uint64_t>& out, core::ScanContext& ctx) override;
+  using core::PartialSnapshot::scan;
 
  private:
   // Plain (value, tag) records: no embedded views, that is the point.

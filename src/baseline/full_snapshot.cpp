@@ -27,18 +27,19 @@ FullSnapshot::~FullSnapshot() {
   for (auto& reg : r_) delete reg.peek();
 }
 
-std::vector<std::uint64_t> FullSnapshot::embedded_full_scan() {
+void FullSnapshot::embedded_full_scan(core::ScanContext& ctx) {
   core::OpStats& stats = core::tls_op_stats();
   stats.embedded_args = m_;
 
-  // "Moved twice" helping rule; see the condition-(2) discussion in
-  // register_psnap.cpp -- the same multi-writer soundness argument applies
-  // here verbatim.
+  // "Moved twice" helping rule bookkeeping; see the condition-(2)
+  // discussion in register_psnap.cpp -- the same multi-writer soundness
+  // argument applies here verbatim.  Zero-filled arena storage is the
+  // empty state.  (Function-local so it can name the private FullRecord.)
   struct PerPid {
-    const FullRecord* moved[2] = {nullptr, nullptr};
-    std::uint32_t count = 0;
+    const FullRecord* moved[2];
+    std::uint32_t count;
   };
-  std::vector<PerPid> seen(n_);
+  std::span<PerPid> seen = ctx.arena.take<PerPid>(n_);
   auto note_move = [&seen](const FullRecord* rec) -> const FullRecord* {
     PerPid& s = seen[rec->pid];
     for (std::uint32_t k = 0; k < s.count; ++k) {
@@ -50,8 +51,8 @@ std::vector<std::uint64_t> FullSnapshot::embedded_full_scan() {
                                                      : s.moved[1];
   };
 
-  std::vector<const FullRecord*> prev(m_, nullptr);
-  std::vector<const FullRecord*> cur(m_, nullptr);
+  std::span<const FullRecord*> prev = ctx.arena.take<const FullRecord*>(m_);
+  std::span<const FullRecord*> cur = ctx.arena.take<const FullRecord*>(m_);
   bool have_prev = false;
 
   while (true) {
@@ -67,14 +68,18 @@ std::vector<std::uint64_t> FullSnapshot::embedded_full_scan() {
     }
     if (borrow != nullptr) {
       stats.borrowed = true;
-      return borrow->full_view;
+      ctx.values = borrow->full_view;  // capacity-reusing copy
+      return;
     }
     if (have_prev && std::equal(cur.begin(), cur.end(), prev.begin())) {
-      std::vector<std::uint64_t> view(m_);
-      for (std::uint32_t j = 0; j < m_; ++j) view[j] = cur[j]->value;
-      return view;
+      ctx.values.clear();
+      ctx.values.reserve(m_);
+      for (std::uint32_t j = 0; j < m_; ++j) {
+        ctx.values.push_back(cur[j]->value);
+      }
+      return;
     }
-    prev.swap(cur);
+    std::swap(prev, cur);
     have_prev = true;
   }
 }
@@ -84,30 +89,34 @@ void FullSnapshot::update(std::uint32_t i, std::uint64_t v) {
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   core::tls_op_stats().reset();
+  core::ScanContext& ctx = core::tls_scan_context();
+  ctx.begin();
   auto guard = ebr_.pin();
 
-  std::vector<std::uint64_t> view = embedded_full_scan();
+  embedded_full_scan(ctx);
   std::unique_ptr<FullRecord> rec(
-      new FullRecord{v, ++counter_[pid].value, pid, std::move(view)});
+      new FullRecord{v, ++counter_[pid].value, pid, ctx.values});
   const FullRecord* old = r_[i].exchange(rec.get());
   rec.release();
   ebr_.retire(const_cast<FullRecord*>(old));
 }
 
 void FullSnapshot::scan(std::span<const std::uint32_t> indices,
-                        std::vector<std::uint64_t>& out) {
+                        std::vector<std::uint64_t>& out,
+                        core::ScanContext& ctx) {
   out.clear();
   if (indices.empty()) return;
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   core::tls_op_stats().reset();
+  ctx.begin();
   auto guard = ebr_.pin();
 
-  std::vector<std::uint64_t> view = embedded_full_scan();
+  embedded_full_scan(ctx);
   out.reserve(indices.size());
   for (std::uint32_t i : indices) {
     PSNAP_ASSERT(i < m_);
-    out.push_back(view[i]);
+    out.push_back(ctx.values[i]);
   }
 }
 

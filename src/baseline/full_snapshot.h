@@ -16,6 +16,7 @@
 #include "common/padding.h"
 #include "core/partial_snapshot.h"
 #include "core/record.h"  // kInitPid
+#include "core/scan_context.h"
 #include "primitives/primitives.h"
 #include "reclaim/ebr.h"
 
@@ -34,7 +35,8 @@ class FullSnapshot final : public core::PartialSnapshot {
 
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
-            std::vector<std::uint64_t>& out) override;
+            std::vector<std::uint64_t>& out, core::ScanContext& ctx) override;
+  using core::PartialSnapshot::scan;
 
  private:
   struct FullRecord {
@@ -46,7 +48,8 @@ class FullSnapshot final : public core::PartialSnapshot {
     bool is_initial() const { return pid == core::kInitPid; }
   };
 
-  std::vector<std::uint64_t> embedded_full_scan();
+  // Fills ctx.values with all m component values.
+  void embedded_full_scan(core::ScanContext& ctx);
 
   std::uint32_t m_;
   std::uint32_t n_;

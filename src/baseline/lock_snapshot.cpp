@@ -11,7 +11,8 @@ void LockSnapshot::update(std::uint32_t i, std::uint64_t v) {
 }
 
 void LockSnapshot::scan(std::span<const std::uint32_t> indices,
-                        std::vector<std::uint64_t>& out) {
+                        std::vector<std::uint64_t>& out,
+                        core::ScanContext& /*ctx*/) {
   out.clear();
   out.reserve(indices.size());
   std::scoped_lock lock(mu_);

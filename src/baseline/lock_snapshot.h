@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/partial_snapshot.h"
+#include "core/scan_context.h"
 
 namespace psnap::baseline {
 
@@ -27,7 +28,8 @@ class LockSnapshot final : public core::PartialSnapshot {
 
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
-            std::vector<std::uint64_t>& out) override;
+            std::vector<std::uint64_t>& out, core::ScanContext& ctx) override;
+  using core::PartialSnapshot::scan;
 
  private:
   std::mutex mu_;

@@ -33,27 +33,31 @@ void SeqlockSnapshot::update(std::uint32_t i, std::uint64_t v) {
 }
 
 void SeqlockSnapshot::scan(std::span<const std::uint32_t> indices,
-                           std::vector<std::uint64_t>& out) {
+                           std::vector<std::uint64_t>& out,
+                           core::ScanContext& ctx) {
   out.clear();
   if (indices.empty()) return;
   core::OpStats& stats = core::tls_op_stats();
   stats.reset();
-  std::vector<std::uint64_t> values(indices.size());
+  ctx.begin();
+  // Collect straight into `out` (capacity-reusing); a retry overwrites in
+  // place, and the starvation path clears the partial collect.
+  out.resize(indices.size());
   while (true) {
     ++stats.collects;
     if (max_attempts_ != 0 && stats.collects > max_attempts_) {
+      out.clear();
       throw StarvationError(stats.collects - 1);
     }
     std::uint64_t v0 = version_.load();
     if (v0 % 2 == 1) continue;
     for (std::size_t j = 0; j < indices.size(); ++j) {
       PSNAP_ASSERT(indices[j] < m_);
-      values[j] = data_[indices[j]].load();
+      out[j] = data_[indices[j]].load();
     }
     std::uint64_t v1 = version_.load();
     if (v1 == v0) break;
   }
-  out = std::move(values);
 }
 
 }  // namespace psnap::baseline

@@ -12,6 +12,7 @@
 
 #include "baseline/double_collect.h"  // StarvationError
 #include "core/partial_snapshot.h"
+#include "core/scan_context.h"
 #include "primitives/primitives.h"
 
 namespace psnap::baseline {
@@ -30,7 +31,8 @@ class SeqlockSnapshot final : public core::PartialSnapshot {
 
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
-            std::vector<std::uint64_t>& out) override;
+            std::vector<std::uint64_t>& out, core::ScanContext& ctx) override;
+  using core::PartialSnapshot::scan;
 
  private:
   std::uint32_t m_;

@@ -9,6 +9,21 @@
 
 namespace psnap::core {
 
+namespace {
+
+// Condition-(2) bookkeeping records.  Arena storage zero-fills them, which
+// is exactly their empty state (null pointers, zero counts).
+struct PerLocation {
+  const Record* recs[3];
+  std::uint32_t count;
+};
+struct PerPid {
+  const Record* moved[2];
+  std::uint32_t count;
+};
+
+}  // namespace
+
 CasPartialSnapshot::CasPartialSnapshot(std::uint32_t num_components,
                                        std::uint32_t max_processes)
     : CasPartialSnapshot(num_components, max_processes, Options{}) {}
@@ -36,10 +51,12 @@ CasPartialSnapshot::~CasPartialSnapshot() {
   for (auto& reg : s_) delete reg.peek();
 }
 
-View CasPartialSnapshot::embedded_scan(std::span<const std::uint32_t> args) {
+const View& CasPartialSnapshot::embedded_scan(
+    std::span<const std::uint32_t> args, ScanContext& ctx) {
   OpStats& stats = tls_op_stats();
   stats.embedded_args = args.size();
-  if (args.empty()) return {};
+  ctx.view.clear();
+  if (args.empty()) return ctx.view;
 
   // Condition-(2) bookkeeping.
   //
@@ -54,20 +71,12 @@ View CasPartialSnapshot::embedded_scan(std::span<const std::uint32_t> args) {
   // Write mode (ABL-3 ablation, plain-overwrite updates): the CAS argument
   // is unavailable, so we fall back to Figure 1's moved-twice per-process
   // rule (see register_psnap.cpp), which stays correct under plain writes.
-  struct PerLocation {
-    const Record* recs[3] = {nullptr, nullptr, nullptr};
-    std::uint32_t count = 0;
-  };
-  std::vector<PerLocation> seen_loc;
-  struct PerPid {
-    const Record* moved[2] = {nullptr, nullptr};
-    std::uint32_t count = 0;
-  };
-  std::vector<PerPid> seen_pid;
+  std::span<PerLocation> seen_loc;
+  std::span<PerPid> seen_pid;
   if (options_.use_cas) {
-    seen_loc.resize(args.size());
+    seen_loc = ctx.arena.take<PerLocation>(args.size());
   } else {
-    seen_pid.resize(n_);
+    seen_pid = ctx.arena.take<PerPid>(n_);
   }
 
   auto note_loc = [&seen_loc](std::size_t j,
@@ -94,8 +103,8 @@ View CasPartialSnapshot::embedded_scan(std::span<const std::uint32_t> args) {
                                                      : s.moved[1];
   };
 
-  std::vector<const Record*> prev(args.size(), nullptr);
-  std::vector<const Record*> cur(args.size(), nullptr);
+  std::span<const Record*> prev = ctx.arena.take<const Record*>(args.size());
+  std::span<const Record*> cur = ctx.arena.take<const Record*>(args.size());
   bool have_prev = false;
 
   const std::uint64_t collect_bound =
@@ -121,17 +130,20 @@ View CasPartialSnapshot::embedded_scan(std::span<const std::uint32_t> args) {
     }
     if (borrow != nullptr) {
       stats.borrowed = true;
-      return borrow->view;
+      // Copy (capacity-reusing) rather than reference: the borrowed record
+      // may be retired once our EBR pin drops, but ctx.view must survive
+      // until the caller extracts its components.
+      ctx.view = borrow->view;
+      return ctx.view;
     }
     if (have_prev && std::equal(cur.begin(), cur.end(), prev.begin())) {
-      View view;
-      view.reserve(args.size());
+      ctx.view.reserve(args.size());
       for (std::size_t j = 0; j < args.size(); ++j) {
-        view.push_back(ViewEntry{args[j], cur[j]->value});
+        ctx.view.push_back(ViewEntry{args[j], cur[j]->value});
       }
-      return view;
+      return ctx.view;
     }
-    prev.swap(cur);
+    std::swap(prev, cur);
     have_prev = true;
   }
 }
@@ -141,29 +153,31 @@ void CasPartialSnapshot::update(std::uint32_t i, std::uint64_t v) {
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   tls_op_stats().reset();
+  ScanContext& ctx = tls_scan_context();
+  ctx.begin();
   auto guard = ebr_.pin();
 
   // Figure 3 reads the current record before anything else; the CAS at the
   // end succeeds only if the component was not updated in between.
   const Record* old = r_[i].load();
 
-  std::vector<std::uint32_t> scanners;
-  as_->get_set(scanners);
-  tls_op_stats().getset_size = scanners.size();
+  as_->get_set(ctx.scanners);
+  tls_op_stats().getset_size = ctx.scanners.size();
 
-  std::vector<std::uint32_t> union_args;
-  for (std::uint32_t p : scanners) {
+  ctx.union_args.clear();
+  for (std::uint32_t p : ctx.scanners) {
     const IndexSet* announced = s_[p].load();
     if (announced != nullptr) {
-      union_args.insert(union_args.end(), announced->indices.begin(),
-                        announced->indices.end());
+      ctx.union_args.insert(ctx.union_args.end(), announced->indices.begin(),
+                            announced->indices.end());
     }
   }
-  std::sort(union_args.begin(), union_args.end());
-  union_args.erase(std::unique(union_args.begin(), union_args.end()),
-                   union_args.end());
+  std::sort(ctx.union_args.begin(), ctx.union_args.end());
+  ctx.union_args.erase(
+      std::unique(ctx.union_args.begin(), ctx.union_args.end()),
+      ctx.union_args.end());
 
-  View view = embedded_scan(union_args);
+  const View& view = embedded_scan(ctx.union_args, ctx);
 
   // Counter is bumped only when the record is actually published
   // (paper: "if the compare&swap was successful then counter++"); tags of
@@ -172,7 +186,7 @@ void CasPartialSnapshot::update(std::uint32_t i, std::uint64_t v) {
   // unique_ptr until publication: survives both the CAS-failure path and
   // an injected halt at the publish step without leaking.
   std::unique_ptr<Record> rec(
-      new Record{v, counter_[pid].value + 1, pid, std::move(view)});
+      new Record{v, counter_[pid].value + 1, pid, view});
   if (options_.use_cas) {
     const Record* prev = r_[i].compare_and_swap(old, rec.get());
     if (prev == old) {
@@ -202,25 +216,35 @@ void CasPartialSnapshot::update(std::uint32_t i, std::uint64_t v) {
 }
 
 void CasPartialSnapshot::scan(std::span<const std::uint32_t> indices,
-                              std::vector<std::uint64_t>& out) {
+                              std::vector<std::uint64_t>& out,
+                              ScanContext& ctx) {
   out.clear();
   if (indices.empty()) return;
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   for (std::uint32_t i : indices) PSNAP_ASSERT(i < m_);
   tls_op_stats().reset();
+  ctx.begin();
   auto guard = ebr_.pin();
 
-  std::vector<std::uint32_t> canonical = canonical_indices(indices);
+  canonical_indices_into(indices, ctx.canonical);
 
-  std::unique_ptr<IndexSet> announce(new IndexSet{canonical});
-  const IndexSet* old_announce = s_[pid].exchange(announce.get());
-  announce.release();
-  if (old_announce != nullptr) {
-    ebr_.retire(const_cast<IndexSet*>(old_announce));
+  // Publish the announcement only when the set actually changed.  S[pid]
+  // is single-writer (only this process stores to it), so peeking our own
+  // register is local state, not a shared-object step; when the canonical
+  // set matches what is already announced, re-publishing an identical
+  // IndexSet would only churn the allocator and the EBR retire list.
+  const IndexSet* announced = s_[pid].peek();
+  if (announced == nullptr || announced->indices != ctx.canonical) {
+    std::unique_ptr<IndexSet> announce(new IndexSet{ctx.canonical});
+    const IndexSet* old_announce = s_[pid].exchange(announce.get());
+    announce.release();
+    if (old_announce != nullptr) {
+      ebr_.retire(const_cast<IndexSet*>(old_announce));
+    }
   }
   as_->join();
-  View view = embedded_scan(canonical);
+  const View& view = embedded_scan(ctx.canonical, ctx);
   as_->leave();
 
   out.reserve(indices.size());

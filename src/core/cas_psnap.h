@@ -29,6 +29,7 @@
 #include "common/padding.h"
 #include "core/partial_snapshot.h"
 #include "core/record.h"
+#include "core/scan_context.h"
 #include "primitives/primitives.h"
 #include "reclaim/ebr.h"
 
@@ -62,12 +63,15 @@ class CasPartialSnapshot final : public PartialSnapshot {
 
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
-            std::vector<std::uint64_t>& out) override;
+            std::vector<std::uint64_t>& out, ScanContext& ctx) override;
+  using PartialSnapshot::scan;
 
   activeset::FaiCasActiveSet& active_set() { return *as_; }
 
  private:
-  View embedded_scan(std::span<const std::uint32_t> args);
+  // Fills ctx.view with the embedded-scan result and returns it.
+  const View& embedded_scan(std::span<const std::uint32_t> args,
+                            ScanContext& ctx);
 
   std::uint32_t m_;
   std::uint32_t n_;

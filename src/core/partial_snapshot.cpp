@@ -2,7 +2,14 @@
 
 #include <numeric>
 
+#include "core/scan_context.h"
+
 namespace psnap::core {
+
+void PartialSnapshot::scan(std::span<const std::uint32_t> indices,
+                           std::vector<std::uint64_t>& out) {
+  scan(indices, out, tls_scan_context());
+}
 
 std::vector<std::uint64_t> PartialSnapshot::scan_all() {
   std::vector<std::uint32_t> indices(num_components());

@@ -25,6 +25,8 @@
 
 namespace psnap::core {
 
+struct ScanContext;
+
 class PartialSnapshot {
  public:
   virtual ~PartialSnapshot() = default;
@@ -45,8 +47,16 @@ class PartialSnapshot {
   // Reads the given components atomically; out[k] receives the value of
   // indices[k] (indices may be unsorted and may contain duplicates; an
   // empty set yields an empty result).  Clears and fills `out`.
+  //
+  // `ctx` provides the operation's scratch storage (collect buffers,
+  // canonical index set, embedded-scan view); reusing one context across
+  // calls makes the steady-state scan allocation-free.  The two-argument
+  // overload forwards a thread-local context.
   virtual void scan(std::span<const std::uint32_t> indices,
-                    std::vector<std::uint64_t>& out) = 0;
+                    std::vector<std::uint64_t>& out, ScanContext& ctx) = 0;
+
+  void scan(std::span<const std::uint32_t> indices,
+            std::vector<std::uint64_t>& out);
 
   // Convenience forms.
   std::vector<std::uint64_t> scan(std::span<const std::uint32_t> indices) {

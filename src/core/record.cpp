@@ -14,10 +14,16 @@ const ViewEntry* view_find(const View& view, std::uint32_t index) {
 
 std::vector<std::uint32_t> canonical_indices(
     std::span<const std::uint32_t> indices) {
-  std::vector<std::uint32_t> out(indices.begin(), indices.end());
+  std::vector<std::uint32_t> out;
+  canonical_indices_into(indices, out);
+  return out;
+}
+
+void canonical_indices_into(std::span<const std::uint32_t> indices,
+                            std::vector<std::uint32_t>& out) {
+  out.assign(indices.begin(), indices.end());
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
 }
 
 }  // namespace psnap::core

@@ -59,4 +59,9 @@ struct IndexSet {
 std::vector<std::uint32_t> canonical_indices(
     std::span<const std::uint32_t> indices);
 
+// Allocation-free variant: canonicalizes into `out` (cleared first),
+// reusing its capacity.  The hot-path form used with ScanContext buffers.
+void canonical_indices_into(std::span<const std::uint32_t> indices,
+                            std::vector<std::uint32_t>& out);
+
 }  // namespace psnap::core

@@ -10,6 +10,17 @@
 
 namespace psnap::core {
 
+namespace {
+
+// Condition-(2) bookkeeping record; zero-filled arena storage is its empty
+// state.
+struct PerPid {
+  const Record* moved[2];
+  std::uint32_t count;
+};
+
+}  // namespace
+
 RegisterPartialSnapshot::RegisterPartialSnapshot(
     std::uint32_t num_components, std::uint32_t max_processes,
     std::unique_ptr<activeset::ActiveSet> active_set,
@@ -36,11 +47,12 @@ RegisterPartialSnapshot::~RegisterPartialSnapshot() {
   for (auto& reg : a_) delete reg.peek();
 }
 
-View RegisterPartialSnapshot::embedded_scan(
-    std::span<const std::uint32_t> args) {
+const View& RegisterPartialSnapshot::embedded_scan(
+    std::span<const std::uint32_t> args, ScanContext& ctx) {
   OpStats& stats = tls_op_stats();
   stats.embedded_args = args.size();
-  if (args.empty()) return {};
+  ctx.view.clear();
+  if (args.empty()) return ctx.view;
 
   // Condition-(2) bookkeeping.  The paper phrases the rule as "three
   // different values written by the same process have been seen (in any
@@ -60,11 +72,7 @@ View RegisterPartialSnapshot::embedded_scan(
   //
   // Pointer identity is sound throughout: we are EBR-pinned for the whole
   // operation, so no observed record can be freed and its address reused.
-  struct PerPid {
-    const Record* moved[2] = {nullptr, nullptr};
-    std::uint32_t count = 0;
-  };
-  std::vector<PerPid> seen(n_);
+  std::span<PerPid> seen = ctx.arena.take<PerPid>(n_);
 
   // Called for a record that just appeared as a change at some location;
   // returns the record to borrow from once its process has two moves.
@@ -83,8 +91,8 @@ View RegisterPartialSnapshot::embedded_scan(
                                                      : s.moved[1];
   };
 
-  std::vector<const Record*> prev(args.size(), nullptr);
-  std::vector<const Record*> cur(args.size(), nullptr);
+  std::span<const Record*> prev = ctx.arena.take<const Record*>(args.size());
+  std::span<const Record*> cur = ctx.arena.take<const Record*>(args.size());
   bool have_prev = false;
 
   while (true) {
@@ -104,21 +112,22 @@ View RegisterPartialSnapshot::embedded_scan(
     }
     if (borrow != nullptr) {
       // Condition (2): borrow the embedded-scan result of an update that
-      // started after we did.
+      // started after we did.  Copied (capacity-reusing) because ctx.view
+      // must outlive the borrowed record's EBR grace period.
       stats.borrowed = true;
-      return borrow->view;
+      ctx.view = borrow->view;
+      return ctx.view;
     }
     if (have_prev && std::equal(cur.begin(), cur.end(), prev.begin())) {
       // Condition (1): both collects saw the same records, so those values
       // coexisted at every instant between the collects.
-      View view;
-      view.reserve(args.size());
+      ctx.view.reserve(args.size());
       for (std::size_t j = 0; j < args.size(); ++j) {
-        view.push_back(ViewEntry{args[j], cur[j]->value});
+        ctx.view.push_back(ViewEntry{args[j], cur[j]->value});
       }
-      return view;
+      return ctx.view;
     }
-    prev.swap(cur);
+    std::swap(prev, cur);
     have_prev = true;
   }
 }
@@ -128,33 +137,35 @@ void RegisterPartialSnapshot::update(std::uint32_t i, std::uint64_t v) {
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   tls_op_stats().reset();
+  ScanContext& ctx = tls_scan_context();
+  ctx.begin();
   auto guard = ebr_.pin();
 
   // Gather the components needed by announced scanners; the embedded scan
   // reads exactly those (the whole point of *partial* helping).
-  std::vector<std::uint32_t> scanners;
-  as_->get_set(scanners);
-  tls_op_stats().getset_size = scanners.size();
+  as_->get_set(ctx.scanners);
+  tls_op_stats().getset_size = ctx.scanners.size();
 
-  std::vector<std::uint32_t> union_args;
-  for (std::uint32_t p : scanners) {
+  ctx.union_args.clear();
+  for (std::uint32_t p : ctx.scanners) {
     const IndexSet* announced = a_[p].load();
     if (announced != nullptr) {
-      union_args.insert(union_args.end(), announced->indices.begin(),
-                        announced->indices.end());
+      ctx.union_args.insert(ctx.union_args.end(), announced->indices.begin(),
+                            announced->indices.end());
     }
   }
-  std::sort(union_args.begin(), union_args.end());
-  union_args.erase(std::unique(union_args.begin(), union_args.end()),
-                   union_args.end());
+  std::sort(ctx.union_args.begin(), ctx.union_args.end());
+  ctx.union_args.erase(
+      std::unique(ctx.union_args.begin(), ctx.union_args.end()),
+      ctx.union_args.end());
 
-  View view = embedded_scan(union_args);
+  const View& view = embedded_scan(ctx.union_args, ctx);
 
   // unique_ptr until publication: if this process halts at the publish
   // step (crash injection, Section 2's failure model), the unpublished
   // record unwinds instead of leaking.
   std::unique_ptr<Record> rec(
-      new Record{v, ++counter_[pid].value, pid, std::move(view)});
+      new Record{v, ++counter_[pid].value, pid, view});
   // The write that linearizes the update.  exchange (one register step,
   // see primitives.h) returns the replaced record so exactly one thread
   // retires it.
@@ -164,27 +175,35 @@ void RegisterPartialSnapshot::update(std::uint32_t i, std::uint64_t v) {
 }
 
 void RegisterPartialSnapshot::scan(std::span<const std::uint32_t> indices,
-                                   std::vector<std::uint64_t>& out) {
+                                   std::vector<std::uint64_t>& out,
+                                   ScanContext& ctx) {
   out.clear();
   if (indices.empty()) return;
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   for (std::uint32_t i : indices) PSNAP_ASSERT(i < m_);
   tls_op_stats().reset();
+  ctx.begin();
   auto guard = ebr_.pin();
 
-  std::vector<std::uint32_t> canonical = canonical_indices(indices);
+  canonical_indices_into(indices, ctx.canonical);
 
   // Announce, then join: an update whose getSet sees us joined is
-  // guaranteed to read our announcement.
-  std::unique_ptr<IndexSet> announce(new IndexSet{canonical});
-  const IndexSet* old_announce = a_[pid].exchange(announce.get());
-  announce.release();
-  if (old_announce != nullptr) {
-    ebr_.retire(const_cast<IndexSet*>(old_announce));
+  // guaranteed to read our announcement.  Re-publish only when the set
+  // changed: A[pid] is single-writer (ours), so peeking our own register
+  // is local state, and an unchanged announcement already covers this
+  // scan's components.
+  const IndexSet* announced = a_[pid].peek();
+  if (announced == nullptr || announced->indices != ctx.canonical) {
+    std::unique_ptr<IndexSet> announce(new IndexSet{ctx.canonical});
+    const IndexSet* old_announce = a_[pid].exchange(announce.get());
+    announce.release();
+    if (old_announce != nullptr) {
+      ebr_.retire(const_cast<IndexSet*>(old_announce));
+    }
   }
   as_->join();
-  View view = embedded_scan(canonical);
+  const View& view = embedded_scan(ctx.canonical, ctx);
   as_->leave();
 
   // Extract the requested components, in the caller's order, by binary

@@ -32,6 +32,7 @@
 #include "common/padding.h"
 #include "core/partial_snapshot.h"
 #include "core/record.h"
+#include "core/scan_context.h"
 #include "primitives/primitives.h"
 #include "reclaim/ebr.h"
 
@@ -60,17 +61,19 @@ class RegisterPartialSnapshot final : public PartialSnapshot {
 
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
-            std::vector<std::uint64_t>& out) override;
+            std::vector<std::uint64_t>& out, ScanContext& ctx) override;
+  using PartialSnapshot::scan;
 
   activeset::ActiveSet& active_set() { return *as_; }
 
  private:
-  // Runs the embedded partial scan over `args` (sorted unique).  Returns a
-  // sorted view covering at least `args`... for condition (1) exactly
-  // `args`; for condition (2) whatever the borrowed view covers (a superset
-  // of every set announced by scanners that joined before this embedded
-  // scan began -- which is what scan() relies on).
-  View embedded_scan(std::span<const std::uint32_t> args);
+  // Runs the embedded partial scan over `args` (sorted unique), filling
+  // ctx.view with a sorted view covering at least `args`... for condition
+  // (1) exactly `args`; for condition (2) whatever the borrowed view
+  // covers (a superset of every set announced by scanners that joined
+  // before this embedded scan began -- which is what scan() relies on).
+  const View& embedded_scan(std::span<const std::uint32_t> args,
+                            ScanContext& ctx);
 
   std::uint32_t m_;
   std::uint32_t n_;

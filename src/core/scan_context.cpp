@@ -1,0 +1,51 @@
+#include "core/scan_context.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace psnap::core {
+
+namespace {
+constexpr std::size_t kMinBlockBytes = 4096;
+}  // namespace
+
+void* ScanArena::take_bytes(std::size_t bytes, std::size_t align) {
+  PSNAP_ASSERT(bytes > 0);
+  // Walk forward from the current block until one fits; alignment is
+  // handled by bumping `used` up to the next boundary (block bases are
+  // max-aligned by operator new[]).
+  while (current_ < blocks_.size()) {
+    Block& block = blocks_[current_];
+    std::size_t aligned = (block.used + align - 1) & ~(align - 1);
+    if (aligned + bytes <= block.size) {
+      block.used = aligned + bytes;
+      return block.data.get() + aligned;
+    }
+    ++current_;
+  }
+  std::size_t size = std::max(
+      {bytes, kMinBlockBytes,
+       blocks_.empty() ? std::size_t{0} : blocks_.back().size * 2});
+  blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size, bytes});
+  current_ = blocks_.size() - 1;
+  return blocks_.back().data.get();
+}
+
+void ScanArena::reset() {
+  for (Block& block : blocks_) block.used = 0;
+  current_ = 0;
+}
+
+std::size_t ScanArena::allocated_bytes() const {
+  std::size_t total = 0;
+  for (const Block& block : blocks_) total += block.size;
+  return total;
+}
+
+ScanContext& tls_scan_context() {
+  thread_local ScanContext ctx;
+  return ctx;
+}
+
+}  // namespace psnap::core

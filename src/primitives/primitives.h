@@ -57,7 +57,11 @@ class Register {
     return value_.exchange(desired, std::memory_order_seq_cst);
   }
 
-  // Test-only peek that does not count a step or act as a schedule point.
+  // Non-step read: does not count a step or act as a schedule point.  For
+  // tests, destructors, and a process reading its OWN single-writer
+  // register (re-reading local state the process itself wrote is not a
+  // shared-object step in the paper's model -- see the announcement reuse
+  // in cas_psnap.cpp / register_psnap.cpp).
   T peek() const { return value_.load(std::memory_order_seq_cst); }
 
  private:

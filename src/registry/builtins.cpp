@@ -1,0 +1,235 @@
+// Built-in implementation catalogue.
+//
+// Adding an implementation (or a canned ablation) is ONE add() call here;
+// every registry-driven test, bench, and example picks it up automatically.
+#include <algorithm>
+
+#include "activeset/faicas_active_set.h"
+#include "activeset/lock_active_set.h"
+#include "activeset/register_active_set.h"
+#include "baseline/double_collect.h"
+#include "baseline/full_snapshot.h"
+#include "baseline/lock_snapshot.h"
+#include "baseline/seqlock_snapshot.h"
+#include "core/cas_psnap.h"
+#include "core/register_psnap.h"
+#include "registry/registry.h"
+
+namespace psnap::registry {
+
+namespace {
+
+activeset::FaiCasActiveSet::Options faicas_options(const Options& options) {
+  activeset::FaiCasActiveSet::Options out;
+  out.coalesce = options.get_bool("coalesce", true);
+  out.publish_skip_list = options.get_bool("publish", true);
+  out.max_joins = options.get_uint("max_joins", 0);
+  return out;
+}
+
+}  // namespace
+
+void register_builtin_snapshots(SnapshotRegistry& registry) {
+  registry.add(SnapshotInfo{
+      .name = "fig1_register",
+      .description =
+          "Figure 1: wait-free partial snapshot from registers (Theorem 1)",
+      .options_help = "as=<name[;k=v...]>,initial=<u64>",
+      .is_wait_free = true,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            // Nested active-set options use ';' so they survive the outer
+            // comma split: "fig1_register:as=faicas;coalesce=false".  The
+            // first ';' plays the nested spec's ':' (name/options
+            // separator), the rest its commas.
+            std::string as_spec = options.get_string("as", "");
+            if (std::size_t semi = as_spec.find(';');
+                semi != std::string::npos) {
+              as_spec[semi] = ':';
+              std::replace(as_spec.begin() + semi, as_spec.end(), ';', ',');
+            }
+            std::unique_ptr<activeset::ActiveSet> as;
+            if (!as_spec.empty()) {
+              as = make_active_set(as_spec, n);
+            }
+            return std::make_unique<core::RegisterPartialSnapshot>(
+                m, n, std::move(as), options.get_uint("initial", 0));
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "fig3_cas",
+      .description = "Figure 3: local partial scans from CAS + F&I "
+                     "(Theorem 3, the paper's headline algorithm)",
+      .options_help =
+          "cas=<bool>,coalesce=<bool>,publish=<bool>,max_joins=<u64>,"
+          "initial=<u64>",
+      .is_wait_free = true,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            core::CasPartialSnapshot::Options impl;
+            impl.use_cas = options.get_bool("cas", true);
+            impl.active_set = faicas_options(options);
+            return std::make_unique<core::CasPartialSnapshot>(
+                m, n, impl, options.get_uint("initial", 0));
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "fig3_write_ablation",
+      .description = "ABL-3: Figure 3 publishing updates with plain "
+                     "overwrites instead of CAS (loses the 2r+1 bound)",
+      .options_help = "initial=<u64>",
+      .is_wait_free = true,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            core::CasPartialSnapshot::Options impl;
+            impl.use_cas = false;
+            return std::make_unique<core::CasPartialSnapshot>(
+                m, n, impl, options.get_uint("initial", 0));
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "full_snapshot",
+      .description = "complete-scan extraction baseline (Afek et al.): "
+                     "every operation costs Omega(m)",
+      .options_help = "initial=<u64>",
+      .is_wait_free = true,
+      .is_local = false,
+      .counts_steps = true,
+      .sim_safe = true,
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            return std::make_unique<baseline::FullSnapshot>(
+                m, n, options.get_uint("initial", 0));
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "double_collect",
+      .description = "lock-free double collect, no helping: scans can "
+                     "starve (cap>0 throws StarvationError)",
+      .options_help = "cap=<u64>,initial=<u64>",
+      .is_wait_free = false,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            return std::make_unique<baseline::DoubleCollectSnapshot>(
+                m, n, options.get_uint("cap", 0),
+                options.get_uint("initial", 0));
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "lock",
+      .description = "global-mutex reference (blocking; performs no "
+                     "base-object steps in the paper's model)",
+      .options_help = "initial=<u64>",
+      .is_wait_free = false,
+      .is_local = true,
+      .counts_steps = false,
+      .sim_safe = false,
+      .make =
+          [](std::uint32_t m, std::uint32_t /*n*/, const Options& options) {
+            return std::make_unique<baseline::LockSnapshot>(
+                m, options.get_uint("initial", 0));
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "seqlock",
+      .description = "global-seqlock reference: invisible readers, one "
+                     "global conflict domain (cap>0 throws StarvationError)",
+      .options_help = "cap=<u64>,initial=<u64>",
+      .is_wait_free = false,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = false,
+      .make =
+          [](std::uint32_t m, std::uint32_t /*n*/, const Options& options) {
+            return std::make_unique<baseline::SeqlockSnapshot>(
+                m, options.get_uint("cap", 0),
+                options.get_uint("initial", 0));
+          },
+  });
+}
+
+void register_builtin_active_sets(ActiveSetRegistry& registry) {
+  registry.add(ActiveSetInfo{
+      .name = "register",
+      .description = "one flag register per process; O(1) join/leave, "
+                     "O(n) getSet (Figure 1's substitution)",
+      .options_help = "",
+      .is_wait_free = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .make =
+          [](std::uint32_t n, const Options& /*options*/) {
+            return std::make_unique<activeset::RegisterActiveSet>(n);
+          },
+  });
+  registry.add(ActiveSetInfo{
+      .name = "faicas",
+      .description = "Figure 2: F&I slot allocation + CAS-published skip "
+                     "list (Theorem 2)",
+      .options_help = "coalesce=<bool>,publish=<bool>,max_joins=<u64>",
+      .is_wait_free = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .make =
+          [](std::uint32_t n, const Options& options) {
+            return std::make_unique<activeset::FaiCasActiveSet>(
+                n, faicas_options(options));
+          },
+  });
+  registry.add(ActiveSetInfo{
+      .name = "faicas_nocoalesce",
+      .description = "ABL-1: Figure 2 without interval coalescing "
+                     "(published list grows with vacated runs)",
+      .options_help = "",
+      .is_wait_free = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .make =
+          [](std::uint32_t n, const Options& /*options*/) {
+            activeset::FaiCasActiveSet::Options impl;
+            impl.coalesce = false;
+            return std::make_unique<activeset::FaiCasActiveSet>(n, impl);
+          },
+  });
+  registry.add(ActiveSetInfo{
+      .name = "faicas_nopublish",
+      .description = "ABL-1: Figure 2 without the published skip list "
+                     "(getSet cost grows with total joins)",
+      .options_help = "",
+      .is_wait_free = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .make =
+          [](std::uint32_t n, const Options& /*options*/) {
+            activeset::FaiCasActiveSet::Options impl;
+            impl.publish_skip_list = false;
+            return std::make_unique<activeset::FaiCasActiveSet>(n, impl);
+          },
+  });
+  registry.add(ActiveSetInfo{
+      .name = "lock",
+      .description = "mutex-based oracle (trivially correct; blocking)",
+      .options_help = "",
+      .is_wait_free = false,
+      .counts_steps = false,
+      .sim_safe = false,
+      .make =
+          [](std::uint32_t n, const Options& /*options*/) {
+            return std::make_unique<activeset::LockActiveSet>(n);
+          },
+  });
+}
+
+}  // namespace psnap::registry

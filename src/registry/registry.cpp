@@ -1,0 +1,255 @@
+#include "registry/registry.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/assert.h"
+
+namespace psnap::registry {
+
+// Defined in builtins.cpp; called exactly once per registry singleton.
+void register_builtin_snapshots(SnapshotRegistry& registry);
+void register_builtin_active_sets(ActiveSetRegistry& registry);
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+Options Options::parse(std::string_view spec) {
+  Options options;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    std::string_view item = spec.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() : comma + 1;
+    if (item.empty()) {
+      throw std::invalid_argument("empty option in spec '" +
+                                  std::string(spec) + "'");
+    }
+    std::size_t eq = item.find('=');
+    Entry entry;
+    if (eq == std::string_view::npos) {
+      // A bare key is boolean shorthand for key=true.
+      entry.key = std::string(item);
+      entry.value = "true";
+    } else {
+      entry.key = std::string(item.substr(0, eq));
+      entry.value = std::string(item.substr(eq + 1));
+    }
+    if (entry.key.empty()) {
+      throw std::invalid_argument("option with empty key in spec '" +
+                                  std::string(spec) + "'");
+    }
+    for (const Entry& existing : options.entries_) {
+      if (existing.key == entry.key) {
+        throw std::invalid_argument("duplicate option '" + entry.key +
+                                    "' in spec '" + std::string(spec) + "'");
+      }
+    }
+    options.entries_.push_back(std::move(entry));
+  }
+  return options;
+}
+
+const Options::Entry* Options::find(std::string_view key) const {
+  for (const Entry& entry : entries_) {
+    if (entry.key == key) {
+      entry.consumed = true;
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+bool Options::get_bool(std::string_view key, bool def) const {
+  const Entry* entry = find(key);
+  if (entry == nullptr) return def;
+  if (entry->value == "true" || entry->value == "1") return true;
+  if (entry->value == "false" || entry->value == "0") return false;
+  throw std::invalid_argument("option '" + entry->key +
+                              "' expects a boolean, got '" + entry->value +
+                              "'");
+}
+
+std::uint64_t Options::get_uint(std::string_view key,
+                                std::uint64_t def) const {
+  const Entry* entry = find(key);
+  if (entry == nullptr) return def;
+  try {
+    // stoull tolerates leading whitespace, '+' and even '-' (wrapping the
+    // negation); require a bare digit string so typos fail loudly.
+    if (entry->value.empty() ||
+        entry->value.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument("not a digit string");
+    }
+    std::size_t used = 0;
+    std::uint64_t value = std::stoull(entry->value, &used);
+    if (used != entry->value.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option '" + entry->key +
+                                "' expects an unsigned integer, got '" +
+                                entry->value + "'");
+  }
+}
+
+std::string Options::get_string(std::string_view key,
+                                std::string_view def) const {
+  const Entry* entry = find(key);
+  return entry == nullptr ? std::string(def) : entry->value;
+}
+
+void Options::check_consumed() const {
+  for (const Entry& entry : entries_) {
+    if (!entry.consumed) {
+      throw std::invalid_argument("unknown option '" + entry.key + "'");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registries
+// ---------------------------------------------------------------------------
+
+SnapshotRegistry& SnapshotRegistry::instance() {
+  static SnapshotRegistry* registry = [] {
+    auto* r = new SnapshotRegistry();
+    register_builtin_snapshots(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SnapshotRegistry::add(SnapshotInfo info) {
+  PSNAP_ASSERT_MSG(!info.name.empty(), "registry entries need a name");
+  PSNAP_ASSERT_MSG(find(info.name) == nullptr,
+                   "duplicate snapshot registration");
+  infos_.push_back(std::move(info));
+}
+
+std::vector<const SnapshotInfo*> SnapshotRegistry::all() const {
+  std::vector<const SnapshotInfo*> out;
+  out.reserve(infos_.size());
+  for (const SnapshotInfo& info : infos_) out.push_back(&info);
+  return out;
+}
+
+const SnapshotInfo* SnapshotRegistry::find(std::string_view name) const {
+  for (const SnapshotInfo& info : infos_) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<core::PartialSnapshot> SnapshotRegistry::make(
+    std::string_view spec, std::uint32_t num_components,
+    std::uint32_t max_processes) const {
+  auto [name, opt_spec] = split_spec(spec);
+  const SnapshotInfo* info = find(name);
+  if (info == nullptr) {
+    throw std::invalid_argument("unknown snapshot implementation '" +
+                                std::string(name) + "'; known: " +
+                                snapshot_catalogue());
+  }
+  Options options = Options::parse(opt_spec);
+  auto snapshot = info->make(num_components, max_processes, options);
+  options.check_consumed();
+  return snapshot;
+}
+
+ActiveSetRegistry& ActiveSetRegistry::instance() {
+  static ActiveSetRegistry* registry = [] {
+    auto* r = new ActiveSetRegistry();
+    register_builtin_active_sets(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ActiveSetRegistry::add(ActiveSetInfo info) {
+  PSNAP_ASSERT_MSG(!info.name.empty(), "registry entries need a name");
+  PSNAP_ASSERT_MSG(find(info.name) == nullptr,
+                   "duplicate active-set registration");
+  infos_.push_back(std::move(info));
+}
+
+std::vector<const ActiveSetInfo*> ActiveSetRegistry::all() const {
+  std::vector<const ActiveSetInfo*> out;
+  out.reserve(infos_.size());
+  for (const ActiveSetInfo& info : infos_) out.push_back(&info);
+  return out;
+}
+
+const ActiveSetInfo* ActiveSetRegistry::find(std::string_view name) const {
+  for (const ActiveSetInfo& info : infos_) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<activeset::ActiveSet> ActiveSetRegistry::make(
+    std::string_view spec, std::uint32_t max_processes) const {
+  auto [name, opt_spec] = split_spec(spec);
+  const ActiveSetInfo* info = find(name);
+  if (info == nullptr) {
+    throw std::invalid_argument("unknown active-set implementation '" +
+                                std::string(name) + "'; known: " +
+                                active_set_catalogue());
+  }
+  Options options = Options::parse(opt_spec);
+  auto active_set = info->make(max_processes, options);
+  options.check_consumed();
+  return active_set;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+std::pair<std::string_view, std::string_view> split_spec(
+    std::string_view spec) {
+  std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) return {spec, {}};
+  return {spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
+std::unique_ptr<core::PartialSnapshot> make_snapshot(
+    std::string_view spec, std::uint32_t num_components,
+    std::uint32_t max_processes) {
+  return SnapshotRegistry::instance().make(spec, num_components,
+                                           max_processes);
+}
+
+std::unique_ptr<activeset::ActiveSet> make_active_set(
+    std::string_view spec, std::uint32_t max_processes) {
+  return ActiveSetRegistry::instance().make(spec, max_processes);
+}
+
+std::string snapshot_catalogue() {
+  std::ostringstream out;
+  for (const SnapshotInfo* info : SnapshotRegistry::instance().all()) {
+    out << "  " << info->name << " -- " << info->description;
+    if (!info->options_help.empty()) {
+      out << " [" << info->options_help << "]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string active_set_catalogue() {
+  std::ostringstream out;
+  for (const ActiveSetInfo* info : ActiveSetRegistry::instance().all()) {
+    out << "  " << info->name << " -- " << info->description;
+    if (!info->options_help.empty()) {
+      out << " [" << info->options_help << "]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace psnap::registry

@@ -1,0 +1,185 @@
+// Central registry of PartialSnapshot and ActiveSet implementations.
+//
+// Every test, bench, and example used to carry its own `struct Impl {
+// label; factory; }` table; adding an implementation or an ablation meant
+// editing a dozen files.  The registry replaces those tables with one
+// string-keyed catalogue:
+//
+//   * enumeration: SnapshotRegistry::instance().all() lists every
+//     implementation in registration order, with capability flags
+//     (is_wait_free / is_local / counts_steps / sim_safe) so consumers can
+//     filter ("only wait-free impls for the crash sweeps", "only
+//     sim-safe impls under the deterministic scheduler") instead of
+//     hand-curating lists;
+//
+//   * construction from CLI strings: make_snapshot("fig3_cas:cas=false",
+//     m, n) parses per-implementation options from a spec of the form
+//     "name" or "name:key=value,key=value", so bench and example binaries
+//     expose --impl flags that reach every registered ablation;
+//
+//   * one-line registration: a new implementation (or a canned ablation
+//     variant of an existing one) is a single add() call in
+//     register_builtins() -- every consumer picks it up automatically.
+//
+// The registry is deliberately not self-registering via static
+// initializers: built-ins are registered lazily on first use, which keeps
+// registration order deterministic and immune to linker dead-stripping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "activeset/active_set.h"
+#include "core/partial_snapshot.h"
+
+namespace psnap::registry {
+
+// Parsed "key=value,key=value" option string.  Factories pull typed values
+// with defaults; keys a factory never asked about are reported by
+// check_consumed(), so a typo in a spec fails loudly rather than silently
+// running the default configuration.
+class Options {
+ public:
+  Options() = default;
+
+  // Parses "key=value,key=value[,flag]" (a bare flag means "true").
+  // Throws std::invalid_argument on malformed input.
+  static Options parse(std::string_view spec);
+
+  bool get_bool(std::string_view key, bool def) const;
+  std::uint64_t get_uint(std::string_view key, std::uint64_t def) const;
+  std::string get_string(std::string_view key,
+                         std::string_view def) const;
+
+  // Throws std::invalid_argument naming any key no get_* ever asked for.
+  void check_consumed() const;
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    mutable bool consumed = false;
+  };
+  const Entry* find(std::string_view key) const;
+  std::vector<Entry> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// Partial snapshot implementations.
+// ---------------------------------------------------------------------------
+
+using SnapshotFactory =
+    std::function<std::unique_ptr<core::PartialSnapshot>(
+        std::uint32_t num_components, std::uint32_t max_processes,
+        const Options& options)>;
+
+struct SnapshotInfo {
+  // Registry key; also a valid gtest parameter name ([A-Za-z0-9_]).
+  std::string name;
+  std::string description;
+  // "key=value" summary of the accepted options, for --help output.
+  std::string options_help;
+
+  // Capability flags, queryable without instantiating (used by consumers
+  // to filter; asserted against the instances in registry_test.cpp).
+  bool is_wait_free = false;
+  // Scan complexity depends only on r, never on m.
+  bool is_local = false;
+  // Performs base-object steps counted by exec::on_step (false for the
+  // mutex baseline, which synchronizes outside the paper's model).
+  bool counts_steps = true;
+  // Safe under the deterministic simulation scheduler: every potentially
+  // blocking wait is a step-instrumented shared-object operation (false
+  // for the mutex baseline, which parks threads the scheduler cannot see,
+  // and for the seqlock, whose reader spin loop never performs a
+  // scheduling step while waiting out a writer).
+  bool sim_safe = true;
+
+  SnapshotFactory make;
+};
+
+class SnapshotRegistry {
+ public:
+  // The process-wide registry, with built-ins already registered.
+  static SnapshotRegistry& instance();
+
+  // Registers an implementation; names must be unique.
+  void add(SnapshotInfo info);
+
+  // All implementations, in registration order.
+  std::vector<const SnapshotInfo*> all() const;
+
+  // Looks up by exact name; nullptr if absent.
+  const SnapshotInfo* find(std::string_view name) const;
+
+  // Builds from a spec "name" or "name:key=value,...".  Throws
+  // std::invalid_argument for unknown names or options.
+  std::unique_ptr<core::PartialSnapshot> make(std::string_view spec,
+                                              std::uint32_t num_components,
+                                              std::uint32_t max_processes)
+      const;
+
+ private:
+  std::vector<SnapshotInfo> infos_;
+};
+
+// ---------------------------------------------------------------------------
+// Active set implementations.
+// ---------------------------------------------------------------------------
+
+using ActiveSetFactory = std::function<std::unique_ptr<activeset::ActiveSet>(
+    std::uint32_t max_processes, const Options& options)>;
+
+struct ActiveSetInfo {
+  std::string name;
+  std::string description;
+  std::string options_help;
+  bool is_wait_free = false;
+  bool counts_steps = true;
+  bool sim_safe = true;
+  ActiveSetFactory make;
+};
+
+class ActiveSetRegistry {
+ public:
+  static ActiveSetRegistry& instance();
+
+  void add(ActiveSetInfo info);
+  std::vector<const ActiveSetInfo*> all() const;
+  const ActiveSetInfo* find(std::string_view name) const;
+  std::unique_ptr<activeset::ActiveSet> make(std::string_view spec,
+                                             std::uint32_t max_processes)
+      const;
+
+ private:
+  std::vector<ActiveSetInfo> infos_;
+};
+
+// ---------------------------------------------------------------------------
+// Convenience helpers.
+// ---------------------------------------------------------------------------
+
+// Splits "name:opts" into its two halves (opts empty when absent).
+std::pair<std::string_view, std::string_view> split_spec(
+    std::string_view spec);
+
+std::unique_ptr<core::PartialSnapshot> make_snapshot(
+    std::string_view spec, std::uint32_t num_components,
+    std::uint32_t max_processes);
+
+std::unique_ptr<activeset::ActiveSet> make_active_set(
+    std::string_view spec, std::uint32_t max_processes);
+
+// One line per implementation: "name  description [options]".  For the
+// --help output of bench/example binaries.
+std::string snapshot_catalogue();
+std::string active_set_catalogue();
+
+}  // namespace psnap::registry

@@ -16,13 +16,14 @@ void RecordingSnapshot::update(std::uint32_t i, std::uint64_t v) {
 }
 
 void RecordingSnapshot::scan(std::span<const std::uint32_t> indices,
-                             std::vector<std::uint64_t>& out) {
+                             std::vector<std::uint64_t>& out,
+                             core::ScanContext& ctx) {
   Operation op;
   op.type = Operation::Type::kScan;
   op.pid = exec::ctx().pid;
   op.indices.assign(indices.begin(), indices.end());
   std::size_t handle = history_.begin_op(std::move(op));
-  delegate_.scan(indices, out);
+  delegate_.scan(indices, out, ctx);
   history_.complete_scan(handle, out);
 }
 

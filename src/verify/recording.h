@@ -25,7 +25,8 @@ class RecordingSnapshot final : public core::PartialSnapshot {
 
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
-            std::vector<std::uint64_t>& out) override;
+            std::vector<std::uint64_t>& out, core::ScanContext& ctx) override;
+  using core::PartialSnapshot::scan;
 
  private:
   core::PartialSnapshot& delegate_;

@@ -4,43 +4,39 @@
 
 #include <gtest/gtest.h>
 
-#include <functional>
 #include <memory>
 #include <thread>
 
-#include "activeset/faicas_active_set.h"
-#include "activeset/lock_active_set.h"
-#include "activeset/register_active_set.h"
 #include "exec/exec.h"
+#include "registry/registry.h"
+#include "tests/support/registry_params.h"
 
 namespace psnap::activeset {
 namespace {
 
-using Factory =
-    std::function<std::unique_ptr<ActiveSet>(std::uint32_t max_processes)>;
-
-struct Impl {
-  std::string label;
-  Factory make;
+class ActiveSetContractTest
+    : public ::testing::TestWithParam<const registry::ActiveSetInfo*> {
+ protected:
+  std::unique_ptr<ActiveSet> make(std::uint32_t n) {
+    return test::make_active_set(*GetParam(), n);
+  }
 };
 
-class ActiveSetContractTest : public ::testing::TestWithParam<Impl> {};
-
 TEST_P(ActiveSetContractTest, EmptyInitially) {
-  auto as = GetParam().make(4);
+  auto as = make(4);
   exec::ScopedPid pid(0);
   EXPECT_TRUE(as->get_set().empty());
 }
 
 TEST_P(ActiveSetContractTest, JoinMakesVisible) {
-  auto as = GetParam().make(4);
+  auto as = make(4);
   exec::ScopedPid pid(2);
   as->join();
   EXPECT_EQ(as->get_set(), (std::vector<std::uint32_t>{2}));
 }
 
 TEST_P(ActiveSetContractTest, LeaveRemoves) {
-  auto as = GetParam().make(4);
+  auto as = make(4);
   exec::ScopedPid pid(1);
   as->join();
   as->leave();
@@ -48,7 +44,7 @@ TEST_P(ActiveSetContractTest, LeaveRemoves) {
 }
 
 TEST_P(ActiveSetContractTest, RejoinAfterLeave) {
-  auto as = GetParam().make(4);
+  auto as = make(4);
   exec::ScopedPid pid(3);
   for (int round = 0; round < 5; ++round) {
     as->join();
@@ -59,7 +55,7 @@ TEST_P(ActiveSetContractTest, RejoinAfterLeave) {
 }
 
 TEST_P(ActiveSetContractTest, MultipleMembersSortedNoDuplicates) {
-  auto as = GetParam().make(8);
+  auto as = make(8);
   for (std::uint32_t p : {5u, 1u, 7u}) {
     exec::ScopedPid pid(p);
     as->join();
@@ -70,7 +66,7 @@ TEST_P(ActiveSetContractTest, MultipleMembersSortedNoDuplicates) {
 }
 
 TEST_P(ActiveSetContractTest, GetSetByNonMember) {
-  auto as = GetParam().make(4);
+  auto as = make(4);
   {
     exec::ScopedPid pid(1);
     as->join();
@@ -80,7 +76,7 @@ TEST_P(ActiveSetContractTest, GetSetByNonMember) {
 }
 
 TEST_P(ActiveSetContractTest, OutputParameterIsCleared) {
-  auto as = GetParam().make(4);
+  auto as = make(4);
   exec::ScopedPid pid(0);
   std::vector<std::uint32_t> out{99, 98};
   as->get_set(out);
@@ -96,7 +92,7 @@ TEST_P(ActiveSetContractTest, ConcurrentChurnNeverReturnsGarbage) {
   // iteration-bounded: the Figure 2 algorithm consumes one fresh slot per
   // join for the whole execution, by design (Section 6 leaves recycling
   // open), so time-based loops would exhaust the slot array.
-  auto as = GetParam().make(8);
+  auto as = make(8);
   constexpr int kWorkers = 4;
   constexpr int kRoundsPerWorker = 100000;
   std::vector<std::thread> workers;
@@ -120,33 +116,9 @@ TEST_P(ActiveSetContractTest, ConcurrentChurnNeverReturnsGarbage) {
   for (auto& w : workers) w.join();
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllImplementations, ActiveSetContractTest,
-    ::testing::Values(
-        Impl{"register", [](std::uint32_t n) -> std::unique_ptr<ActiveSet> {
-               return std::make_unique<RegisterActiveSet>(n);
-             }},
-        Impl{"faicas", [](std::uint32_t n) -> std::unique_ptr<ActiveSet> {
-               return std::make_unique<FaiCasActiveSet>(n);
-             }},
-        Impl{"faicas_nocoalesce",
-             [](std::uint32_t n) -> std::unique_ptr<ActiveSet> {
-               FaiCasActiveSet::Options options;
-               options.coalesce = false;
-               return std::make_unique<FaiCasActiveSet>(n, options);
-             }},
-        Impl{"faicas_nopublish",
-             [](std::uint32_t n) -> std::unique_ptr<ActiveSet> {
-               FaiCasActiveSet::Options options;
-               options.publish_skip_list = false;
-               return std::make_unique<FaiCasActiveSet>(n, options);
-             }},
-        Impl{"lock", [](std::uint32_t n) -> std::unique_ptr<ActiveSet> {
-               return std::make_unique<LockActiveSet>(n);
-             }}),
-    [](const ::testing::TestParamInfo<Impl>& info) {
-      return info.param.label;
-    });
+INSTANTIATE_TEST_SUITE_P(AllImplementations, ActiveSetContractTest,
+                         ::testing::ValuesIn(test::active_set_impls()),
+                         test::active_set_param_name);
 
 }  // namespace
 }  // namespace psnap::activeset

@@ -13,13 +13,13 @@
 //     correct list or nothing).
 #include <gtest/gtest.h>
 
-#include <functional>
 #include <memory>
 
 #include "activeset/faicas_active_set.h"
-#include "activeset/register_active_set.h"
+#include "registry/registry.h"
 #include "runtime/explore.h"
 #include "runtime/sim_scheduler.h"
+#include "tests/support/registry_params.h"
 #include "verify/activeset_checker.h"
 #include "verify/recording.h"
 
@@ -31,32 +31,20 @@ using verify::check_active_set_validity;
 using verify::History;
 using verify::RecordingActiveSet;
 
-using Factory =
-    std::function<std::unique_ptr<ActiveSet>(std::uint32_t max_processes)>;
+// Crash sweeps run every registered sim-safe active set.
+std::vector<const registry::ActiveSetInfo*> crash_impls() {
+  return test::active_set_impls(
+      [](const registry::ActiveSetInfo& info) { return info.sim_safe; });
+}
 
-struct Impl {
-  std::string label;
-  Factory make;
-};
-
-Impl crash_impls[] = {
-    {"faicas",
-     [](std::uint32_t n) -> std::unique_ptr<ActiveSet> {
-       return std::make_unique<FaiCasActiveSet>(n);
-     }},
-    {"register",
-     [](std::uint32_t n) -> std::unique_ptr<ActiveSet> {
-       return std::make_unique<RegisterActiveSet>(n);
-     }},
-};
-
-class ActiveSetCrashTest : public ::testing::TestWithParam<Impl> {};
+class ActiveSetCrashTest
+    : public ::testing::TestWithParam<const registry::ActiveSetInfo*> {};
 
 // Sweep the churner's crash point across its whole operation sequence;
 // the observer must always finish and its getSets must stay valid.
 TEST_P(ActiveSetCrashTest, ChurnerCrashSweep) {
   for (std::uint64_t crash_step = 1; crash_step <= 10; ++crash_step) {
-    auto as = GetParam().make(2);
+    auto as = test::make_active_set(*GetParam(), 2);
     History history;
     RecordingActiveSet recorded(*as, history);
     bool observer_finished = false;
@@ -79,9 +67,9 @@ TEST_P(ActiveSetCrashTest, ChurnerCrashSweep) {
     sched.run();
 
     ASSERT_TRUE(observer_finished)
-        << GetParam().label << " crash at step " << crash_step;
+        << GetParam()->name << " crash at step " << crash_step;
     auto outcome = check_active_set_validity(history.operations());
-    ASSERT_TRUE(outcome.ok) << GetParam().label << " crash at step "
+    ASSERT_TRUE(outcome.ok) << GetParam()->name << " crash at step "
                             << crash_step << ": " << outcome.diagnosis
                             << "\n"
                             << history.to_string();
@@ -92,7 +80,7 @@ TEST_P(ActiveSetCrashTest, ChurnerCrashSweep) {
 // processes remain valid.
 TEST_P(ActiveSetCrashTest, ObserverCrashMidGetSet) {
   for (std::uint64_t crash_step = 1; crash_step <= 6; ++crash_step) {
-    auto as = GetParam().make(3);
+    auto as = test::make_active_set(*GetParam(), 3);
     History history;
     RecordingActiveSet recorded(*as, history);
     bool second_observer_ok = false;
@@ -122,10 +110,8 @@ TEST_P(ActiveSetCrashTest, ObserverCrashMidGetSet) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Impls, ActiveSetCrashTest,
-                         ::testing::ValuesIn(crash_impls),
-                         [](const ::testing::TestParamInfo<Impl>& info) {
-                           return info.param.label;
-                         });
+                         ::testing::ValuesIn(crash_impls()),
+                         test::active_set_param_name);
 
 // Figure-2 specific: a join crashed between its fetch&increment and its
 // id write leaves a permanently-empty slot.  getSets must keep scanning

@@ -4,14 +4,13 @@
 // recorded histories rather than via linearization (the spec is weaker).
 #include <gtest/gtest.h>
 
-#include <functional>
 #include <memory>
+#include <thread>
 
-#include "activeset/faicas_active_set.h"
-#include "activeset/lock_active_set.h"
-#include "activeset/register_active_set.h"
+#include "registry/registry.h"
 #include "runtime/explore.h"
 #include "runtime/sim_scheduler.h"
+#include "tests/support/registry_params.h"
 #include "verify/activeset_checker.h"
 #include "verify/recording.h"
 
@@ -24,21 +23,14 @@ using verify::check_active_set_validity;
 using verify::History;
 using verify::RecordingActiveSet;
 
-using Factory =
-    std::function<std::unique_ptr<ActiveSet>(std::uint32_t max_processes)>;
-
-struct Impl {
-  std::string label;
-  Factory make;
-};
-
-class ActiveSetValiditySimTest : public ::testing::TestWithParam<Impl> {};
+class ActiveSetValiditySimTest
+    : public ::testing::TestWithParam<const registry::ActiveSetInfo*> {};
 
 // Scenario A: two churners and one observer running getSets.
 TEST_P(ActiveSetValiditySimTest, ChurnersAndObserverAllSchedules) {
   auto stats = runtime::explore_dfs(
       [&](const std::vector<std::uint32_t>& script) {
-        auto as = GetParam().make(3);
+        auto as = test::make_active_set(*GetParam(), 3);
         History history;
         RecordingActiveSet recorded(*as, history);
 
@@ -77,7 +69,7 @@ TEST_P(ActiveSetValiditySimTest, ChurnersAndObserverAllSchedules) {
 TEST_P(ActiveSetValiditySimTest, RejoinDuringGetSetAllSchedules) {
   auto stats = runtime::explore_dfs(
       [&](const std::vector<std::uint32_t>& script) {
-        auto as = GetParam().make(2);
+        auto as = test::make_active_set(*GetParam(), 2);
         History history;
         RecordingActiveSet recorded(*as, history);
 
@@ -109,7 +101,7 @@ TEST_P(ActiveSetValiditySimTest, RejoinDuringGetSetAllSchedules) {
 TEST_P(ActiveSetValiditySimTest, RandomSchedulesLargerScenario) {
   runtime::explore_random(
       [&](std::uint64_t seed) {
-        auto as = GetParam().make(4);
+        auto as = test::make_active_set(*GetParam(), 4);
         History history;
         RecordingActiveSet recorded(*as, history);
 
@@ -141,28 +133,16 @@ TEST_P(ActiveSetValiditySimTest, RandomSchedulesLargerScenario) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllImplementations, ActiveSetValiditySimTest,
-    ::testing::Values(
-        Impl{"register", [](std::uint32_t n) -> std::unique_ptr<ActiveSet> {
-               return std::make_unique<RegisterActiveSet>(n);
-             }},
-        Impl{"faicas", [](std::uint32_t n) -> std::unique_ptr<ActiveSet> {
-               return std::make_unique<FaiCasActiveSet>(n);
-             }},
-        Impl{"faicas_nocoalesce",
-             [](std::uint32_t n) -> std::unique_ptr<ActiveSet> {
-               FaiCasActiveSet::Options options;
-               options.coalesce = false;
-               return std::make_unique<FaiCasActiveSet>(n, options);
-             }}),
-    [](const ::testing::TestParamInfo<Impl>& info) {
-      return info.param.label;
-    });
+    ::testing::ValuesIn(test::active_set_impls(
+        [](const registry::ActiveSetInfo& info) { return info.sim_safe; })),
+    test::active_set_param_name);
 
 // Native-thread churn with validity checking via the recorded history.
-class ActiveSetValidityNativeTest : public ::testing::TestWithParam<Impl> {};
+class ActiveSetValidityNativeTest
+    : public ::testing::TestWithParam<const registry::ActiveSetInfo*> {};
 
 TEST_P(ActiveSetValidityNativeTest, NativeChurnValidity) {
-  auto as = GetParam().make(6);
+  auto as = test::make_active_set(*GetParam(), 6);
   History history;
   RecordingActiveSet recorded(*as, history);
   constexpr int kChurners = 4;
@@ -189,21 +169,9 @@ TEST_P(ActiveSetValidityNativeTest, NativeChurnValidity) {
   EXPECT_TRUE(outcome.ok) << outcome.diagnosis;
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllImplementations, ActiveSetValidityNativeTest,
-    ::testing::Values(
-        Impl{"register", [](std::uint32_t n) -> std::unique_ptr<ActiveSet> {
-               return std::make_unique<RegisterActiveSet>(n);
-             }},
-        Impl{"faicas", [](std::uint32_t n) -> std::unique_ptr<ActiveSet> {
-               return std::make_unique<FaiCasActiveSet>(n);
-             }},
-        Impl{"lock", [](std::uint32_t n) -> std::unique_ptr<ActiveSet> {
-               return std::make_unique<LockActiveSet>(n);
-             }}),
-    [](const ::testing::TestParamInfo<Impl>& info) {
-      return info.param.label;
-    });
+INSTANTIATE_TEST_SUITE_P(AllImplementations, ActiveSetValidityNativeTest,
+                         ::testing::ValuesIn(test::active_set_impls()),
+                         test::active_set_param_name);
 
 }  // namespace
 }  // namespace psnap::activeset

@@ -35,35 +35,39 @@ TEST(DoubleCollect, StarvationCapThrows) {
                StarvationError);
 }
 
-TEST(DoubleCollect, StarvationUnderRealContention) {
+TEST(DoubleCollect, StarvationUnderContendedSchedules) {
   // A scanner with a minimal collect cap racing a fast updater must starve
   // at least occasionally -- this is the non-wait-freedom the paper's
   // helping mechanism eliminates (ABL-2 measures the rate).  Cap 2 means
-  // "succeed only if the very first double collect is clean"; measured
-  // retry rates on this hardware make that fail ~1% of the time under a
-  // saturating updater, so 20000 scans starve with overwhelming
-  // probability.
-  DoubleCollectSnapshot snap(2, 3, /*max_collects_per_scan=*/2);
-  std::atomic<bool> stop{false};
+  // "succeed only if the very first double collect is clean".  Driven
+  // under the deterministic scheduler biased toward the updater (instead
+  // of native threads) so the adversarial interleaving is produced on any
+  // host, including single-core CI runners where OS threads rarely
+  // preempt mid-scan.
   std::atomic<std::uint64_t> starved{0};
-  std::thread updater([&] {
-    exec::ScopedPid pid(0);
-    std::uint64_t k = 0;
-    while (!stop) snap.update(0, ++k);
-  });
-  {
-    exec::ScopedPid pid(2);
-    std::vector<std::uint64_t> out;
-    for (int i = 0; i < 20000; ++i) {
-      try {
-        snap.scan(std::vector<std::uint32_t>{0, 1}, out);
-      } catch (const StarvationError&) {
-        starved.fetch_add(1);
-      }
-    }
-  }
-  stop = true;
-  updater.join();
+  runtime::explore_random(
+      [&](std::uint64_t seed) {
+        DoubleCollectSnapshot snap(2, 2, /*max_collects_per_scan=*/2);
+        runtime::SimScheduler::Options options;
+        options.policy = runtime::SimScheduler::Policy::kRandomBiased;
+        options.bias_pid = 0;
+        options.bias_probability = 0.85;
+        options.seed = seed;
+        runtime::SimScheduler sched(options);
+        sched.add_process([&] {
+          for (std::uint64_t k = 1; k <= 10; ++k) snap.update(0, k);
+        });
+        sched.add_process([&] {
+          std::vector<std::uint64_t> out;
+          try {
+            snap.scan(std::vector<std::uint32_t>{0, 1}, out);
+          } catch (const StarvationError&) {
+            starved.fetch_add(1);
+          }
+        });
+        sched.run();
+      },
+      /*runs=*/100);
   EXPECT_GT(starved.load(), 0u);
 }
 
@@ -97,53 +101,48 @@ TEST(Seqlock, WritersAreMutuallyExclusive) {
   SUCCEED();
 }
 
-TEST(Seqlock, ScanRetryCapThrows) {
-  SeqlockSnapshot snap(2, /*max_attempts_per_scan=*/2);
-  std::atomic<bool> stop{false};
+// Runs a capped seqlock scan of `scan_indices` against an updater
+// hammering component 0 under updater-biased deterministic schedules;
+// returns how many scans starved.  Shared by the two starvation tests so
+// both exercise the identical adversary.
+std::uint64_t seqlock_starvation_count(
+    const std::vector<std::uint32_t>& scan_indices) {
   std::atomic<std::uint64_t> starved{0};
-  std::thread updater([&] {
-    std::uint64_t k = 0;
-    while (!stop) snap.update(0, ++k);
-  });
-  {
-    std::vector<std::uint64_t> out;
-    for (int i = 0; i < 20000; ++i) {
-      try {
-        snap.scan(std::vector<std::uint32_t>{0, 1}, out);
-      } catch (const StarvationError&) {
-        starved.fetch_add(1);
-      }
-    }
-  }
-  stop = true;
-  updater.join();
-  // The global version means even scans of untouched components starve.
-  EXPECT_GT(starved.load(), 0u);
+  runtime::explore_random(
+      [&](std::uint64_t seed) {
+        SeqlockSnapshot snap(2, /*max_attempts_per_scan=*/2);
+        runtime::SimScheduler::Options options;
+        options.policy = runtime::SimScheduler::Policy::kRandomBiased;
+        options.bias_pid = 0;
+        options.bias_probability = 0.85;
+        options.seed = seed;
+        runtime::SimScheduler sched(options);
+        sched.add_process([&] {
+          for (std::uint64_t k = 1; k <= 10; ++k) snap.update(0, k);
+        });
+        sched.add_process([&] {
+          std::vector<std::uint64_t> out;
+          try {
+            snap.scan(scan_indices, out);
+          } catch (const StarvationError&) {
+            starved.fetch_add(1);
+          }
+        });
+        sched.run();
+      },
+      /*runs=*/100);
+  return starved.load();
+}
+
+TEST(Seqlock, ScanRetryCapThrows) {
+  EXPECT_GT(seqlock_starvation_count({0, 1}), 0u);
 }
 
 TEST(Seqlock, GlobalConflictDomainStarvesUnrelatedScans) {
   // Contrast with per-component conflicts: updates to component 0 starve a
-  // scan of component 1 under seqlock.  (The CMP bench quantifies this.)
-  SeqlockSnapshot snap(2, /*max_attempts_per_scan=*/2);
-  std::atomic<bool> stop{false};
-  std::atomic<std::uint64_t> starved{0};
-  std::thread updater([&] {
-    std::uint64_t k = 0;
-    while (!stop) snap.update(0, ++k);
-  });
-  {
-    std::vector<std::uint64_t> out;
-    for (int i = 0; i < 20000; ++i) {
-      try {
-        snap.scan(std::vector<std::uint32_t>{1}, out);  // unrelated component
-      } catch (const StarvationError&) {
-        starved.fetch_add(1);
-      }
-    }
-  }
-  stop = true;
-  updater.join();
-  EXPECT_GT(starved.load(), 0u);
+  // scan of component 1 under seqlock, because the version counter is one
+  // global conflict domain.  (The CMP bench quantifies this.)
+  EXPECT_GT(seqlock_starvation_count({1}), 0u);
 }
 
 TEST(FullSnapshot, HelpingBorrowsUnderAdversarialSchedule) {

@@ -17,6 +17,8 @@
 #include "core/op_stats.h"
 #include "core/register_psnap.h"
 #include "exec/exec.h"
+#include "runtime/explore.h"
+#include "runtime/sim_scheduler.h"
 
 namespace psnap::core {
 namespace {
@@ -217,31 +219,34 @@ TEST(WaitFreedom, Fig3UpdateEmbeddedScanCoversAnnouncedSets) {
 }
 
 TEST(OpStatsTest, UpdateRecordsGetSetSize) {
-  CasPartialSnapshot snap(8, 3);
-  std::atomic<bool> hold{true};
-  std::atomic<bool> joined{false};
-  // A scanner parked inside its scan keeps membership alive... simulate by
-  // scanning in a loop; then check an update saw a non-empty getSet at
-  // least once.
-  std::thread scanner([&] {
-    exec::ScopedPid pid(0);
-    std::vector<std::uint64_t> out;
-    while (hold) {
-      snap.scan(std::vector<std::uint32_t>{1}, out);
-      joined = true;
-    }
-  });
-  while (!joined) std::this_thread::yield();
+  // An update whose getSet runs while a scanner is joined must report a
+  // non-empty getSet.  Driven under the deterministic scheduler so the
+  // overlap is produced by step-level interleaving on any host (native
+  // threads on a loaded single-core runner can run all updates between
+  // two scans and never observe the membership window).
   std::uint64_t max_getset = 0;
-  {
-    exec::ScopedPid pid(1);
-    for (int i = 0; i < 2000; ++i) {
-      snap.update(4, 1);
-      max_getset = std::max(max_getset, tls_op_stats().getset_size);
-    }
-  }
-  hold = false;
-  scanner.join();
+  runtime::explore_random(
+      [&](std::uint64_t seed) {
+        CasPartialSnapshot snap(8, 2);
+        runtime::SimScheduler::Options options;
+        options.policy = runtime::SimScheduler::Policy::kRandom;
+        options.seed = seed;
+        runtime::SimScheduler sched(options);
+        sched.add_process([&] {
+          std::vector<std::uint64_t> out;
+          for (int i = 0; i < 4; ++i) {
+            snap.scan(std::vector<std::uint32_t>{1}, out);
+          }
+        });
+        sched.add_process([&] {
+          for (int i = 0; i < 8; ++i) {
+            snap.update(4, 1);
+            max_getset = std::max(max_getset, tls_op_stats().getset_size);
+          }
+        });
+        sched.run();
+      },
+      /*runs=*/50);
   EXPECT_GE(max_getset, 1u);
 }
 

@@ -2,66 +2,21 @@
 // implementation (the paper's two algorithms and all four baselines).
 #include <gtest/gtest.h>
 
-#include <functional>
 #include <memory>
 
-#include "baseline/double_collect.h"
-#include "baseline/full_snapshot.h"
-#include "baseline/lock_snapshot.h"
-#include "baseline/seqlock_snapshot.h"
-#include "core/cas_psnap.h"
 #include "core/partial_snapshot.h"
-#include "core/register_psnap.h"
 #include "exec/exec.h"
+#include "registry/registry.h"
+#include "tests/support/registry_params.h"
 
 namespace psnap::core {
 namespace {
 
-using Factory = std::function<std::unique_ptr<PartialSnapshot>(
-    std::uint32_t m, std::uint32_t n)>;
-
-struct Impl {
-  std::string label;
-  Factory make;
-};
-
-Impl all_impls[] = {
-    {"fig1_register",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<RegisterPartialSnapshot>(m, n);
-     }},
-    {"fig3_cas",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<CasPartialSnapshot>(m, n);
-     }},
-    {"fig3_write_ablation",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       CasPartialSnapshot::Options options;
-       options.use_cas = false;
-       return std::make_unique<CasPartialSnapshot>(m, n, options);
-     }},
-    {"full_snapshot",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<baseline::FullSnapshot>(m, n);
-     }},
-    {"double_collect",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<baseline::DoubleCollectSnapshot>(m, n);
-     }},
-    {"lock",
-     [](std::uint32_t m, std::uint32_t) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<baseline::LockSnapshot>(m);
-     }},
-    {"seqlock",
-     [](std::uint32_t m, std::uint32_t) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<baseline::SeqlockSnapshot>(m);
-     }},
-};
-
-class SnapshotContractTest : public ::testing::TestWithParam<Impl> {
+class SnapshotContractTest
+    : public ::testing::TestWithParam<const registry::SnapshotInfo*> {
  protected:
   std::unique_ptr<PartialSnapshot> make(std::uint32_t m, std::uint32_t n = 4) {
-    return GetParam().make(m, n);
+    return test::make_snapshot(*GetParam(), m, n);
   }
 };
 
@@ -174,10 +129,8 @@ TEST_P(SnapshotContractTest, FlagsReportedConsistently) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllImplementations, SnapshotContractTest,
-                         ::testing::ValuesIn(all_impls),
-                         [](const ::testing::TestParamInfo<Impl>& info) {
-                           return info.param.label;
-                         });
+                         ::testing::ValuesIn(test::snapshot_impls()),
+                         test::snapshot_param_name);
 
 }  // namespace
 }  // namespace psnap::core

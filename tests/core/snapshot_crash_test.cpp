@@ -21,12 +21,11 @@
 #include <memory>
 
 #include "baseline/double_collect.h"
-#include "baseline/full_snapshot.h"
-#include "core/cas_psnap.h"
 #include "core/partial_snapshot.h"
-#include "core/register_psnap.h"
+#include "registry/registry.h"
 #include "runtime/explore.h"
 #include "runtime/sim_scheduler.h"
+#include "tests/support/registry_params.h"
 #include "verify/lin_checker.h"
 #include "verify/recording.h"
 
@@ -40,28 +39,13 @@ using verify::LinCheckOptions;
 using verify::LinResult;
 using verify::RecordingSnapshot;
 
-using Factory = std::function<std::unique_ptr<PartialSnapshot>(
-    std::uint32_t m, std::uint32_t n)>;
-
-struct Impl {
-  std::string label;
-  Factory make;
-};
-
-Impl crash_impls[] = {
-    {"fig1_register",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<RegisterPartialSnapshot>(m, n);
-     }},
-    {"fig3_cas",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<CasPartialSnapshot>(m, n);
-     }},
-    {"full_snapshot",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<baseline::FullSnapshot>(m, n);
-     }},
-};
+// Crash tolerance is a wait-freedom property, so the sweep covers every
+// registered wait-free, sim-safe implementation.
+std::vector<const registry::SnapshotInfo*> crash_impls() {
+  return test::snapshot_impls([](const registry::SnapshotInfo& info) {
+    return info.is_wait_free && info.sim_safe;
+  });
+}
 
 void expect_linearizable(const History& history, std::uint32_t m) {
   LinCheckOptions options;
@@ -72,14 +56,15 @@ void expect_linearizable(const History& history, std::uint32_t m) {
       << history.to_string();
 }
 
-class SnapshotCrashTest : public ::testing::TestWithParam<Impl> {};
+class SnapshotCrashTest
+    : public ::testing::TestWithParam<const registry::SnapshotInfo*> {};
 
 // Crash the updater at every possible step of its operation; the scanner
 // must always complete and the history must stay linearizable.
 TEST_P(SnapshotCrashTest, UpdaterCrashSweep) {
   constexpr std::uint32_t kM = 2;
   for (std::uint64_t crash_step = 1; crash_step <= 40; ++crash_step) {
-    auto snap = GetParam().make(kM, 2);
+    auto snap = test::make_snapshot(*GetParam(), kM, 2);
     History history;
     RecordingSnapshot recorded(*snap, history);
     bool scanner_finished = false;
@@ -100,7 +85,7 @@ TEST_P(SnapshotCrashTest, UpdaterCrashSweep) {
     sched.run();
 
     ASSERT_TRUE(scanner_finished)
-        << GetParam().label << " crash at step " << crash_step;
+        << GetParam()->name << " crash at step " << crash_step;
     expect_linearizable(history, kM);
   }
 }
@@ -111,7 +96,7 @@ TEST_P(SnapshotCrashTest, UpdaterCrashSweep) {
 TEST_P(SnapshotCrashTest, ScannerCrashSweep) {
   constexpr std::uint32_t kM = 2;
   for (std::uint64_t crash_step = 1; crash_step <= 12; ++crash_step) {
-    auto snap = GetParam().make(kM, 2);
+    auto snap = test::make_snapshot(*GetParam(), kM, 2);
     History history;
     RecordingSnapshot recorded(*snap, history);
     int updates_done = 0;
@@ -132,7 +117,7 @@ TEST_P(SnapshotCrashTest, ScannerCrashSweep) {
     sched.run();
 
     ASSERT_EQ(updates_done, 5)
-        << GetParam().label << " crash at step " << crash_step;
+        << GetParam()->name << " crash at step " << crash_step;
     expect_linearizable(history, kM);
   }
 }
@@ -143,7 +128,7 @@ TEST_P(SnapshotCrashTest, DoubleCrashSurvivorCompletes) {
   constexpr std::uint32_t kM = 2;
   for (std::uint64_t c1 : {2ull, 5ull, 9ull}) {
     for (std::uint64_t c2 : {1ull, 3ull, 7ull}) {
-      auto snap = GetParam().make(kM, 3);
+      auto snap = test::make_snapshot(*GetParam(), kM, 3);
       History history;
       RecordingSnapshot recorded(*snap, history);
       bool survivor_finished = false;
@@ -167,17 +152,15 @@ TEST_P(SnapshotCrashTest, DoubleCrashSurvivorCompletes) {
       });
       sched.run();
 
-      ASSERT_TRUE(survivor_finished) << GetParam().label;
+      ASSERT_TRUE(survivor_finished) << GetParam()->name;
       expect_linearizable(history, kM);
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(WaitFreeImpls, SnapshotCrashTest,
-                         ::testing::ValuesIn(crash_impls),
-                         [](const ::testing::TestParamInfo<Impl>& info) {
-                           return info.param.label;
-                         });
+                         ::testing::ValuesIn(crash_impls()),
+                         test::snapshot_param_name);
 
 // Contrast: the double-collect baseline is NOT crash-tolerant for
 // scanners in general -- but a crashed *updater* cannot block it either

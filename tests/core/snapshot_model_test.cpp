@@ -7,75 +7,30 @@
 // by the sim/stress suites.
 #include <gtest/gtest.h>
 
-#include <functional>
 #include <memory>
 
-#include "baseline/double_collect.h"
-#include "baseline/full_snapshot.h"
-#include "baseline/lock_snapshot.h"
-#include "baseline/seqlock_snapshot.h"
 #include "common/rng.h"
-#include "core/cas_psnap.h"
 #include "core/partial_snapshot.h"
-#include "core/register_psnap.h"
 #include "exec/exec.h"
+#include "registry/registry.h"
+#include "tests/support/registry_params.h"
 #include "workload/workload.h"
 
 namespace psnap::core {
 namespace {
 
-using Factory = std::function<std::unique_ptr<PartialSnapshot>(
-    std::uint32_t m, std::uint32_t n)>;
-
 struct Case {
   std::string label;
   std::uint64_t seed;
-  Factory make;
+  const registry::SnapshotInfo* info;
 };
 
 std::vector<Case> make_cases() {
-  struct Base {
-    const char* label;
-    Factory make;
-  };
-  const Base bases[] = {
-      {"fig1",
-       [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-         return std::make_unique<RegisterPartialSnapshot>(m, n);
-       }},
-      {"fig3",
-       [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-         return std::make_unique<CasPartialSnapshot>(m, n);
-       }},
-      {"fig3w",
-       [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-         CasPartialSnapshot::Options options;
-         options.use_cas = false;
-         return std::make_unique<CasPartialSnapshot>(m, n, options);
-       }},
-      {"full",
-       [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-         return std::make_unique<baseline::FullSnapshot>(m, n);
-       }},
-      {"dcoll",
-       [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-         return std::make_unique<baseline::DoubleCollectSnapshot>(m, n);
-       }},
-      {"lock",
-       [](std::uint32_t m, std::uint32_t) -> std::unique_ptr<PartialSnapshot> {
-         return std::make_unique<baseline::LockSnapshot>(m);
-       }},
-      {"seqlock",
-       [](std::uint32_t m, std::uint32_t) -> std::unique_ptr<PartialSnapshot> {
-         return std::make_unique<baseline::SeqlockSnapshot>(m);
-       }},
-  };
   std::vector<Case> cases;
-  for (const Base& base : bases) {
+  for (const registry::SnapshotInfo* info : test::snapshot_impls()) {
     for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-      cases.push_back(Case{base.label + std::string("_s") +
-                               std::to_string(seed),
-                           seed, base.make});
+      cases.push_back(
+          Case{info->name + "_s" + std::to_string(seed), seed, info});
     }
   }
   return cases;
@@ -87,7 +42,7 @@ TEST_P(SnapshotModelTest, AgreesWithReferenceModel) {
   Xoshiro256 rng(GetParam().seed);
   // Random shape per seed.
   const auto m = static_cast<std::uint32_t>(rng.next_in(1, 48));
-  auto snap = GetParam().make(m, 2);
+  auto snap = test::make_snapshot(*GetParam().info, m, 2);
   std::vector<std::uint64_t> model(m, 0);
 
   exec::ScopedPid pid(0);
@@ -131,7 +86,7 @@ TEST_P(SnapshotModelMultiPidTest, AgreesWithReferenceModel) {
   Xoshiro256 rng(GetParam().seed * 7919);
   const auto m = static_cast<std::uint32_t>(rng.next_in(2, 24));
   constexpr std::uint32_t kPids = 3;
-  auto snap = GetParam().make(m, kPids);
+  auto snap = test::make_snapshot(*GetParam().info, m, kPids);
   std::vector<std::uint64_t> model(m, 0);
 
   std::vector<std::uint64_t> out;

@@ -12,13 +12,14 @@
 #include <functional>
 #include <memory>
 
-#include "baseline/double_collect.h"
-#include "baseline/full_snapshot.h"
 #include "core/cas_psnap.h"
 #include "core/op_stats.h"
+#include "core/partial_snapshot.h"
 #include "core/register_psnap.h"
+#include "registry/registry.h"
 #include "runtime/explore.h"
 #include "runtime/sim_scheduler.h"
+#include "tests/support/registry_params.h"
 #include "verify/lin_checker.h"
 #include "verify/recording.h"
 
@@ -33,38 +34,13 @@ using verify::LinCheckOptions;
 using verify::LinResult;
 using verify::RecordingSnapshot;
 
-using Factory = std::function<std::unique_ptr<PartialSnapshot>(
-    std::uint32_t m, std::uint32_t n)>;
-
-struct Impl {
-  std::string label;
-  Factory make;
-};
-
-Impl checked_impls[] = {
-    {"fig1_register",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<RegisterPartialSnapshot>(m, n);
-     }},
-    {"fig3_cas",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<CasPartialSnapshot>(m, n);
-     }},
-    {"fig3_write_ablation",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       CasPartialSnapshot::Options options;
-       options.use_cas = false;
-       return std::make_unique<CasPartialSnapshot>(m, n, options);
-     }},
-    {"full_snapshot",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<baseline::FullSnapshot>(m, n);
-     }},
-    {"double_collect",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<baseline::DoubleCollectSnapshot>(m, n);
-     }},
-};
+// Every registered implementation that is safe to drive under the
+// deterministic scheduler (the mutex and seqlock baselines block/spin
+// outside the step-instrumented model).
+std::vector<const registry::SnapshotInfo*> checked_impls() {
+  return test::snapshot_impls(
+      [](const registry::SnapshotInfo& info) { return info.sim_safe; });
+}
 
 void expect_linearizable(const History& history, std::uint32_t m) {
   LinCheckOptions options;
@@ -78,14 +54,15 @@ void expect_linearizable(const History& history, std::uint32_t m) {
       << history.to_string();
 }
 
-class SnapshotLinSimTest : public ::testing::TestWithParam<Impl> {};
+class SnapshotLinSimTest
+    : public ::testing::TestWithParam<const registry::SnapshotInfo*> {};
 
 // Scenario A: one updater racing one scanner on two components.
 TEST_P(SnapshotLinSimTest, UpdaterVsScannerDfs) {
   constexpr std::uint32_t kM = 2;
   auto stats = runtime::explore_dfs(
       [&](const std::vector<std::uint32_t>& script) {
-        auto snap = GetParam().make(kM, 2);
+        auto snap = test::make_snapshot(*GetParam(), kM, 2);
         History history;
         RecordingSnapshot recorded(*snap, history);
 
@@ -114,7 +91,7 @@ TEST_P(SnapshotLinSimTest, WriteContentionDfs) {
   constexpr std::uint32_t kM = 2;
   auto stats = runtime::explore_dfs(
       [&](const std::vector<std::uint32_t>& script) {
-        auto snap = GetParam().make(kM, 3);
+        auto snap = test::make_snapshot(*GetParam(), kM, 3);
         History history;
         RecordingSnapshot recorded(*snap, history);
 
@@ -141,7 +118,7 @@ TEST_P(SnapshotLinSimTest, RandomSchedulesHeavier) {
   constexpr std::uint32_t kM = 3;
   runtime::explore_random(
       [&](std::uint64_t seed) {
-        auto snap = GetParam().make(kM, 5);
+        auto snap = test::make_snapshot(*GetParam(), kM, 5);
         History history;
         RecordingSnapshot recorded(*snap, history);
 
@@ -169,10 +146,8 @@ TEST_P(SnapshotLinSimTest, RandomSchedulesHeavier) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllImplementations, SnapshotLinSimTest,
-                         ::testing::ValuesIn(checked_impls),
-                         [](const ::testing::TestParamInfo<Impl>& info) {
-                           return info.param.label;
-                         });
+                         ::testing::ValuesIn(checked_impls()),
+                         test::snapshot_param_name);
 
 // ---------------------------------------------------------------------------
 // Helping-path (condition (2)) coverage.

@@ -4,18 +4,14 @@
 // levels; the exact linearizability checking happens in snapshot_sim_test.
 #include <gtest/gtest.h>
 
-#include <functional>
 #include <memory>
 #include <thread>
 
-#include "baseline/double_collect.h"
-#include "baseline/full_snapshot.h"
-#include "baseline/lock_snapshot.h"
-#include "baseline/seqlock_snapshot.h"
 #include "common/timing.h"
-#include "core/cas_psnap.h"
-#include "core/register_psnap.h"
+#include "core/partial_snapshot.h"
 #include "exec/exec.h"
+#include "registry/registry.h"
+#include "tests/support/registry_params.h"
 #include "verify/realtime_checker.h"
 
 namespace psnap::core {
@@ -23,48 +19,8 @@ namespace {
 
 using verify::RealtimeChecker;
 
-using Factory = std::function<std::unique_ptr<PartialSnapshot>(
-    std::uint32_t m, std::uint32_t n)>;
-
-struct Impl {
-  std::string label;
-  Factory make;
-};
-
-Impl all_impls[] = {
-    {"fig1_register",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<RegisterPartialSnapshot>(m, n);
-     }},
-    {"fig3_cas",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<CasPartialSnapshot>(m, n);
-     }},
-    {"fig3_write_ablation",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       CasPartialSnapshot::Options options;
-       options.use_cas = false;
-       return std::make_unique<CasPartialSnapshot>(m, n, options);
-     }},
-    {"full_snapshot",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<baseline::FullSnapshot>(m, n);
-     }},
-    {"double_collect",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<baseline::DoubleCollectSnapshot>(m, n);
-     }},
-    {"lock",
-     [](std::uint32_t m, std::uint32_t) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<baseline::LockSnapshot>(m);
-     }},
-    {"seqlock",
-     [](std::uint32_t m, std::uint32_t) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<baseline::SeqlockSnapshot>(m);
-     }},
-};
-
-class SnapshotStressTest : public ::testing::TestWithParam<Impl> {};
+class SnapshotStressTest
+    : public ::testing::TestWithParam<const registry::SnapshotInfo*> {};
 
 TEST_P(SnapshotStressTest, DedicatedWritersRealtimeConsistency) {
   constexpr std::uint32_t kComponents = 4;
@@ -72,7 +28,8 @@ TEST_P(SnapshotStressTest, DedicatedWritersRealtimeConsistency) {
   constexpr std::uint64_t kWritesPerComponent = 3000;
   constexpr std::uint64_t kScansPerScanner = 3000;
 
-  auto snap = GetParam().make(kComponents, kComponents + kScanners);
+  auto snap =
+      test::make_snapshot(*GetParam(), kComponents, kComponents + kScanners);
   RealtimeChecker checker(kComponents);
   std::vector<std::vector<RealtimeChecker::ScanObservation>> observations(
       kScanners);
@@ -114,7 +71,7 @@ TEST_P(SnapshotStressTest, DedicatedWritersRealtimeConsistency) {
 
   for (auto& obs : observations) {
     auto outcome = checker.check(obs);
-    EXPECT_TRUE(outcome.ok) << GetParam().label << ": " << outcome.diagnosis;
+    EXPECT_TRUE(outcome.ok) << GetParam()->name << ": " << outcome.diagnosis;
   }
 }
 
@@ -123,7 +80,7 @@ TEST_P(SnapshotStressTest, PerComponentMonotonicity) {
   // one scanner must observe non-decreasing values per component.
   constexpr std::uint32_t kComponents = 2;
   constexpr std::uint64_t kWrites = 20000;
-  auto snap = GetParam().make(kComponents, 3);
+  auto snap = test::make_snapshot(*GetParam(), kComponents, 3);
 
   std::thread writer([&] {
     exec::ScopedPid pid(0);
@@ -136,7 +93,7 @@ TEST_P(SnapshotStressTest, PerComponentMonotonicity) {
     std::uint64_t last = 0;
     for (int i = 0; i < 5000; ++i) {
       snap->scan(indices, out);
-      ASSERT_GE(out[0], last) << GetParam().label;
+      ASSERT_GE(out[0], last) << GetParam()->name;
       ASSERT_LE(out[0], kWrites);
       ASSERT_EQ(out[1], 0u);  // untouched component stays at initial
       last = out[0];
@@ -147,10 +104,8 @@ TEST_P(SnapshotStressTest, PerComponentMonotonicity) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllImplementations, SnapshotStressTest,
-                         ::testing::ValuesIn(all_impls),
-                         [](const ::testing::TestParamInfo<Impl>& info) {
-                           return info.param.label;
-                         });
+                         ::testing::ValuesIn(test::snapshot_impls()),
+                         test::snapshot_param_name);
 
 }  // namespace
 }  // namespace psnap::core

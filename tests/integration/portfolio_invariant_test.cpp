@@ -18,43 +18,20 @@
 #include <memory>
 #include <thread>
 
-#include "baseline/full_snapshot.h"
-#include "baseline/lock_snapshot.h"
 #include "core/cas_psnap.h"
-#include "core/register_psnap.h"
+#include "core/partial_snapshot.h"
 #include "exec/exec.h"
+#include "registry/registry.h"
+#include "tests/support/registry_params.h"
 
 namespace psnap::core {
 namespace {
 
-using Factory = std::function<std::unique_ptr<PartialSnapshot>(
-    std::uint32_t m, std::uint32_t n)>;
-
-struct Impl {
-  std::string label;
-  Factory make;
-};
-
-Impl lin_impls[] = {
-    {"fig1_register",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<RegisterPartialSnapshot>(m, n);
-     }},
-    {"fig3_cas",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<CasPartialSnapshot>(m, n);
-     }},
-    {"full_snapshot",
-     [](std::uint32_t m, std::uint32_t n) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<baseline::FullSnapshot>(m, n);
-     }},
-    {"lock",
-     [](std::uint32_t m, std::uint32_t) -> std::unique_ptr<PartialSnapshot> {
-       return std::make_unique<baseline::LockSnapshot>(m);
-     }},
-};
-
-class PortfolioInvariantTest : public ::testing::TestWithParam<Impl> {};
+// Every registered implementation is linearizable, so all of them must
+// keep the pair invariant (uncapped double-collect/seqlock scans can
+// retry but always return a consistent pair once the owners finish).
+class PortfolioInvariantTest
+    : public ::testing::TestWithParam<const registry::SnapshotInfo*> {};
 
 TEST_P(PortfolioInvariantTest, PairInvariantHoldsUnderChurn) {
   constexpr std::uint32_t kPairs = 2;
@@ -62,7 +39,7 @@ TEST_P(PortfolioInvariantTest, PairInvariantHoldsUnderChurn) {
   constexpr std::uint64_t kIterations = 30000;
   constexpr int kAudits = 5000;
 
-  auto snap = GetParam().make(kM, kPairs + 2);
+  auto snap = test::make_snapshot(*GetParam(), kM, kPairs + 2);
 
   std::vector<std::thread> owners;
   for (std::uint32_t p = 0; p < kPairs; ++p) {
@@ -94,14 +71,12 @@ TEST_P(PortfolioInvariantTest, PairInvariantHoldsUnderChurn) {
 
   for (auto& t : owners) t.join();
   for (auto& t : auditors) t.join();
-  EXPECT_EQ(violations.load(), 0u) << GetParam().label;
+  EXPECT_EQ(violations.load(), 0u) << GetParam()->name;
 }
 
 INSTANTIATE_TEST_SUITE_P(LinearizableImpls, PortfolioInvariantTest,
-                         ::testing::ValuesIn(lin_impls),
-                         [](const ::testing::TestParamInfo<Impl>& info) {
-                           return info.param.label;
-                         });
+                         ::testing::ValuesIn(test::snapshot_impls()),
+                         test::snapshot_param_name);
 
 TEST(PortfolioControl, NaivePiecewiseReadsDoTear) {
   // Control experiment: read the pair with two independent scans (which is

@@ -1,0 +1,196 @@
+// The implementation registry: catalogue integrity, spec parsing, and the
+// sequential scan contract driven uniformly through registry construction.
+#include "registry/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "activeset/faicas_active_set.h"
+#include "core/cas_psnap.h"
+#include "core/partial_snapshot.h"
+#include "exec/exec.h"
+#include "tests/support/registry_params.h"
+
+namespace psnap::registry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Catalogue integrity.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotRegistry, CataloguesTheExpectedBuiltins) {
+  auto& registry = SnapshotRegistry::instance();
+  for (const char* name :
+       {"fig1_register", "fig3_cas", "fig3_write_ablation", "full_snapshot",
+        "double_collect", "lock", "seqlock"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+  EXPECT_GE(registry.all().size(), 7u);
+  EXPECT_EQ(registry.find("no_such_impl"), nullptr);
+}
+
+TEST(ActiveSetRegistry, CataloguesTheExpectedBuiltins) {
+  auto& registry = ActiveSetRegistry::instance();
+  for (const char* name : {"register", "faicas", "faicas_nocoalesce",
+                           "faicas_nopublish", "lock"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+  EXPECT_GE(registry.all().size(), 5u);
+}
+
+TEST(SnapshotRegistry, NamesAreUniqueAndIdentifierSafe) {
+  for (const SnapshotInfo* info : SnapshotRegistry::instance().all()) {
+    EXPECT_FALSE(info->name.empty());
+    for (char c : info->name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_')
+          << info->name << " is not a valid gtest parameter name";
+    }
+    EXPECT_FALSE(info->description.empty()) << info->name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing.
+// ---------------------------------------------------------------------------
+
+TEST(RegistryOptions, ParsesTypedValuesAndFlagShorthand) {
+  Options options = Options::parse("cap=3,verbose,name=zipf");
+  EXPECT_EQ(options.get_uint("cap", 0), 3u);
+  EXPECT_TRUE(options.get_bool("verbose", false));
+  EXPECT_EQ(options.get_string("name", ""), "zipf");
+  EXPECT_EQ(options.get_uint("absent", 17), 17u);
+  EXPECT_NO_THROW(options.check_consumed());
+}
+
+TEST(RegistryOptions, RejectsMalformedSpecs) {
+  EXPECT_THROW(Options::parse("=3"), std::invalid_argument);
+  EXPECT_THROW(Options::parse("a=1,,b=2"), std::invalid_argument);
+  // Duplicate keys would be silently first-wins; fail instead.
+  EXPECT_THROW(Options::parse("cas=true,cas=false"), std::invalid_argument);
+  Options bad_bool = Options::parse("cas=maybe");
+  EXPECT_THROW(bad_bool.get_bool("cas", true), std::invalid_argument);
+  Options bad_uint = Options::parse("cap=12x");
+  EXPECT_THROW(bad_uint.get_uint("cap", 0), std::invalid_argument);
+  // stoull would happily wrap a negative or skip leading junk; a typo'd
+  // spec must fail loudly instead of silently disabling a bound.
+  Options negative = Options::parse("cap=-1");
+  EXPECT_THROW(negative.get_uint("cap", 0), std::invalid_argument);
+  Options padded = Options::parse("cap= 3");
+  EXPECT_THROW(padded.get_uint("cap", 0), std::invalid_argument);
+}
+
+TEST(SnapshotRegistry, UnknownNameAndUnknownOptionFailLoudly) {
+  EXPECT_THROW(make_snapshot("no_such_impl", 4, 2), std::invalid_argument);
+  EXPECT_THROW(make_snapshot("fig3_cas:typo_option=1", 4, 2),
+               std::invalid_argument);
+  EXPECT_THROW(make_active_set("faicas:typo=1", 2), std::invalid_argument);
+}
+
+TEST(SnapshotRegistry, SpecOptionsReachTheImplementation) {
+  exec::ScopedPid pid(0);
+  {
+    auto snap = make_snapshot("fig3_cas:cas=false", 4, 2);
+    auto* cas = dynamic_cast<core::CasPartialSnapshot*>(snap.get());
+    ASSERT_NE(cas, nullptr);
+    EXPECT_EQ(snap->name(), "fig3-write(ablation)");
+  }
+  {
+    auto snap = make_snapshot("fig1_register:initial=7", 4, 2);
+    EXPECT_EQ(snap->scan({0, 3}), (std::vector<std::uint64_t>{7, 7}));
+  }
+  {
+    // Figure 1 paired with the Figure 2 active set via a nested spec.
+    auto snap = make_snapshot("fig1_register:as=faicas", 4, 2);
+    snap->update(1, 5);
+    EXPECT_EQ(snap->scan({1}), (std::vector<std::uint64_t>{5}));
+  }
+  {
+    // Nested active-set options use ';' so they survive the outer comma
+    // split; combined with a sibling option to prove both are consumed.
+    auto snap = make_snapshot(
+        "fig1_register:as=faicas;coalesce=false;publish=false,initial=2", 4,
+        2);
+    EXPECT_EQ(snap->scan({0, 2}), (std::vector<std::uint64_t>{2, 2}));
+    snap->update(2, 9);
+    EXPECT_EQ(snap->scan({2}), (std::vector<std::uint64_t>{9}));
+  }
+  {
+    auto as = make_active_set("faicas:coalesce=false", 2);
+    EXPECT_NE(dynamic_cast<activeset::FaiCasActiveSet*>(as.get()), nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Capability flags vs the instances.
+// ---------------------------------------------------------------------------
+
+class RegistryFlagsTest
+    : public ::testing::TestWithParam<const SnapshotInfo*> {};
+
+TEST_P(RegistryFlagsTest, FlagsMatchInstance) {
+  const SnapshotInfo& info = *GetParam();
+  auto snap = test::make_snapshot(info, 4, 2);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(info.is_wait_free, snap->is_wait_free()) << info.name;
+  EXPECT_EQ(info.is_local, snap->is_local()) << info.name;
+  EXPECT_EQ(snap->num_components(), 4u) << info.name;
+  EXPECT_FALSE(snap->name().empty()) << info.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImplementations, RegistryFlagsTest,
+                         ::testing::ValuesIn(test::snapshot_impls()),
+                         test::snapshot_param_name);
+
+// ---------------------------------------------------------------------------
+// Sequential scan contract through the registry: unsorted, duplicate, and
+// empty index sets, and scan_all, for every registered implementation.
+// ---------------------------------------------------------------------------
+
+class RegistryScanContractTest
+    : public ::testing::TestWithParam<const SnapshotInfo*> {};
+
+TEST_P(RegistryScanContractTest, UnsortedDuplicateAndEmptyIndexSets) {
+  constexpr std::uint32_t kM = 12;
+  auto snap = test::make_snapshot(*GetParam(), kM, 3);
+  exec::ScopedPid pid(0);
+  for (std::uint32_t i = 0; i < kM; ++i) snap->update(i, 100 + i);
+
+  // Unsorted request: values must come back in request order.
+  EXPECT_EQ(snap->scan({7, 0, 11, 3}),
+            (std::vector<std::uint64_t>{107, 100, 111, 103}));
+  // Duplicates: every occurrence is answered.
+  EXPECT_EQ(snap->scan({5, 5, 2, 5}),
+            (std::vector<std::uint64_t>{105, 105, 102, 105}));
+  // Unsorted AND duplicated.
+  EXPECT_EQ(snap->scan({9, 1, 9, 1}),
+            (std::vector<std::uint64_t>{109, 101, 109, 101}));
+  // Empty set.
+  std::vector<std::uint32_t> none;
+  EXPECT_TRUE(snap->scan(std::span<const std::uint32_t>(none)).empty());
+}
+
+TEST_P(RegistryScanContractTest, ScanAllMatchesSequentialModel) {
+  constexpr std::uint32_t kM = 9;
+  auto snap = test::make_snapshot(*GetParam(), kM, 3);
+  exec::ScopedPid pid(0);
+  std::vector<std::uint64_t> model(kM, 0);
+  // Interleave updates and partial scans, then compare the complete scan.
+  for (std::uint32_t round = 1; round <= 4; ++round) {
+    for (std::uint32_t i = 0; i < kM; i += round) {
+      snap->update(i, round * 1000 + i);
+      model[i] = round * 1000 + i;
+    }
+    EXPECT_EQ(snap->scan_all(), model) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImplementations, RegistryScanContractTest,
+                         ::testing::ValuesIn(test::snapshot_impls()),
+                         test::snapshot_param_name);
+
+}  // namespace
+}  // namespace psnap::registry

@@ -1,0 +1,62 @@
+// Shared helpers for parameterizing gtest suites over the implementation
+// registry.  Replaces the per-file `struct Impl { label; factory; }`
+// tables: tests pick a capability filter instead of hand-curating lists,
+// so a newly registered implementation is covered everywhere it qualifies.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "registry/registry.h"
+
+namespace psnap::test {
+
+using SnapshotFilter = std::function<bool(const registry::SnapshotInfo&)>;
+using ActiveSetFilter = std::function<bool(const registry::ActiveSetInfo&)>;
+
+inline std::vector<const registry::SnapshotInfo*> snapshot_impls(
+    const SnapshotFilter& filter = nullptr) {
+  std::vector<const registry::SnapshotInfo*> out;
+  for (const registry::SnapshotInfo* info :
+       registry::SnapshotRegistry::instance().all()) {
+    if (!filter || filter(*info)) out.push_back(info);
+  }
+  return out;
+}
+
+inline std::vector<const registry::ActiveSetInfo*> active_set_impls(
+    const ActiveSetFilter& filter = nullptr) {
+  std::vector<const registry::ActiveSetInfo*> out;
+  for (const registry::ActiveSetInfo* info :
+       registry::ActiveSetRegistry::instance().all()) {
+    if (!filter || filter(*info)) out.push_back(info);
+  }
+  return out;
+}
+
+// Default-options construction, the common case in tests.
+inline std::unique_ptr<core::PartialSnapshot> make_snapshot(
+    const registry::SnapshotInfo& info, std::uint32_t m, std::uint32_t n) {
+  return info.make(m, n, registry::Options{});
+}
+
+inline std::unique_ptr<activeset::ActiveSet> make_active_set(
+    const registry::ActiveSetInfo& info, std::uint32_t n) {
+  return info.make(n, registry::Options{});
+}
+
+// gtest parameter-name generators (registry names are identifier-safe).
+inline std::string snapshot_param_name(
+    const ::testing::TestParamInfo<const registry::SnapshotInfo*>& info) {
+  return info.param->name;
+}
+
+inline std::string active_set_param_name(
+    const ::testing::TestParamInfo<const registry::ActiveSetInfo*>& info) {
+  return info.param->name;
+}
+
+}  // namespace psnap::test
