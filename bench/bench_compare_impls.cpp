@@ -90,7 +90,8 @@ double mixed_throughput(const std::string& spec, std::uint32_t m,
 }
 
 void table_mixed(const std::vector<std::string>& specs,
-                 std::uint32_t workers, double seconds) {
+                 std::uint32_t workers, double seconds,
+                 bench::JsonReport& report) {
   constexpr std::uint32_t kM = 256;
   constexpr std::uint32_t kR = 4;
   TablePrinter table({"impl", "10% updates ops/s", "50% updates ops/s",
@@ -100,6 +101,9 @@ void table_mixed(const std::vector<std::string>& specs,
     for (double uf : {0.1, 0.5, 0.9}) {
       double ops = mixed_throughput(spec, kM, kR, workers, uf, seconds);
       row.push_back(TablePrinter::fmt(ops / 1e6, 3) + "M");
+      report.add("CMPa/" + spec + "/updates=" +
+                     std::to_string(static_cast<int>(uf * 100)) + "%",
+                 ops);
     }
     table.add_row(std::move(row));
   }
@@ -111,7 +115,8 @@ void table_mixed(const std::vector<std::string>& specs,
 }
 
 void table_crossover(const std::vector<std::string>& specs,
-                     std::uint32_t workers, double seconds) {
+                     std::uint32_t workers, double seconds,
+                     bench::JsonReport& report) {
   constexpr std::uint32_t kM = 256;
   TablePrinter table({"impl", "r=2", "r=16", "r=64", "r=256(=m)"});
   for (const std::string& spec : specs) {
@@ -119,6 +124,7 @@ void table_crossover(const std::vector<std::string>& specs,
     for (std::uint32_t r : {2u, 16u, 64u, 256u}) {
       double ops = mixed_throughput(spec, kM, r, workers, 0.3, seconds);
       row.push_back(TablePrinter::fmt(ops / 1e6, 3) + "M");
+      report.add("CMPb/" + spec + "/r=" + std::to_string(r), ops);
     }
     table.add_row(std::move(row));
   }
@@ -137,17 +143,26 @@ int main(int argc, char** argv) {
   flags.define("impls", "",
                "comma-separated registry specs (default: all registered):\n" +
                    registry::snapshot_catalogue());
+  flags.define("json", "",
+               "also write machine-readable results to this JSON file "
+               "(perf-trajectory artifact)");
   if (!flags.parse(argc, argv)) return 1;
 
   std::printf("Experiment CMP: implementation comparison (Sections 1, 5)\n\n");
   auto workers = static_cast<std::uint32_t>(flags.get_uint("threads"));
   double seconds = flags.get_double("seconds");
   auto specs = impl_specs(flags.get_string("impls"));
+  bench::JsonReport report;
   try {
-    table_mixed(specs, workers, seconds);
-    table_crossover(specs, workers, seconds);
+    table_mixed(specs, workers, seconds, report);
+    table_crossover(specs, workers, seconds, report);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  std::string json_path = flags.get_string("json");
+  if (!json_path.empty() && !report.write_file(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;
   }
   return 0;

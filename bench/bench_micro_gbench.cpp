@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "core/cas_psnap.h"
 #include "exec/exec.h"
 #include "intervals/interval_set.h"
 #include "primitives/primitives.h"
@@ -18,40 +19,59 @@ namespace {
 
 using namespace psnap;
 
+// Primitive micros run in both runtimes (see primitives.h): the gap
+// between <policy>/instrumented and <policy>/release is exactly the cost
+// of step accounting plus seq_cst ordering.
+template <class Policy>
 void BM_RegisterLoad(benchmark::State& state) {
-  primitives::Register<std::uint64_t> reg(1);
+  primitives::Register<std::uint64_t, Policy> reg(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(reg.load());
   }
 }
-BENCHMARK(BM_RegisterLoad);
+BENCHMARK(BM_RegisterLoad<primitives::Instrumented>)->Name(
+    "BM_RegisterLoad/instrumented");
+BENCHMARK(BM_RegisterLoad<primitives::Release>)->Name(
+    "BM_RegisterLoad/release");
 
+template <class Policy>
 void BM_RegisterStore(benchmark::State& state) {
-  primitives::Register<std::uint64_t> reg(1);
+  primitives::Register<std::uint64_t, Policy> reg(1);
   std::uint64_t k = 0;
   for (auto _ : state) {
     reg.store(++k);
   }
 }
-BENCHMARK(BM_RegisterStore);
+BENCHMARK(BM_RegisterStore<primitives::Instrumented>)->Name(
+    "BM_RegisterStore/instrumented");
+BENCHMARK(BM_RegisterStore<primitives::Release>)->Name(
+    "BM_RegisterStore/release");
 
+template <class Policy>
 void BM_CasSuccess(benchmark::State& state) {
-  primitives::CasObject<std::uint64_t> obj(0);
+  primitives::CasObject<std::uint64_t, Policy> obj(0);
   std::uint64_t k = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(obj.compare_and_swap(k, k + 1));
     ++k;
   }
 }
-BENCHMARK(BM_CasSuccess);
+BENCHMARK(BM_CasSuccess<primitives::Instrumented>)->Name(
+    "BM_CasSuccess/instrumented");
+BENCHMARK(BM_CasSuccess<primitives::Release>)->Name(
+    "BM_CasSuccess/release");
 
+template <class Policy>
 void BM_FetchIncrement(benchmark::State& state) {
-  primitives::FetchIncrement fai;
+  primitives::FetchIncrementT<Policy> fai;
   for (auto _ : state) {
     benchmark::DoNotOptimize(fai.fetch_increment());
   }
 }
-BENCHMARK(BM_FetchIncrement);
+BENCHMARK(BM_FetchIncrement<primitives::Instrumented>)->Name(
+    "BM_FetchIncrement/instrumented");
+BENCHMARK(BM_FetchIncrement<primitives::Release>)->Name(
+    "BM_FetchIncrement/release");
 
 void BM_EbrPinUnpin(benchmark::State& state) {
   reclaim::EbrDomain domain;
@@ -126,8 +146,11 @@ void BM_FaiCasGetSetAfterChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_FaiCasGetSetAfterChurn);
 
-void BM_Fig3Update(benchmark::State& state) {
-  auto snap = registry::make_snapshot("fig3_cas", 64, 2);
+// Snapshot operation micros, parameterized by registry spec so the
+// instrumented and release runtimes appear side by side in the output
+// (and in the BENCH_*.json artifacts CI captures from this binary).
+void BM_SnapshotUpdate(benchmark::State& state, const char* spec) {
+  auto snap = registry::make_snapshot(spec, 64, 2);
   exec::ScopedPid pid(0);
   std::uint64_t k = 0;
   for (auto _ : state) {
@@ -135,10 +158,51 @@ void BM_Fig3Update(benchmark::State& state) {
     snap->update(static_cast<std::uint32_t>(k % 64), k);
   }
 }
-BENCHMARK(BM_Fig3Update);
+BENCHMARK_CAPTURE(BM_SnapshotUpdate, fig3_cas, "fig3_cas");
+BENCHMARK_CAPTURE(BM_SnapshotUpdate, fig3_cas_fast, "fig3_cas_fast");
+BENCHMARK_CAPTURE(BM_SnapshotUpdate, fig1_register, "fig1_register");
+BENCHMARK_CAPTURE(BM_SnapshotUpdate, fig1_register_fast,
+                  "fig1_register_fast");
 
-void BM_Fig3Scan(benchmark::State& state) {
-  auto snap_ptr = registry::make_snapshot("fig3_cas", 1024, 2);
+// Update with a parked scanner announced and active: the updater pays the
+// full helping path (getSet + announcement read + embedded scan over the
+// announced set + a view-carrying record).
+void BM_SnapshotUpdateHelping(benchmark::State& state, const char* spec) {
+  auto snap = registry::make_snapshot(spec, 64, 2);
+  {
+    // Announce a scan set, then park pid 1 in the active set (a scan's
+    // join without its leave), so every measured update helps it.
+    exec::ScopedPid scanner(1);
+    std::vector<std::uint64_t> out;
+    snap->scan(std::vector<std::uint32_t>{1, 17, 33, 49}, out);
+    if (auto* c = dynamic_cast<core::CasPartialSnapshot*>(snap.get())) {
+      c->active_set().join();
+    } else if (auto* f =
+                   dynamic_cast<core::CasPartialSnapshotFast*>(snap.get())) {
+      f->active_set().join();
+    } else {
+      // Without the park the getSet below returns empty and the numbers
+      // would be non-helping timings under a helping label.
+      state.SkipWithError("spec has no parkable active set accessor");
+      return;
+    }
+  }
+  exec::ScopedPid pid(0);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    ++k;
+    snap->update(static_cast<std::uint32_t>(k % 64), k);
+  }
+}
+BENCHMARK_CAPTURE(BM_SnapshotUpdateHelping, fig3_cas, "fig3_cas");
+BENCHMARK_CAPTURE(BM_SnapshotUpdateHelping, fig3_cas_fast, "fig3_cas_fast");
+
+// Fixed iteration count, like BM_FaiCasJoinLeave: every Figure-3 scan
+// consumes one Figure-2 slot (the paper never recycles them; 4M capacity
+// per instance), so a time-targeted run of the fast runtime could exhaust
+// the slot array mid-benchmark.  1<<19 scans stay far inside it.
+void BM_SnapshotScan(benchmark::State& state, const char* spec) {
+  auto snap_ptr = registry::make_snapshot(spec, 1024, 2);
   auto& snap = *snap_ptr;
   exec::ScopedPid pid(0);
   std::vector<std::uint32_t> indices;
@@ -151,23 +215,26 @@ void BM_Fig3Scan(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_Fig3Scan)->RangeMultiplier(2)->Range(1, 64)->Complexity();
-
-void BM_Fig1Scan(benchmark::State& state) {
-  auto snap_ptr = registry::make_snapshot("fig1_register", 1024, 2);
-  auto& snap = *snap_ptr;
-  exec::ScopedPid pid(0);
-  std::vector<std::uint32_t> indices;
-  for (std::uint32_t j = 0; j < state.range(0); ++j) {
-    indices.push_back(j * 16);
-  }
-  std::vector<std::uint64_t> out;
-  for (auto _ : state) {
-    snap.scan(indices, out);
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_Fig1Scan)->RangeMultiplier(2)->Range(1, 64)->Complexity();
+BENCHMARK_CAPTURE(BM_SnapshotScan, fig3_cas, "fig3_cas")
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Iterations(1 << 19)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_SnapshotScan, fig3_cas_fast, "fig3_cas_fast")
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Iterations(1 << 19)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_SnapshotScan, fig1_register, "fig1_register")
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Iterations(1 << 19)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_SnapshotScan, fig1_register_fast, "fig1_register_fast")
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Iterations(1 << 19)
+    ->Complexity();
 
 void BM_FullSnapshotScan(benchmark::State& state) {
   auto snap_ptr = registry::make_snapshot(

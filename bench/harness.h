@@ -13,7 +13,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,6 +25,48 @@
 #include "exec/exec.h"
 
 namespace psnap::bench {
+
+// Machine-readable results next to the human tables: benches accumulate
+// (name, value, unit) entries and write them as JSON when --json=<path> is
+// passed, feeding the committed BENCH_*.json perf-trajectory artifacts
+// (CI produces BENCH_PR2.json and successors).  The format mirrors google
+// benchmark's "benchmarks" array so one jq expression reads both.
+class JsonReport {
+ public:
+  void add(const std::string& name, double value,
+           const std::string& unit = "ops/s") {
+    entries_.push_back(Entry{name, value, unit});
+  }
+
+  bool empty() const { return entries_.empty(); }
+
+  // Writes {"benchmarks": [{"name": ..., "value": ..., "unit": ...}]}.
+  // Names are registry specs and metric labels (identifier-safe; no JSON
+  // escaping needed).  Returns false if the file cannot be written.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"value\": %.6g, "
+                   "\"unit\": \"%s\"}%s\n",
+                   e.name.c_str(), e.value, e.unit.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::vector<Entry> entries_;
+};
 
 // Statistics one worker gathers about its own operations.
 struct WorkerStats {

@@ -9,10 +9,13 @@ namespace psnap::activeset {
 
 using intervals::IntervalSet;
 
-FaiCasActiveSet::FaiCasActiveSet(std::uint32_t max_processes)
-    : FaiCasActiveSet(max_processes, Options{}) {}
+template <class Policy>
+FaiCasActiveSetT<Policy>::FaiCasActiveSetT(std::uint32_t max_processes)
+    : FaiCasActiveSetT(max_processes, Options{}) {}
 
-FaiCasActiveSet::FaiCasActiveSet(std::uint32_t max_processes, Options options)
+template <class Policy>
+FaiCasActiveSetT<Policy>::FaiCasActiveSetT(std::uint32_t max_processes,
+                                           Options options)
     : n_(max_processes),
       options_(options),
       c_(new IntervalSet()),
@@ -20,13 +23,15 @@ FaiCasActiveSet::FaiCasActiveSet(std::uint32_t max_processes, Options options)
   PSNAP_ASSERT(max_processes > 0);
 }
 
-FaiCasActiveSet::~FaiCasActiveSet() {
+template <class Policy>
+FaiCasActiveSetT<Policy>::~FaiCasActiveSetT() {
   // Retired lists are drained by the EbrDomain destructor; the currently
   // published list is still owned here.
   delete c_.peek();
 }
 
-void FaiCasActiveSet::join() {
+template <class Policy>
+void FaiCasActiveSetT<Policy>::join() {
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   std::uint64_t l = h_.fetch_increment();  // 1-based slot index
@@ -38,7 +43,8 @@ void FaiCasActiveSet::join() {
   my_slot_[pid].value = l;
 }
 
-void FaiCasActiveSet::leave() {
+template <class Policy>
+void FaiCasActiveSetT<Policy>::leave() {
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   std::uint64_t l = my_slot_[pid].value;
@@ -47,7 +53,8 @@ void FaiCasActiveSet::leave() {
   my_slot_[pid].value = 0;
 }
 
-void FaiCasActiveSet::get_set(std::vector<std::uint32_t>& out) {
+template <class Policy>
+void FaiCasActiveSetT<Policy>::get_set(std::vector<std::uint32_t>& out) {
   out.clear();
   auto guard = ebr_.pin();
 
@@ -60,7 +67,10 @@ void FaiCasActiveSet::get_set(std::vector<std::uint32_t>& out) {
       options_.publish_skip_list ? *old_c : empty;
   if (h > 0) {
     skip.for_each_gap(1, h, [&](std::uint64_t l) {
-      std::uint64_t entry = i_.at(l - 1).load();
+      // load_sync: the getSet end of the announce/join handshake -- a
+      // join the scanner fenced before our walk must be seen here (see
+      // primitives.h).
+      std::uint64_t entry = i_.at(l - 1).load_sync();
       if (entry == kVacated) {
         vacated.push_back(l);
       } else if (entry != kEmpty) {
@@ -93,8 +103,12 @@ void FaiCasActiveSet::get_set(std::vector<std::uint32_t>& out) {
   out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
-std::size_t FaiCasActiveSet::published_intervals() const {
+template <class Policy>
+std::size_t FaiCasActiveSetT<Policy>::published_intervals() const {
   return c_.peek()->size();
 }
+
+template class FaiCasActiveSetT<primitives::Instrumented>;
+template class FaiCasActiveSetT<primitives::Release>;
 
 }  // namespace psnap::activeset

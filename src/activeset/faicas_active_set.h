@@ -27,6 +27,24 @@
 // leaves recycling open).  When a bound on the total number of joins is
 // known a priori the constructor accepts it and asserts it is respected,
 // which is the bounded-space variant the paper sketches.
+//
+// Templated over the primitives' runtime policy (see primitives.h).
+// Release-mode soundness, per operation:
+//   * join: the F&I is acq_rel (slot indices stay unique) and the I[l]
+//     id store is release, sequenced after the caller's announcement
+//     store; a getSet that loads the id therefore also sees the
+//     announcement -- the message-passing property Figures 1/3 need.
+//     The converse direction (a getSet running after the caller's
+//     post-join fence must SEE the join) is the Dekker-shaped half:
+//     scanners fence between join and collects, and the I[] walk below
+//     uses load_sync -- see the protocol-fence discussion in
+//     primitives.h.
+//   * getSet: reads C with acquire (the IntervalSet behind the pointer is
+//     immutable and was release-published), H with acquire, and each I[l]
+//     with load_sync as above.  The skip-list CAS is acq_rel.
+//   * The paper's invariant only demands per-location ordering ("is set to
+//     0 and never changes thereafter"), which coherence gives even
+//     relaxed.
 #pragma once
 
 #include <cstdint>
@@ -42,31 +60,38 @@
 
 namespace psnap::activeset {
 
-class FaiCasActiveSet final : public ActiveSet {
- public:
-  struct Options {
-    // Coalesce adjacent intervals when publishing (Section 4.1's rule).
-    // Disabled only by the ABL-1 ablation bench.
-    bool coalesce = true;
-    // Publish the vacated-interval list at all.  Disabled only by the
-    // ablation bench, to measure how getSet cost degrades without C.
-    bool publish_skip_list = true;
-    // If nonzero, the a-priori bound on joins in this execution: the slot
-    // array is conceptually bounded and exceeding the bound is a usage
-    // error (asserted).
-    std::uint64_t max_joins = 0;
-  };
+// Options are policy-independent so registry code can build them once and
+// hand them to either runtime's constructor.
+struct FaiCasOptions {
+  // Coalesce adjacent intervals when publishing (Section 4.1's rule).
+  // Disabled only by the ABL-1 ablation bench.
+  bool coalesce = true;
+  // Publish the vacated-interval list at all.  Disabled only by the
+  // ablation bench, to measure how getSet cost degrades without C.
+  bool publish_skip_list = true;
+  // If nonzero, the a-priori bound on joins in this execution: the slot
+  // array is conceptually bounded and exceeding the bound is a usage
+  // error (asserted).
+  std::uint64_t max_joins = 0;
+};
 
-  explicit FaiCasActiveSet(std::uint32_t max_processes);
-  FaiCasActiveSet(std::uint32_t max_processes, Options options);
-  ~FaiCasActiveSet() override;
+template <class Policy = primitives::Instrumented>
+class FaiCasActiveSetT final : public ActiveSet {
+ public:
+  using Options = FaiCasOptions;
+
+  explicit FaiCasActiveSetT(std::uint32_t max_processes);
+  FaiCasActiveSetT(std::uint32_t max_processes, Options options);
+  ~FaiCasActiveSetT() override;
 
   void join() override;
   void leave() override;
   void get_set(std::vector<std::uint32_t>& out) override;
   using ActiveSet::get_set;
 
-  std::string_view name() const override { return "faicas-as"; }
+  std::string_view name() const override {
+    return Policy::kCountsSteps ? "faicas-as" : "faicas-as-fast";
+  }
   std::uint32_t max_processes() const override { return n_; }
 
   // --- observability for tests and benches ---
@@ -89,9 +114,9 @@ class FaiCasActiveSet final : public ActiveSet {
   std::uint32_t n_;
   Options options_;
 
-  primitives::FetchIncrement h_;  // highest issued slot index (1-based)
-  primitives::CasObject<const intervals::IntervalSet*> c_;
-  segarray::SegmentedArray<primitives::Register<std::uint64_t>> i_;
+  primitives::FetchIncrementT<Policy> h_;  // highest issued slot (1-based)
+  primitives::CasObject<const intervals::IntervalSet*, Policy> c_;
+  segarray::SegmentedArray<primitives::Register<std::uint64_t, Policy>> i_;
 
   // Per-process slot index from the most recent join (local state).
   std::vector<CachelinePadded<std::uint64_t>> my_slot_;
@@ -99,5 +124,7 @@ class FaiCasActiveSet final : public ActiveSet {
   reclaim::EbrDomain ebr_;
   std::atomic<std::uint64_t> publications_{0};
 };
+
+using FaiCasActiveSet = FaiCasActiveSetT<primitives::Instrumented>;
 
 }  // namespace psnap::activeset

@@ -5,28 +5,37 @@
 
 namespace psnap::activeset {
 
-RegisterActiveSet::RegisterActiveSet(std::uint32_t max_processes)
+template <class Policy>
+RegisterActiveSetT<Policy>::RegisterActiveSetT(std::uint32_t max_processes)
     : n_(max_processes), flags_(max_processes) {
   PSNAP_ASSERT(max_processes > 0);
 }
 
-void RegisterActiveSet::join() {
+template <class Policy>
+void RegisterActiveSetT<Policy>::join() {
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   flags_[pid].store(1);
 }
 
-void RegisterActiveSet::leave() {
+template <class Policy>
+void RegisterActiveSetT<Policy>::leave() {
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   flags_[pid].store(0);
 }
 
-void RegisterActiveSet::get_set(std::vector<std::uint32_t>& out) {
+template <class Policy>
+void RegisterActiveSetT<Policy>::get_set(std::vector<std::uint32_t>& out) {
   out.clear();
   for (std::uint32_t p = 0; p < n_; ++p) {
-    if (flags_[p].load() != 0) out.push_back(p);
+    // load_sync: the getSet end of the announce/join handshake -- a join
+    // the scanner fenced before this walk must be seen (see primitives.h).
+    if (flags_[p].load_sync() != 0) out.push_back(p);
   }
 }
+
+template class RegisterActiveSetT<primitives::Instrumented>;
+template class RegisterActiveSetT<primitives::Release>;
 
 }  // namespace psnap::activeset

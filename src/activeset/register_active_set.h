@@ -8,6 +8,17 @@
 // of [3].  The active-set *specification* is met exactly, so Figure 1's
 // correctness is unchanged; only the additive active-set term of Theorem 1
 // differs, and the benches report that term separately.
+//
+// Templated over the primitives' runtime policy (see primitives.h):
+// Instrumented for the theorem benches and sim tests, Release for the
+// `fig1_register_fast` registry entry.  Release-mode soundness, both
+// directions of the handshake: (a) an update whose getSet reads
+// flag[p] == 1 synchronizes-with p's release join store and therefore
+// sees p's earlier announcement; (b) a scanner fences (seq_cst) between
+// its join and its collects, and getSet reads the flags with load_sync,
+// so an update whose getSet walk runs after that fence cannot miss the
+// scanner -- the Dekker half that acquire/release alone would lose (see
+// the protocol-fence discussion in primitives.h).
 #pragma once
 
 #include <memory>
@@ -18,23 +29,28 @@
 
 namespace psnap::activeset {
 
-class RegisterActiveSet final : public ActiveSet {
+template <class Policy = primitives::Instrumented>
+class RegisterActiveSetT final : public ActiveSet {
  public:
-  explicit RegisterActiveSet(std::uint32_t max_processes);
+  explicit RegisterActiveSetT(std::uint32_t max_processes);
 
   void join() override;
   void leave() override;
   void get_set(std::vector<std::uint32_t>& out) override;
   using ActiveSet::get_set;
 
-  std::string_view name() const override { return "register-as"; }
+  std::string_view name() const override {
+    return Policy::kCountsSteps ? "register-as" : "register-as-fast";
+  }
   std::uint32_t max_processes() const override { return n_; }
 
  private:
   std::uint32_t n_;
   // One SWMR flag per process; 1 = active.  vector of Register is fine:
   // Register is not copyable after construction, so build in place.
-  std::vector<primitives::Register<std::uint64_t>> flags_;
+  std::vector<primitives::Register<std::uint64_t, Policy>> flags_;
 };
+
+using RegisterActiveSet = RegisterActiveSetT<primitives::Instrumented>;
 
 }  // namespace psnap::activeset

@@ -94,11 +94,17 @@ void FullSnapshot::update(std::uint32_t i, std::uint64_t v) {
   auto guard = ebr_.pin();
 
   embedded_full_scan(ctx);
-  std::unique_ptr<FullRecord> rec(
-      new FullRecord{v, ++counter_[pid].value, pid, ctx.values});
+  // Pool-backed record, owned by the Handle until publication (an
+  // injected halt at the publish step returns it to the pool instead of
+  // leaking).
+  auto rec = record_pool_.acquire(ebr_);
+  rec->value = v;
+  rec->counter = ++counter_[pid].value;
+  rec->pid = pid;
+  rec->full_view = ctx.values;  // capacity-reusing copy
   const FullRecord* old = r_[i].exchange(rec.get());
   rec.release();
-  ebr_.retire(const_cast<FullRecord*>(old));
+  record_pool_.recycle(ebr_, const_cast<FullRecord*>(old));
 }
 
 void FullSnapshot::scan(std::span<const std::uint32_t> indices,

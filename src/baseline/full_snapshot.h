@@ -19,6 +19,7 @@
 #include "core/scan_context.h"
 #include "primitives/primitives.h"
 #include "reclaim/ebr.h"
+#include "reclaim/pool.h"
 
 namespace psnap::baseline {
 
@@ -53,6 +54,10 @@ class FullSnapshot final : public core::PartialSnapshot {
 
   std::uint32_t m_;
   std::uint32_t n_;
+  // Pool before ebr_: ~EbrDomain flushes retired records into it.  Pooled
+  // records keep their full_view capacity, so steady-state updates are
+  // allocation-free even though every record carries all m values.
+  reclaim::Pool<FullRecord> record_pool_;
   std::vector<primitives::Register<const FullRecord*>> r_;
   reclaim::EbrDomain ebr_;
   std::vector<CachelinePadded<std::uint64_t>> counter_;

@@ -24,34 +24,40 @@ struct PerPid {
 
 }  // namespace
 
-CasPartialSnapshot::CasPartialSnapshot(std::uint32_t num_components,
-                                       std::uint32_t max_processes)
-    : CasPartialSnapshot(num_components, max_processes, Options{}) {}
+template <class Policy>
+CasPartialSnapshotT<Policy>::CasPartialSnapshotT(std::uint32_t num_components,
+                                                 std::uint32_t max_processes)
+    : CasPartialSnapshotT(num_components, max_processes, Options{}) {}
 
-CasPartialSnapshot::CasPartialSnapshot(std::uint32_t num_components,
-                                       std::uint32_t max_processes,
-                                       Options options,
-                                       std::uint64_t initial_value)
+template <class Policy>
+CasPartialSnapshotT<Policy>::CasPartialSnapshotT(std::uint32_t num_components,
+                                                 std::uint32_t max_processes,
+                                                 Options options,
+                                                 std::uint64_t initial_value)
     : m_(num_components),
       n_(max_processes),
       options_(options),
       r_(num_components),
       s_(max_processes),
-      as_(std::make_unique<activeset::FaiCasActiveSet>(max_processes,
-                                                       options.active_set)),
+      as_(std::make_unique<activeset::FaiCasActiveSetT<Policy>>(
+          max_processes, options.active_set)),
       counter_(max_processes) {
   PSNAP_ASSERT(m_ > 0 && n_ > 0);
   for (std::uint32_t i = 0; i < m_; ++i) {
-    r_[i].init(new Record{initial_value, i, kInitPid, {}}, /*label=*/i);
+    r_[i]->init(new Record{initial_value, i, kInitPid, {}}, /*label=*/i);
   }
 }
 
-CasPartialSnapshot::~CasPartialSnapshot() {
-  for (auto& obj : r_) delete obj.peek();
-  for (auto& reg : s_) delete reg.peek();
+template <class Policy>
+CasPartialSnapshotT<Policy>::~CasPartialSnapshotT() {
+  // Published records/announcements are owned here; everything in flight
+  // through ebr_ drains into the pools when ebr_ is destroyed.
+  for (auto& obj : r_) delete obj->peek();
+  for (auto& reg : s_) delete reg->peek();
 }
 
-const View& CasPartialSnapshot::embedded_scan(
+template <class Policy>
+const View& CasPartialSnapshotT<Policy>::embedded_scan(
     std::span<const std::uint32_t> args, ScanContext& ctx) {
   OpStats& stats = tls_op_stats();
   stats.embedded_args = args.size();
@@ -67,6 +73,10 @@ const View& CasPartialSnapshot::embedded_scan(
   // were installed during this scan, and -- because updates publish with
   // CAS -- the third value's updater read the component after the second
   // was installed, i.e. after this scan began (Section 4.2's argument).
+  // Release-mode note: "distinct values" is pointer inequality on one
+  // location, and the borrow dereferences a pointer obtained by an acquire
+  // load from that location, so the borrowed record's view is fully
+  // visible; no cross-location ordering is consumed here.
   //
   // Write mode (ABL-3 ablation, plain-overwrite updates): the CAS argument
   // is unavailable, so we fall back to Figure 1's moved-twice per-process
@@ -120,7 +130,7 @@ const View& CasPartialSnapshot::embedded_scan(
                      "figure-3 embedded scan exceeded its collect bound");
     const Record* borrow = nullptr;
     for (std::size_t j = 0; j < args.size(); ++j) {
-      cur[j] = r_[args[j]].load();
+      cur[j] = r_[args[j]]->load();
       if (borrow != nullptr) continue;
       if (options_.use_cas) {
         borrow = note_loc(j, cur[j]);
@@ -148,7 +158,8 @@ const View& CasPartialSnapshot::embedded_scan(
   }
 }
 
-void CasPartialSnapshot::update(std::uint32_t i, std::uint64_t v) {
+template <class Policy>
+void CasPartialSnapshotT<Policy>::update(std::uint32_t i, std::uint64_t v) {
   PSNAP_ASSERT(i < m_);
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
@@ -159,14 +170,17 @@ void CasPartialSnapshot::update(std::uint32_t i, std::uint64_t v) {
 
   // Figure 3 reads the current record before anything else; the CAS at the
   // end succeeds only if the component was not updated in between.
-  const Record* old = r_[i].load();
+  // Release mode: acquire load; the record is only compared by address
+  // until the CAS, and if dereferenced (retire path) the acquire pairs
+  // with the publishing CAS's release.
+  const Record* old = r_[i]->load();
 
   as_->get_set(ctx.scanners);
   tls_op_stats().getset_size = ctx.scanners.size();
 
   ctx.union_args.clear();
   for (std::uint32_t p : ctx.scanners) {
-    const IndexSet* announced = s_[p].load();
+    const IndexSet* announced = s_[p]->load();
     if (announced != nullptr) {
       ctx.union_args.insert(ctx.union_args.end(), announced->indices.begin(),
                             announced->indices.end());
@@ -183,19 +197,29 @@ void CasPartialSnapshot::update(std::uint32_t i, std::uint64_t v) {
   // (paper: "if the compare&swap was successful then counter++"); tags of
   // *published* records stay unique either way, because a failed record is
   // never visible to anyone.
-  // unique_ptr until publication: survives both the CAS-failure path and
-  // an injected halt at the publish step without leaking.
-  std::unique_ptr<Record> rec(
-      new Record{v, counter_[pid].value + 1, pid, view});
+  //
+  // The record comes from the pool (capacity-reusing; zero steady-state
+  // allocations) and goes back to it on every non-publishing exit -- the
+  // CAS-failure path and an injected halt at the publish step both unwind
+  // through the Handle instead of leaking.
+  auto rec = record_pool_.acquire(ebr_);
+  rec->value = v;
+  rec->counter = counter_[pid].value + 1;
+  rec->pid = pid;
+  rec->view = view;  // capacity-reusing copy into the recycled vector
+
   if (options_.use_cas) {
-    const Record* prev = r_[i].compare_and_swap(old, rec.get());
+    // Release mode: the CAS is acq_rel -- release so the record built
+    // above is visible to any acquire load of R[i] that sees it, acquire
+    // so the returned `prev` may be handed to reclamation.
+    const Record* prev = r_[i]->compare_and_swap(old, rec.get());
     if (prev == old) {
       rec.release();
       ++counter_[pid].value;
-      ebr_.retire(const_cast<Record*>(old));
+      record_pool_.recycle(ebr_, const_cast<Record*>(old));
     } else {
       // Linearized immediately before the update that beat us; our record
-      // was never published, so unique_ptr frees it.
+      // was never published, so it returns straight to the pool.
       tls_op_stats().cas_failed = true;
     }
   } else {
@@ -206,18 +230,19 @@ void CasPartialSnapshot::update(std::uint32_t i, std::uint64_t v) {
     ++counter_[pid].value;
     const Record* cur = old;
     while (true) {
-      const Record* prev = r_[i].compare_and_swap(cur, rec.get());
+      const Record* prev = r_[i]->compare_and_swap(cur, rec.get());
       if (prev == cur) break;
       cur = prev;
     }
     rec.release();
-    ebr_.retire(const_cast<Record*>(cur));
+    record_pool_.recycle(ebr_, const_cast<Record*>(cur));
   }
 }
 
-void CasPartialSnapshot::scan(std::span<const std::uint32_t> indices,
-                              std::vector<std::uint64_t>& out,
-                              ScanContext& ctx) {
+template <class Policy>
+void CasPartialSnapshotT<Policy>::scan(std::span<const std::uint32_t> indices,
+                                       std::vector<std::uint64_t>& out,
+                                       ScanContext& ctx) {
   out.clear();
   if (indices.empty()) return;
   std::uint32_t pid = exec::ctx().pid;
@@ -233,17 +258,27 @@ void CasPartialSnapshot::scan(std::span<const std::uint32_t> indices,
   // is single-writer (only this process stores to it), so peeking our own
   // register is local state, not a shared-object step; when the canonical
   // set matches what is already announced, re-publishing an identical
-  // IndexSet would only churn the allocator and the EBR retire list.
-  const IndexSet* announced = s_[pid].peek();
+  // IndexSet would only churn the pool and the EBR retire list.  The
+  // announcement itself is pooled: republishing a changed set reuses a
+  // recycled IndexSet's capacity, so steady-state scans -- even ones that
+  // alternate between shapes -- allocate nothing.
+  const IndexSet* announced = s_[pid]->peek();
   if (announced == nullptr || announced->indices != ctx.canonical) {
-    std::unique_ptr<IndexSet> announce(new IndexSet{ctx.canonical});
-    const IndexSet* old_announce = s_[pid].exchange(announce.get());
+    auto announce = announce_pool_.acquire(ebr_);
+    announce->indices.assign(ctx.canonical.begin(), ctx.canonical.end());
+    const IndexSet* old_announce = s_[pid]->exchange(announce.get());
     announce.release();
     if (old_announce != nullptr) {
-      ebr_.retire(const_cast<IndexSet*>(old_announce));
+      announce_pool_.recycle(ebr_, const_cast<IndexSet*>(old_announce));
     }
   }
   as_->join();
+  // Scanner end of the announce/join-vs-getSet handshake (see
+  // primitives.h): the announcement exchange and the join's stores must
+  // drain before our collect loads run, or a concurrent update's getSet
+  // could miss us after our embedded scan has already begun -- which
+  // would break the condition-(2) borrow coverage argument.
+  primitives::protocol_fence<Policy>();
   const View& view = embedded_scan(ctx.canonical, ctx);
   as_->leave();
 
@@ -255,5 +290,8 @@ void CasPartialSnapshot::scan(std::span<const std::uint32_t> indices,
     out.push_back(e->value);
   }
 }
+
+template class CasPartialSnapshotT<primitives::Instrumented>;
+template class CasPartialSnapshotT<primitives::Release>;
 
 }  // namespace psnap::core

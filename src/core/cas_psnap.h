@@ -20,6 +20,20 @@
 // 2r+1 collects of r reads each -- O(r^2) worst case, independent of both m
 // and the contention.  That locality is what the LOC/T3 benches measure and
 // what the access-log tests assert.
+//
+// Runtime policy (see primitives.h): CasPartialSnapshotT<Instrumented> is
+// the step-counted, sim-safe build; CasPartialSnapshotT<Release>
+// ("fig3_cas_fast") swaps seq_cst for acquire/release and drops the
+// accounting.  Release-mode soundness is argued at each use site in
+// cas_psnap.cpp; the skeleton is that every synchronization decision here
+// is (a) publication of an immutable record through one atomic word, read
+// with acquire, or (b) a CAS/F&I, which remains an RMW on the newest value
+// in its location's modification order even at acq_rel.
+//
+// Steady-state updates and scans are allocation-free: Records and
+// announcement IndexSets are recycled through reclaim::Pool free lists
+// (their embedded vectors keep capacity across lives), and all transient
+// scratch lives in the caller's ScanContext.
 #pragma once
 
 #include <memory>
@@ -32,14 +46,16 @@
 #include "core/scan_context.h"
 #include "primitives/primitives.h"
 #include "reclaim/ebr.h"
+#include "reclaim/pool.h"
 
 namespace psnap::core {
 
-class CasPartialSnapshot final : public PartialSnapshot {
+template <class Policy = primitives::Instrumented>
+class CasPartialSnapshotT final : public PartialSnapshot {
  public:
   struct Options {
     // Options forwarded to the embedded Figure 2 active set.
-    activeset::FaiCasActiveSet::Options active_set;
+    activeset::FaiCasOptions active_set;
     // ABL-3 ablation: publish updates with a plain overwrite (register
     // semantics) instead of CAS.  Correctness is preserved by falling back
     // to the Figure 1 condition (2) (three values by one process), but
@@ -48,15 +64,17 @@ class CasPartialSnapshot final : public PartialSnapshot {
     bool use_cas = true;
   };
 
-  CasPartialSnapshot(std::uint32_t num_components,
-                     std::uint32_t max_processes);
-  CasPartialSnapshot(std::uint32_t num_components, std::uint32_t max_processes,
-                     Options options, std::uint64_t initial_value = 0);
-  ~CasPartialSnapshot() override;
+  CasPartialSnapshotT(std::uint32_t num_components,
+                      std::uint32_t max_processes);
+  CasPartialSnapshotT(std::uint32_t num_components,
+                      std::uint32_t max_processes, Options options,
+                      std::uint64_t initial_value = 0);
+  ~CasPartialSnapshotT() override;
 
   std::uint32_t num_components() const override { return m_; }
   std::string_view name() const override {
-    return options_.use_cas ? "fig3-cas" : "fig3-write(ablation)";
+    if (!options_.use_cas) return "fig3-write(ablation)";
+    return Policy::kCountsSteps ? "fig3-cas" : "fig3-cas-fast";
   }
   bool is_wait_free() const override { return true; }
   bool is_local() const override { return true; }
@@ -66,7 +84,10 @@ class CasPartialSnapshot final : public PartialSnapshot {
             std::vector<std::uint64_t>& out, ScanContext& ctx) override;
   using PartialSnapshot::scan;
 
-  activeset::FaiCasActiveSet& active_set() { return *as_; }
+  activeset::FaiCasActiveSetT<Policy>& active_set() { return *as_; }
+
+  // Pool observability for the allocation tests.
+  const reclaim::Pool<Record>& record_pool() const { return record_pool_; }
 
  private:
   // Fills ctx.view with the embedded-scan result and returns it.
@@ -76,12 +97,26 @@ class CasPartialSnapshot final : public PartialSnapshot {
   std::uint32_t m_;
   std::uint32_t n_;
   Options options_;
-  std::vector<primitives::CasObject<const Record*>> r_;
-  // The paper's S[1..n] announcement registers.
-  std::vector<primitives::Register<const IndexSet*>> s_;
-  std::unique_ptr<activeset::FaiCasActiveSet> as_;
+  // Pools are declared before ebr_ on purpose: ~EbrDomain flushes retired
+  // nodes into them, so they must be destroyed after it.
+  reclaim::Pool<Record> record_pool_;
+  reclaim::Pool<IndexSet> announce_pool_;
+  // CachelinePadded: a CasObject is 16 bytes, so four components would
+  // share a line and concurrent updates to distinct components would
+  // false-share; per-component isolation matches counter_'s treatment.
+  std::vector<CachelinePadded<primitives::CasObject<const Record*, Policy>>>
+      r_;
+  // The paper's S[1..n] announcement registers (per-process single-writer,
+  // padded for the same reason).
+  std::vector<
+      CachelinePadded<primitives::Register<const IndexSet*, Policy>>>
+      s_;
+  std::unique_ptr<activeset::FaiCasActiveSetT<Policy>> as_;
   reclaim::EbrDomain ebr_;
   std::vector<CachelinePadded<std::uint64_t>> counter_;
 };
+
+using CasPartialSnapshot = CasPartialSnapshotT<primitives::Instrumented>;
+using CasPartialSnapshotFast = CasPartialSnapshotT<primitives::Release>;
 
 }  // namespace psnap::core

@@ -21,7 +21,8 @@ struct PerPid {
 
 }  // namespace
 
-RegisterPartialSnapshot::RegisterPartialSnapshot(
+template <class Policy>
+RegisterPartialSnapshotT<Policy>::RegisterPartialSnapshotT(
     std::uint32_t num_components, std::uint32_t max_processes,
     std::unique_ptr<activeset::ActiveSet> active_set,
     std::uint64_t initial_value)
@@ -29,25 +30,28 @@ RegisterPartialSnapshot::RegisterPartialSnapshot(
       n_(max_processes),
       r_(num_components),
       a_(max_processes),
-      as_(active_set ? std::move(active_set)
-                     : std::make_unique<activeset::RegisterActiveSet>(
-                           max_processes)),
+      as_(active_set
+              ? std::move(active_set)
+              : std::make_unique<activeset::RegisterActiveSetT<Policy>>(
+                    max_processes)),
       counter_(max_processes) {
   PSNAP_ASSERT(m_ > 0 && n_ > 0);
   PSNAP_ASSERT(as_->max_processes() >= n_);
   for (std::uint32_t i = 0; i < m_; ++i) {
     // Initial records carry the sentinel pid and the component index as the
     // counter, which keeps every record tag unique.
-    r_[i].init(new Record{initial_value, i, kInitPid, {}}, /*label=*/i);
+    r_[i]->init(new Record{initial_value, i, kInitPid, {}}, /*label=*/i);
   }
 }
 
-RegisterPartialSnapshot::~RegisterPartialSnapshot() {
-  for (auto& reg : r_) delete reg.peek();
-  for (auto& reg : a_) delete reg.peek();
+template <class Policy>
+RegisterPartialSnapshotT<Policy>::~RegisterPartialSnapshotT() {
+  for (auto& reg : r_) delete reg->peek();
+  for (auto& reg : a_) delete reg->peek();
 }
 
-const View& RegisterPartialSnapshot::embedded_scan(
+template <class Policy>
+const View& RegisterPartialSnapshotT<Policy>::embedded_scan(
     std::span<const std::uint32_t> args, ScanContext& ctx) {
   OpStats& stats = tls_op_stats();
   stats.embedded_args = args.size();
@@ -71,7 +75,11 @@ const View& RegisterPartialSnapshot::embedded_scan(
   // condition the paper's correctness argument requires.
   //
   // Pointer identity is sound throughout: we are EBR-pinned for the whole
-  // operation, so no observed record can be freed and its address reused.
+  // operation, so no observed record can be freed -- or, with pooling,
+  // recycled -- and its address reused.  Release-mode note: "appeared as a
+  // change" compares two acquire loads of the SAME location, so only
+  // per-location coherence is consumed; the borrow dereference pairs with
+  // the publishing release exchange.
   std::span<PerPid> seen = ctx.arena.take<PerPid>(n_);
 
   // Called for a record that just appeared as a change at some location;
@@ -105,7 +113,7 @@ const View& RegisterPartialSnapshot::embedded_scan(
                      "figure-1 embedded scan exceeded its collect bound");
     const Record* borrow = nullptr;
     for (std::size_t j = 0; j < args.size(); ++j) {
-      cur[j] = r_[args[j]].load();
+      cur[j] = r_[args[j]]->load();
       if (have_prev && cur[j] != prev[j] && borrow == nullptr) {
         borrow = note_move(cur[j]);
       }
@@ -132,7 +140,9 @@ const View& RegisterPartialSnapshot::embedded_scan(
   }
 }
 
-void RegisterPartialSnapshot::update(std::uint32_t i, std::uint64_t v) {
+template <class Policy>
+void RegisterPartialSnapshotT<Policy>::update(std::uint32_t i,
+                                              std::uint64_t v) {
   PSNAP_ASSERT(i < m_);
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
@@ -148,7 +158,7 @@ void RegisterPartialSnapshot::update(std::uint32_t i, std::uint64_t v) {
 
   ctx.union_args.clear();
   for (std::uint32_t p : ctx.scanners) {
-    const IndexSet* announced = a_[p].load();
+    const IndexSet* announced = a_[p]->load();
     if (announced != nullptr) {
       ctx.union_args.insert(ctx.union_args.end(), announced->indices.begin(),
                             announced->indices.end());
@@ -161,22 +171,30 @@ void RegisterPartialSnapshot::update(std::uint32_t i, std::uint64_t v) {
 
   const View& view = embedded_scan(ctx.union_args, ctx);
 
-  // unique_ptr until publication: if this process halts at the publish
-  // step (crash injection, Section 2's failure model), the unpublished
-  // record unwinds instead of leaking.
-  std::unique_ptr<Record> rec(
-      new Record{v, ++counter_[pid].value, pid, view});
+  // Pool-backed record, owned by the Handle until publication: if this
+  // process halts at the publish step (crash injection, Section 2's
+  // failure model), the unpublished record returns to the pool instead of
+  // leaking, skipping the grace period (nobody ever saw the pointer).
+  auto rec = record_pool_.acquire(ebr_);
+  rec->value = v;
+  rec->counter = ++counter_[pid].value;
+  rec->pid = pid;
+  rec->view = view;  // capacity-reusing copy into the recycled vector
+
   // The write that linearizes the update.  exchange (one register step,
   // see primitives.h) returns the replaced record so exactly one thread
-  // retires it.
-  const Record* old = r_[i].exchange(rec.get());
+  // retires it.  Release mode: acq_rel -- release publishes the immutable
+  // record to acquire collects, acquire covers the replaced record handed
+  // to reclamation.
+  const Record* old = r_[i]->exchange(rec.get());
   rec.release();
-  ebr_.retire(const_cast<Record*>(old));
+  record_pool_.recycle(ebr_, const_cast<Record*>(old));
 }
 
-void RegisterPartialSnapshot::scan(std::span<const std::uint32_t> indices,
-                                   std::vector<std::uint64_t>& out,
-                                   ScanContext& ctx) {
+template <class Policy>
+void RegisterPartialSnapshotT<Policy>::scan(
+    std::span<const std::uint32_t> indices, std::vector<std::uint64_t>& out,
+    ScanContext& ctx) {
   out.clear();
   if (indices.empty()) return;
   std::uint32_t pid = exec::ctx().pid;
@@ -189,20 +207,31 @@ void RegisterPartialSnapshot::scan(std::span<const std::uint32_t> indices,
   canonical_indices_into(indices, ctx.canonical);
 
   // Announce, then join: an update whose getSet sees us joined is
-  // guaranteed to read our announcement.  Re-publish only when the set
-  // changed: A[pid] is single-writer (ours), so peeking our own register
-  // is local state, and an unchanged announcement already covers this
-  // scan's components.
-  const IndexSet* announced = a_[pid].peek();
+  // guaranteed to read our announcement (in Release mode: the join store
+  // is release and sequenced after this exchange, so a getSet that
+  // acquire-reads the joined flag also sees the announcement).
+  // Re-publish only when the set changed: A[pid] is single-writer (ours),
+  // so peeking our own register is local state, and an unchanged
+  // announcement already covers this scan's components.  Announcements are
+  // pooled, so even shape-alternating scans allocate nothing in steady
+  // state.
+  const IndexSet* announced = a_[pid]->peek();
   if (announced == nullptr || announced->indices != ctx.canonical) {
-    std::unique_ptr<IndexSet> announce(new IndexSet{ctx.canonical});
-    const IndexSet* old_announce = a_[pid].exchange(announce.get());
+    auto announce = announce_pool_.acquire(ebr_);
+    announce->indices.assign(ctx.canonical.begin(), ctx.canonical.end());
+    const IndexSet* old_announce = a_[pid]->exchange(announce.get());
     announce.release();
     if (old_announce != nullptr) {
-      ebr_.retire(const_cast<IndexSet*>(old_announce));
+      announce_pool_.recycle(ebr_, const_cast<IndexSet*>(old_announce));
     }
   }
   as_->join();
+  // Scanner end of the announce/join-vs-getSet handshake (see
+  // primitives.h): the announcement exchange and the join store must
+  // drain before our collect loads run, or a concurrent update's getSet
+  // could miss us after our embedded scan has already begun -- which
+  // would break the condition-(2) borrow coverage argument.
+  primitives::protocol_fence<Policy>();
   const View& view = embedded_scan(ctx.canonical, ctx);
   as_->leave();
 
@@ -217,5 +246,8 @@ void RegisterPartialSnapshot::scan(std::span<const std::uint32_t> indices,
     out.push_back(e->value);
   }
 }
+
+template class RegisterPartialSnapshotT<primitives::Instrumented>;
+template class RegisterPartialSnapshotT<primitives::Release>;
 
 }  // namespace psnap::core

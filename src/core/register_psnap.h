@@ -23,6 +23,15 @@
 // condition-(1) embedded scan between its two identical collects; a
 // condition-(2) embedded scan at the linearization point of the embedded
 // scan it borrows from; a scan at its embedded scan.
+//
+// Runtime policy (see primitives.h): RegisterPartialSnapshotT<Instrumented>
+// is the step-counted, sim-safe build; the Release instantiation
+// ("fig1_register_fast") publishes records with release exchanges and
+// collects with acquire loads -- the memory-order downgrade arguments are
+// at the use sites in register_psnap.cpp and tabulated in README.md.
+//
+// Steady-state updates and scans are allocation-free: Records and
+// announcement IndexSets recycle through reclaim::Pool free lists.
 #pragma once
 
 #include <memory>
@@ -35,23 +44,28 @@
 #include "core/scan_context.h"
 #include "primitives/primitives.h"
 #include "reclaim/ebr.h"
+#include "reclaim/pool.h"
 
 namespace psnap::core {
 
-class RegisterPartialSnapshot final : public PartialSnapshot {
+template <class Policy = primitives::Instrumented>
+class RegisterPartialSnapshotT final : public PartialSnapshot {
  public:
-  // active_set defaults to the register-only implementation (the paper's
-  // Figure 1 uses a register-based active set); injectable so benches can
-  // pair Figure 1 with the Figure 2 active set too.
-  RegisterPartialSnapshot(std::uint32_t num_components,
-                          std::uint32_t max_processes,
-                          std::unique_ptr<activeset::ActiveSet> active_set =
-                              nullptr,
-                          std::uint64_t initial_value = 0);
-  ~RegisterPartialSnapshot() override;
+  // active_set defaults to the register-only implementation in the same
+  // runtime policy (the paper's Figure 1 uses a register-based active
+  // set); injectable so benches can pair Figure 1 with the Figure 2 active
+  // set too.
+  RegisterPartialSnapshotT(std::uint32_t num_components,
+                           std::uint32_t max_processes,
+                           std::unique_ptr<activeset::ActiveSet> active_set =
+                               nullptr,
+                           std::uint64_t initial_value = 0);
+  ~RegisterPartialSnapshotT() override;
 
   std::uint32_t num_components() const override { return m_; }
-  std::string_view name() const override { return "fig1-register"; }
+  std::string_view name() const override {
+    return Policy::kCountsSteps ? "fig1-register" : "fig1-register-fast";
+  }
   bool is_wait_free() const override { return true; }
   // Scans are contention-local but the helping machinery makes update cost
   // depend on scanner announcements, not on m; scan steps never depend on
@@ -66,6 +80,9 @@ class RegisterPartialSnapshot final : public PartialSnapshot {
 
   activeset::ActiveSet& active_set() { return *as_; }
 
+  // Pool observability for the allocation tests.
+  const reclaim::Pool<Record>& record_pool() const { return record_pool_; }
+
  private:
   // Runs the embedded partial scan over `args` (sorted unique), filling
   // ctx.view with a sorted view covering at least `args`... for condition
@@ -77,13 +94,28 @@ class RegisterPartialSnapshot final : public PartialSnapshot {
 
   std::uint32_t m_;
   std::uint32_t n_;
-  std::vector<primitives::Register<const Record*>> r_;
-  std::vector<primitives::Register<const IndexSet*>> a_;
+  // Pools before ebr_: ~EbrDomain flushes retired nodes into them.
+  reclaim::Pool<Record> record_pool_;
+  reclaim::Pool<IndexSet> announce_pool_;
+  // CachelinePadded: a Register is 16 bytes; without padding four
+  // components (or four processes' announcement slots) would share a line
+  // and false-share under concurrent traffic, matching counter_'s
+  // treatment.
+  std::vector<CachelinePadded<primitives::Register<const Record*, Policy>>>
+      r_;
+  std::vector<
+      CachelinePadded<primitives::Register<const IndexSet*, Policy>>>
+      a_;
   std::unique_ptr<activeset::ActiveSet> as_;
   reclaim::EbrDomain ebr_;
   // Per-process publication counters (only the owner writes; reads by the
   // owner only), giving unique (pid, counter) record tags.
   std::vector<CachelinePadded<std::uint64_t>> counter_;
 };
+
+using RegisterPartialSnapshot =
+    RegisterPartialSnapshotT<primitives::Instrumented>;
+using RegisterPartialSnapshotFast =
+    RegisterPartialSnapshotT<primitives::Release>;
 
 }  // namespace psnap::core

@@ -104,9 +104,14 @@ bool IntervalSet::is_canonical() const {
 std::string IntervalSet::to_string() const {
   std::string out = "{";
   for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    // Appended piecewise: GCC 12's -Wrestrict false-positives on the
+    // chained operator+ form at -O3 (PR105651), which -Werror promotes.
     if (i) out += ", ";
-    out += "[" + std::to_string(intervals_[i].lo) + "," +
-           std::to_string(intervals_[i].hi) + "]";
+    out += '[';
+    out += std::to_string(intervals_[i].lo);
+    out += ',';
+    out += std::to_string(intervals_[i].hi);
+    out += ']';
   }
   out += "}";
   return out;

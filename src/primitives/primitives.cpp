@@ -1,13 +1,21 @@
 // The primitives are header-only templates; this translation unit exists to
 // anchor the static library and to force-compile the common instantiations
-// used across the project, catching template errors early.
+// used across the project -- in both runtimes -- catching template errors
+// early.
 #include "primitives/primitives.h"
 
 namespace psnap::primitives {
 
-template class Register<std::uint64_t>;
-template class Register<void*>;
-template class CasObject<std::uint64_t>;
-template class CasObject<void*>;
+template class Register<std::uint64_t, Instrumented>;
+template class Register<void*, Instrumented>;
+template class CasObject<std::uint64_t, Instrumented>;
+template class CasObject<void*, Instrumented>;
+template class FetchIncrementT<Instrumented>;
+
+template class Register<std::uint64_t, Release>;
+template class Register<void*, Release>;
+template class CasObject<std::uint64_t, Release>;
+template class CasObject<void*, Release>;
+template class FetchIncrementT<Release>;
 
 }  // namespace psnap::primitives

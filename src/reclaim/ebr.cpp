@@ -28,12 +28,15 @@ constexpr std::size_t kReclaimThreshold = 64;
 EbrDomain::EbrDomain() : domain_id_(next_domain_id()), slots_(kMaxThreads) {}
 
 EbrDomain::~EbrDomain() {
-  // Precondition: quiescent.  Free everything outstanding.
-  for (Slot& slot : slots_) {
+  // Precondition: quiescent.  Free everything outstanding.  The callback
+  // receives each node's own slot index: the destroying thread may never
+  // have operated on this domain, so it must not need a slot of its own.
+  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+    Slot& slot = slots_[s];
     PSNAP_ASSERT_MSG(slot.epoch.load(std::memory_order_relaxed) == kIdle,
                      "EbrDomain destroyed while a thread is pinned");
     for (RetiredNode& node : slot.retired) {
-      node.deleter(node.ptr);
+      node.fn(node.ptr, node.ctx, *this, s);
       freed_.fetch_add(1, std::memory_order_relaxed);
     }
     slot.retired.clear();
@@ -84,11 +87,11 @@ EbrDomain::Guard::~Guard() {
   }
 }
 
-void EbrDomain::retire_raw(void* node, void (*deleter)(void*)) {
+void EbrDomain::retire_raw(void* node, void* ctx, RecycleFn fn) {
   PSNAP_ASSERT(node != nullptr);
   Slot& slot = slots_[slot_for_this_thread()];
   slot.retired.push_back(
-      RetiredNode{node, deleter,
+      RetiredNode{node, ctx, fn,
                   global_epoch_.load(std::memory_order_seq_cst)});
   retired_.fetch_add(1, std::memory_order_relaxed);
   if (slot.retired.size() >= kReclaimThreshold && slot.depth == 0) {
@@ -118,15 +121,17 @@ void EbrDomain::try_reclaim() {
   // generations behind the current one.
   std::uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
   if (now < 2) return;
-  free_eligible(slots_[slot_for_this_thread()], now - 2);
+  free_eligible(slot_for_this_thread(), now - 2);
 }
 
-void EbrDomain::free_eligible(Slot& slot, std::uint64_t safe_epoch) {
+void EbrDomain::free_eligible(std::uint32_t slot_index,
+                              std::uint64_t safe_epoch) {
+  Slot& slot = slots_[slot_index];
   std::size_t kept = 0;
   for (std::size_t i = 0; i < slot.retired.size(); ++i) {
     RetiredNode& node = slot.retired[i];
     if (node.epoch <= safe_epoch) {
-      node.deleter(node.ptr);
+      node.fn(node.ptr, node.ctx, *this, slot_index);
       freed_.fetch_add(1, std::memory_order_relaxed);
     } else {
       slot.retired[kept++] = node;

@@ -56,14 +56,33 @@ class EbrDomain {
 
   Guard pin() { return Guard(*this); }
 
+  // Grace-period callback: receives the node, the context registered with
+  // it, the domain, and the EBR slot index that held the retired node (so
+  // pooled recycling can index per-slot structures without claiming a
+  // slot for the calling thread -- the domain DESTRUCTOR may flush from a
+  // thread that never operated on the domain and so owns no slot).  Runs
+  // either on the slot's owning thread or in the quiescent destructor.
+  using RecycleFn = void (*)(void* node, void* ctx, EbrDomain& domain,
+                             std::uint32_t slot);
+
   // Hands the node to the domain; it is deleted once no pinned thread can
   // still reference it.  May be called while pinned.
   template <class T>
   void retire(T* node) {
-    retire_raw(node, [](void* p) { delete static_cast<T*>(p); });
+    retire_raw(node, nullptr, [](void* p, void*, EbrDomain&, std::uint32_t) {
+      delete static_cast<T*>(p);
+    });
   }
 
-  void retire_raw(void* node, void (*deleter)(void*));
+  // Generalized form: instead of deleting, the grace-period callback
+  // decides what to do with the node.  reclaim::Pool uses this to recycle
+  // nodes into a typed free list rather than returning them to the heap.
+  void retire_raw(void* node, void* ctx, RecycleFn fn);
+
+  // Stable per-thread slot index in [0, kMaxThreads) for this domain.
+  // Used by Pool to give each thread its own free list without a second
+  // thread-registration mechanism.
+  std::uint32_t thread_slot() { return slot_for_this_thread(); }
 
   // Attempts to advance the epoch and free eligible nodes.  Called
   // automatically on retire-list pressure; exposed for tests.
@@ -86,7 +105,8 @@ class EbrDomain {
 
   struct RetiredNode {
     void* ptr;
-    void (*deleter)(void*);
+    void* ctx;
+    RecycleFn fn;
     std::uint64_t epoch;
   };
 
@@ -100,7 +120,7 @@ class EbrDomain {
   };
 
   std::uint32_t slot_for_this_thread();
-  void free_eligible(Slot& slot, std::uint64_t safe_epoch);
+  void free_eligible(std::uint32_t slot_index, std::uint64_t safe_epoch);
 
   std::atomic<std::uint64_t> global_epoch_{0};
   std::atomic<std::uint64_t> retired_{0};

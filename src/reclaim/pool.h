@@ -1,0 +1,167 @@
+// Typed free-list pooling on top of epoch-based reclamation.
+//
+// The snapshot algorithms publish one immutable heap record per update and
+// one announcement per scan-shape change.  With plain EBR those nodes are
+// `delete`d after their grace period and the next operation `new`s a fresh
+// one -- two allocator round-trips on every hot-path operation, and (for
+// Record) the loss of the embedded view vector's grown capacity each time.
+//
+// A Pool<T> replaces delete/new with recycle/acquire:
+//
+//   * recycle(domain, node) retires the node through the domain exactly
+//     like EbrDomain::retire, but when the grace period expires the node is
+//     pushed onto a free list instead of deleted.  Nodes are NOT destroyed:
+//     a recycled Record keeps its view vector's capacity, so re-filling it
+//     on the next acquire allocates nothing.
+//   * acquire(domain) pops the calling thread's free list, falling back to
+//     `new T()` only while the pool is still warming up.
+//
+// Free lists are per-thread (indexed by the domain's EBR slot), which makes
+// every list owner-thread-only: recycled nodes surface on the thread that
+// retired them (EBR frees a slot's nodes from that slot's owner), and
+// acquire pops the caller's own list.  No atomics, no cross-thread free
+// list, and therefore no Treiber-stack ABA problem to solve.  The flux is
+// balanced in steady state because each update acquires exactly one record
+// and retires exactly one (the one it replaced).
+//
+// ABA / tag-uniqueness: recycling reuses ADDRESSES no earlier than delete
+// would have handed them back to malloc -- only after the grace period --
+// so the algorithms' pointer-identity arguments (records observed while
+// EBR-pinned are never reused under the reader's feet) are unchanged.  The
+// paper's (pid, counter) content-uniqueness argument is also unchanged:
+// counters increase monotonically per process, so a recycled Record is
+// always republished with a tag no prior record carried.
+// tests/reclaim/pool_test.cpp drives this under the sim scheduler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/padding.h"
+#include "reclaim/ebr.h"
+
+namespace psnap::reclaim {
+
+template <class T>
+class Pool {
+ public:
+  Pool() : lists_(EbrDomain::kMaxThreads) {}
+
+  // Precondition (same as ~EbrDomain): quiescent.  The domain whose nodes
+  // recycle into this pool must be destroyed FIRST -- its destructor
+  // flushes outstanding retired nodes into these lists -- so declare the
+  // Pool before the EbrDomain in the owning class.
+  ~Pool() {
+    for (auto& padded : lists_) {
+      for (void* p : padded.value.free) delete static_cast<T*>(p);
+    }
+  }
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  // Owns a node from acquisition until publication.  On unwind (CAS
+  // failure, injected halt before the publishing store) the node returns
+  // to the acquiring thread's free list, skipping the grace period: no
+  // other thread ever saw the pointer.  The thread slot is resolved once
+  // at acquisition and cached, so the acquire/unwind round trip costs one
+  // slot lookup, not three.  Single-operation scope on one thread; not
+  // movable or copyable.
+  class Handle {
+   public:
+    ~Handle() {
+      if (node_ != nullptr) pool_.put_at(slot_, node_);
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    T* get() const { return node_; }
+    T* operator->() const { return node_; }
+    // Hands ownership to the caller (the publishing store).
+    T* release() {
+      T* node = node_;
+      node_ = nullptr;
+      return node;
+    }
+
+   private:
+    friend class Pool;
+    Handle(Pool& pool, std::uint32_t slot, T* node)
+        : pool_(pool), slot_(slot), node_(node) {}
+
+    Pool& pool_;
+    std::uint32_t slot_;
+    T* node_;
+  };
+
+  // Pops a recycled node, or heap-allocates while warming up.  The node is
+  // whatever state its previous life left it in; callers overwrite every
+  // field before publication.
+  Handle acquire(EbrDomain& domain) {
+    std::uint32_t slot = domain.thread_slot();
+    PerThread& mine = lists_[slot].value;
+    T* node;
+    if (!mine.free.empty()) {
+      node = static_cast<T*>(mine.free.back());
+      mine.free.pop_back();
+      ++mine.reused;
+    } else {
+      ++mine.fresh;
+      node = new T();
+    }
+    return Handle(*this, slot, node);
+  }
+
+  // Returns a node that was never published: it skips the grace period
+  // and is immediately reusable (see Handle; exposed for the EBR flush
+  // path and tests).
+  void put_local(EbrDomain& domain, T* node) {
+    put_at(domain.thread_slot(), node);
+  }
+
+  // Retires a *published* node: it joins the free list once the domain's
+  // grace period guarantees no pinned reader still references it.
+  void recycle(EbrDomain& domain, T* node) {
+    // The callback files the node under its retiring slot's list --
+    // supplied by EBR, so the flushing thread (possibly the domain's
+    // destructor running on a thread that owns no slot) never has to
+    // claim one.
+    domain.retire_raw(node, this,
+                      [](void* p, void* ctx, EbrDomain&, std::uint32_t slot) {
+                        static_cast<Pool*>(ctx)->put_at(slot,
+                                                        static_cast<T*>(p));
+                      });
+  }
+
+  // --- observability (tests; aggregate reads are quiescent-only) ---
+  std::uint64_t reused_count() const {
+    std::uint64_t total = 0;
+    for (const auto& padded : lists_) total += padded.value.reused;
+    return total;
+  }
+  std::uint64_t fresh_count() const {
+    std::uint64_t total = 0;
+    for (const auto& padded : lists_) total += padded.value.fresh;
+    return total;
+  }
+  std::size_t pooled_count() const {
+    std::size_t total = 0;
+    for (const auto& padded : lists_) total += padded.value.free.size();
+    return total;
+  }
+
+ private:
+  struct PerThread {
+    std::vector<void*> free;
+    std::uint64_t reused = 0;
+    std::uint64_t fresh = 0;
+  };
+
+  void put_at(std::uint32_t slot, T* node) {
+    lists_[slot].value.free.push_back(node);
+  }
+
+  std::vector<CachelinePadded<PerThread>> lists_;
+};
+
+}  // namespace psnap::reclaim

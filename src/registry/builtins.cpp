@@ -60,6 +60,22 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
           },
   });
   registry.add(SnapshotInfo{
+      .name = "fig1_register_fast",
+      .description = "Figure 1 in the Release runtime: acquire/release "
+                     "publication, no step accounting or sim hooks "
+                     "(counts_steps=false; wall-clock benches only)",
+      .options_help = "initial=<u64>",
+      .is_wait_free = true,
+      .is_local = true,
+      .counts_steps = false,
+      .sim_safe = false,
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            return std::make_unique<core::RegisterPartialSnapshotFast>(
+                m, n, nullptr, options.get_uint("initial", 0));
+          },
+  });
+  registry.add(SnapshotInfo{
       .name = "fig3_cas",
       .description = "Figure 3: local partial scans from CAS + F&I "
                      "(Theorem 3, the paper's headline algorithm)",
@@ -76,6 +92,25 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
             impl.use_cas = options.get_bool("cas", true);
             impl.active_set = faicas_options(options);
             return std::make_unique<core::CasPartialSnapshot>(
+                m, n, impl, options.get_uint("initial", 0));
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "fig3_cas_fast",
+      .description = "Figure 3 in the Release runtime: acquire/release "
+                     "publication, no step accounting or sim hooks "
+                     "(counts_steps=false; wall-clock benches only)",
+      .options_help =
+          "coalesce=<bool>,publish=<bool>,max_joins=<u64>,initial=<u64>",
+      .is_wait_free = true,
+      .is_local = true,
+      .counts_steps = false,
+      .sim_safe = false,
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            core::CasPartialSnapshotFast::Options impl;
+            impl.active_set = faicas_options(options);
+            return std::make_unique<core::CasPartialSnapshotFast>(
                 m, n, impl, options.get_uint("initial", 0));
           },
   });
@@ -185,6 +220,21 @@ void register_builtin_active_sets(ActiveSetRegistry& registry) {
       .make =
           [](std::uint32_t n, const Options& options) {
             return std::make_unique<activeset::FaiCasActiveSet>(
+                n, faicas_options(options));
+          },
+  });
+  registry.add(ActiveSetInfo{
+      .name = "faicas_fast",
+      .description = "Figure 2 in the Release runtime (no step accounting; "
+                     "wall-clock benches only)",
+      .options_help = "coalesce=<bool>,publish=<bool>,max_joins=<u64>",
+      .is_wait_free = true,
+      .counts_steps = false,
+      .sim_safe = false,
+      .make =
+          [](std::uint32_t n, const Options& options) {
+            return std::make_unique<
+                activeset::FaiCasActiveSetT<primitives::Release>>(
                 n, faicas_options(options));
           },
   });

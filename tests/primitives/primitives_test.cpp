@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -158,6 +159,68 @@ TEST(Register, PointerSpecialization) {
   EXPECT_EQ(reg.load(), &x);
   EXPECT_EQ(reg.exchange(&y), &x);
   EXPECT_EQ(reg.load(), &y);
+}
+
+// ---------------------------------------------------------------------------
+// The Release runtime: identical semantics, zero instrumentation.
+// ---------------------------------------------------------------------------
+
+TEST(ReleasePolicy, OperationsAreNotSteps) {
+  Register<std::uint64_t, Release> reg(1);
+  CasObject<std::uint64_t, Release> obj(0);
+  FetchIncrementT<Release> fai;
+  exec::ctx().steps.reset();
+  reg.store(2);
+  (void)reg.load();
+  (void)reg.exchange(3);
+  (void)reg.peek();
+  (void)obj.compare_and_swap(0, 1);
+  (void)obj.load();
+  (void)obj.peek();
+  (void)fai.fetch_increment();
+  (void)fai.read();
+  (void)fai.peek();
+  EXPECT_EQ(exec::ctx().steps.total, 0u);
+}
+
+TEST(ReleasePolicy, SemanticsMatchInstrumented) {
+  Register<std::uint64_t, Release> reg(17);
+  EXPECT_EQ(reg.load(), 17u);
+  reg.store(42);
+  EXPECT_EQ(reg.exchange(7), 42u);
+  EXPECT_EQ(reg.peek(), 7u);
+
+  CasObject<std::uint64_t, Release> obj(5);
+  EXPECT_EQ(obj.compare_and_swap(4, 9), 5u);   // failure returns current
+  EXPECT_EQ(obj.compare_and_swap(5, 9), 5u);   // success returns previous
+  EXPECT_TRUE(obj.compare_and_swap_bool(9, 11));
+  EXPECT_EQ(obj.peek(), 11u);
+
+  FetchIncrementT<Release> fai(100);
+  EXPECT_EQ(fai.fetch_increment(), 101u);
+  EXPECT_EQ(fai.read(), 101u);
+}
+
+TEST(ReleasePolicy, ConcurrentFetchIncrementsAreUnique) {
+  FetchIncrementT<Release> fai;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::vector<std::uint64_t>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kPerThread; ++k) {
+        seen[t].push_back(fai.fetch_increment());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<std::uint64_t> all;
+  for (auto& v : seen) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], i + 1);  // every value handed out exactly once
+  }
 }
 
 }  // namespace
