@@ -11,6 +11,10 @@
 //   CMPb: crossover sweep -- scan-only throughput as r grows toward m:
 //         the full-snapshot baseline becomes competitive only when scans
 //         are nearly complete; the paper's algorithms win for r << m.
+//   CMPc: churn -- worker threads join and leave (ThreadHandle
+//         register/release per burst) while a grower adds components
+//         mid-run; the dynamic-membership workload the static API could
+//         not express.
 //
 // Wall-clock numbers are hardware-specific; the *shape* (ordering and
 // crossover region) is the reproduced result.  StarvationError cannot
@@ -24,9 +28,14 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <thread>
+
 #include "bench/harness.h"
 #include "common/cli.h"
+#include "common/rng.h"
 #include "common/table.h"
+#include "exec/thread_registry.h"
 #include "registry/registry.h"
 #include "workload/workload.h"
 
@@ -134,6 +143,93 @@ void table_crossover(const std::vector<std::string>& specs,
   std::cout << "\n";
 }
 
+// Churn throughput: workers re-register for every burst (thread lifecycle
+// churn through the process-wide ThreadRegistry) while a grower thread
+// keeps extending the component space; scans draw from the component
+// range current at burst start.
+struct ChurnResult {
+  double ops_per_second = 0;
+  std::uint32_t final_m = 0;
+};
+
+ChurnResult churn_throughput(const std::string& spec, std::uint32_t m0,
+                             std::uint32_t r, std::uint32_t workers,
+                             double seconds) {
+  constexpr std::uint32_t kGrowStep = 16;
+  const std::uint32_t m_cap = m0 * 16;
+  auto snap = registry::make_snapshot(spec, m0, workers + 1);
+  std::atomic<std::uint64_t> total_ops{0};
+  std::atomic<bool> stop{false};
+
+  std::thread grower([&] {
+    exec::ThreadHandle pid;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (snap->num_components() + kGrowStep <= m_cap) {
+        snap->add_components(kGrowStep);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      Xoshiro256 rng(w + 1);
+      std::vector<std::uint32_t> idx;
+      std::vector<std::uint64_t> out;
+      std::uint64_t ops = 0;
+      bench::StopAfter stop_after(seconds);
+      while (!stop_after.expired()) {
+        // One registered life per burst: join, operate, leave.
+        exec::ThreadHandle pid;
+        for (int burst = 0; burst < 256; ++burst) {
+          std::uint32_t m = snap->num_components();
+          if (rng.next_double() < 0.3) {
+            snap->update(static_cast<std::uint32_t>(rng.next() % m), ops);
+          } else {
+            idx.clear();
+            for (std::uint32_t k = 0; k < r; ++k) {
+              idx.push_back(static_cast<std::uint32_t>(rng.next() % m));
+            }
+            snap->scan(idx, out);
+          }
+          ++ops;
+        }
+      }
+      total_ops.fetch_add(ops);
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  grower.join();
+  return ChurnResult{double(total_ops.load()) / seconds,
+                     snap->num_components()};
+}
+
+void table_churn(const std::vector<std::string>& specs,
+                 std::uint32_t workers, double seconds,
+                 bench::JsonReport& report) {
+  constexpr std::uint32_t kM0 = 64;
+  constexpr std::uint32_t kR = 4;
+  TablePrinter table({"impl", "churn ops/s", "final m"});
+  for (const std::string& spec : specs) {
+    ChurnResult result = churn_throughput(spec, kM0, kR, workers, seconds);
+    table.add_row({spec, TablePrinter::fmt(result.ops_per_second / 1e6, 3) +
+                             "M",
+                   std::to_string(result.final_m)});
+    report.add("CMPc/" + spec + "/churn", result.ops_per_second);
+    report.add("CMPc/" + spec + "/final_m", double(result.final_m),
+               "components");
+  }
+  table.print(std::cout,
+              "CMPc: dynamic churn, m0=" + std::to_string(kM0) +
+                  " growing in-run, r=" + std::to_string(kR) + ", " +
+                  std::to_string(workers) +
+                  " workers re-registering per burst");
+  std::cout << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -141,12 +237,19 @@ int main(int argc, char** argv) {
   flags.define("threads", "4", "worker threads");
   flags.define("seconds", "0.4", "measured duration per cell");
   flags.define("impls", "",
-               "comma-separated registry specs (default: all registered):\n" +
+               "comma-separated registry specs (default: all registered; "
+               "'help' prints the catalogue):\n" +
                    registry::snapshot_catalogue());
   flags.define("json", "",
                "also write machine-readable results to this JSON file "
                "(perf-trajectory artifact)");
   if (!flags.parse(argc, argv)) return 1;
+
+  if (flags.get_string("impls") == "help") {
+    std::printf("registered snapshot implementations:\n%s",
+                registry::snapshot_catalogue().c_str());
+    return 0;
+  }
 
   std::printf("Experiment CMP: implementation comparison (Sections 1, 5)\n\n");
   auto workers = static_cast<std::uint32_t>(flags.get_uint("threads"));
@@ -156,6 +259,7 @@ int main(int argc, char** argv) {
   try {
     table_mixed(specs, workers, seconds, report);
     table_crossover(specs, workers, seconds, report);
+    table_churn(specs, workers, seconds, report);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;

@@ -23,6 +23,7 @@
 #include "common/table.h"
 #include "common/timing.h"
 #include "exec/exec.h"
+#include "exec/thread_registry.h"
 
 namespace psnap::bench {
 
@@ -97,8 +98,12 @@ std::uint64_t measured_steps(Fn&& op) {
   return exec::ctx().steps.total - before;
 }
 
-// Runs `workers` threads; worker w executes body(w, stats) with pid w
-// already installed.  Returns merged stats.
+// Runs `workers` threads; worker w executes body(w, stats) with a
+// dynamically registered pid installed (exec::ThreadHandle).  The pids are
+// the lowest free ones in the process-wide registry -- with no other
+// holders, exactly {0..workers-1}, though not necessarily in thread order;
+// `w` remains the worker's stable identity for seeds and sharding.
+// Returns merged stats.
 inline WorkerStats run_workers(
     std::uint32_t workers,
     const std::function<void(std::uint32_t, WorkerStats&)>& body) {
@@ -109,7 +114,7 @@ inline WorkerStats run_workers(
   std::atomic<bool> go{false};
   for (std::uint32_t w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
-      exec::ScopedPid pid(w);
+      exec::ThreadHandle pid;
       ready.fetch_add(1);
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       Timer timer;

@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "common/cli.h"
-#include "exec/exec.h"
+#include "exec/thread_registry.h"
 #include "registry/registry.h"
 
 int main(int argc, char** argv) {
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   std::vector<std::thread> workers;
   for (std::uint32_t k = 0; k < stages; ++k) {
     workers.emplace_back([&, k] {
-      psnap::exec::ScopedPid pid(k);
+      psnap::exec::ThreadHandle pid;
       std::uint64_t my_done = 0;
       while (my_done < items) {
         std::uint64_t upstream =
@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
 
   std::uint64_t checkpoints = 0, violations = 0;
   std::thread debugger([&] {
-    psnap::exec::ScopedPid pid(stages);
+    psnap::exec::ThreadHandle pid;
     std::vector<std::uint64_t> values;
     std::uint64_t seed = 5;
     while (done[stages - 1].load(std::memory_order_acquire) < items) {
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   for (auto& w : workers) w.join();
   debugger.join();
 
-  psnap::exec::ScopedPid pid(0);
+  psnap::exec::ThreadHandle pid;
   auto recovery_point = progress.scan_all();
   std::printf("pipeline finished; %llu adjacent-pair checkpoints, "
               "%llu invariant violations\n",

@@ -14,7 +14,7 @@
 
 #include "common/cli.h"
 #include "core/op_stats.h"
-#include "exec/exec.h"
+#include "exec/thread_registry.h"
 #include "registry/registry.h"
 
 int main(int argc, char** argv) {
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   for (std::uint32_t u = 0; u < 2; ++u) {
     threads.emplace_back([&snapshot, u] {
       // Each thread participating in the protocol needs a process id.
-      psnap::exec::ScopedPid pid(u);
+      psnap::exec::ThreadHandle pid;
       for (std::uint64_t k = 1; k <= 10000; ++k) {
         snapshot.update(u * 8 + static_cast<std::uint32_t>(k % 8),
                         k);
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   // never on m.
   for (std::uint32_t s = 0; s < 2; ++s) {
     threads.emplace_back([&snapshot, s] {
-      psnap::exec::ScopedPid pid(2 + s);
+      psnap::exec::ThreadHandle pid;
       std::vector<std::uint32_t> indices{s, 7, 8 + s};
       std::vector<std::uint64_t> values;
       std::uint64_t borrowed = 0;
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
   for (auto& t : threads) t.join();
 
   // A full scan is just a partial scan of everything.
-  psnap::exec::ScopedPid pid(0);
+  psnap::exec::ThreadHandle pid;
   auto all = snapshot.scan_all();
   std::printf("final state:");
   for (std::uint32_t i = 0; i < kComponents; ++i) {

@@ -1,21 +1,26 @@
-// Sensor fusion over overlapping, unpredictable sensor subsets.
+// Sensor fusion over a hot-plugging sensor array -- the dynamic-runtime
+// showcase.
 //
-//   build/examples/sensor_fusion [--sensors=N] [--readings=N] [--queries=N]
+//   build/examples/sensor_fusion [--sensors0=N] [--sensors=N]
+//                                [--readings=N] [--queries=N]
 //                                [--impl=<registry spec>]
 //
-// A sensor array publishes readings into a partial snapshot object; fusion
-// queries ask for consistent views of *query-dependent* subsets (a
-// navigation query wants the IMU cluster, a mapping query wants a lidar
-// ring segment, and the clusters overlap).  This is exactly the workload
-// shape from the paper's introduction: queries are unpredictable and
-// overlapping, so statically splitting the vector into separate snapshot
-// objects cannot work -- the whole reason partial snapshots exist.
+// A sensor array publishes readings into a partial snapshot object.  The
+// array GROWS while the system runs: new sensors hot-plug in blocks via
+// PartialSnapshot::add_components, with updates and fusion queries never
+// pausing.  Fusion reader threads likewise come and go -- each reader
+// generation registers with exec::ThreadHandle, runs its queries, and
+// exits, handing its pid to the next generation.  This is the churn
+// scenario (clients connecting and disconnecting, sensors appearing) that
+// the fixed (m, n) construction of the seed library could not express.
 //
 // Consistency is made observable through redundant encoding: each sensor
 // publishes (reading epoch * 1000 + sensor id).  All sensors advance
-// epochs together (barrier), so a consistent scan during epoch e sees
-// epochs that differ by at most 1 across any subset; larger spread means
-// the fused estimate mixed incompatible frames.
+// epochs together (barrier), so a consistent scan sees epochs that differ
+// by at most 1 across any subset of *published* sensors; a larger spread
+// means the fused estimate mixed incompatible frames.  A sensor that
+// hot-plugged but has not yet published reads as 0 and is skipped.
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <memory>
@@ -25,28 +30,37 @@
 
 #include "common/cli.h"
 #include "common/rng.h"
-#include "exec/exec.h"
+#include "exec/thread_registry.h"
 #include "registry/registry.h"
-#include "workload/workload.h"
 
 int main(int argc, char** argv) {
   psnap::CliFlags flags;
-  flags.define("sensors", "32", "sensors in the array");
-  flags.define("readings", "2000", "epochs each sensor publishes");
-  flags.define("queries", "20000", "fusion queries");
+  flags.define("sensors0", "16", "sensors installed at start");
+  flags.define("sensors", "48", "sensors after all hot-plugs");
+  flags.define("readings", "2000", "epochs the array publishes");
+  flags.define("queries", "20000", "fusion queries (across reader lives)");
   flags.define("impl", "fig3_cas",
                "registry spec of the snapshot implementation:\n" +
                    psnap::registry::snapshot_catalogue());
   if (!flags.parse(argc, argv)) return 1;
 
   const auto sensors = static_cast<std::uint32_t>(flags.get_uint("sensors"));
+  // A --sensors below the default start size just means no hot-plugs; at
+  // least one sensor must exist at construction.
+  const auto sensors0 = std::max(
+      1u, std::min(sensors,
+                   static_cast<std::uint32_t>(flags.get_uint("sensors0"))));
   const auto readings = flags.get_uint("readings");
   const auto queries = flags.get_uint("queries");
+  if (sensors == 0 || sensors >= 1000) {
+    std::fprintf(stderr, "need 0 < sensors < 1000\n");
+    return 1;
+  }
 
   std::unique_ptr<psnap::core::PartialSnapshot> array_ptr;
   try {
     array_ptr = psnap::registry::make_snapshot(flags.get_string("impl"),
-                                            sensors, sensors + 2);
+                                               sensors0, /*max_threads=*/8);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
@@ -55,20 +69,30 @@ int main(int argc, char** argv) {
 
   // Sensor threads: groups of sensors share a thread (the protocol cost is
   // per process, not per component).  All advance epoch in lock-step via a
-  // shared epoch counter; each publishes epoch*1000+id.
+  // shared epoch counter; each publishes epoch*1000+id.  Thread 0 doubles
+  // as the hot-plug controller: every kPlugEvery epochs it brings a block
+  // of new sensors online -- concurrently with the other thread's updates
+  // and with all fusion queries.
   constexpr std::uint32_t kSensorThreads = 2;
+  const std::uint32_t kPlugBlock =
+      std::max(1u, (sensors - sensors0) / 8);
   std::atomic<std::uint64_t> epoch{1};
   std::atomic<std::uint32_t> at_barrier{0};
   std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> hot_plugs{0};
+  std::atomic<std::uint64_t> queries_done{0};
 
   std::vector<std::thread> sensor_threads;
   for (std::uint32_t t = 0; t < kSensorThreads; ++t) {
     sensor_threads.emplace_back([&, t] {
-      psnap::exec::ScopedPid pid(t);
+      psnap::exec::ThreadHandle pid;
       while (!stop) {
         std::uint64_t e = epoch.load(std::memory_order_acquire);
         if (e > readings) break;
-        for (std::uint32_t s = t; s < sensors; s += kSensorThreads) {
+        // Cover the sensors installed as of this epoch; a sensor plugged
+        // mid-epoch starts publishing next epoch (spread stays <= 1).
+        const std::uint32_t m = array.num_components();
+        for (std::uint32_t s = t; s < m; s += kSensorThreads) {
           array.update(s, e * 1000 + s);
         }
         // Barrier: last thread in advances the epoch.
@@ -84,62 +108,97 @@ int main(int argc, char** argv) {
     });
   }
 
-  // Fusion threads: random overlapping subsets (uniform and contiguous
-  // cluster shapes), checking epoch spread.
+  // Fusion readers: short-lived generations.  Each life registers a fresh
+  // ThreadHandle, fuses kQueriesPerLife random overlapping subsets of the
+  // *currently installed* sensors, checks epoch spread, and exits.
+  constexpr std::uint32_t kReaders = 2;
+  constexpr std::uint64_t kQueriesPerLife = 500;
   std::atomic<std::uint64_t> bad_fusions{0};
   std::atomic<std::uint64_t> max_spread_seen{0};
+  std::atomic<std::uint64_t> reader_lives{0};
   auto record_spread = [&max_spread_seen](std::uint64_t spread) {
     std::uint64_t cur = max_spread_seen.load(std::memory_order_relaxed);
     while (spread > cur &&
            !max_spread_seen.compare_exchange_weak(cur, spread)) {
     }
   };
-  std::vector<std::thread> fusers;
-  for (std::uint32_t f = 0; f < 2; ++f) {
-    fusers.emplace_back([&, f] {
-      psnap::exec::ScopedPid pid(kSensorThreads + f);
-      psnap::Xoshiro256 rng(f + 1);
-      psnap::workload::ScanSetGenerator cluster(
-          f == 0 ? psnap::workload::ScanSetKind::kContiguous
-                 : psnap::workload::ScanSetKind::kUniform,
-          sensors, 5);
-      std::vector<std::uint32_t> subset;
-      std::vector<std::uint64_t> values;
-      for (std::uint64_t q = 0; q < queries / 2; ++q) {
-        cluster.next(rng, subset);
-        array.scan(subset, values);
-        std::uint64_t lo = ~0ull, hi = 0;
-        for (std::size_t j = 0; j < subset.size(); ++j) {
-          if (values[j] == 0) {  // sensor not yet published: epoch 0
-            lo = 0;
-            continue;
-          }
-          std::uint64_t e = values[j] / 1000;
-          // Redundant encoding must match the component.
-          if (values[j] % 1000 != subset[j]) {
-            bad_fusions.fetch_add(1);
-            continue;
-          }
-          lo = std::min(lo, e);
-          hi = std::max(hi, e);
-        }
-        // All sensors move epochs through one barrier, so a consistent
-        // view can straddle at most two adjacent epochs.
-        std::uint64_t spread = (hi > lo) ? hi - lo : 0;
-        if (spread > 1) bad_fusions.fetch_add(1);
-        record_spread(spread);
-      }
-    });
-  }
 
-  for (auto& t : fusers) t.join();
+  auto reader_life = [&](std::uint64_t seed, bool contiguous) {
+    psnap::exec::ThreadHandle pid;  // this life's registration
+    reader_lives.fetch_add(1);
+    psnap::Xoshiro256 rng(seed);
+    std::vector<std::uint32_t> subset;
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t q = 0; q < kQueriesPerLife; ++q) {
+      if (queries_done.fetch_add(1) >= queries) return;
+      const std::uint32_t m = array.num_components();
+      const std::uint32_t r = std::min<std::uint32_t>(5, m);
+      subset.clear();
+      if (contiguous) {
+        std::uint32_t start =
+            static_cast<std::uint32_t>(rng.next_below(m - r + 1));
+        for (std::uint32_t k = 0; k < r; ++k) subset.push_back(start + k);
+      } else {
+        while (subset.size() < r) {
+          std::uint32_t s = static_cast<std::uint32_t>(rng.next_below(m));
+          if (std::find(subset.begin(), subset.end(), s) == subset.end()) {
+            subset.push_back(s);
+          }
+        }
+      }
+      array.scan(subset, values);
+      std::uint64_t lo = ~0ull, hi = 0;
+      for (std::size_t j = 0; j < subset.size(); ++j) {
+        if (values[j] == 0) continue;  // hot-plugged, not yet published
+        // Redundant encoding must match the component.
+        if (values[j] % 1000 != subset[j]) {
+          bad_fusions.fetch_add(1);
+          continue;
+        }
+        std::uint64_t e = values[j] / 1000;
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+      }
+      // All sensors move epochs through one barrier, so a consistent view
+      // can straddle at most two adjacent epochs.
+      std::uint64_t spread = (hi > lo) ? hi - lo : 0;
+      if (spread > 1) bad_fusions.fetch_add(1);
+      record_spread(spread);
+    }
+  };
+
+  std::uint64_t generation = 0;
+  while (queries_done.load() < queries) {
+    std::vector<std::thread> fusers;
+    for (std::uint32_t f = 0; f < kReaders; ++f) {
+      fusers.emplace_back(reader_life, generation * kReaders + f + 1,
+                          f == 0);
+    }
+    for (auto& t : fusers) t.join();
+    ++generation;
+    // Hot-plug schedule keyed to fusion progress (one block per tenth of
+    // the query budget), concurrent with the sensor threads' updates --
+    // epoch counts advance at wildly different rates on a loaded
+    // single-core host vs an idle many-core one, query progress does not.
+    while (array.num_components() + kPlugBlock <= sensors &&
+           queries_done.load() * 10 >= (hot_plugs.load() + 1) * queries) {
+      array.add_components(kPlugBlock);
+      hot_plugs.fetch_add(1);
+    }
+  }
   stop = true;
   for (auto& t : sensor_threads) t.join();
 
-  std::printf("fusion queries: %llu, inconsistent fusions: %llu, "
-              "max epoch spread: %llu\n",
-              static_cast<unsigned long long>(queries),
-              static_cast<unsigned long long>(bad_fusions.load()),
-              static_cast<unsigned long long>(max_spread_seen.load()));
+  std::printf(
+      "fusion queries: %llu over %llu reader lives, sensors %u -> %u "
+      "(%llu hot-plugs), inconsistent fusions: %llu, max epoch spread: "
+      "%llu\n",
+      static_cast<unsigned long long>(queries_done.load()),
+      static_cast<unsigned long long>(reader_lives.load()),
+      static_cast<unsigned>(sensors0),
+      static_cast<unsigned>(array.num_components()),
+      static_cast<unsigned long long>(hot_plugs.load()),
+      static_cast<unsigned long long>(bad_fusions.load()),
+      static_cast<unsigned long long>(max_spread_seen.load()));
   return bad_fusions.load() == 0 ? 0 : 1;
 }

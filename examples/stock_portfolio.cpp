@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "common/cli.h"
-#include "exec/exec.h"
+#include "exec/thread_registry.h"
 #include "registry/registry.h"
 
 int main(int argc, char** argv) {
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
 
   // Initialize: each pair starts at (kPairSum/2, kPairSum/2).
   {
-    psnap::exec::ScopedPid pid(0);
+    psnap::exec::ThreadHandle pid;
     for (std::uint32_t s = 0; s < stocks; ++s) {
       market.update(s, kPairSum / 2);
     }
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   // -- both legs settled -- or (x', kPairSum - x) mid-move, which differs
   // from kPairSum by exactly |x' - x|, bounded by the per-tick move of 1.
   std::thread market_maker([&] {
-    psnap::exec::ScopedPid pid(1);
+    psnap::exec::ThreadHandle pid;
     std::uint64_t seed = 42;
     std::vector<std::uint64_t> leg_a(stocks / 2, kPairSum / 2);
     for (std::uint64_t t = 0; t < ticks && market_open; ++t) {
@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
   // at most 1 (the market's in-flight tick), never more.
   std::uint64_t snapshot_max_error = 0;
   std::thread snapshot_auditor([&] {
-    psnap::exec::ScopedPid pid(2);
+    psnap::exec::ThreadHandle pid;
     std::uint64_t seed = 7;
     std::vector<std::uint64_t> values;
     for (std::uint64_t i = 0; i < valuations; ++i) {
@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
   // the classic inconsistent read the paper warns about.
   std::uint64_t naive_max_error = 0;
   std::thread naive_auditor([&] {
-    psnap::exec::ScopedPid pid(3);
+    psnap::exec::ThreadHandle pid;
     std::uint64_t seed = 99;
     std::vector<std::uint64_t> a, b;
     for (std::uint64_t i = 0; i < valuations; ++i) {

@@ -16,10 +16,7 @@ FaiCasActiveSetT<Policy>::FaiCasActiveSetT(std::uint32_t max_processes)
 template <class Policy>
 FaiCasActiveSetT<Policy>::FaiCasActiveSetT(std::uint32_t max_processes,
                                            Options options)
-    : n_(max_processes),
-      options_(options),
-      c_(new IntervalSet()),
-      my_slot_(max_processes) {
+    : n_(max_processes), options_(options), c_(new IntervalSet()) {
   PSNAP_ASSERT(max_processes > 0);
 }
 
@@ -40,17 +37,17 @@ void FaiCasActiveSetT<Policy>::join() {
                      "bounded FaiCasActiveSet exceeded its join budget");
   }
   i_.at(l - 1).store(kIdBase + pid);
-  my_slot_[pid].value = l;
+  my_slot_.at(pid).value = l;
 }
 
 template <class Policy>
 void FaiCasActiveSetT<Policy>::leave() {
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
-  std::uint64_t l = my_slot_[pid].value;
+  std::uint64_t l = my_slot_.at(pid).value;
   PSNAP_ASSERT_MSG(l != 0, "leave without a preceding join");
   i_.at(l - 1).store(kVacated);
-  my_slot_[pid].value = 0;
+  my_slot_.at(pid).value = 0;
 }
 
 template <class Policy>

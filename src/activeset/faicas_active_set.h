@@ -53,6 +53,7 @@
 
 #include "activeset/active_set.h"
 #include "common/padding.h"
+#include "core/growth.h"
 #include "intervals/interval_set.h"
 #include "primitives/primitives.h"
 #include "reclaim/ebr.h"
@@ -118,8 +119,10 @@ class FaiCasActiveSetT final : public ActiveSet {
   primitives::CasObject<const intervals::IntervalSet*, Policy> c_;
   segarray::SegmentedArray<primitives::Register<std::uint64_t, Policy>> i_;
 
-  // Per-process slot index from the most recent join (local state).
-  std::vector<CachelinePadded<std::uint64_t>> my_slot_;
+  // Per-process slot index from the most recent join (local state), in
+  // grow-only per-pid storage so a dynamic thread population only pays for
+  // the pids it actually registers.
+  core::PerPidStorage<CachelinePadded<std::uint64_t>> my_slot_;
 
   reclaim::EbrDomain ebr_;
   std::atomic<std::uint64_t> publications_{0};

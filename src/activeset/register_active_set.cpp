@@ -7,7 +7,7 @@ namespace psnap::activeset {
 
 template <class Policy>
 RegisterActiveSetT<Policy>::RegisterActiveSetT(std::uint32_t max_processes)
-    : n_(max_processes), flags_(max_processes) {
+    : n_(max_processes) {
   PSNAP_ASSERT(max_processes > 0);
 }
 
@@ -15,23 +15,34 @@ template <class Policy>
 void RegisterActiveSetT<Policy>::join() {
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
-  flags_[pid].store(1);
+  flags_.at(pid).store(1);
 }
 
 template <class Policy>
 void RegisterActiveSetT<Policy>::leave() {
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
-  flags_[pid].store(0);
+  flags_.at(pid).store(0);
 }
 
 template <class Policy>
 void RegisterActiveSetT<Policy>::get_set(std::vector<std::uint32_t>& out) {
   out.clear();
   for (std::uint32_t p = 0; p < n_; ++p) {
+    const auto* flag = flags_.try_at(p);
+    if (flag == nullptr) {
+      // No pid in this slot's segment has ever joined, so the flag reads
+      // as 0.  Still one register step (and one schedule point) in the
+      // instrumented runtime: the paper's model reads n registers per
+      // getSet regardless of how the storage is laid out.
+      if constexpr (Policy::kCountsSteps) {
+        exec::on_step(exec::ObjKind::kRegister, exec::kNoLabel);
+      }
+      continue;
+    }
     // load_sync: the getSet end of the announce/join handshake -- a join
     // the scanner fenced before this walk must be seen (see primitives.h).
-    if (flags_[p].load_sync() != 0) out.push_back(p);
+    if (flag->load_sync() != 0) out.push_back(p);
   }
 }
 

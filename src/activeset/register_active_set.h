@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "activeset/active_set.h"
+#include "core/growth.h"
 #include "primitives/primitives.h"
 
 namespace psnap::activeset {
@@ -46,9 +47,13 @@ class RegisterActiveSetT final : public ActiveSet {
 
  private:
   std::uint32_t n_;
-  // One SWMR flag per process; 1 = active.  vector of Register is fine:
-  // Register is not copyable after construction, so build in place.
-  std::vector<primitives::Register<std::uint64_t, Policy>> flags_;
+  // One SWMR flag per process; 1 = active.  Grow-only per-pid storage:
+  // a flag's segment materializes at the pid's first join, so the object
+  // never pays for max_processes slots a dynamic thread population does
+  // not use.  getSet still walks (and step-counts) all n_ slots -- an
+  // absent segment reads as flag == 0 -- so step counts are independent
+  // of segment layout.
+  core::PerPidStorage<primitives::Register<std::uint64_t, Policy>> flags_;
 };
 
 using RegisterActiveSet = RegisterActiveSetT<primitives::Instrumented>;

@@ -9,35 +9,45 @@
 
 namespace psnap::baseline {
 
-DoubleCollectSnapshot::DoubleCollectSnapshot(std::uint32_t num_components,
+DoubleCollectSnapshot::DoubleCollectSnapshot(std::uint32_t initial_components,
                                              std::uint32_t max_processes,
                                              std::uint64_t max_collects_per_scan,
                                              std::uint64_t initial_value)
-    : m_(num_components),
+    : size_(initial_components),
       n_(max_processes),
-      max_collects_(max_collects_per_scan),
-      r_(num_components),
-      counter_(max_processes) {
-  PSNAP_ASSERT(m_ > 0 && n_ > 0);
-  for (std::uint32_t i = 0; i < m_; ++i) {
-    r_[i].init(new SimpleRecord{initial_value, i, core::kInitPid},
-               /*label=*/i);
+      initial_value_(initial_value),
+      max_collects_(max_collects_per_scan) {
+  PSNAP_ASSERT(initial_components > 0 && n_ > 0);
+  PSNAP_ASSERT_MSG(n_ <= reclaim::EbrDomain::kPidSlots,
+                   "max_processes exceeds the pid-slot capacity");
+  for (std::uint32_t i = 0; i < initial_components; ++i) {
+    r_.at(i).init(new SimpleRecord{initial_value, i, core::kInitPid},
+                  /*label=*/i);
   }
 }
 
 DoubleCollectSnapshot::~DoubleCollectSnapshot() {
-  for (auto& reg : r_) delete reg.peek();
+  const std::uint32_t m = size_.load();
+  for (std::uint32_t i = 0; i < m; ++i) delete r_.at(i).peek();
+}
+
+std::uint32_t DoubleCollectSnapshot::add_components(std::uint32_t count) {
+  return core::grow_components(
+      size_, r_, count, [this](auto& slot, std::uint32_t i) {
+        slot.init(new SimpleRecord{initial_value_, i, core::kInitPid},
+                  /*label=*/i);
+      });
 }
 
 void DoubleCollectSnapshot::update(std::uint32_t i, std::uint64_t v) {
-  PSNAP_ASSERT(i < m_);
+  PSNAP_ASSERT(i < size_.load());
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   core::tls_op_stats().reset();
   auto guard = ebr_.pin();
   std::unique_ptr<SimpleRecord> rec(
-      new SimpleRecord{v, ++counter_[pid].value, pid});
-  const SimpleRecord* old = r_[i].exchange(rec.get());
+      new SimpleRecord{v, ++counter_.at(pid).value, pid});
+  const SimpleRecord* old = r_.at(i).exchange(rec.get());
   rec.release();
   ebr_.retire(const_cast<SimpleRecord*>(old));
 }
@@ -47,6 +57,8 @@ void DoubleCollectSnapshot::scan(std::span<const std::uint32_t> indices,
                                  core::ScanContext& ctx) {
   out.clear();
   if (indices.empty()) return;
+  const std::uint32_t m = size_.load();
+  for (std::uint32_t i : indices) PSNAP_ASSERT(i < m);
   core::OpStats& stats = core::tls_op_stats();
   stats.reset();
   ctx.begin();
@@ -65,7 +77,7 @@ void DoubleCollectSnapshot::scan(std::span<const std::uint32_t> indices,
       throw StarvationError(stats.collects - 1);
     }
     for (std::size_t j = 0; j < ctx.canonical.size(); ++j) {
-      cur[j] = r_[ctx.canonical[j]].load();
+      cur[j] = r_.at(ctx.canonical[j]).load();
     }
     if (have_prev && std::equal(cur.begin(), cur.end(), prev.begin())) {
       break;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/padding.h"
+#include "core/growth.h"
 #include "core/partial_snapshot.h"
 #include "core/record.h"
 #include "core/scan_context.h"
@@ -39,17 +40,18 @@ class StarvationError : public std::runtime_error {
 class DoubleCollectSnapshot final : public core::PartialSnapshot {
  public:
   // max_collects_per_scan == 0 means retry forever.
-  DoubleCollectSnapshot(std::uint32_t num_components,
+  DoubleCollectSnapshot(std::uint32_t initial_components,
                         std::uint32_t max_processes,
                         std::uint64_t max_collects_per_scan = 0,
                         std::uint64_t initial_value = 0);
   ~DoubleCollectSnapshot() override;
 
-  std::uint32_t num_components() const override { return m_; }
+  std::uint32_t num_components() const override { return size_.load(); }
   std::string_view name() const override { return "double-collect"; }
   bool is_wait_free() const override { return false; }
   bool is_local() const override { return true; }
 
+  std::uint32_t add_components(std::uint32_t count) override;
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
             std::vector<std::uint64_t>& out, core::ScanContext& ctx) override;
@@ -63,12 +65,13 @@ class DoubleCollectSnapshot final : public core::PartialSnapshot {
     std::uint32_t pid;
   };
 
-  std::uint32_t m_;
+  core::GrowableSize size_;
   std::uint32_t n_;
+  std::uint64_t initial_value_;
   std::uint64_t max_collects_;
-  std::vector<primitives::Register<const SimpleRecord*>> r_;
+  core::ComponentStorage<primitives::Register<const SimpleRecord*>> r_;
   reclaim::EbrDomain ebr_;
-  std::vector<CachelinePadded<std::uint64_t>> counter_;
+  core::PerPidStorage<CachelinePadded<std::uint64_t>> counter_;
 };
 
 }  // namespace psnap::baseline

@@ -9,27 +9,38 @@
 
 namespace psnap::baseline {
 
-FullSnapshot::FullSnapshot(std::uint32_t num_components,
+FullSnapshot::FullSnapshot(std::uint32_t initial_components,
                            std::uint32_t max_processes,
                            std::uint64_t initial_value)
-    : m_(num_components),
+    : size_(initial_components),
       n_(max_processes),
-      r_(num_components),
-      counter_(max_processes) {
-  PSNAP_ASSERT(m_ > 0 && n_ > 0);
-  for (std::uint32_t i = 0; i < m_; ++i) {
-    r_[i].init(new FullRecord{initial_value, i, core::kInitPid, {}},
-               /*label=*/i);
+      initial_value_(initial_value) {
+  PSNAP_ASSERT(initial_components > 0 && n_ > 0);
+  PSNAP_ASSERT_MSG(n_ <= reclaim::EbrDomain::kPidSlots,
+                   "max_processes exceeds the pid-slot capacity");
+  for (std::uint32_t i = 0; i < initial_components; ++i) {
+    r_.at(i).init(new FullRecord{initial_value, i, core::kInitPid, {}},
+                  /*label=*/i);
   }
 }
 
 FullSnapshot::~FullSnapshot() {
-  for (auto& reg : r_) delete reg.peek();
+  const std::uint32_t m = size_.load();
+  for (std::uint32_t i = 0; i < m; ++i) delete r_.at(i).peek();
 }
 
-void FullSnapshot::embedded_full_scan(core::ScanContext& ctx) {
+std::uint32_t FullSnapshot::add_components(std::uint32_t count) {
+  return core::grow_components(
+      size_, r_, count, [this](auto& slot, std::uint32_t i) {
+        slot.init(new FullRecord{initial_value_, i, core::kInitPid, {}},
+                  /*label=*/i);
+      });
+}
+
+void FullSnapshot::embedded_full_scan(core::ScanContext& ctx,
+                                      std::uint32_t m) {
   core::OpStats& stats = core::tls_op_stats();
-  stats.embedded_args = m_;
+  stats.embedded_args = m;
 
   // "Moved twice" helping rule bookkeeping; see the condition-(2)
   // discussion in register_psnap.cpp -- the same multi-writer soundness
@@ -51,8 +62,8 @@ void FullSnapshot::embedded_full_scan(core::ScanContext& ctx) {
                                                      : s.moved[1];
   };
 
-  std::span<const FullRecord*> prev = ctx.arena.take<const FullRecord*>(m_);
-  std::span<const FullRecord*> cur = ctx.arena.take<const FullRecord*>(m_);
+  std::span<const FullRecord*> prev = ctx.arena.take<const FullRecord*>(m);
+  std::span<const FullRecord*> cur = ctx.arena.take<const FullRecord*>(m);
   bool have_prev = false;
 
   while (true) {
@@ -60,21 +71,25 @@ void FullSnapshot::embedded_full_scan(core::ScanContext& ctx) {
     PSNAP_ASSERT_MSG(stats.collects <= 2ull * n_ + 3,
                      "full-snapshot embedded scan exceeded its collect bound");
     const FullRecord* borrow = nullptr;
-    for (std::uint32_t j = 0; j < m_; ++j) {
-      cur[j] = r_[j].load();
+    for (std::uint32_t j = 0; j < m; ++j) {
+      cur[j] = r_.at(j).load();
       if (have_prev && cur[j] != prev[j] && borrow == nullptr) {
         borrow = note_move(cur[j]);
       }
     }
     if (borrow != nullptr) {
       stats.borrowed = true;
+      // The borrowed operation captured its count AFTER we captured ours
+      // (it started during our scan; counts are monotone seq_cst), so its
+      // full_view covers at least our m components.
+      PSNAP_ASSERT(borrow->full_view.size() >= m);
       ctx.values = borrow->full_view;  // capacity-reusing copy
       return;
     }
     if (have_prev && std::equal(cur.begin(), cur.end(), prev.begin())) {
       ctx.values.clear();
-      ctx.values.reserve(m_);
-      for (std::uint32_t j = 0; j < m_; ++j) {
+      ctx.values.reserve(m);
+      for (std::uint32_t j = 0; j < m; ++j) {
         ctx.values.push_back(cur[j]->value);
       }
       return;
@@ -85,7 +100,8 @@ void FullSnapshot::embedded_full_scan(core::ScanContext& ctx) {
 }
 
 void FullSnapshot::update(std::uint32_t i, std::uint64_t v) {
-  PSNAP_ASSERT(i < m_);
+  const std::uint32_t m = size_.load();
+  PSNAP_ASSERT(i < m);
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   core::tls_op_stats().reset();
@@ -93,16 +109,16 @@ void FullSnapshot::update(std::uint32_t i, std::uint64_t v) {
   ctx.begin();
   auto guard = ebr_.pin();
 
-  embedded_full_scan(ctx);
+  embedded_full_scan(ctx, m);
   // Pool-backed record, owned by the Handle until publication (an
   // injected halt at the publish step returns it to the pool instead of
   // leaking).
   auto rec = record_pool_.acquire(ebr_);
   rec->value = v;
-  rec->counter = ++counter_[pid].value;
+  rec->counter = ++counter_.at(pid).value;
   rec->pid = pid;
   rec->full_view = ctx.values;  // capacity-reusing copy
-  const FullRecord* old = r_[i].exchange(rec.get());
+  const FullRecord* old = r_.at(i).exchange(rec.get());
   rec.release();
   record_pool_.recycle(ebr_, const_cast<FullRecord*>(old));
 }
@@ -112,16 +128,17 @@ void FullSnapshot::scan(std::span<const std::uint32_t> indices,
                         core::ScanContext& ctx) {
   out.clear();
   if (indices.empty()) return;
+  const std::uint32_t m = size_.load();
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   core::tls_op_stats().reset();
   ctx.begin();
   auto guard = ebr_.pin();
 
-  embedded_full_scan(ctx);
+  embedded_full_scan(ctx, m);
   out.reserve(indices.size());
   for (std::uint32_t i : indices) {
-    PSNAP_ASSERT(i < m_);
+    PSNAP_ASSERT(i < m);
     out.push_back(ctx.values[i]);
   }
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/padding.h"
+#include "core/growth.h"
 #include "core/partial_snapshot.h"
 #include "core/record.h"  // kInitPid
 #include "core/scan_context.h"
@@ -25,15 +26,16 @@ namespace psnap::baseline {
 
 class FullSnapshot final : public core::PartialSnapshot {
  public:
-  FullSnapshot(std::uint32_t num_components, std::uint32_t max_processes,
+  FullSnapshot(std::uint32_t initial_components, std::uint32_t max_processes,
                std::uint64_t initial_value = 0);
   ~FullSnapshot() override;
 
-  std::uint32_t num_components() const override { return m_; }
+  std::uint32_t num_components() const override { return size_.load(); }
   std::string_view name() const override { return "full-snapshot"; }
   bool is_wait_free() const override { return true; }
   bool is_local() const override { return false; }
 
+  std::uint32_t add_components(std::uint32_t count) override;
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
             std::vector<std::uint64_t>& out, core::ScanContext& ctx) override;
@@ -44,23 +46,30 @@ class FullSnapshot final : public core::PartialSnapshot {
     std::uint64_t value;
     std::uint64_t counter;
     std::uint32_t pid;
-    std::vector<std::uint64_t> full_view;  // all m components
+    // All components up to the count the publishing operation captured.
+    // Growth keeps this sound: a borrowed record belongs to an operation
+    // that started after the borrower, so its full_view covers at least
+    // the borrower's captured count (counts are monotone and captured
+    // with seq_cst loads -- see embedded_full_scan).
+    std::vector<std::uint64_t> full_view;
 
     bool is_initial() const { return pid == core::kInitPid; }
   };
 
-  // Fills ctx.values with all m component values.
-  void embedded_full_scan(core::ScanContext& ctx);
+  // Fills ctx.values with the values of components [0, m) for the count m
+  // the caller captured at operation start.
+  void embedded_full_scan(core::ScanContext& ctx, std::uint32_t m);
 
-  std::uint32_t m_;
+  core::GrowableSize size_;
   std::uint32_t n_;
+  std::uint64_t initial_value_;
   // Pool before ebr_: ~EbrDomain flushes retired records into it.  Pooled
   // records keep their full_view capacity, so steady-state updates are
   // allocation-free even though every record carries all m values.
   reclaim::Pool<FullRecord> record_pool_;
-  std::vector<primitives::Register<const FullRecord*>> r_;
+  core::ComponentStorage<primitives::Register<const FullRecord*>> r_;
   reclaim::EbrDomain ebr_;
-  std::vector<CachelinePadded<std::uint64_t>> counter_;
+  core::PerPidStorage<CachelinePadded<std::uint64_t>> counter_;
 };
 
 }  // namespace psnap::baseline

@@ -4,9 +4,20 @@
 
 namespace psnap::baseline {
 
-void LockSnapshot::update(std::uint32_t i, std::uint64_t v) {
-  PSNAP_ASSERT(i < data_.size());
+std::uint32_t LockSnapshot::add_components(std::uint32_t count) {
+  PSNAP_ASSERT(count > 0);
   std::scoped_lock lock(mu_);
+  std::uint32_t first = static_cast<std::uint32_t>(data_.size());
+  data_.resize(data_.size() + count, initial_value_);
+  count_.store(first + count, std::memory_order_release);
+  return first;
+}
+
+void LockSnapshot::update(std::uint32_t i, std::uint64_t v) {
+  std::scoped_lock lock(mu_);
+  // Bounds check under the lock: add_components resizes data_ under mu_,
+  // so an unlocked size() read would race the resize.
+  PSNAP_ASSERT(i < data_.size());
   data_[i] = v;
 }
 

@@ -6,6 +6,7 @@
 // steps in the paper's model; the CMP bench reports wall-clock only.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <vector>
 
@@ -16,16 +17,23 @@ namespace psnap::baseline {
 
 class LockSnapshot final : public core::PartialSnapshot {
  public:
-  LockSnapshot(std::uint32_t num_components, std::uint64_t initial_value = 0)
-      : data_(num_components, initial_value) {}
+  LockSnapshot(std::uint32_t initial_components,
+               std::uint64_t initial_value = 0)
+      : count_(initial_components),
+        initial_value_(initial_value),
+        data_(initial_components, initial_value) {}
 
   std::uint32_t num_components() const override {
-    return static_cast<std::uint32_t>(data_.size());
+    return count_.load(std::memory_order_acquire);
   }
   std::string_view name() const override { return "lock"; }
   bool is_wait_free() const override { return false; }
   bool is_local() const override { return true; }
 
+  // Growth is serialized by the global mutex (in character for this
+  // baseline); the count is mirrored in an atomic so num_components() does
+  // not need the lock.
+  std::uint32_t add_components(std::uint32_t count) override;
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
             std::vector<std::uint64_t>& out, core::ScanContext& ctx) override;
@@ -33,6 +41,8 @@ class LockSnapshot final : public core::PartialSnapshot {
 
  private:
   std::mutex mu_;
+  std::atomic<std::uint32_t> count_;
+  std::uint64_t initial_value_;
   std::vector<std::uint64_t> data_;
 };
 

@@ -5,25 +5,34 @@
 
 namespace psnap::baseline {
 
-SeqlockSnapshot::SeqlockSnapshot(std::uint32_t num_components,
+SeqlockSnapshot::SeqlockSnapshot(std::uint32_t initial_components,
                                  std::uint64_t max_attempts_per_scan,
                                  std::uint64_t initial_value)
-    : m_(num_components), max_attempts_(max_attempts_per_scan), data_(m_) {
-  PSNAP_ASSERT(m_ > 0);
-  for (std::uint32_t i = 0; i < m_; ++i) {
-    data_[i].init(initial_value, /*label=*/i);
+    : size_(initial_components),
+      initial_value_(initial_value),
+      max_attempts_(max_attempts_per_scan) {
+  PSNAP_ASSERT(initial_components > 0);
+  for (std::uint32_t i = 0; i < initial_components; ++i) {
+    data_.at(i).init(initial_value, /*label=*/i);
   }
 }
 
+std::uint32_t SeqlockSnapshot::add_components(std::uint32_t count) {
+  return core::grow_components(size_, data_, count,
+                               [this](auto& slot, std::uint32_t i) {
+                                 slot.init(initial_value_, /*label=*/i);
+                               });
+}
+
 void SeqlockSnapshot::update(std::uint32_t i, std::uint64_t v) {
-  PSNAP_ASSERT(i < m_);
+  PSNAP_ASSERT(i < size_.load());
   core::tls_op_stats().reset();
   // Acquire the writer "lock" by making the version odd.
   while (true) {
     std::uint64_t v0 = version_.load();
     if (v0 % 2 == 1) continue;  // another writer holds it
     if (version_.compare_and_swap_bool(v0, v0 + 1)) {
-      data_[i].store(v);
+      data_.at(i).store(v);
       // Only the holder modifies an odd version, so this CAS cannot fail.
       bool released = version_.compare_and_swap_bool(v0 + 1, v0 + 2);
       PSNAP_ASSERT(released);
@@ -37,6 +46,7 @@ void SeqlockSnapshot::scan(std::span<const std::uint32_t> indices,
                            core::ScanContext& ctx) {
   out.clear();
   if (indices.empty()) return;
+  const std::uint32_t m = size_.load();
   core::OpStats& stats = core::tls_op_stats();
   stats.reset();
   ctx.begin();
@@ -52,8 +62,8 @@ void SeqlockSnapshot::scan(std::span<const std::uint32_t> indices,
     std::uint64_t v0 = version_.load();
     if (v0 % 2 == 1) continue;
     for (std::size_t j = 0; j < indices.size(); ++j) {
-      PSNAP_ASSERT(indices[j] < m_);
-      out[j] = data_[indices[j]].load();
+      PSNAP_ASSERT(indices[j] < m);
+      out[j] = data_.at(indices[j]).load();
     }
     std::uint64_t v1 = version_.load();
     if (v1 == v0) break;

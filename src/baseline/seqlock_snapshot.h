@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "baseline/double_collect.h"  // StarvationError
+#include "core/growth.h"
 #include "core/partial_snapshot.h"
 #include "core/scan_context.h"
 #include "primitives/primitives.h"
@@ -20,25 +21,31 @@ namespace psnap::baseline {
 class SeqlockSnapshot final : public core::PartialSnapshot {
  public:
   // max_attempts_per_scan == 0 means retry forever.
-  SeqlockSnapshot(std::uint32_t num_components,
+  SeqlockSnapshot(std::uint32_t initial_components,
                   std::uint64_t max_attempts_per_scan = 0,
                   std::uint64_t initial_value = 0);
 
-  std::uint32_t num_components() const override { return m_; }
+  std::uint32_t num_components() const override { return size_.load(); }
   std::string_view name() const override { return "seqlock"; }
   bool is_wait_free() const override { return false; }
   bool is_local() const override { return true; }
 
+  // Growth needs no version bump: new slots are initialized before the
+  // count is published, and a reader only collects indices below the count
+  // it captured at scan entry, so no value a reader has collected ever
+  // changes because of a grow.
+  std::uint32_t add_components(std::uint32_t count) override;
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
             std::vector<std::uint64_t>& out, core::ScanContext& ctx) override;
   using core::PartialSnapshot::scan;
 
  private:
-  std::uint32_t m_;
+  core::GrowableSize size_;
+  std::uint64_t initial_value_;
   std::uint64_t max_attempts_;
   primitives::CasObject<std::uint64_t> version_;
-  std::vector<primitives::Register<std::uint64_t>> data_;
+  core::ComponentStorage<primitives::Register<std::uint64_t>> data_;
 };
 
 }  // namespace psnap::baseline

@@ -25,26 +25,25 @@ struct PerPid {
 }  // namespace
 
 template <class Policy>
-CasPartialSnapshotT<Policy>::CasPartialSnapshotT(std::uint32_t num_components,
-                                                 std::uint32_t max_processes)
-    : CasPartialSnapshotT(num_components, max_processes, Options{}) {}
+CasPartialSnapshotT<Policy>::CasPartialSnapshotT(
+    std::uint32_t initial_components, std::uint32_t max_processes)
+    : CasPartialSnapshotT(initial_components, max_processes, Options{}) {}
 
 template <class Policy>
-CasPartialSnapshotT<Policy>::CasPartialSnapshotT(std::uint32_t num_components,
-                                                 std::uint32_t max_processes,
-                                                 Options options,
-                                                 std::uint64_t initial_value)
-    : m_(num_components),
+CasPartialSnapshotT<Policy>::CasPartialSnapshotT(
+    std::uint32_t initial_components, std::uint32_t max_processes,
+    Options options, std::uint64_t initial_value)
+    : size_(initial_components),
       n_(max_processes),
+      initial_value_(initial_value),
       options_(options),
-      r_(num_components),
-      s_(max_processes),
       as_(std::make_unique<activeset::FaiCasActiveSetT<Policy>>(
-          max_processes, options.active_set)),
-      counter_(max_processes) {
-  PSNAP_ASSERT(m_ > 0 && n_ > 0);
-  for (std::uint32_t i = 0; i < m_; ++i) {
-    r_[i]->init(new Record{initial_value, i, kInitPid, {}}, /*label=*/i);
+          max_processes, options.active_set)) {
+  PSNAP_ASSERT(initial_components > 0 && n_ > 0);
+  PSNAP_ASSERT_MSG(n_ <= reclaim::EbrDomain::kPidSlots,
+                   "max_processes exceeds the pid-slot capacity");
+  for (std::uint32_t i = 0; i < initial_components; ++i) {
+    r_.at(i)->init(new Record{initial_value, i, kInitPid, {}}, /*label=*/i);
   }
 }
 
@@ -52,8 +51,21 @@ template <class Policy>
 CasPartialSnapshotT<Policy>::~CasPartialSnapshotT() {
   // Published records/announcements are owned here; everything in flight
   // through ebr_ drains into the pools when ebr_ is destroyed.
-  for (auto& obj : r_) delete obj->peek();
-  for (auto& reg : s_) delete reg->peek();
+  const std::uint32_t m = size_.load();
+  for (std::uint32_t i = 0; i < m; ++i) delete r_.at(i)->peek();
+  for (std::uint32_t p = 0; p < n_; ++p) {
+    if (const auto* reg = s_.try_at(p)) delete (*reg)->peek();
+  }
+}
+
+template <class Policy>
+std::uint32_t CasPartialSnapshotT<Policy>::add_components(
+    std::uint32_t count) {
+  // Same initial-record construction as the constructor; nobody can read
+  // a new slot until grow_components publishes the count.
+  return grow_components(size_, r_, count, [this](auto& slot, std::uint32_t i) {
+    slot->init(new Record{initial_value_, i, kInitPid, {}}, /*label=*/i);
+  });
 }
 
 template <class Policy>
@@ -130,7 +142,7 @@ const View& CasPartialSnapshotT<Policy>::embedded_scan(
                      "figure-3 embedded scan exceeded its collect bound");
     const Record* borrow = nullptr;
     for (std::size_t j = 0; j < args.size(); ++j) {
-      cur[j] = r_[args[j]]->load();
+      cur[j] = r_.at(args[j])->load();
       if (borrow != nullptr) continue;
       if (options_.use_cas) {
         borrow = note_loc(j, cur[j]);
@@ -160,7 +172,7 @@ const View& CasPartialSnapshotT<Policy>::embedded_scan(
 
 template <class Policy>
 void CasPartialSnapshotT<Policy>::update(std::uint32_t i, std::uint64_t v) {
-  PSNAP_ASSERT(i < m_);
+  PSNAP_ASSERT(i < size_.load());
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   tls_op_stats().reset();
@@ -173,14 +185,19 @@ void CasPartialSnapshotT<Policy>::update(std::uint32_t i, std::uint64_t v) {
   // Release mode: acquire load; the record is only compared by address
   // until the CAS, and if dereferenced (retire path) the acquire pairs
   // with the publishing CAS's release.
-  const Record* old = r_[i]->load();
+  const Record* old = r_.at(i)->load();
 
   as_->get_set(ctx.scanners);
   tls_op_stats().getset_size = ctx.scanners.size();
 
   ctx.union_args.clear();
   for (std::uint32_t p : ctx.scanners) {
-    const IndexSet* announced = s_[p]->load();
+    // try_at: a pid that joined without ever announcing has no slot; an
+    // absent segment reads as "no announcement" without allocating on the
+    // update path.  (A scanner always announces before joining, and its
+    // segment install happens-before the join its getSet observed.)
+    const auto* slot = s_.try_at(p);
+    const IndexSet* announced = slot ? (*slot)->load() : nullptr;
     if (announced != nullptr) {
       ctx.union_args.insert(ctx.union_args.end(), announced->indices.begin(),
                             announced->indices.end());
@@ -204,7 +221,7 @@ void CasPartialSnapshotT<Policy>::update(std::uint32_t i, std::uint64_t v) {
   // through the Handle instead of leaking.
   auto rec = record_pool_.acquire(ebr_);
   rec->value = v;
-  rec->counter = counter_[pid].value + 1;
+  rec->counter = counter_.at(pid).value + 1;
   rec->pid = pid;
   rec->view = view;  // capacity-reusing copy into the recycled vector
 
@@ -212,10 +229,10 @@ void CasPartialSnapshotT<Policy>::update(std::uint32_t i, std::uint64_t v) {
     // Release mode: the CAS is acq_rel -- release so the record built
     // above is visible to any acquire load of R[i] that sees it, acquire
     // so the returned `prev` may be handed to reclamation.
-    const Record* prev = r_[i]->compare_and_swap(old, rec.get());
+    const Record* prev = r_.at(i)->compare_and_swap(old, rec.get());
     if (prev == old) {
       rec.release();
-      ++counter_[pid].value;
+      ++counter_.at(pid).value;
       record_pool_.recycle(ebr_, const_cast<Record*>(old));
     } else {
       // Linearized immediately before the update that beat us; our record
@@ -227,10 +244,10 @@ void CasPartialSnapshotT<Policy>::update(std::uint32_t i, std::uint64_t v) {
     // A CasObject has no store operation, so emulate the register write
     // with a CAS retry loop; this path exists only to measure what the
     // paper's switch to CAS buys (Section 4's second modification).
-    ++counter_[pid].value;
+    ++counter_.at(pid).value;
     const Record* cur = old;
     while (true) {
-      const Record* prev = r_[i]->compare_and_swap(cur, rec.get());
+      const Record* prev = r_.at(i)->compare_and_swap(cur, rec.get());
       if (prev == cur) break;
       cur = prev;
     }
@@ -247,7 +264,8 @@ void CasPartialSnapshotT<Policy>::scan(std::span<const std::uint32_t> indices,
   if (indices.empty()) return;
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
-  for (std::uint32_t i : indices) PSNAP_ASSERT(i < m_);
+  const std::uint32_t m = size_.load();
+  for (std::uint32_t i : indices) PSNAP_ASSERT(i < m);
   tls_op_stats().reset();
   ctx.begin();
   auto guard = ebr_.pin();
@@ -262,11 +280,11 @@ void CasPartialSnapshotT<Policy>::scan(std::span<const std::uint32_t> indices,
   // announcement itself is pooled: republishing a changed set reuses a
   // recycled IndexSet's capacity, so steady-state scans -- even ones that
   // alternate between shapes -- allocate nothing.
-  const IndexSet* announced = s_[pid]->peek();
+  const IndexSet* announced = s_.at(pid)->peek();
   if (announced == nullptr || announced->indices != ctx.canonical) {
     auto announce = announce_pool_.acquire(ebr_);
     announce->indices.assign(ctx.canonical.begin(), ctx.canonical.end());
-    const IndexSet* old_announce = s_[pid]->exchange(announce.get());
+    const IndexSet* old_announce = s_.at(pid)->exchange(announce.get());
     announce.release();
     if (old_announce != nullptr) {
       announce_pool_.recycle(ebr_, const_cast<IndexSet*>(old_announce));

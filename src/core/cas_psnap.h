@@ -34,6 +34,11 @@
 // announcement IndexSets are recycled through reclaim::Pool free lists
 // (their embedded vectors keep capacity across lives), and all transient
 // scratch lives in the caller's ScanContext.
+// Dynamic runtime: components live in grow-only segmented storage
+// (add_components() never invalidates a concurrent reader's pointers,
+// num_components() is a monotone count) and per-pid state keys off
+// dynamically registered pids -- see core/growth.h and
+// exec/thread_registry.h.
 #pragma once
 
 #include <memory>
@@ -41,6 +46,7 @@
 
 #include "activeset/faicas_active_set.h"
 #include "common/padding.h"
+#include "core/growth.h"
 #include "core/partial_snapshot.h"
 #include "core/record.h"
 #include "core/scan_context.h"
@@ -64,14 +70,14 @@ class CasPartialSnapshotT final : public PartialSnapshot {
     bool use_cas = true;
   };
 
-  CasPartialSnapshotT(std::uint32_t num_components,
+  CasPartialSnapshotT(std::uint32_t initial_components,
                       std::uint32_t max_processes);
-  CasPartialSnapshotT(std::uint32_t num_components,
+  CasPartialSnapshotT(std::uint32_t initial_components,
                       std::uint32_t max_processes, Options options,
                       std::uint64_t initial_value = 0);
   ~CasPartialSnapshotT() override;
 
-  std::uint32_t num_components() const override { return m_; }
+  std::uint32_t num_components() const override { return size_.load(); }
   std::string_view name() const override {
     if (!options_.use_cas) return "fig3-write(ablation)";
     return Policy::kCountsSteps ? "fig3-cas" : "fig3-cas-fast";
@@ -79,6 +85,7 @@ class CasPartialSnapshotT final : public PartialSnapshot {
   bool is_wait_free() const override { return true; }
   bool is_local() const override { return true; }
 
+  std::uint32_t add_components(std::uint32_t count) override;
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
             std::vector<std::uint64_t>& out, ScanContext& ctx) override;
@@ -94,8 +101,10 @@ class CasPartialSnapshotT final : public PartialSnapshot {
   const View& embedded_scan(std::span<const std::uint32_t> args,
                             ScanContext& ctx);
 
-  std::uint32_t m_;
+  // Published component count (monotone; see core/growth.h).
+  GrowableSize size_;
   std::uint32_t n_;
+  std::uint64_t initial_value_;
   Options options_;
   // Pools are declared before ebr_ on purpose: ~EbrDomain flushes retired
   // nodes into them, so they must be destroyed after it.
@@ -104,16 +113,19 @@ class CasPartialSnapshotT final : public PartialSnapshot {
   // CachelinePadded: a CasObject is 16 bytes, so four components would
   // share a line and concurrent updates to distinct components would
   // false-share; per-component isolation matches counter_'s treatment.
-  std::vector<CachelinePadded<primitives::CasObject<const Record*, Policy>>>
+  // Segmented (grow-only) storage: slot addresses are stable forever, so
+  // concurrent readers survive growth.
+  ComponentStorage<
+      CachelinePadded<primitives::CasObject<const Record*, Policy>>>
       r_;
   // The paper's S[1..n] announcement registers (per-process single-writer,
-  // padded for the same reason).
-  std::vector<
+  // padded for the same reason), keyed by registered pid.
+  PerPidStorage<
       CachelinePadded<primitives::Register<const IndexSet*, Policy>>>
       s_;
   std::unique_ptr<activeset::FaiCasActiveSetT<Policy>> as_;
   reclaim::EbrDomain ebr_;
-  std::vector<CachelinePadded<std::uint64_t>> counter_;
+  PerPidStorage<CachelinePadded<std::uint64_t>> counter_;
 };
 
 using CasPartialSnapshot = CasPartialSnapshotT<primitives::Instrumented>;

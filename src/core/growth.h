@@ -1,0 +1,111 @@
+// Monotone component count with in-order publication.
+//
+// add_components(k) on a snapshot object has two halves: reserving a block
+// of indices (one fetch-add, so concurrent growers get disjoint blocks)
+// and publishing the new count once the block's slots are initialized.
+// Publication must be IN ORDER -- the count may only advance past a block
+// whose slots are ready, or a concurrent scan of index < num_components()
+// could read an uninitialized slot.  A grower whose predecessor block is
+// still initializing therefore waits for the count to reach its own first
+// index before swinging it forward.
+//
+// The wait is a scheduling point: each retry performs one exec::on_step,
+// so under the deterministic simulator a waiting grower parks and lets the
+// predecessor run instead of livelocking the cooperative scheduler (the
+// same reason every potentially-waiting loop in this library steps).
+// Growth is memory management, not one of the paper's measured operations,
+// so the extra steps never land inside a theorem bench's measurement.
+//
+// Readers call load(): one seq_cst load (plain mov on x86, ldar on
+// AArch64), once per operation.  seq_cst rather than acquire so counts
+// observed by different operations are ordered consistently with the
+// Instrumented runtime's step order -- the full-snapshot borrow argument
+// compares the counts captured by two racing operations (see
+// baseline/full_snapshot.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/assert.h"
+#include "exec/exec.h"
+#include "segarray/segmented_array.h"
+
+namespace psnap::core {
+
+// Grow-only storage for per-component state: stable addresses forever (a
+// concurrent reader's pointer is never invalidated by growth), two loads
+// on the hot path (segment directory + slot).  Capacity 4M components,
+// the same envelope as Figure 2's slot array.
+template <class T>
+using ComponentStorage =
+    segarray::SegmentedArray<T, 1024, (std::size_t{1} << 12)>;
+
+// Grow-only storage for per-pid state (announcement registers, publication
+// counters, active-set flags).  Pids are dense -- the thread registry
+// hands out the lowest free pid -- and bounded by its capacity, so the
+// segments are small and only the low ones ever materialize.
+template <class T>
+using PerPidStorage = segarray::SegmentedArray<T, 64, 64>;
+
+class GrowableSize {
+ public:
+  explicit GrowableSize(std::uint32_t initial)
+      : reserved_(initial), ready_(initial) {}
+
+  GrowableSize(const GrowableSize&) = delete;
+  GrowableSize& operator=(const GrowableSize&) = delete;
+
+  // The published component count; monotone.
+  std::uint32_t load() const {
+    return ready_.load(std::memory_order_seq_cst);
+  }
+
+  // Reserves k fresh indices; returns the first.  The caller must
+  // initialize slots [first, first+k) and then publish(first, k).
+  std::uint32_t reserve(std::uint32_t k) {
+    PSNAP_ASSERT(k > 0);
+    return reserved_.fetch_add(k, std::memory_order_acq_rel);
+  }
+
+  // Publishes the reserved block, waiting out any unfinished predecessor
+  // block (each retry is one schedule step; see the header comment).
+  void publish(std::uint32_t first, std::uint32_t k) {
+    // compare_exchange_strong, not weak: a spurious failure would inject a
+    // schedule point that breaks the DFS explorer's deterministic replay.
+    std::uint32_t expected = first;
+    while (!ready_.compare_exchange_strong(expected, first + k,
+                                           std::memory_order_seq_cst,
+                                           std::memory_order_relaxed)) {
+      expected = first;
+      exec::on_step(exec::ObjKind::kRegister, exec::kNoLabel);
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  std::atomic<std::uint32_t> reserved_;
+  std::atomic<std::uint32_t> ready_;
+};
+
+// The one add_components body shared by every implementation: reserve a
+// block, initialize its slots (init(slot, index) for each new index, with
+// the slot reference coming from the grow-only storage), publish in
+// order, return the first index.  Keeping the protocol here means a fix
+// to the ordering or the capacity check lands everywhere at once.
+template <class Storage, class InitFn>
+std::uint32_t grow_components(GrowableSize& size, Storage& storage,
+                              std::uint32_t count, InitFn&& init) {
+  PSNAP_ASSERT(count > 0);
+  std::uint32_t first = size.reserve(count);
+  PSNAP_ASSERT_MSG(std::uint64_t{first} + count <= Storage::capacity(),
+                   "component capacity exceeded");
+  for (std::uint32_t i = first; i < first + count; ++i) {
+    init(storage.at(i), i);
+  }
+  size.publish(first, count);
+  return first;
+}
+
+}  // namespace psnap::core

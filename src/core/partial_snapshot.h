@@ -31,6 +31,8 @@ class PartialSnapshot {
  public:
   virtual ~PartialSnapshot() = default;
 
+  // The current component count.  Monotone at runtime: construction sets
+  // the initial count and add_components() grows it; there is no shrink.
   virtual std::uint32_t num_components() const = 0;
   virtual std::string_view name() const = 0;
 
@@ -39,6 +41,18 @@ class PartialSnapshot {
   // True if scan complexity depends only on r (never on m) -- the property
   // the paper is after.
   virtual bool is_local() const = 0;
+
+  // Appends `count` fresh components (initialized to the object's initial
+  // value) and returns the index of the first; the new indices are
+  // [first, first+count).  Concurrent with updates and scans: an operation
+  // that began before the grow may or may not observe the enlarged count,
+  // but every index below the count it DID observe is valid for its whole
+  // duration (grow-only segmented storage -- no reader's pointer is ever
+  // invalidated).  Concurrent add_components calls receive disjoint
+  // blocks.  Lock-free for the wait-free implementations; the lock/seqlock
+  // baselines serialize growth through their global writer section, in
+  // character for those baselines.
+  virtual std::uint32_t add_components(std::uint32_t count) = 0;
 
   // Sets component i (0-based, < num_components) to v on behalf of
   // exec::ctx().pid.

@@ -23,31 +23,44 @@ struct PerPid {
 
 template <class Policy>
 RegisterPartialSnapshotT<Policy>::RegisterPartialSnapshotT(
-    std::uint32_t num_components, std::uint32_t max_processes,
+    std::uint32_t initial_components, std::uint32_t max_processes,
     std::unique_ptr<activeset::ActiveSet> active_set,
     std::uint64_t initial_value)
-    : m_(num_components),
+    : size_(initial_components),
       n_(max_processes),
-      r_(num_components),
-      a_(max_processes),
+      initial_value_(initial_value),
       as_(active_set
               ? std::move(active_set)
               : std::make_unique<activeset::RegisterActiveSetT<Policy>>(
-                    max_processes)),
-      counter_(max_processes) {
-  PSNAP_ASSERT(m_ > 0 && n_ > 0);
+                    max_processes)) {
+  PSNAP_ASSERT(initial_components > 0 && n_ > 0);
+  PSNAP_ASSERT_MSG(n_ <= reclaim::EbrDomain::kPidSlots,
+                   "max_processes exceeds the pid-slot capacity");
   PSNAP_ASSERT(as_->max_processes() >= n_);
-  for (std::uint32_t i = 0; i < m_; ++i) {
+  for (std::uint32_t i = 0; i < initial_components; ++i) {
     // Initial records carry the sentinel pid and the component index as the
     // counter, which keeps every record tag unique.
-    r_[i]->init(new Record{initial_value, i, kInitPid, {}}, /*label=*/i);
+    r_.at(i)->init(new Record{initial_value, i, kInitPid, {}}, /*label=*/i);
   }
 }
 
 template <class Policy>
 RegisterPartialSnapshotT<Policy>::~RegisterPartialSnapshotT() {
-  for (auto& reg : r_) delete reg->peek();
-  for (auto& reg : a_) delete reg->peek();
+  const std::uint32_t m = size_.load();
+  for (std::uint32_t i = 0; i < m; ++i) delete r_.at(i)->peek();
+  for (std::uint32_t p = 0; p < n_; ++p) {
+    if (const auto* reg = a_.try_at(p)) delete (*reg)->peek();
+  }
+}
+
+template <class Policy>
+std::uint32_t RegisterPartialSnapshotT<Policy>::add_components(
+    std::uint32_t count) {
+  // Same initial-record construction as the constructor; nobody can read
+  // a new slot until grow_components publishes the count.
+  return grow_components(size_, r_, count, [this](auto& slot, std::uint32_t i) {
+    slot->init(new Record{initial_value_, i, kInitPid, {}}, /*label=*/i);
+  });
 }
 
 template <class Policy>
@@ -113,7 +126,7 @@ const View& RegisterPartialSnapshotT<Policy>::embedded_scan(
                      "figure-1 embedded scan exceeded its collect bound");
     const Record* borrow = nullptr;
     for (std::size_t j = 0; j < args.size(); ++j) {
-      cur[j] = r_[args[j]]->load();
+      cur[j] = r_.at(args[j])->load();
       if (have_prev && cur[j] != prev[j] && borrow == nullptr) {
         borrow = note_move(cur[j]);
       }
@@ -143,7 +156,7 @@ const View& RegisterPartialSnapshotT<Policy>::embedded_scan(
 template <class Policy>
 void RegisterPartialSnapshotT<Policy>::update(std::uint32_t i,
                                               std::uint64_t v) {
-  PSNAP_ASSERT(i < m_);
+  PSNAP_ASSERT(i < size_.load());
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   tls_op_stats().reset();
@@ -158,7 +171,12 @@ void RegisterPartialSnapshotT<Policy>::update(std::uint32_t i,
 
   ctx.union_args.clear();
   for (std::uint32_t p : ctx.scanners) {
-    const IndexSet* announced = a_[p]->load();
+    // try_at: a pid that joined without ever announcing has no slot; an
+    // absent segment reads as "no announcement" without allocating on the
+    // update path.  (A scanner always announces before joining, and its
+    // segment install happens-before the join its getSet observed.)
+    const auto* slot = a_.try_at(p);
+    const IndexSet* announced = slot ? (*slot)->load() : nullptr;
     if (announced != nullptr) {
       ctx.union_args.insert(ctx.union_args.end(), announced->indices.begin(),
                             announced->indices.end());
@@ -177,7 +195,7 @@ void RegisterPartialSnapshotT<Policy>::update(std::uint32_t i,
   // leaking, skipping the grace period (nobody ever saw the pointer).
   auto rec = record_pool_.acquire(ebr_);
   rec->value = v;
-  rec->counter = ++counter_[pid].value;
+  rec->counter = ++counter_.at(pid).value;
   rec->pid = pid;
   rec->view = view;  // capacity-reusing copy into the recycled vector
 
@@ -186,7 +204,7 @@ void RegisterPartialSnapshotT<Policy>::update(std::uint32_t i,
   // retires it.  Release mode: acq_rel -- release publishes the immutable
   // record to acquire collects, acquire covers the replaced record handed
   // to reclamation.
-  const Record* old = r_[i]->exchange(rec.get());
+  const Record* old = r_.at(i)->exchange(rec.get());
   rec.release();
   record_pool_.recycle(ebr_, const_cast<Record*>(old));
 }
@@ -199,7 +217,8 @@ void RegisterPartialSnapshotT<Policy>::scan(
   if (indices.empty()) return;
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
-  for (std::uint32_t i : indices) PSNAP_ASSERT(i < m_);
+  const std::uint32_t m = size_.load();
+  for (std::uint32_t i : indices) PSNAP_ASSERT(i < m);
   tls_op_stats().reset();
   ctx.begin();
   auto guard = ebr_.pin();
@@ -215,11 +234,11 @@ void RegisterPartialSnapshotT<Policy>::scan(
   // announcement already covers this scan's components.  Announcements are
   // pooled, so even shape-alternating scans allocate nothing in steady
   // state.
-  const IndexSet* announced = a_[pid]->peek();
+  const IndexSet* announced = a_.at(pid)->peek();
   if (announced == nullptr || announced->indices != ctx.canonical) {
     auto announce = announce_pool_.acquire(ebr_);
     announce->indices.assign(ctx.canonical.begin(), ctx.canonical.end());
-    const IndexSet* old_announce = a_[pid]->exchange(announce.get());
+    const IndexSet* old_announce = a_.at(pid)->exchange(announce.get());
     announce.release();
     if (old_announce != nullptr) {
       announce_pool_.recycle(ebr_, const_cast<IndexSet*>(old_announce));

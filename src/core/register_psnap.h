@@ -32,6 +32,13 @@
 //
 // Steady-state updates and scans are allocation-free: Records and
 // announcement IndexSets recycle through reclaim::Pool free lists.
+//
+// Dynamic runtime: components live in grow-only segmented storage, so
+// add_components() extends the vector at runtime (never invalidating a
+// concurrent reader's pointers) and num_components() is a monotone count;
+// per-pid state (announcements, counters) is likewise segment-backed and
+// keyed by dynamically registered pids (exec::ThreadRegistry), with
+// max_processes only an upper bound on concurrently live pids.
 #pragma once
 
 #include <memory>
@@ -39,6 +46,7 @@
 
 #include "activeset/active_set.h"
 #include "common/padding.h"
+#include "core/growth.h"
 #include "core/partial_snapshot.h"
 #include "core/record.h"
 #include "core/scan_context.h"
@@ -55,14 +63,14 @@ class RegisterPartialSnapshotT final : public PartialSnapshot {
   // runtime policy (the paper's Figure 1 uses a register-based active
   // set); injectable so benches can pair Figure 1 with the Figure 2 active
   // set too.
-  RegisterPartialSnapshotT(std::uint32_t num_components,
+  RegisterPartialSnapshotT(std::uint32_t initial_components,
                            std::uint32_t max_processes,
                            std::unique_ptr<activeset::ActiveSet> active_set =
                                nullptr,
                            std::uint64_t initial_value = 0);
   ~RegisterPartialSnapshotT() override;
 
-  std::uint32_t num_components() const override { return m_; }
+  std::uint32_t num_components() const override { return size_.load(); }
   std::string_view name() const override {
     return Policy::kCountsSteps ? "fig1-register" : "fig1-register-fast";
   }
@@ -73,6 +81,7 @@ class RegisterPartialSnapshotT final : public PartialSnapshot {
   // O(n); see DESIGN.md substitutions.)
   bool is_local() const override { return true; }
 
+  std::uint32_t add_components(std::uint32_t count) override;
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
             std::vector<std::uint64_t>& out, ScanContext& ctx) override;
@@ -92,25 +101,31 @@ class RegisterPartialSnapshotT final : public PartialSnapshot {
   const View& embedded_scan(std::span<const std::uint32_t> args,
                             ScanContext& ctx);
 
-  std::uint32_t m_;
+  // Published component count (monotone; see core/growth.h).
+  GrowableSize size_;
   std::uint32_t n_;
+  std::uint64_t initial_value_;
   // Pools before ebr_: ~EbrDomain flushes retired nodes into them.
   reclaim::Pool<Record> record_pool_;
   reclaim::Pool<IndexSet> announce_pool_;
   // CachelinePadded: a Register is 16 bytes; without padding four
   // components (or four processes' announcement slots) would share a line
   // and false-share under concurrent traffic, matching counter_'s
-  // treatment.
-  std::vector<CachelinePadded<primitives::Register<const Record*, Policy>>>
+  // treatment.  Segmented (grow-only) storage: slot addresses are stable
+  // forever, so concurrent readers survive growth.
+  ComponentStorage<
+      CachelinePadded<primitives::Register<const Record*, Policy>>>
       r_;
-  std::vector<
+  PerPidStorage<
       CachelinePadded<primitives::Register<const IndexSet*, Policy>>>
       a_;
   std::unique_ptr<activeset::ActiveSet> as_;
   reclaim::EbrDomain ebr_;
   // Per-process publication counters (only the owner writes; reads by the
-  // owner only), giving unique (pid, counter) record tags.
-  std::vector<CachelinePadded<std::uint64_t>> counter_;
+  // owner only), giving unique (pid, counter) record tags.  Counters are
+  // keyed by pid, so a thread that re-registers under a reused pid simply
+  // continues that pid's counter sequence -- tags stay unique.
+  PerPidStorage<CachelinePadded<std::uint64_t>> counter_;
 };
 
 using RegisterPartialSnapshot =

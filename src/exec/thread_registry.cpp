@@ -1,0 +1,92 @@
+#include "exec/thread_registry.h"
+
+#include <bit>
+
+#include "common/assert.h"
+
+namespace psnap::exec {
+
+ThreadRegistry::ThreadRegistry(std::uint32_t max_threads)
+    : capacity_(max_threads) {
+  PSNAP_ASSERT_MSG(max_threads > 0 && max_threads <= kMaxCapacity,
+                   "ThreadRegistry capacity out of range");
+  for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+}
+
+std::uint32_t ThreadRegistry::try_acquire() {
+  // Lowest-free-bit scan with CAS claim.  Restarting from word 0 after a
+  // lost race keeps allocation dense (the lowest free pid wins), which is
+  // what bounds per-pid walks by the high watermark rather than capacity.
+  while (true) {
+    bool raced = false;
+    for (std::uint32_t w = 0; w * kBitsPerWord < capacity_; ++w) {
+      std::uint64_t word = words_[w].load(std::memory_order_relaxed);
+      while (true) {
+        std::uint64_t free_mask = ~word;
+        if (w * kBitsPerWord + kBitsPerWord > capacity_) {
+          // Mask off bits beyond capacity in the last word.
+          std::uint32_t valid = capacity_ - w * kBitsPerWord;
+          free_mask &= (valid == kBitsPerWord) ? ~0ull
+                                               : ((1ull << valid) - 1);
+        }
+        if (free_mask == 0) break;  // word full; next word
+        std::uint32_t bit =
+            static_cast<std::uint32_t>(std::countr_zero(free_mask));
+        // acq_rel: release hands the previous holder's per-pid state to
+        // us; acquire pairs with the releasing fetch_and below.
+        if (words_[w].compare_exchange_weak(word, word | (1ull << bit),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+          std::uint32_t pid = w * kBitsPerWord + bit;
+          active_.fetch_add(1, std::memory_order_relaxed);
+          std::uint32_t seen = watermark_.load(std::memory_order_relaxed);
+          while (pid + 1 > seen &&
+                 !watermark_.compare_exchange_weak(
+                     seen, pid + 1, std::memory_order_release,
+                     std::memory_order_relaxed)) {
+          }
+          return pid;
+        }
+        raced = true;  // word reloaded by the CAS failure
+      }
+    }
+    if (!raced) return kInvalidPid;  // genuinely full
+    // Every word looked full but we lost at least one race; re-scan in
+    // case a release freed a low slot meanwhile.
+  }
+}
+
+std::uint32_t ThreadRegistry::acquire() {
+  std::uint32_t pid = try_acquire();
+  PSNAP_ASSERT_MSG(pid != kInvalidPid,
+                   "ThreadRegistry capacity exhausted (all pids live)");
+  return pid;
+}
+
+void ThreadRegistry::release(std::uint32_t pid) {
+  PSNAP_ASSERT(pid < capacity_);
+  std::uint64_t mask = 1ull << (pid % kBitsPerWord);
+  std::uint64_t prev = words_[pid / kBitsPerWord].fetch_and(
+      ~mask, std::memory_order_acq_rel);
+  PSNAP_ASSERT_MSG((prev & mask) != 0, "release of a pid that is not live");
+  active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+ThreadRegistry& ThreadRegistry::process_wide() {
+  static ThreadRegistry registry(ThreadRegistry::kMaxCapacity);
+  return registry;
+}
+
+ThreadHandle::ThreadHandle(ThreadRegistry& registry)
+    : registry_(registry), pid_(registry.acquire()), saved_(ctx().pid) {
+  PSNAP_ASSERT_MSG(saved_ == kInvalidPid,
+                   "thread already has a pid; ThreadHandle must not nest");
+  ctx().pid = pid_;
+}
+
+ThreadHandle::~ThreadHandle() {
+  ctx().pid = saved_;
+  registry_.release(pid_);
+}
+
+}  // namespace psnap::exec

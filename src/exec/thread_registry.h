@@ -1,0 +1,109 @@
+// Dynamic thread lifecycle: reusable process ids.
+//
+// The seed runtime froze the thread population at construction: every
+// harness assigned fixed pids 0..n-1 with exec::ScopedPid and the snapshot
+// objects sized their per-process arrays to that n forever.  Workloads with
+// churn -- clients connecting and disconnecting, worker pools resizing --
+// could not even be expressed.
+//
+// A ThreadRegistry hands out pids dynamically from a bounded capacity:
+//
+//   * acquire() returns the lowest free pid (lock-free bitmap CAS), so the
+//     set of live pids stays dense -- per-pid walks (active-set collects,
+//     announcement reads) touch only the low slots actually in use;
+//   * release(pid) makes the pid immediately reusable by the next joiner.
+//     The release/acquire pair synchronizes (CAS on the same bitmap word),
+//     so per-pid state handed from the old thread to the new one -- EBR
+//     retired lists, pool free lists, per-pid counters -- is ordered;
+//   * ThreadHandle is the RAII form: it acquires a pid, installs it as
+//     exec::ctx().pid for the calling thread, and restores + releases on
+//     destruction.  This replaces ScopedPid in every native-thread harness
+//     (ScopedPid remains for the sim scheduler and for tests that need a
+//     SPECIFIC pid).
+//
+// Pids index per-process slot arrays (announcement registers, EBR slots,
+// publication counters), so the same pid must never be held by two live
+// threads at once; the registry guarantees that, and reuse after release is
+// safe because all per-pid protocol state is reset by the protocols
+// themselves (a released scanner has left the active set; its announcement
+// register may keep its last value -- updates only read announcements of
+// *joined* pids).
+//
+// Rule for releasing: a thread must not release its pid (destroy its
+// ThreadHandle) while an operation is in flight -- in particular while it
+// holds an EBR pin, since EBR per-thread slots are keyed by pid (see
+// reclaim/ebr.h).  Scoped usage makes this automatic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "exec/exec.h"
+
+namespace psnap::exec {
+
+class ThreadRegistry {
+ public:
+  // Capacity ceiling shared with the EBR pid-keyed slot range
+  // (reclaim::EbrDomain::kPidSlots); a registry can be smaller, never
+  // larger.
+  static constexpr std::uint32_t kMaxCapacity = 128;
+
+  explicit ThreadRegistry(std::uint32_t max_threads = kMaxCapacity);
+
+  ThreadRegistry(const ThreadRegistry&) = delete;
+  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+
+  // Lowest free pid, or kInvalidPid when all max_threads pids are live.
+  std::uint32_t try_acquire();
+  // try_acquire that asserts on exhaustion (capacity is a configured bound,
+  // so running out is a usage error, not an expected condition).
+  std::uint32_t acquire();
+  void release(std::uint32_t pid);
+
+  std::uint32_t max_threads() const { return capacity_; }
+  // Live pids right now.
+  std::uint32_t active_count() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+  // max(pid)+1 over every pid ever handed out: the dense upper bound a
+  // per-pid walk needs.
+  std::uint32_t high_watermark() const {
+    return watermark_.load(std::memory_order_acquire);
+  }
+
+  // The process-wide registry native harnesses default to (full
+  // kMaxCapacity).  Objects built through the implementation registry
+  // assert their max_threads against this capacity.
+  static ThreadRegistry& process_wide();
+
+ private:
+  static constexpr std::uint32_t kBitsPerWord = 64;
+
+  std::uint32_t capacity_;
+  std::atomic<std::uint64_t> words_[kMaxCapacity / kBitsPerWord];
+  std::atomic<std::uint32_t> active_{0};
+  std::atomic<std::uint32_t> watermark_{0};
+};
+
+// RAII pid for one native thread: acquires from the registry, installs
+// into exec::ctx().pid (asserting the thread did not already carry one),
+// restores and releases on destruction.
+class ThreadHandle {
+ public:
+  explicit ThreadHandle(ThreadRegistry& registry);
+  ThreadHandle() : ThreadHandle(ThreadRegistry::process_wide()) {}
+  ~ThreadHandle();
+
+  ThreadHandle(const ThreadHandle&) = delete;
+  ThreadHandle& operator=(const ThreadHandle&) = delete;
+
+  std::uint32_t pid() const { return pid_; }
+
+ private:
+  ThreadRegistry& registry_;
+  std::uint32_t pid_;
+  std::uint32_t saved_;
+};
+
+}  // namespace psnap::exec

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/assert.h"
+#include "exec/exec.h"
 
 namespace psnap::reclaim {
 
@@ -13,8 +14,10 @@ std::uint64_t next_domain_id() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
-// Per-thread cache: domain id -> slot index.  Keyed by id, not pointer, so a
-// domain reallocated at a previous domain's address cannot alias its slots.
+// Per-thread cache for ANONYMOUS slots only: domain id -> slot index.
+// Keyed by id, not pointer, so a domain reallocated at a previous domain's
+// address cannot alias its slots.  (Pid-keyed slots need no cache: the slot
+// IS the pid.)
 std::unordered_map<std::uint64_t, std::uint32_t>& slot_cache() {
   thread_local std::unordered_map<std::uint64_t, std::uint32_t> cache;
   return cache;
@@ -25,7 +28,7 @@ constexpr std::size_t kReclaimThreshold = 64;
 
 }  // namespace
 
-EbrDomain::EbrDomain() : domain_id_(next_domain_id()), slots_(kMaxThreads) {}
+EbrDomain::EbrDomain() : domain_id_(next_domain_id()), slots_(kTotalSlots) {}
 
 EbrDomain::~EbrDomain() {
   // Precondition: quiescent.  Free everything outstanding.  The callback
@@ -44,10 +47,29 @@ EbrDomain::~EbrDomain() {
 }
 
 std::uint32_t EbrDomain::slot_for_this_thread() {
+  // Registered threads: the slot is the pid.  Distinct live threads never
+  // share a pid (exec::ThreadRegistry invariant), and a reused pid's slot
+  // state is handed over through the registry's release/acquire pair.  A
+  // thread must therefore not drop its pid (ThreadHandle destruction)
+  // while pinned or mid-operation on this domain.
+  std::uint32_t pid = exec::ctx().pid;
+  if (pid != exec::kInvalidPid) {
+    PSNAP_ASSERT_MSG(pid < kPidSlots, "pid exceeds the EBR pid-slot range");
+    Slot& slot = slots_[pid];
+    if (!slot.in_use.load(std::memory_order_relaxed)) {
+      // Marks the slot live for try_reclaim's walk; never cleared (a slot
+      // that held retired nodes stays scannable).  Only the pid's current
+      // holder stores here, so the plain store cannot race another writer.
+      slot.in_use.store(true, std::memory_order_release);
+    }
+    return pid;
+  }
+  // Anonymous threads: sticky CAS-claimed slots above the pid range,
+  // cached per (thread, domain).
   auto& cache = slot_cache();
   auto it = cache.find(domain_id_);
   if (it != cache.end()) return it->second;
-  for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
+  for (std::uint32_t i = kPidSlots; i < kTotalSlots; ++i) {
     bool expected = false;
     if (slots_[i].in_use.compare_exchange_strong(expected, true,
                                                  std::memory_order_acq_rel)) {
@@ -55,7 +77,7 @@ std::uint32_t EbrDomain::slot_for_this_thread() {
       return i;
     }
   }
-  PSNAP_ASSERT_MSG(false, "EbrDomain thread capacity exhausted");
+  PSNAP_ASSERT_MSG(false, "EbrDomain anonymous-thread capacity exhausted");
   return 0;  // unreachable
 }
 

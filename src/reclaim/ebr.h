@@ -28,8 +28,17 @@ namespace psnap::reclaim {
 
 class EbrDomain {
  public:
-  // Maximum number of distinct threads that may ever use one domain.
-  static constexpr std::uint32_t kMaxThreads = 128;
+  // Per-thread state is keyed by the caller's *registered pid* when it has
+  // one (exec::ThreadRegistry hands out pids below kPidSlots and reuses
+  // them after release), so a churning thread population of any size works
+  // as long as at most kPidSlots pids are live at once.  The release/
+  // acquire CAS pair in the registry orders the hand-off, so a pid's
+  // retired list simply transfers to the slot's next holder.  Threads
+  // without a pid (direct reclaim tests, bookkeeping threads) fall back to
+  // sticky CAS-claimed slots in [kPidSlots, kTotalSlots).
+  static constexpr std::uint32_t kPidSlots = 128;
+  static constexpr std::uint32_t kAnonSlots = 32;
+  static constexpr std::uint32_t kTotalSlots = kPidSlots + kAnonSlots;
 
   EbrDomain();
   // Precondition: no thread is pinned and no operation is in flight.
@@ -79,9 +88,10 @@ class EbrDomain {
   // nodes into a typed free list rather than returning them to the heap.
   void retire_raw(void* node, void* ctx, RecycleFn fn);
 
-  // Stable per-thread slot index in [0, kMaxThreads) for this domain.
-  // Used by Pool to give each thread its own free list without a second
-  // thread-registration mechanism.
+  // Per-thread slot index in [0, kTotalSlots) for this domain: the
+  // caller's registered pid when it has one, a sticky anonymous slot
+  // otherwise.  Used by Pool to give each thread its own free list without
+  // a second thread-registration mechanism.
   std::uint32_t thread_slot() { return slot_for_this_thread(); }
 
   // Attempts to advance the epoch and free eligible nodes.  Called

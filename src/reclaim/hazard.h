@@ -1,11 +1,15 @@
-// Hazard pointers (Michael, 2004).
+// Hazard pointers (Michael, 2004).  EXPERIMENTAL -- not part of the
+// library proper.
 //
 // Alternative reclamation substrate.  The snapshot algorithms use EBR
 // (coarse, operation-scoped pins suit their short wait-free operations);
 // hazard pointers trade per-pointer bookkeeping for bounded garbage, which
-// matters for long-running scans.  Built and tested as a first-class
-// substrate, benchmarked against EBR in the micro suite so the trade-off is
-// visible; see DESIGN.md S2.
+// matters for long-running scans.  No shipped implementation uses this
+// substrate, so it is built as the separate `psnap_experimental` target
+// (see src/CMakeLists.txt); tests/reclaim/hazard_test.cpp keeps it honest
+// and the micro bench keeps the EBR-vs-HP trade-off visible.  Promote it
+// into psnap proper only together with an implementation that reclaims
+// through it.
 #pragma once
 
 #include <atomic>

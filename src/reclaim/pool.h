@@ -45,7 +45,7 @@ namespace psnap::reclaim {
 template <class T>
 class Pool {
  public:
-  Pool() : lists_(EbrDomain::kMaxThreads) {}
+  Pool() : lists_(EbrDomain::kTotalSlots) {}
 
   // Precondition (same as ~EbrDomain): quiescent.  The domain whose nodes
   // recycle into this pool must be destroyed FIRST -- its destructor

@@ -12,6 +12,77 @@ namespace psnap::registry {
 void register_builtin_snapshots(SnapshotRegistry& registry);
 void register_builtin_active_sets(ActiveSetRegistry& registry);
 
+namespace {
+
+// Plain Levenshtein distance; catalogues are tiny, so the O(a*b) table is
+// irrelevant.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+// "Did you mean" candidate: the closest name within an edit-distance
+// budget that scales with the typo's length (a one-character slip on a
+// short name, a couple on a long one).  Prefix matches (an abbreviated
+// name) always qualify.
+template <class Infos>
+std::string closest_name(std::string_view name, const Infos& infos) {
+  std::string best;
+  std::size_t best_distance = ~std::size_t{0};
+  for (const auto* info : infos) {
+    std::size_t d = edit_distance(name, info->name);
+    if (d < best_distance) {
+      best_distance = d;
+      best = info->name;
+    }
+    if (!name.empty() &&
+        std::string_view(info->name).substr(0, name.size()) == name) {
+      return info->name;
+    }
+  }
+  std::size_t budget = name.size() < 6 ? 2 : name.size() / 3;
+  return best_distance <= budget ? best : std::string();
+}
+
+// The universal shape options are 32-bit; reject rather than silently
+// truncate a too-large value (the registry's contract is that bad specs
+// fail loudly).
+std::uint32_t get_u32_option(const Options& options, std::string_view key,
+                             std::uint32_t def) {
+  std::uint64_t value = options.get_uint(key, def);
+  if (value > ~std::uint32_t{0}) {
+    throw std::invalid_argument("option '" + std::string(key) +
+                                "' exceeds the 32-bit range");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+std::string unknown_name_message(std::string_view kind,
+                                 std::string_view name,
+                                 const std::string& suggestion,
+                                 const std::string& catalogue) {
+  std::string message = "unknown " + std::string(kind) +
+                        " implementation '" + std::string(name) + "'";
+  if (!suggestion.empty()) {
+    message += "; did you mean '" + suggestion + "'?";
+  }
+  message += "\nknown implementations:\n" + catalogue;
+  return message;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Options
 // ---------------------------------------------------------------------------
@@ -145,17 +216,21 @@ const SnapshotInfo* SnapshotRegistry::find(std::string_view name) const {
 }
 
 std::unique_ptr<core::PartialSnapshot> SnapshotRegistry::make(
-    std::string_view spec, std::uint32_t num_components,
-    std::uint32_t max_processes) const {
+    std::string_view spec, std::uint32_t initial_m,
+    std::uint32_t max_threads) const {
   auto [name, opt_spec] = split_spec(spec);
   const SnapshotInfo* info = find(name);
   if (info == nullptr) {
-    throw std::invalid_argument("unknown snapshot implementation '" +
-                                std::string(name) + "'; known: " +
-                                snapshot_catalogue());
+    throw std::invalid_argument(
+        unknown_name_message("snapshot", name, closest_name(name, all()),
+                             snapshot_catalogue()));
   }
   Options options = Options::parse(opt_spec);
-  auto snapshot = info->make(num_components, max_processes, options);
+  // Universal options, consumed before the factory runs: any spec may
+  // reshape the object's initial component count and thread bound.
+  initial_m = get_u32_option(options, "m0", initial_m);
+  max_threads = get_u32_option(options, "max_threads", max_threads);
+  auto snapshot = info->make(initial_m, max_threads, options);
   options.check_consumed();
   return snapshot;
 }
@@ -191,16 +266,17 @@ const ActiveSetInfo* ActiveSetRegistry::find(std::string_view name) const {
 }
 
 std::unique_ptr<activeset::ActiveSet> ActiveSetRegistry::make(
-    std::string_view spec, std::uint32_t max_processes) const {
+    std::string_view spec, std::uint32_t max_threads) const {
   auto [name, opt_spec] = split_spec(spec);
   const ActiveSetInfo* info = find(name);
   if (info == nullptr) {
-    throw std::invalid_argument("unknown active-set implementation '" +
-                                std::string(name) + "'; known: " +
-                                active_set_catalogue());
+    throw std::invalid_argument(
+        unknown_name_message("active-set", name, closest_name(name, all()),
+                             active_set_catalogue()));
   }
   Options options = Options::parse(opt_spec);
-  auto active_set = info->make(max_processes, options);
+  max_threads = get_u32_option(options, "max_threads", max_threads);
+  auto active_set = info->make(max_threads, options);
   options.check_consumed();
   return active_set;
 }
@@ -217,15 +293,22 @@ std::pair<std::string_view, std::string_view> split_spec(
 }
 
 std::unique_ptr<core::PartialSnapshot> make_snapshot(
-    std::string_view spec, std::uint32_t num_components,
-    std::uint32_t max_processes) {
-  return SnapshotRegistry::instance().make(spec, num_components,
-                                           max_processes);
+    std::string_view spec, std::uint32_t initial_m,
+    std::uint32_t max_threads) {
+  return SnapshotRegistry::instance().make(spec, initial_m, max_threads);
 }
 
 std::unique_ptr<activeset::ActiveSet> make_active_set(
-    std::string_view spec, std::uint32_t max_processes) {
-  return ActiveSetRegistry::instance().make(spec, max_processes);
+    std::string_view spec, std::uint32_t max_threads) {
+  return ActiveSetRegistry::instance().make(spec, max_threads);
+}
+
+std::string closest_snapshot_name(std::string_view name) {
+  return closest_name(name, SnapshotRegistry::instance().all());
+}
+
+std::string closest_active_set_name(std::string_view name) {
+  return closest_name(name, ActiveSetRegistry::instance().all());
 }
 
 std::string snapshot_catalogue() {
@@ -237,6 +320,7 @@ std::string snapshot_catalogue() {
     }
     out << "\n";
   }
+  out << "  (every spec also accepts m0=<u32> and max_threads=<u32>)\n";
   return out.str();
 }
 

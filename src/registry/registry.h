@@ -75,9 +75,14 @@ class Options {
 // Partial snapshot implementations.
 // ---------------------------------------------------------------------------
 
+// Factory signature of the dynamic runtime: initial_m is the component
+// count at construction (the object grows from there via add_components),
+// max_threads the bound on concurrently live pids (threads register
+// dynamically through exec::ThreadRegistry; the bound sizes nothing
+// up-front thanks to the grow-only per-pid storage).
 using SnapshotFactory =
     std::function<std::unique_ptr<core::PartialSnapshot>(
-        std::uint32_t num_components, std::uint32_t max_processes,
+        std::uint32_t initial_m, std::uint32_t max_threads,
         const Options& options)>;
 
 struct SnapshotInfo {
@@ -119,11 +124,16 @@ class SnapshotRegistry {
   // Looks up by exact name; nullptr if absent.
   const SnapshotInfo* find(std::string_view name) const;
 
-  // Builds from a spec "name" or "name:key=value,...".  Throws
-  // std::invalid_argument for unknown names or options.
+  // Builds from a spec "name" or "name:key=value,...".  Every
+  // implementation accepts the universal options m0=<u32> (initial
+  // component count) and max_threads=<u32>, which override the caller's
+  // initial_m / max_threads arguments -- so a CLI spec can reshape the
+  // object without the binary growing flags.  Throws std::invalid_argument
+  // for unknown names (with a "did you mean" suggestion and the full
+  // catalogue) or unknown options.
   std::unique_ptr<core::PartialSnapshot> make(std::string_view spec,
-                                              std::uint32_t num_components,
-                                              std::uint32_t max_processes)
+                                              std::uint32_t initial_m,
+                                              std::uint32_t max_threads)
       const;
 
  private:
@@ -135,7 +145,7 @@ class SnapshotRegistry {
 // ---------------------------------------------------------------------------
 
 using ActiveSetFactory = std::function<std::unique_ptr<activeset::ActiveSet>(
-    std::uint32_t max_processes, const Options& options)>;
+    std::uint32_t max_threads, const Options& options)>;
 
 struct ActiveSetInfo {
   std::string name;
@@ -154,8 +164,10 @@ class ActiveSetRegistry {
   void add(ActiveSetInfo info);
   std::vector<const ActiveSetInfo*> all() const;
   const ActiveSetInfo* find(std::string_view name) const;
+  // Accepts the universal option max_threads=<u32> (overrides the
+  // argument); unknown names throw with a "did you mean" suggestion.
   std::unique_ptr<activeset::ActiveSet> make(std::string_view spec,
-                                             std::uint32_t max_processes)
+                                             std::uint32_t max_threads)
       const;
 
  private:
@@ -171,11 +183,16 @@ std::pair<std::string_view, std::string_view> split_spec(
     std::string_view spec);
 
 std::unique_ptr<core::PartialSnapshot> make_snapshot(
-    std::string_view spec, std::uint32_t num_components,
-    std::uint32_t max_processes);
+    std::string_view spec, std::uint32_t initial_m,
+    std::uint32_t max_threads);
 
 std::unique_ptr<activeset::ActiveSet> make_active_set(
-    std::string_view spec, std::uint32_t max_processes);
+    std::string_view spec, std::uint32_t max_threads);
+
+// Closest registered name by edit distance (for "did you mean"
+// diagnostics); empty when nothing is plausibly close.
+std::string closest_snapshot_name(std::string_view name);
+std::string closest_active_set_name(std::string_view name);
 
 // One line per implementation: "name  description [options]".  For the
 // --help output of bench/example binaries.

@@ -23,6 +23,14 @@ class RecordingSnapshot final : public core::PartialSnapshot {
   bool is_wait_free() const override { return delegate_.is_wait_free(); }
   bool is_local() const override { return delegate_.is_local(); }
 
+  // Forwarded without recording: growth is not one of the checked
+  // operations (new components start at the initial value, which is
+  // indistinguishable from their having existed all along, so histories
+  // stay checkable against the final component count).
+  std::uint32_t add_components(std::uint32_t count) override {
+    return delegate_.add_components(count);
+  }
+
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
             std::vector<std::uint64_t>& out, core::ScanContext& ctx) override;

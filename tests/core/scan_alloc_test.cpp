@@ -92,6 +92,29 @@ TEST_F(ScanAllocTest, ChangingTheScanShapeReusesGrownCapacity) {
   EXPECT_EQ(allocations_during_scans(*snap, narrow, 200), 0u);
 }
 
+TEST_F(ScanAllocTest, GrowingTheObjectKeepsSteadyStateScansAllocationFree) {
+  exec::ScopedPid pid(0);
+  for (const char* spec : {"fig3_cas", "fig1_register"}) {
+    auto snap = warmed(spec);
+    // Grow past the warmed range (the grow itself may allocate: new
+    // records, a segment install) and publish into the new components.
+    std::uint32_t first = snap->add_components(16);
+    EXPECT_EQ(first, 64u);
+    EXPECT_EQ(snap->num_components(), 80u);
+    for (std::uint32_t i = first; i < first + 16; ++i) {
+      snap->update(i, 2000 + i);
+    }
+    // A scan shape straddling old and new components: the changed
+    // announcement and the wider collect buffers are the one-time warm-up,
+    // after which scans must be allocation-free again.
+    const std::vector<std::uint32_t> straddle{3, 40, 70, 79};
+    std::vector<std::uint64_t> out;
+    for (int i = 0; i < 16; ++i) snap->scan(straddle, out);
+    EXPECT_EQ(allocations_during_scans(*snap, straddle, 200), 0u) << spec;
+    EXPECT_EQ(snap->scan({70}), (std::vector<std::uint64_t>{2070})) << spec;
+  }
+}
+
 TEST_F(ScanAllocTest, ExplicitContextIsReusableAcrossSnapshots) {
   // The context parameter is part of the public API: one context threaded
   // through scans of two different objects keeps both allocation-free

@@ -142,6 +142,38 @@ TEST(UpdateAllocHelpingTest,
   run_helping_update_test(snap);
 }
 
+// Growth: after add_components, updates across the enlarged range must
+// return to the allocation-free steady state (the grow itself and the
+// first lap over the new components are the one-time warm-up: fresh
+// initial records, a possible segment install, first retirements flowing
+// through the grace period into the pool).
+TEST(UpdateAllocTestExtras, GrowthKeepsSteadyStateUpdatesAllocationFree) {
+  exec::ScopedPid pid(0);
+  for (const char* spec : {"fig3_cas", "fig1_register", "fig3_cas_fast",
+                           "fig1_register_fast", "full_snapshot"}) {
+    auto snap = registry::make_snapshot(spec, kM, kN);
+    warm_up(*snap);
+    std::uint32_t first = snap->add_components(16);
+    EXPECT_EQ(first, kM) << spec;
+    const std::uint32_t grown = kM + 16;
+    // Re-warm over the full grown range: the full-snapshot baseline's
+    // views are larger now, so its pooled records must regrow their
+    // capacity once; the local algorithms' records are shape-independent.
+    for (int k = 0; k < 1024; ++k) {
+      snap->update(static_cast<std::uint32_t>(k % grown), 3000 + k);
+    }
+    std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    for (int k = 0; k < 512; ++k) {
+      snap->update(static_cast<std::uint32_t>(k % grown), 5000 + k);
+    }
+    EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u)
+        << spec;
+    EXPECT_EQ(snap->scan({static_cast<std::uint32_t>(511 % grown)}),
+              (std::vector<std::uint64_t>{5000 + 511}))
+        << spec;
+  }
+}
+
 // Announcement pooling: scans that keep CHANGING shape used to allocate a
 // fresh IndexSet on every re-announcement.  With the announce pool, the
 // retired announcements recycle and alternating between shapes reaches an

@@ -1,0 +1,112 @@
+// Dynamic pid lifecycle: lowest-free allocation, reuse after release,
+// RAII installation, capacity behavior, and concurrent churn exclusivity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_registry.h"
+
+namespace psnap::exec {
+namespace {
+
+TEST(ThreadRegistryTest, AcquiresLowestFreePidAndReusesAfterRelease) {
+  ThreadRegistry registry(8);
+  EXPECT_EQ(registry.acquire(), 0u);
+  EXPECT_EQ(registry.acquire(), 1u);
+  EXPECT_EQ(registry.acquire(), 2u);
+  EXPECT_EQ(registry.active_count(), 3u);
+  registry.release(1);
+  EXPECT_EQ(registry.active_count(), 2u);
+  // The freed pid is the lowest, so the next joiner gets it back.
+  EXPECT_EQ(registry.acquire(), 1u);
+  registry.release(0);
+  registry.release(1);
+  registry.release(2);
+  EXPECT_EQ(registry.active_count(), 0u);
+}
+
+TEST(ThreadRegistryTest, TryAcquireReportsExhaustionWithoutAsserting) {
+  ThreadRegistry registry(2);
+  EXPECT_EQ(registry.try_acquire(), 0u);
+  EXPECT_EQ(registry.try_acquire(), 1u);
+  EXPECT_EQ(registry.try_acquire(), kInvalidPid);
+  registry.release(0);
+  EXPECT_EQ(registry.try_acquire(), 0u);
+  registry.release(0);
+  registry.release(1);
+}
+
+TEST(ThreadRegistryTest, WatermarkTracksHighestPidEverIssued) {
+  ThreadRegistry registry(8);
+  EXPECT_EQ(registry.high_watermark(), 0u);
+  std::uint32_t a = registry.acquire();
+  std::uint32_t b = registry.acquire();
+  EXPECT_EQ(registry.high_watermark(), 2u);
+  registry.release(a);
+  registry.release(b);
+  // Release does not lower the watermark; re-acquisition of low pids does
+  // not raise it.
+  std::uint32_t c = registry.acquire();
+  EXPECT_EQ(c, 0u);
+  EXPECT_EQ(registry.high_watermark(), 2u);
+  registry.release(c);
+}
+
+TEST(ThreadRegistryTest, HandleInstallsPidIntoThreadContextAndRestores) {
+  ThreadRegistry registry(4);
+  EXPECT_EQ(ctx().pid, kInvalidPid);
+  {
+    ThreadHandle handle(registry);
+    EXPECT_EQ(handle.pid(), 0u);
+    EXPECT_EQ(ctx().pid, 0u);
+  }
+  EXPECT_EQ(ctx().pid, kInvalidPid);
+  EXPECT_EQ(registry.active_count(), 0u);
+  // The released pid is immediately reusable.
+  ThreadHandle again(registry);
+  EXPECT_EQ(again.pid(), 0u);
+}
+
+TEST(ThreadRegistryTest, ConcurrentChurnNeverSharesALivePid) {
+  constexpr std::uint32_t kCapacity = 4;
+  constexpr std::uint32_t kThreads = 8;
+  constexpr int kLives = 400;
+  ThreadRegistry registry(kCapacity);
+  std::atomic<int> owners[kCapacity] = {};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int life = 0; life < kLives; ++life) {
+        std::uint32_t pid = registry.try_acquire();
+        if (pid == kInvalidPid) {
+          std::this_thread::yield();  // all pids live; retry next life
+          continue;
+        }
+        // try_acquire never returns a pid at or above the capacity.
+        if (owners[pid].fetch_add(1) != 0) violation.store(true);
+        owners[pid].fetch_sub(1);
+        registry.release(pid);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violation.load()) << "two live threads shared a pid";
+  EXPECT_EQ(registry.active_count(), 0u);
+}
+
+TEST(ThreadRegistryTest, ProcessWideRegistryBacksDefaultHandles) {
+  std::uint32_t seen = kInvalidPid;
+  std::thread worker([&] {
+    ThreadHandle handle;  // process-wide registry
+    seen = handle.pid();
+  });
+  worker.join();
+  EXPECT_LT(seen, ThreadRegistry::process_wide().max_threads());
+}
+
+}  // namespace
+}  // namespace psnap::exec

@@ -90,6 +90,68 @@ TEST(SnapshotRegistry, UnknownNameAndUnknownOptionFailLoudly) {
   EXPECT_THROW(make_active_set("faicas:typo=1", 2), std::invalid_argument);
 }
 
+TEST(SnapshotRegistry, UnknownNameSuggestsTheClosestImplementation) {
+  // A one-character typo earns a "did you mean" plus the catalogue.
+  try {
+    make_snapshot("fig3_ca", 4, 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("did you mean 'fig3_cas'"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("fig1_register"), std::string::npos)
+        << "catalogue missing from: " << message;
+  }
+  try {
+    make_active_set("faicsa", 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'faicas'"),
+              std::string::npos)
+        << e.what();
+  }
+  // Nothing plausibly close: no suggestion, catalogue still printed.
+  try {
+    make_snapshot("zzzzzzzz", 4, 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string message = e.what();
+    EXPECT_EQ(message.find("did you mean"), std::string::npos) << message;
+    EXPECT_NE(message.find("known implementations"), std::string::npos)
+        << message;
+  }
+  // Prefix abbreviations resolve to the full name.
+  EXPECT_EQ(closest_snapshot_name("fig3"), "fig3_cas");
+}
+
+TEST(SnapshotRegistry, UniversalSpecOptionsOverrideShapeArguments) {
+  exec::ScopedPid pid(0);
+  auto snap = make_snapshot("fig3_cas:m0=8,max_threads=3", 4, 2);
+  EXPECT_EQ(snap->num_components(), 8u);
+  snap->update(7, 42);
+  EXPECT_EQ(snap->scan({7}), (std::vector<std::uint64_t>{42}));
+  auto as = make_active_set("register:max_threads=5", 2);
+  EXPECT_EQ(as->max_processes(), 5u);
+}
+
+TEST(SnapshotRegistry, EveryImplementationGrowsThroughAddComponents) {
+  exec::ScopedPid pid(0);
+  for (const SnapshotInfo* info : SnapshotRegistry::instance().all()) {
+    auto snap = test::make_snapshot(*info, 4, 2);
+    snap->update(3, 33);
+    std::uint32_t first = snap->add_components(3);
+    EXPECT_EQ(first, 4u) << info->name;
+    EXPECT_EQ(snap->num_components(), 7u) << info->name;
+    // Old components keep their values; new ones start at the initial
+    // value and accept updates.
+    EXPECT_EQ(snap->scan({3, 4, 6}), (std::vector<std::uint64_t>{33, 0, 0}))
+        << info->name;
+    snap->update(6, 66);
+    EXPECT_EQ(snap->scan({6, 0}), (std::vector<std::uint64_t>{66, 0}))
+        << info->name;
+  }
+}
+
 TEST(SnapshotRegistry, SpecOptionsReachTheImplementation) {
   exec::ScopedPid pid(0);
   {
