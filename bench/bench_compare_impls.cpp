@@ -15,13 +15,21 @@
 //         register/release per burst) while a grower adds components
 //         mid-run; the dynamic-membership workload the static API could
 //         not express.
+//   CMPz: Zipf-skewed churn -- re-registration frequency follows a Zipf
+//         law over worker rank, so hot pids hand their pid back almost
+//         every burst while cold pids stay parked on theirs; the
+//         skewed-lifetime population (a few frantic clients, a long tail
+//         of idle ones) that uniform churn cannot model.  Lowest-free pid
+//         reuse keeps the live pid range dense through all of it.
 //
 // Wall-clock numbers are hardware-specific; the *shape* (ordering and
 // crossover region) is the reproduced result.  StarvationError cannot
 // occur here (caps are disabled), so non-wait-free baselines may in
 // principle stall; at this host's contention levels they do not.
 #include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 #include <iostream>
 #include <memory>
@@ -230,6 +238,74 @@ void table_churn(const std::vector<std::string>& specs,
   std::cout << "\n";
 }
 
+// Zipf-skewed churn: worker w re-registers between bursts with probability
+// (1/(w+1))^theta -- rank 0 churns essentially every burst, the tail holds
+// its pid for the whole run.  No grower: the variable under test is the
+// lifetime skew itself.
+double zipf_churn_throughput(const std::string& spec, std::uint32_t m,
+                             std::uint32_t r, std::uint32_t workers,
+                             double theta, double seconds) {
+  auto snap = registry::make_snapshot(spec, m, workers);
+  std::atomic<std::uint64_t> total_ops{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      const double churn_probability = std::pow(1.0 / (w + 1), theta);
+      Xoshiro256 rng(w + 17);
+      std::vector<std::uint32_t> idx;
+      std::vector<std::uint64_t> out;
+      std::uint64_t ops = 0;
+      std::optional<exec::ThreadHandle> pid;
+      pid.emplace();
+      bench::StopAfter stop_after(seconds);
+      while (!stop_after.expired()) {
+        if (rng.next_double() < churn_probability) {
+          pid.reset();    // hand the pid back...
+          pid.emplace();  // ...and re-register (lowest free pid)
+        }
+        for (int burst = 0; burst < 64; ++burst) {
+          if (rng.next_double() < 0.3) {
+            snap->update(static_cast<std::uint32_t>(rng.next() % m), ops);
+          } else {
+            idx.clear();
+            for (std::uint32_t k = 0; k < r; ++k) {
+              idx.push_back(static_cast<std::uint32_t>(rng.next() % m));
+            }
+            snap->scan(idx, out);
+          }
+          ++ops;
+        }
+      }
+      total_ops.fetch_add(ops);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return double(total_ops.load()) / seconds;
+}
+
+void table_zipf_churn(const std::vector<std::string>& specs,
+                      std::uint32_t workers, double seconds,
+                      bench::JsonReport& report) {
+  constexpr std::uint32_t kM = 256;
+  constexpr std::uint32_t kR = 4;
+  constexpr double kTheta = 0.99;  // YCSB-style heavy skew
+  TablePrinter table({"impl", "zipf churn ops/s"});
+  for (const std::string& spec : specs) {
+    double ops = zipf_churn_throughput(spec, kM, kR, workers, kTheta,
+                                       seconds);
+    table.add_row({spec, TablePrinter::fmt(ops / 1e6, 3) + "M"});
+    report.add("CMPz/" + spec + "/churn", ops);
+  }
+  table.print(std::cout,
+              "CMPz: Zipf-skewed churn (theta=0.99) -- hot pids "
+              "re-register per burst, cold pids parked; m=" +
+                  std::to_string(kM) + ", r=" + std::to_string(kR) + ", " +
+                  std::to_string(workers) + " workers");
+  std::cout << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -260,6 +336,7 @@ int main(int argc, char** argv) {
     table_mixed(specs, workers, seconds, report);
     table_crossover(specs, workers, seconds, report);
     table_churn(specs, workers, seconds, report);
+    table_zipf_churn(specs, workers, seconds, report);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;

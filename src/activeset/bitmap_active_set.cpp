@@ -1,0 +1,72 @@
+#include "activeset/bitmap_active_set.h"
+
+#include <bit>
+
+#include "common/assert.h"
+#include "exec/exec.h"
+
+namespace psnap::activeset {
+
+template <class Policy>
+BitmapActiveSetT<Policy>::BitmapActiveSetT(std::uint32_t max_processes,
+                                           exec::PidBound bound)
+    : n_(max_processes),
+      num_words_((max_processes + kBitsPerWord - 1) / kBitsPerWord),
+      bound_(bound),
+      words_(std::make_unique<
+             CachelinePadded<primitives::AtomicBits<Policy>>[]>(num_words_)) {
+  PSNAP_ASSERT(max_processes > 0);
+}
+
+template <class Policy>
+void BitmapActiveSetT<Policy>::join() {
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  std::uint64_t prev =
+      words_[pid / kBitsPerWord]->fetch_or(pid % kBitsPerWord);
+  PSNAP_ASSERT_MSG((prev & (std::uint64_t{1} << (pid % kBitsPerWord))) == 0,
+                   "join by an already-active process");
+}
+
+template <class Policy>
+void BitmapActiveSetT<Policy>::leave() {
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  std::uint64_t prev =
+      words_[pid / kBitsPerWord]->fetch_and_clear(pid % kBitsPerWord);
+  PSNAP_ASSERT_MSG((prev & (std::uint64_t{1} << (pid % kBitsPerWord))) != 0,
+                   "leave by a non-active process");
+}
+
+template <class Policy>
+void BitmapActiveSetT<Policy>::get_set(std::vector<std::uint32_t>& out) {
+  out.clear();
+  // Every pid whose join completed before this getSet was invoked is
+  // below the bound (pid_bound.h), so ceil(bound/64) word reads cover the
+  // whole member set.  A set bit at or beyond the bound -- a joiner whose
+  // pid acquisition raced this read -- lands in a word we read anyway or
+  // in one we skip; either way it is a mid-join process the specification
+  // lets a getSet resolve freely, and bits can never be set at or beyond
+  // n_ (join asserts).  The bound read is bookkeeping, not a step; each
+  // word read is one register step.
+  const std::uint32_t limit = bound_.get(n_);
+  out.reserve(limit);
+  const std::uint32_t walk_words =
+      std::min(num_words_, (limit + kBitsPerWord - 1) / kBitsPerWord);
+  for (std::uint32_t w = 0; w < walk_words; ++w) {
+    // load_sync: the getSet end of the announce/join handshake -- a join
+    // the scanner fenced before this walk must be seen (see primitives.h).
+    std::uint64_t word = words_[w]->load_sync();
+    while (word != 0) {
+      std::uint32_t b = static_cast<std::uint32_t>(std::countr_zero(word));
+      out.push_back(w * kBitsPerWord + b);
+      word &= word - 1;  // clear the lowest set bit
+    }
+  }
+  // Ascending word-then-bit order is already sorted and duplicate-free.
+}
+
+template class BitmapActiveSetT<primitives::Instrumented>;
+template class BitmapActiveSetT<primitives::Release>;
+
+}  // namespace psnap::activeset

@@ -53,12 +53,22 @@ void FaiCasActiveSetT<Policy>::leave() {
 template <class Policy>
 void FaiCasActiveSetT<Policy>::get_set(std::vector<std::uint32_t>& out) {
   out.clear();
+  // Reserve once at the population bound; repeated collects then reuse
+  // the caller's capacity with no member-by-member growth (the get_set
+  // allocation audit in tests/activeset/getset_alloc_test.cpp).
+  out.reserve(options_.bound.get(n_));
   auto guard = ebr_.pin();
 
   const IntervalSet* old_c = c_.load();
   std::uint64_t h = h_.read();
 
-  std::vector<std::uint64_t> vacated;
+  // Reusable vacated-slot scratch: per native thread, cleared per call,
+  // capacity retained -- so collects stay allocation-free even while
+  // concurrent churn keeps producing vacated slots to gather.  (Not a
+  // member: concurrent getSets by different threads must not share it.)
+  static thread_local std::vector<std::uint64_t> vacated_scratch;
+  std::vector<std::uint64_t>& vacated = vacated_scratch;
+  vacated.clear();
   const IntervalSet empty;
   const IntervalSet& skip =
       options_.publish_skip_list ? *old_c : empty;
@@ -84,8 +94,11 @@ void FaiCasActiveSetT<Policy>::get_set(std::vector<std::uint32_t>& out) {
     // in the amortized analysis, to the leaves that wrote the zeros).
     // unique_ptr until publication: an injected halt at the CAS step
     // (crash tests) unwinds without leaking the unpublished list.
+    // `vacated` is copied, not moved: the scratch keeps its capacity for
+    // the next collect (publication already allocates the list itself,
+    // so the copy adds nothing to the steady state).
     auto new_c = std::make_unique<IntervalSet>(
-        old_c->merged_with_points(std::move(vacated), options_.coalesce));
+        old_c->merged_with_points(vacated, options_.coalesce));
     if (c_.compare_and_swap_bool(old_c, new_c.get())) {
       new_c.release();
       publications_.fetch_add(1, std::memory_order_relaxed);

@@ -54,6 +54,7 @@
 #include "activeset/active_set.h"
 #include "common/padding.h"
 #include "core/growth.h"
+#include "exec/pid_bound.h"
 #include "intervals/interval_set.h"
 #include "primitives/primitives.h"
 #include "reclaim/ebr.h"
@@ -74,6 +75,13 @@ struct FaiCasOptions {
   // array is conceptually bounded and exceeding the bound is a usage
   // error (asserted).
   std::uint64_t max_joins = 0;
+  // The per-pid walk bound (exec/pid_bound.h).  Figure 2's I[] walk is
+  // slot-indexed and already population-adaptive through the published
+  // skip list (bounded by live joiners plus not-yet-skip-listed vacated
+  // slots), so the bound's role here is sizing: getSet reserves its
+  // result capacity at min(max_processes, bound) once instead of growing
+  // the vector member by member.
+  exec::PidBound bound;
 };
 
 template <class Policy = primitives::Instrumented>

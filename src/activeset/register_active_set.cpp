@@ -6,8 +6,9 @@
 namespace psnap::activeset {
 
 template <class Policy>
-RegisterActiveSetT<Policy>::RegisterActiveSetT(std::uint32_t max_processes)
-    : n_(max_processes) {
+RegisterActiveSetT<Policy>::RegisterActiveSetT(std::uint32_t max_processes,
+                                               exec::PidBound bound)
+    : n_(max_processes), bound_(bound) {
   PSNAP_ASSERT(max_processes > 0);
 }
 
@@ -28,13 +29,19 @@ void RegisterActiveSetT<Policy>::leave() {
 template <class Policy>
 void RegisterActiveSetT<Policy>::get_set(std::vector<std::uint32_t>& out) {
   out.clear();
-  for (std::uint32_t p = 0; p < n_; ++p) {
+  // The population-adaptive walk: every pid in use is below the bound
+  // (pid_bound.h's soundness argument), so the collect touches -- and, in
+  // the instrumented runtime, step-counts -- only the dense live prefix.
+  // The bound read itself is bookkeeping, not a base-object step.
+  const std::uint32_t limit = bound_.get(n_);
+  out.reserve(limit);
+  for (std::uint32_t p = 0; p < limit; ++p) {
     const auto* flag = flags_.try_at(p);
     if (flag == nullptr) {
       // No pid in this slot's segment has ever joined, so the flag reads
       // as 0.  Still one register step (and one schedule point) in the
-      // instrumented runtime: the paper's model reads n registers per
-      // getSet regardless of how the storage is laid out.
+      // instrumented runtime: the paper's model reads one register per
+      // walked slot regardless of how the storage is laid out.
       if constexpr (Policy::kCountsSteps) {
         exec::on_step(exec::ObjKind::kRegister, exec::kNoLabel);
       }

@@ -2,12 +2,16 @@
 //
 // This stands in for the adaptive collect of Afek, Stupp and Touitou [3]
 // that the paper plugs into Figure 1 (see DESIGN.md, substitutions): one
-// single-writer flag register per process, and a getSet that collects all
-// of them.  join/leave are one register write (O(1)); getSet is O(n) where
-// n is the maximum number of processes, rather than the adaptive O(Cs^2)
-// of [3].  The active-set *specification* is met exactly, so Figure 1's
-// correctness is unchanged; only the additive active-set term of Theorem 1
-// differs, and the benches report that term separately.
+// single-writer flag register per process, and a getSet that collects
+// them.  join/leave are one register write (O(1)); getSet walks the dense
+// pid prefix [0, PidBound) -- O(live population) with the default adaptive
+// bound (exec/pid_bound.h), O(n) with PidBound::fixed(n) -- rather than
+// the adaptive O(Cs^2) of [3], whose "cost tracks contention" shape the
+// watermark bound reproduces at the population granularity.  The
+// active-set *specification* is met exactly (the bound provably covers
+// every pid in use; see pid_bound.h), so Figure 1's correctness is
+// unchanged; only the additive active-set term of Theorem 1 differs, and
+// the benches report that term separately.
 //
 // Templated over the primitives' runtime policy (see primitives.h):
 // Instrumented for the theorem benches and sim tests, Release for the
@@ -26,6 +30,7 @@
 
 #include "activeset/active_set.h"
 #include "core/growth.h"
+#include "exec/pid_bound.h"
 #include "primitives/primitives.h"
 
 namespace psnap::activeset {
@@ -33,7 +38,8 @@ namespace psnap::activeset {
 template <class Policy = primitives::Instrumented>
 class RegisterActiveSetT final : public ActiveSet {
  public:
-  explicit RegisterActiveSetT(std::uint32_t max_processes);
+  explicit RegisterActiveSetT(std::uint32_t max_processes,
+                              exec::PidBound bound = {});
 
   void join() override;
   void leave() override;
@@ -47,12 +53,18 @@ class RegisterActiveSetT final : public ActiveSet {
 
  private:
   std::uint32_t n_;
+  // The walk bound: getSet loops over [0, bound_.get(n_)), which covers
+  // every pid in use (pid_bound.h) and equals the live-population
+  // watermark under the default adaptive provider.
+  exec::PidBound bound_;
   // One SWMR flag per process; 1 = active.  Grow-only per-pid storage:
   // a flag's segment materializes at the pid's first join, so the object
   // never pays for max_processes slots a dynamic thread population does
-  // not use.  getSet still walks (and step-counts) all n_ slots -- an
-  // absent segment reads as flag == 0 -- so step counts are independent
-  // of segment layout.
+  // not use.  getSet walks (and step-counts, Instrumented runtime) each
+  // slot of the bounded prefix exactly once -- an absent segment reads as
+  // flag == 0 but still costs its one register step -- so step counts
+  // equal the walked prefix length, independent of segment layout: the
+  // paper's model sees a collect over min(n, watermark) registers.
   core::PerPidStorage<primitives::Register<std::uint64_t, Policy>> flags_;
 };
 

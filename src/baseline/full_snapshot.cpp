@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/assert.h"
+#include "core/moved_twice.h"
 #include "core/op_stats.h"
 #include "exec/exec.h"
 
@@ -11,9 +12,10 @@ namespace psnap::baseline {
 
 FullSnapshot::FullSnapshot(std::uint32_t initial_components,
                            std::uint32_t max_processes,
-                           std::uint64_t initial_value)
+                           std::uint64_t initial_value, exec::PidBound bound)
     : size_(initial_components),
       n_(max_processes),
+      bound_(bound),
       initial_value_(initial_value) {
   PSNAP_ASSERT(initial_components > 0 && n_ > 0);
   PSNAP_ASSERT_MSG(n_ <= reclaim::EbrDomain::kPidSlots,
@@ -44,22 +46,12 @@ void FullSnapshot::embedded_full_scan(core::ScanContext& ctx,
 
   // "Moved twice" helping rule bookkeeping; see the condition-(2)
   // discussion in register_psnap.cpp -- the same multi-writer soundness
-  // argument applies here verbatim.  Zero-filled arena storage is the
-  // empty state.  (Function-local so it can name the private FullRecord.)
-  struct PerPid {
-    const FullRecord* moved[2];
-    std::uint32_t count;
-  };
-  std::span<PerPid> seen = ctx.arena.take<PerPid>(n_);
-  auto note_move = [&seen](const FullRecord* rec) -> const FullRecord* {
-    PerPid& s = seen[rec->pid];
-    for (std::uint32_t k = 0; k < s.count; ++k) {
-      if (s.moved[k] == rec) return nullptr;
-    }
-    s.moved[s.count++] = rec;
-    if (s.count < 2) return nullptr;
-    return s.moved[0]->counter > s.moved[1]->counter ? s.moved[0]
-                                                     : s.moved[1];
+  // argument applies here verbatim.  Population-adaptively sized, like
+  // the local algorithms' tables (core/moved_twice.h): even the Omega(m)
+  // baseline need not pay O(max_threads) bookkeeping per collect.
+  core::MovedTwiceTable<FullRecord> seen(ctx.arena, bound_.get(n_), n_);
+  auto note_move = [&seen](const FullRecord* rec) {
+    return seen.note_move(rec);
   };
 
   std::span<const FullRecord*> prev = ctx.arena.take<const FullRecord*>(m);

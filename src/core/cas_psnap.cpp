@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "common/assert.h"
+#include "core/moved_twice.h"
 #include "core/op_stats.h"
 #include "exec/exec.h"
 
@@ -11,14 +13,11 @@ namespace psnap::core {
 
 namespace {
 
-// Condition-(2) bookkeeping records.  Arena storage zero-fills them, which
-// is exactly their empty state (null pointers, zero counts).
+// CAS-mode condition-(2) bookkeeping record.  Arena storage zero-fills it,
+// which is exactly its empty state (null pointers, zero counts).  The
+// write-ablation mode's per-pid table is core::MovedTwiceTable.
 struct PerLocation {
   const Record* recs[3];
-  std::uint32_t count;
-};
-struct PerPid {
-  const Record* moved[2];
   std::uint32_t count;
 };
 
@@ -53,7 +52,10 @@ CasPartialSnapshotT<Policy>::~CasPartialSnapshotT() {
   // through ebr_ drains into the pools when ebr_ is destroyed.
   const std::uint32_t m = size_.load();
   for (std::uint32_t i = 0; i < m; ++i) delete r_.at(i)->peek();
-  for (std::uint32_t p = 0; p < n_; ++p) {
+  // Any pid that ever announced is below the bound (its acquisition
+  // raised the watermark first; destruction is quiescent).
+  const std::uint32_t pids = options_.bound.get(n_);
+  for (std::uint32_t p = 0; p < pids; ++p) {
     if (const auto* reg = s_.try_at(p)) delete (*reg)->peek();
   }
 }
@@ -92,13 +94,14 @@ const View& CasPartialSnapshotT<Policy>::embedded_scan(
   //
   // Write mode (ABL-3 ablation, plain-overwrite updates): the CAS argument
   // is unavailable, so we fall back to Figure 1's moved-twice per-process
-  // rule (see register_psnap.cpp), which stays correct under plain writes.
+  // rule, population-adaptively sized like Figure 1's (core/moved_twice.h).
+  // The table only exists in that mode; CAS-mode scans pay nothing for it.
   std::span<PerLocation> seen_loc;
-  std::span<PerPid> seen_pid;
+  std::optional<MovedTwiceTable<Record>> seen_pid;
   if (options_.use_cas) {
     seen_loc = ctx.arena.take<PerLocation>(args.size());
   } else {
-    seen_pid = ctx.arena.take<PerPid>(n_);
+    seen_pid.emplace(ctx.arena, options_.bound.get(n_), n_);
   }
 
   auto note_loc = [&seen_loc](std::size_t j,
@@ -113,16 +116,8 @@ const View& CasPartialSnapshotT<Policy>::embedded_scan(
     // highest counter.
     return s.count == 3 ? s.recs[2] : nullptr;
   };
-  auto note_move = [&seen_pid](const Record* rec) -> const Record* {
-    PSNAP_ASSERT(!rec->is_initial());
-    PerPid& s = seen_pid[rec->pid];
-    for (std::uint32_t k = 0; k < s.count; ++k) {
-      if (s.moved[k] == rec) return nullptr;
-    }
-    s.moved[s.count++] = rec;
-    if (s.count < 2) return nullptr;
-    return s.moved[0]->counter > s.moved[1]->counter ? s.moved[0]
-                                                     : s.moved[1];
+  auto note_move = [&seen_pid](const Record* rec) {
+    return seen_pid->note_move(rec);
   };
 
   std::span<const Record*> prev = ctx.arena.take<const Record*>(args.size());

@@ -68,6 +68,10 @@ class CasPartialSnapshotT final : public PartialSnapshot {
     // scans lose their O(r^2) locality bound -- the bench shows collects
     // growing with update contention.
     bool use_cas = true;
+    // Per-pid walk bound (exec/pid_bound.h): sizes the write-ablation
+    // mode's moved-twice table and bounds the destructor's announcement
+    // sweep.  The registry factories mirror it into active_set.bound.
+    exec::PidBound bound;
   };
 
   CasPartialSnapshotT(std::uint32_t initial_components,

@@ -5,34 +5,25 @@
 
 #include "activeset/register_active_set.h"
 #include "common/assert.h"
+#include "core/moved_twice.h"
 #include "core/op_stats.h"
 #include "exec/exec.h"
 
 namespace psnap::core {
 
-namespace {
-
-// Condition-(2) bookkeeping record; zero-filled arena storage is its empty
-// state.
-struct PerPid {
-  const Record* moved[2];
-  std::uint32_t count;
-};
-
-}  // namespace
-
 template <class Policy>
 RegisterPartialSnapshotT<Policy>::RegisterPartialSnapshotT(
     std::uint32_t initial_components, std::uint32_t max_processes,
     std::unique_ptr<activeset::ActiveSet> active_set,
-    std::uint64_t initial_value)
+    std::uint64_t initial_value, exec::PidBound bound)
     : size_(initial_components),
       n_(max_processes),
+      bound_(bound),
       initial_value_(initial_value),
       as_(active_set
               ? std::move(active_set)
               : std::make_unique<activeset::RegisterActiveSetT<Policy>>(
-                    max_processes)) {
+                    max_processes, bound)) {
   PSNAP_ASSERT(initial_components > 0 && n_ > 0);
   PSNAP_ASSERT_MSG(n_ <= reclaim::EbrDomain::kPidSlots,
                    "max_processes exceeds the pid-slot capacity");
@@ -48,7 +39,11 @@ template <class Policy>
 RegisterPartialSnapshotT<Policy>::~RegisterPartialSnapshotT() {
   const std::uint32_t m = size_.load();
   for (std::uint32_t i = 0; i < m; ++i) delete r_.at(i)->peek();
-  for (std::uint32_t p = 0; p < n_; ++p) {
+  // Any pid that ever announced is below the bound (its acquisition
+  // raised the watermark first; destruction is quiescent), so the sweep
+  // is population-bounded too.
+  const std::uint32_t pids = bound_.get(n_);
+  for (std::uint32_t p = 0; p < pids; ++p) {
     if (const auto* reg = a_.try_at(p)) delete (*reg)->peek();
   }
 }
@@ -93,24 +88,12 @@ const View& RegisterPartialSnapshotT<Policy>::embedded_scan(
   // change" compares two acquire loads of the SAME location, so only
   // per-location coherence is consumed; the borrow dereference pairs with
   // the publishing release exchange.
-  std::span<PerPid> seen = ctx.arena.take<PerPid>(n_);
-
-  // Called for a record that just appeared as a change at some location;
-  // returns the record to borrow from once its process has two moves.
-  auto note_move = [&seen](const Record* rec) -> const Record* {
-    PSNAP_ASSERT(!rec->is_initial());  // initial records are never published
-    PerPid& s = seen[rec->pid];
-    for (std::uint32_t k = 0; k < s.count; ++k) {
-      if (s.moved[k] == rec) return nullptr;  // already counted
-    }
-    s.moved[s.count++] = rec;
-    if (s.count < 2) return nullptr;
-    // Borrow the later of the two moves ("the one with the highest counter
-    // field"): its update began after the earlier move's write, hence
-    // after this scan began.
-    return s.moved[0]->counter > s.moved[1]->counter ? s.moved[0]
-                                                     : s.moved[1];
-  };
+  //
+  // The table is population-adaptive: sized at the PidBound walk bound
+  // (O(live pids) to zero-fill, not O(max_threads)) and regrown mid-scan
+  // if a fresher pid publishes -- see core/moved_twice.h.
+  MovedTwiceTable<Record> seen(ctx.arena, bound_.get(n_), n_);
+  auto note_move = [&seen](const Record* rec) { return seen.note_move(rec); };
 
   std::span<const Record*> prev = ctx.arena.take<const Record*>(args.size());
   std::span<const Record*> cur = ctx.arena.take<const Record*>(args.size());

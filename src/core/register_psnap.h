@@ -50,6 +50,7 @@
 #include "core/partial_snapshot.h"
 #include "core/record.h"
 #include "core/scan_context.h"
+#include "exec/pid_bound.h"
 #include "primitives/primitives.h"
 #include "reclaim/ebr.h"
 #include "reclaim/pool.h"
@@ -63,11 +64,16 @@ class RegisterPartialSnapshotT final : public PartialSnapshot {
   // runtime policy (the paper's Figure 1 uses a register-based active
   // set); injectable so benches can pair Figure 1 with the Figure 2 active
   // set too.
+  // `bound` is the per-pid walk bound (exec/pid_bound.h): it reaches the
+  // default-constructed active set's collect and sizes the condition-(2)
+  // helping table, so both cost O(live pids) under the default adaptive
+  // provider.  An injected active_set carries its own bound.
   RegisterPartialSnapshotT(std::uint32_t initial_components,
                            std::uint32_t max_processes,
                            std::unique_ptr<activeset::ActiveSet> active_set =
                                nullptr,
-                           std::uint64_t initial_value = 0);
+                           std::uint64_t initial_value = 0,
+                           exec::PidBound bound = {});
   ~RegisterPartialSnapshotT() override;
 
   std::uint32_t num_components() const override { return size_.load(); }
@@ -104,6 +110,10 @@ class RegisterPartialSnapshotT final : public PartialSnapshot {
   // Published component count (monotone; see core/growth.h).
   GrowableSize size_;
   std::uint32_t n_;
+  // Per-pid walk bound: sizes the embedded scan's moved-twice table (with
+  // mid-scan regrowth when a fresh pid publishes; see seen_tracker in
+  // register_psnap.cpp) and bounds the destructor's announcement sweep.
+  exec::PidBound bound_;
   std::uint64_t initial_value_;
   // Pools before ebr_: ~EbrDomain flushes retired nodes into them.
   reclaim::Pool<Record> record_pool_;

@@ -1,6 +1,7 @@
 #include "exec/exec.h"
 
 #include "common/assert.h"
+#include "exec/thread_registry.h"
 
 namespace psnap::exec {
 
@@ -12,6 +13,10 @@ ThreadCtx& ctx() {
 ScopedPid::ScopedPid(std::uint32_t pid) : saved_(ctx().pid) {
   PSNAP_ASSERT_MSG(saved_ == kInvalidPid,
                    "thread already has a pid; ScopedPid must not nest");
+  // Manually assigned pids must still be covered by adaptive per-pid
+  // walks (exec/pid_bound.h), so raise the process-wide watermark exactly
+  // as a registry acquire() would.
+  ThreadRegistry::process_wide().note_pid_in_use(pid);
   ctx().pid = pid;
 }
 

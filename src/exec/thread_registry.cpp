@@ -72,6 +72,17 @@ void ThreadRegistry::release(std::uint32_t pid) {
   active_.fetch_sub(1, std::memory_order_relaxed);
 }
 
+void ThreadRegistry::note_pid_in_use(std::uint32_t pid) {
+  PSNAP_ASSERT_MSG(pid < kMaxCapacity,
+                   "pid beyond the registry capacity ceiling");
+  std::uint32_t seen = watermark_.load(std::memory_order_relaxed);
+  while (pid + 1 > seen &&
+         !watermark_.compare_exchange_weak(seen, pid + 1,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
 ThreadRegistry& ThreadRegistry::process_wide() {
   static ThreadRegistry registry(ThreadRegistry::kMaxCapacity);
   return registry;
@@ -81,6 +92,15 @@ ThreadHandle::ThreadHandle(ThreadRegistry& registry)
     : registry_(registry), pid_(registry.acquire()), saved_(ctx().pid) {
   PSNAP_ASSERT_MSG(saved_ == kInvalidPid,
                    "thread already has a pid; ThreadHandle must not nest");
+  if (&registry != &ThreadRegistry::process_wide()) {
+    // A pid issued by a local registry still indexes the same per-pid
+    // storage as everyone else's; the process-wide watermark -- the
+    // default PidBound every registry-built object walks to -- must cover
+    // it, exactly as ScopedPid guarantees for manually assigned pids.
+    // (Objects bounded by watermark_of(the local registry), e.g. in
+    // bench_adaptive_collect, are unaffected.)
+    ThreadRegistry::process_wide().note_pid_in_use(pid_);
+  }
   ctx().pid = pid_;
 }
 

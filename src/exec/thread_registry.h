@@ -66,11 +66,31 @@ class ThreadRegistry {
   std::uint32_t active_count() const {
     return active_.load(std::memory_order_relaxed);
   }
-  // max(pid)+1 over every pid ever handed out: the dense upper bound a
-  // per-pid walk needs.
+  // max(pid)+1 over every pid ever handed out (or noted in use): the dense
+  // upper bound a per-pid walk needs.  MONOTONE BY DESIGN: release() never
+  // lowers it, because a walk bound must cover every pid whose per-pid
+  // state (announcement registers, membership flags) may still be read --
+  // and because lowest-free reuse means churn re-issues the same low pids,
+  // so the watermark converges to the peak live population instead of
+  // creeping toward capacity.  tests/exec/thread_registry_test.cpp asserts
+  // both halves (density under release-then-reacquire churn, monotonicity).
   std::uint32_t high_watermark() const {
     return watermark_.load(std::memory_order_acquire);
   }
+  // The walk-bound read used by PidBound (see exec/pid_bound.h): seq_cst
+  // because it sits on the getSet end of the announce/join-vs-getSet
+  // handshake, next to the load_sync membership reads.  Same instruction
+  // as the acquire load on x86 and AArch64.
+  std::uint32_t high_watermark_sync() const {
+    return watermark_.load(std::memory_order_seq_cst);
+  }
+
+  // Records that `pid` is (or is about to be) in use without allocating it
+  // from the bitmap: raises the watermark so adaptive per-pid walks cover
+  // it.  Called by exec::ScopedPid on the process-wide registry -- the sim
+  // scheduler and pinned-pid tests assign pids directly, and the adaptive
+  // bound must be sound for every way a pid can enter use.
+  void note_pid_in_use(std::uint32_t pid);
 
   // The process-wide registry native harnesses default to (full
   // kMaxCapacity).  Objects built through the implementation registry

@@ -4,6 +4,7 @@
 // every registry-driven test, bench, and example picks it up automatically.
 #include <algorithm>
 
+#include "activeset/bitmap_active_set.h"
 #include "activeset/faicas_active_set.h"
 #include "activeset/lock_active_set.h"
 #include "activeset/register_active_set.h"
@@ -13,17 +14,29 @@
 #include "baseline/seqlock_snapshot.h"
 #include "core/cas_psnap.h"
 #include "core/register_psnap.h"
+#include "exec/pid_bound.h"
 #include "registry/registry.h"
 
 namespace psnap::registry {
 
 namespace {
 
-activeset::FaiCasActiveSet::Options faicas_options(const Options& options) {
+// The universal per-pid walk bound (exec/pid_bound.h): adaptive
+// (watermark-bounded, the default) unless the spec says adaptive=false,
+// which pins the full-range walk of the given capacity -- the A/B knob
+// bench_adaptive_collect measures the win against.
+exec::PidBound pid_bound(const Options& options, std::uint32_t n) {
+  return options.get_bool("adaptive", true) ? exec::PidBound{}
+                                            : exec::PidBound::fixed(n);
+}
+
+activeset::FaiCasActiveSet::Options faicas_options(const Options& options,
+                                                   std::uint32_t n) {
   activeset::FaiCasActiveSet::Options out;
   out.coalesce = options.get_bool("coalesce", true);
   out.publish_skip_list = options.get_bool("publish", true);
   out.max_joins = options.get_uint("max_joins", 0);
+  out.bound = pid_bound(options, n);
   return out;
 }
 
@@ -34,7 +47,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .name = "fig1_register",
       .description =
           "Figure 1: wait-free partial snapshot from registers (Theorem 1)",
-      .options_help = "as=<name[;k=v...]>,initial=<u64>",
+      .options_help = "as=<name[;k=v...]>,initial=<u64>,adaptive=<bool>",
       .is_wait_free = true,
       .is_local = true,
       .counts_steps = true,
@@ -53,10 +66,39 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
             }
             std::unique_ptr<activeset::ActiveSet> as;
             if (!as_spec.empty()) {
+              // The outer adaptive= choice reaches the injected active set
+              // too (its collect is the dominant per-pid walk the option
+              // A/Bs); an explicit nested adaptive= wins.  The nested
+              // check matches the exact option KEY at an option boundary,
+              // so future options merely containing the word stay inert.
+              auto nested_sets_adaptive = [&as_spec] {
+                std::size_t colon = as_spec.find(':');
+                std::size_t pos =
+                    colon == std::string::npos ? as_spec.size() : colon + 1;
+                while (pos < as_spec.size()) {
+                  std::size_t comma = as_spec.find(',', pos);
+                  std::size_t end =
+                      comma == std::string::npos ? as_spec.size() : comma;
+                  std::string_view item(as_spec.data() + pos, end - pos);
+                  if (item.substr(0, item.find('=')) == "adaptive") {
+                    return true;
+                  }
+                  pos = comma == std::string::npos ? as_spec.size()
+                                                   : comma + 1;
+                }
+                return false;
+              };
+              std::string adaptive = options.get_string("adaptive", "");
+              if (!adaptive.empty() && !nested_sets_adaptive()) {
+                as_spec +=
+                    as_spec.find(':') == std::string::npos ? ':' : ',';
+                as_spec += "adaptive=" + adaptive;
+              }
               as = make_active_set(as_spec, n);
             }
             return std::make_unique<core::RegisterPartialSnapshot>(
-                m, n, std::move(as), options.get_uint("initial", 0));
+                m, n, std::move(as), options.get_uint("initial", 0),
+                pid_bound(options, n));
           },
   });
   registry.add(SnapshotInfo{
@@ -64,7 +106,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .description = "Figure 1 in the Release runtime: acquire/release "
                      "publication, no step accounting or sim hooks "
                      "(counts_steps=false; wall-clock benches only)",
-      .options_help = "initial=<u64>",
+      .options_help = "initial=<u64>,adaptive=<bool>",
       .is_wait_free = true,
       .is_local = true,
       .counts_steps = false,
@@ -72,7 +114,8 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             return std::make_unique<core::RegisterPartialSnapshotFast>(
-                m, n, nullptr, options.get_uint("initial", 0));
+                m, n, nullptr, options.get_uint("initial", 0),
+                pid_bound(options, n));
           },
   });
   registry.add(SnapshotInfo{
@@ -81,7 +124,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
                      "(Theorem 3, the paper's headline algorithm)",
       .options_help =
           "cas=<bool>,coalesce=<bool>,publish=<bool>,max_joins=<u64>,"
-          "initial=<u64>",
+          "initial=<u64>,adaptive=<bool>",
       .is_wait_free = true,
       .is_local = true,
       .counts_steps = true,
@@ -90,7 +133,8 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             core::CasPartialSnapshot::Options impl;
             impl.use_cas = options.get_bool("cas", true);
-            impl.active_set = faicas_options(options);
+            impl.active_set = faicas_options(options, n);
+            impl.bound = impl.active_set.bound;
             return std::make_unique<core::CasPartialSnapshot>(
                 m, n, impl, options.get_uint("initial", 0));
           },
@@ -101,7 +145,8 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
                      "publication, no step accounting or sim hooks "
                      "(counts_steps=false; wall-clock benches only)",
       .options_help =
-          "coalesce=<bool>,publish=<bool>,max_joins=<u64>,initial=<u64>",
+          "coalesce=<bool>,publish=<bool>,max_joins=<u64>,initial=<u64>,"
+          "adaptive=<bool>",
       .is_wait_free = true,
       .is_local = true,
       .counts_steps = false,
@@ -109,7 +154,8 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             core::CasPartialSnapshotFast::Options impl;
-            impl.active_set = faicas_options(options);
+            impl.active_set = faicas_options(options, n);
+            impl.bound = impl.active_set.bound;
             return std::make_unique<core::CasPartialSnapshotFast>(
                 m, n, impl, options.get_uint("initial", 0));
           },
@@ -118,7 +164,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .name = "fig3_write_ablation",
       .description = "ABL-3: Figure 3 publishing updates with plain "
                      "overwrites instead of CAS (loses the 2r+1 bound)",
-      .options_help = "initial=<u64>",
+      .options_help = "initial=<u64>,adaptive=<bool>",
       .is_wait_free = true,
       .is_local = true,
       .counts_steps = true,
@@ -127,6 +173,8 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             core::CasPartialSnapshot::Options impl;
             impl.use_cas = false;
+            impl.bound = pid_bound(options, n);
+            impl.active_set.bound = impl.bound;
             return std::make_unique<core::CasPartialSnapshot>(
                 m, n, impl, options.get_uint("initial", 0));
           },
@@ -135,7 +183,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .name = "full_snapshot",
       .description = "complete-scan extraction baseline (Afek et al.): "
                      "every operation costs Omega(m)",
-      .options_help = "initial=<u64>",
+      .options_help = "initial=<u64>,adaptive=<bool>",
       .is_wait_free = true,
       .is_local = false,
       .counts_steps = true,
@@ -143,7 +191,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             return std::make_unique<baseline::FullSnapshot>(
-                m, n, options.get_uint("initial", 0));
+                m, n, options.get_uint("initial", 0), pid_bound(options, n));
           },
   });
   registry.add(SnapshotInfo{
@@ -199,35 +247,83 @@ void register_builtin_active_sets(ActiveSetRegistry& registry) {
   registry.add(ActiveSetInfo{
       .name = "register",
       .description = "one flag register per process; O(1) join/leave, "
-                     "O(n) getSet (Figure 1's substitution)",
-      .options_help = "",
+                     "O(live) watermark-bounded getSet (Figure 1's "
+                     "substitution)",
+      .options_help = "adaptive=<bool>",
       .is_wait_free = true,
       .counts_steps = true,
       .sim_safe = true,
       .make =
-          [](std::uint32_t n, const Options& /*options*/) {
-            return std::make_unique<activeset::RegisterActiveSet>(n);
+          [](std::uint32_t n, const Options& options) {
+            return std::make_unique<activeset::RegisterActiveSet>(
+                n, pid_bound(options, n));
+          },
+  });
+  registry.add(ActiveSetInfo{
+      .name = "register_fast",
+      .description = "the register active set in the Release runtime (no "
+                     "step accounting; wall-clock benches only)",
+      .options_help = "adaptive=<bool>",
+      .is_wait_free = true,
+      .counts_steps = false,
+      .sim_safe = false,
+      .make =
+          [](std::uint32_t n, const Options& options) {
+            return std::make_unique<
+                activeset::RegisterActiveSetT<primitives::Release>>(
+                n, pid_bound(options, n));
+          },
+  });
+  registry.add(ActiveSetInfo{
+      .name = "bitmap",
+      .description = "one membership bit per pid in padded words; O(1) "
+                     "join/leave RMWs, O(live/64) getSet",
+      .options_help = "adaptive=<bool>",
+      .is_wait_free = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .make =
+          [](std::uint32_t n, const Options& options) {
+            return std::make_unique<activeset::BitmapActiveSet>(
+                n, pid_bound(options, n));
+          },
+  });
+  registry.add(ActiveSetInfo{
+      .name = "bitmap_fast",
+      .description = "the bitmap active set in the Release runtime (no "
+                     "step accounting; wall-clock benches only)",
+      .options_help = "adaptive=<bool>",
+      .is_wait_free = true,
+      .counts_steps = false,
+      .sim_safe = false,
+      .make =
+          [](std::uint32_t n, const Options& options) {
+            return std::make_unique<
+                activeset::BitmapActiveSetT<primitives::Release>>(
+                n, pid_bound(options, n));
           },
   });
   registry.add(ActiveSetInfo{
       .name = "faicas",
       .description = "Figure 2: F&I slot allocation + CAS-published skip "
                      "list (Theorem 2)",
-      .options_help = "coalesce=<bool>,publish=<bool>,max_joins=<u64>",
+      .options_help =
+          "coalesce=<bool>,publish=<bool>,max_joins=<u64>,adaptive=<bool>",
       .is_wait_free = true,
       .counts_steps = true,
       .sim_safe = true,
       .make =
           [](std::uint32_t n, const Options& options) {
             return std::make_unique<activeset::FaiCasActiveSet>(
-                n, faicas_options(options));
+                n, faicas_options(options, n));
           },
   });
   registry.add(ActiveSetInfo{
       .name = "faicas_fast",
       .description = "Figure 2 in the Release runtime (no step accounting; "
                      "wall-clock benches only)",
-      .options_help = "coalesce=<bool>,publish=<bool>,max_joins=<u64>",
+      .options_help =
+          "coalesce=<bool>,publish=<bool>,max_joins=<u64>,adaptive=<bool>",
       .is_wait_free = true,
       .counts_steps = false,
       .sim_safe = false,
@@ -235,7 +331,7 @@ void register_builtin_active_sets(ActiveSetRegistry& registry) {
           [](std::uint32_t n, const Options& options) {
             return std::make_unique<
                 activeset::FaiCasActiveSetT<primitives::Release>>(
-                n, faicas_options(options));
+                n, faicas_options(options, n));
           },
   });
   registry.add(ActiveSetInfo{

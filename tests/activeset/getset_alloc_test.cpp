@@ -1,0 +1,182 @@
+// Steady-state collects must not touch the heap.
+//
+// scan_alloc_test and update_alloc_test close the snapshot operation
+// surface; this suite audits the remaining hot entry point, ActiveSet::
+// get_set, for every registered implementation.  The contract under test:
+//
+//   * the caller's output vector is reserved once (at the population
+//     bound) and its capacity is reused -- never shrunk -- by every later
+//     collect;
+//   * with a stable membership, repeated getSets perform ZERO heap
+//     allocations, for every implementation (the mutex oracle included:
+//     its std::set nodes churn on join/leave, not on reads);
+//   * under membership churn the register and bitmap sets stay
+//     allocation-free too (their per-pid state is written in place), and
+//     Figure 2's only allocations are its interval-list publications plus
+//     the amortized slot-segment installs -- the vacated-slot gathering
+//     itself reuses a capacity-retaining scratch.
+//
+// Its own binary, like the other allocation suites: it owns the global
+// operator new/delete.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "activeset/active_set.h"
+#include "exec/exec.h"
+#include "registry/registry.h"
+#include "tests/support/counting_allocator.h"
+#include "tests/support/registry_params.h"
+
+namespace psnap::activeset {
+namespace {
+
+using test::g_allocations;
+
+constexpr std::uint32_t kN = 8;
+
+std::uint64_t allocations_during_getsets(ActiveSet& as,
+                                         std::vector<std::uint32_t>& out,
+                                         int calls) {
+  std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < calls; ++i) as.get_set(out);
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+class GetSetAllocTest
+    : public ::testing::TestWithParam<const registry::ActiveSetInfo*> {};
+
+TEST_P(GetSetAllocTest, StableMembershipCollectsAreAllocationFree) {
+  // Three members spread across the pid range, installed before the
+  // measurement; the observer then collects repeatedly.
+  auto as = test::make_active_set(*GetParam(), kN);
+  for (std::uint32_t p : {1u, 3u, 6u}) {
+    exec::ScopedPid pid(p);
+    as->join();
+  }
+  exec::ScopedPid pid(0);
+  std::vector<std::uint32_t> out;
+  for (int i = 0; i < 8; ++i) as->get_set(out);  // warm-up: capacity, EBR
+  EXPECT_EQ(allocations_during_getsets(*as, out, 400), 0u);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1, 3, 6}));
+}
+
+TEST_P(GetSetAllocTest, OutputCapacityIsReservedOnceAndNeverShrunk) {
+  auto as = test::make_active_set(*GetParam(), kN);
+  {
+    exec::ScopedPid pid(5);
+    as->join();
+  }
+  exec::ScopedPid pid(0);
+  std::vector<std::uint32_t> out;
+  as->get_set(out);
+  std::size_t capacity = out.capacity();
+  EXPECT_GE(capacity, out.size());
+  for (int i = 0; i < 200; ++i) {
+    as->get_set(out);
+    EXPECT_EQ(out.capacity(), capacity) << "collect shrank or regrew the "
+                                           "caller's capacity at call "
+                                        << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImplementations, GetSetAllocTest,
+                         ::testing::ValuesIn(test::active_set_impls()),
+                         test::active_set_param_name);
+
+// Churn-phase allocation freedom for the flag-per-pid implementations:
+// join/leave write per-pid state in place, so even collects interleaved
+// with membership churn must stay off the heap.  (Figure 2 is exempt by
+// design: churn produces vacated slots, and publishing their interval
+// list allocates -- that is the algorithm, not a leak.  The mutex oracle
+// allocates set nodes per join.)
+class GetSetChurnAllocTest
+    : public ::testing::TestWithParam<const registry::ActiveSetInfo*> {};
+
+TEST_P(GetSetChurnAllocTest, ChurningCollectsAreAllocationFree) {
+  auto as = test::make_active_set(*GetParam(), kN);
+  std::vector<std::uint32_t> out;
+  // Warm everything the churn loop touches: every pid's flag slot (the
+  // first join may install a per-pid segment), the observer's capacity.
+  for (std::uint32_t p : {1u, 2u, 3u}) {
+    exec::ScopedPid pid(p);
+    as->join();
+    as->leave();
+  }
+  {
+    exec::ScopedPid pid(0);
+    for (int i = 0; i < 4; ++i) as->get_set(out);
+  }
+  // Built outside the measured loop: the comparison literal must not be
+  // charged to the collects.
+  const std::vector<std::uint32_t> expected{1, 2, 3};
+  std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 200; ++round) {
+    for (std::uint32_t p : {1u, 2u, 3u}) {
+      exec::ScopedPid pid(p);
+      as->join();
+    }
+    {
+      exec::ScopedPid pid(0);
+      as->get_set(out);
+      EXPECT_EQ(out, expected);
+    }
+    for (std::uint32_t p : {1u, 2u, 3u}) {
+      exec::ScopedPid pid(p);
+      as->leave();
+    }
+    {
+      exec::ScopedPid pid(0);
+      as->get_set(out);
+      EXPECT_TRUE(out.empty());
+    }
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FlagPerPidImplementations, GetSetChurnAllocTest,
+    ::testing::ValuesIn(test::active_set_impls(
+        [](const registry::ActiveSetInfo& info) {
+          return info.name.rfind("register", 0) == 0 ||
+                 info.name.rfind("bitmap", 0) == 0;
+        })),
+    test::active_set_param_name);
+
+// Figure 2 under churn: the vacated-slot gathering reuses its scratch, so
+// the only steady-state allocations are the published interval lists
+// (bounded by one successful publication per getSet) and the amortized
+// slot-segment installs.
+TEST(FaiCasChurnAlloc, ChurnAllocationsAreBoundedByPublications) {
+  auto as = registry::make_active_set("faicas", kN);
+  std::vector<std::uint32_t> out;
+  // Warm: churn + collect until the scratch and capacity watermarks are
+  // reached (all joins stay inside the first 1024-slot segment).
+  for (int round = 0; round < 50; ++round) {
+    exec::ScopedPid pid(1);
+    as->join();
+    as->leave();
+    as->get_set(out);
+  }
+  std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    exec::ScopedPid pid(1);
+    as->join();
+    as->leave();
+    as->get_set(out);  // gathers + publishes the vacated slot
+  }
+  std::uint64_t allocations =
+      g_allocations.load(std::memory_order_relaxed) - before;
+  // Each round publishes one interval list (a handful of allocations:
+  // the IntervalSet, its vector, the merged points copy, EBR retire
+  // bookkeeping at amortized thresholds).  The bound is deliberately
+  // loose; the regression it catches is per-call scratch reallocation,
+  // which would add O(rounds) on top.
+  EXPECT_LE(allocations, 8u * kRounds);
+  EXPECT_GE(allocations, 1u);  // publications really happened
+}
+
+}  // namespace
+}  // namespace psnap::activeset

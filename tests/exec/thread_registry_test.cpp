@@ -38,6 +38,92 @@ TEST(ThreadRegistryTest, TryAcquireReportsExhaustionWithoutAsserting) {
   registry.release(1);
 }
 
+TEST(ThreadRegistryTest, WatermarkStaysDenseUnderReleaseReacquireChurn) {
+  // The property adaptive walks (exec/pid_bound.h) rely on: lowest-free
+  // reuse means churn re-issues the same low pids, so the watermark
+  // converges to the PEAK live population and stays there -- walks stay
+  // short no matter how many thread lifetimes pass.
+  ThreadRegistry registry(64);
+  constexpr std::uint32_t kPeakLive = 5;
+  std::uint32_t pids[kPeakLive];
+  for (std::uint32_t i = 0; i < kPeakLive; ++i) pids[i] = registry.acquire();
+  EXPECT_EQ(registry.high_watermark(), kPeakLive);
+  for (int life = 0; life < 1000; ++life) {
+    // Whole-cohort churn: release everything, reacquire everything.
+    for (std::uint32_t i = 0; i < kPeakLive; ++i) registry.release(pids[i]);
+    for (std::uint32_t i = 0; i < kPeakLive; ++i) {
+      pids[i] = registry.acquire();
+      EXPECT_LT(pids[i], kPeakLive);
+    }
+    EXPECT_EQ(registry.high_watermark(), kPeakLive) << "life " << life;
+    // Partial churn: a middle pid cycles alone and must come back.
+    registry.release(pids[2]);
+    pids[2] = registry.acquire();
+    EXPECT_EQ(pids[2], 2u);
+    EXPECT_EQ(registry.high_watermark(), kPeakLive);
+  }
+  for (std::uint32_t i = 0; i < kPeakLive; ++i) registry.release(pids[i]);
+  // Monotone by design: full release does not lower it either.
+  EXPECT_EQ(registry.high_watermark(), kPeakLive);
+}
+
+TEST(ThreadRegistryTest, WatermarkIsMonotoneAndBoundedUnderConcurrentChurn) {
+  // Concurrent lives hammer a small capacity; the watermark may only
+  // ratchet upward and can never exceed the capacity -- i.e. adaptive
+  // walks are never longer than the full-range walk they replace.
+  constexpr std::uint32_t kCapacity = 4;
+  ThreadRegistry registry(kCapacity);
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      std::uint32_t last_seen = 0;
+      for (int life = 0; life < 2000; ++life) {
+        std::uint32_t pid = registry.try_acquire();
+        std::uint32_t seen = registry.high_watermark();
+        if (seen < last_seen || seen > kCapacity) violation.store(true);
+        last_seen = seen;
+        if (pid == kInvalidPid) {
+          std::this_thread::yield();
+          continue;
+        }
+        if (seen < pid + 1) violation.store(true);  // own pid covered
+        registry.release(pid);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_LE(registry.high_watermark(), kCapacity);
+}
+
+TEST(ThreadRegistryTest, LocalRegistryHandlesRaiseTheProcessWideWatermark) {
+  // A pid issued by a LOCAL registry indexes the same per-pid storage as
+  // any other; objects bounded by the default (process-wide) PidBound
+  // must still cover it, so ThreadHandle notes it process-wide.
+  ThreadRegistry local(16);
+  std::uint32_t seen = kInvalidPid;
+  std::thread worker([&] {
+    ThreadHandle handle(local);
+    seen = handle.pid();
+  });
+  worker.join();
+  EXPECT_NE(seen, kInvalidPid);
+  EXPECT_GE(ThreadRegistry::process_wide().high_watermark(), seen + 1);
+}
+
+TEST(ThreadRegistryTest, NotePidInUseRaisesTheWatermarkForManualPids) {
+  // ScopedPid installs pids without a registry acquire; it must still
+  // raise the process-wide watermark so adaptive walks cover them.
+  std::uint32_t before = ThreadRegistry::process_wide().high_watermark();
+  {
+    exec::ScopedPid pid(before + 3);
+    EXPECT_GE(ThreadRegistry::process_wide().high_watermark(), before + 4);
+  }
+  // Monotone: dropping the ScopedPid does not lower it.
+  EXPECT_GE(ThreadRegistry::process_wide().high_watermark(), before + 4);
+}
+
 TEST(ThreadRegistryTest, WatermarkTracksHighestPidEverIssued) {
   ThreadRegistry registry(8);
   EXPECT_EQ(registry.high_watermark(), 0u);

@@ -11,6 +11,7 @@
 #include "activeset/faicas_active_set.h"
 #include "core/cas_psnap.h"
 #include "core/partial_snapshot.h"
+#include "core/register_psnap.h"
 #include "exec/exec.h"
 #include "tests/support/registry_params.h"
 
@@ -34,11 +35,54 @@ TEST(SnapshotRegistry, CataloguesTheExpectedBuiltins) {
 
 TEST(ActiveSetRegistry, CataloguesTheExpectedBuiltins) {
   auto& registry = ActiveSetRegistry::instance();
-  for (const char* name : {"register", "faicas", "faicas_nocoalesce",
-                           "faicas_nopublish", "lock"}) {
+  for (const char* name :
+       {"register", "register_fast", "bitmap", "bitmap_fast", "faicas",
+        "faicas_fast", "faicas_nocoalesce", "faicas_nopublish", "lock"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
-  EXPECT_GE(registry.all().size(), 5u);
+  EXPECT_GE(registry.all().size(), 9u);
+}
+
+TEST(ActiveSetRegistry, AdaptiveOptionReachesEveryBoundedImplementation) {
+  // adaptive=false pins the full-range walk; both parse on the flag-slot
+  // implementations and the Figure 2 spec alike.
+  exec::ScopedPid pid(0);
+  for (const char* spec :
+       {"register:adaptive=false", "bitmap:adaptive=false",
+        "faicas:adaptive=false", "register:adaptive=true", "bitmap"}) {
+    auto as = make_active_set(spec, 4);
+    as->join();
+    EXPECT_EQ(as->get_set(), (std::vector<std::uint32_t>{0})) << spec;
+    as->leave();
+  }
+  auto snap = make_snapshot("fig1_register:as=bitmap,adaptive=false", 4, 2);
+  snap->update(2, 7);
+  EXPECT_EQ(snap->scan({2}), (std::vector<std::uint64_t>{7}));
+}
+
+TEST(ActiveSetRegistry, AdaptiveOptionPropagatesIntoInjectedActiveSets) {
+  // The outer adaptive= choice must reach an as=-injected active set: its
+  // collect is the walk the option A/Bs.  Observable through steps: with
+  // adaptive=false the register collect walks all n=64 slots; the default
+  // adaptive bound walks only the (much smaller) pid watermark.
+  exec::ScopedPid pid(0);
+  auto count_getset_steps = [](const char* spec) {
+    auto snap = make_snapshot(spec, 4, 64);
+    auto* fig1 = dynamic_cast<core::RegisterPartialSnapshot*>(snap.get());
+    EXPECT_NE(fig1, nullptr) << spec;
+    std::vector<std::uint32_t> out;
+    std::uint64_t before = exec::ctx().steps.total;
+    fig1->active_set().get_set(out);
+    return exec::ctx().steps.total - before;
+  };
+  EXPECT_EQ(count_getset_steps("fig1_register:as=register,adaptive=false"),
+            64u);
+  EXPECT_LT(count_getset_steps("fig1_register:as=register,adaptive=true"),
+            64u);
+  // An explicit nested choice wins over the outer one.
+  EXPECT_EQ(count_getset_steps(
+                "fig1_register:as=register;adaptive=false,adaptive=true"),
+            64u);
 }
 
 TEST(SnapshotRegistry, NamesAreUniqueAndIdentifierSafe) {
