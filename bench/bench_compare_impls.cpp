@@ -21,11 +21,16 @@
 //         skewed-lifetime population (a few frantic clients, a long tail
 //         of idle ones) that uniform churn cannot model.  Lowest-free pid
 //         reuse keeps the live pid range dense through all of it.
+//   CMPg: grow-heavy churn -- add_components throughput itself (racing
+//         growers through the reserve/publish protocol, update/scan
+//         traffic in the background), the component-hot-plug rate a
+//         dynamic deployment can sustain.
 //
 // Wall-clock numbers are hardware-specific; the *shape* (ordering and
 // crossover region) is the reproduced result.  StarvationError cannot
 // occur here (caps are disabled), so non-wait-free baselines may in
 // principle stall; at this host's contention levels they do not.
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -306,6 +311,107 @@ void table_zipf_churn(const std::vector<std::string>& specs,
   std::cout << "\n";
 }
 
+// Grow-heavy profile: unlike CMPc (which grows in the background of an
+// operation workload), this charts add_components throughput ITSELF --
+// two grower threads race tight add_components(kGrowStep) loops through
+// the reserve/publish protocol while a few workers keep update/scan
+// traffic on the object.  The in-order publication wait is the contended
+// resource; the segmented storage means growth never copies components.
+struct GrowResult {
+  double components_per_second = 0;
+  std::uint32_t final_m = 0;
+};
+
+GrowResult grow_throughput(const std::string& spec, std::uint32_t m0,
+                           std::uint32_t workers, double seconds) {
+  constexpr std::uint32_t kGrowStep = 16;
+  constexpr std::uint32_t kGrowers = 2;
+  // Hard ceiling so a fast implementation cannot run the segment
+  // directory out of its envelope; the rate uses the growers' own last-
+  // add timestamps, so hitting the ceiling early does not skew it.
+  constexpr std::uint32_t kMCap = 1u << 18;
+  auto snap = registry::make_snapshot(spec, m0, workers + kGrowers);
+  std::atomic<bool> stop{false};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<std::int64_t> last_add_ns{0};
+
+  std::vector<std::thread> growers;
+  for (std::uint32_t g = 0; g < kGrowers; ++g) {
+    growers.emplace_back([&] {
+      exec::ThreadHandle pid;
+      bench::StopAfter stop_after(seconds);
+      while (!stop_after.expired() &&
+             snap->num_components() + kGrowStep <= kMCap) {
+        snap->add_components(kGrowStep);
+      }
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+      std::int64_t seen = last_add_ns.load(std::memory_order_relaxed);
+      while (ns > seen &&
+             !last_add_ns.compare_exchange_weak(seen, ns,
+                                                std::memory_order_relaxed)) {
+      }
+    });
+  }
+
+  std::vector<std::thread> threads;
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      exec::ThreadHandle pid;
+      Xoshiro256 rng(w + 5);
+      std::vector<std::uint32_t> idx;
+      std::vector<std::uint64_t> out;
+      std::uint64_t ops = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        std::uint32_t m = snap->num_components();
+        if (rng.next_double() < 0.3) {
+          snap->update(static_cast<std::uint32_t>(rng.next() % m), ops);
+        } else {
+          idx.clear();
+          for (std::uint32_t k = 0; k < 4; ++k) {
+            idx.push_back(static_cast<std::uint32_t>(rng.next() % m));
+          }
+          snap->scan(idx, out);
+        }
+        ++ops;
+      }
+    });
+  }
+
+  for (auto& t : growers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  const std::uint32_t final_m = snap->num_components();
+  double elapsed = double(last_add_ns.load(std::memory_order_relaxed)) / 1e9;
+  elapsed = std::max(elapsed, 1e-3);
+  return GrowResult{double(final_m - m0) / elapsed, final_m};
+}
+
+void table_grow(const std::vector<std::string>& specs, std::uint32_t workers,
+                double seconds, bench::JsonReport& report) {
+  constexpr std::uint32_t kM0 = 64;
+  TablePrinter table({"impl", "grown comps/s", "final m"});
+  for (const std::string& spec : specs) {
+    GrowResult result = grow_throughput(spec, kM0, workers, seconds);
+    table.add_row({spec,
+                   TablePrinter::fmt(result.components_per_second / 1e6, 3) +
+                       "M",
+                   std::to_string(result.final_m)});
+    report.add("CMPg/" + spec + "/grow_components_per_s",
+               result.components_per_second);
+    report.add("CMPg/" + spec + "/final_m", double(result.final_m),
+               "components");
+  }
+  table.print(std::cout,
+              "CMPg: grow-heavy churn -- add_components throughput itself "
+              "(2 racing growers, step 16, m0=" +
+                  std::to_string(kM0) + ", " + std::to_string(workers) +
+                  " update/scan workers in the background)");
+  std::cout << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -337,6 +443,7 @@ int main(int argc, char** argv) {
     table_crossover(specs, workers, seconds, report);
     table_churn(specs, workers, seconds, report);
     table_zipf_churn(specs, workers, seconds, report);
+    table_grow(specs, workers, seconds, report);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;

@@ -1,5 +1,5 @@
 // Sensor fusion over a hot-plugging sensor array -- the dynamic-runtime
-// showcase.
+// AND value-plane showcase.
 //
 //   build/examples/sensor_fusion [--sensors0=N] [--sensors=N]
 //                                [--readings=N] [--queries=N]
@@ -10,16 +10,23 @@
 // PartialSnapshot::add_components, with updates and fusion queries never
 // pausing.  Fusion reader threads likewise come and go -- each reader
 // generation registers with exec::ThreadHandle, runs its queries, and
-// exits, handing its pid to the next generation.  This is the churn
-// scenario (clients connecting and disconnecting, sensors appearing) that
-// the fixed (m, n) construction of the seed library could not express.
+// exits, handing its pid to the next generation.
 //
-// Consistency is made observable through redundant encoding: each sensor
-// publishes (reading epoch * 1000 + sensor id).  All sensors advance
-// epochs together (barrier), so a consistent scan sees epochs that differ
-// by at most 1 across any subset of *published* sensors; a larger spread
-// means the fused estimate mixed incompatible frames.  A sensor that
-// hot-plugged but has not yet published reads as 0 and is skipped.
+// Readings are STRUCT payloads on the blob value plane (the default impl
+// is fig3_cas:value=blob): each sensor publishes a SensorReading
+// {id, epoch, reading} through update_blob, and fusion queries read the
+// structs back atomically with scan_blobs -- no field packing into a
+// word, the indirect-payload feature end to end.  Pass a u64-plane spec
+// (e.g. --impl=fig3_cas) and the example falls back to the historical
+// redundant word encoding (epoch * 1000 + id) over the same oracle.
+//
+// Consistency is made observable either way: all sensors advance epochs
+// together (barrier), so a consistent scan sees epochs that differ by at
+// most 1 across any subset of *published* sensors; a larger spread means
+// the fused estimate mixed incompatible frames, and an id mismatch means
+// a payload landed on the wrong component.  A sensor that hot-plugged but
+// has not yet published is skipped (blob plane: its payload is still the
+// 8-byte initial encoding, not a SensorReading; u64 plane: it reads 0).
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -31,7 +38,19 @@
 #include "common/cli.h"
 #include "common/rng.h"
 #include "exec/thread_registry.h"
+#include "primitives/value_plane.h"
 #include "registry/registry.h"
+
+namespace {
+
+// The struct telemetry record each sensor publishes on the blob plane.
+struct SensorReading {
+  std::uint32_t id;
+  std::uint64_t epoch;
+  double reading;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   psnap::CliFlags flags;
@@ -39,7 +58,7 @@ int main(int argc, char** argv) {
   flags.define("sensors", "48", "sensors after all hot-plugs");
   flags.define("readings", "2000", "epochs the array publishes");
   flags.define("queries", "20000", "fusion queries (across reader lives)");
-  flags.define("impl", "fig3_cas",
+  flags.define("impl", "fig3_cas:value=blob",
                "registry spec of the snapshot implementation:\n" +
                    psnap::registry::snapshot_catalogue());
   if (!flags.parse(argc, argv)) return 1;
@@ -53,6 +72,8 @@ int main(int argc, char** argv) {
   const auto readings = flags.get_uint("readings");
   const auto queries = flags.get_uint("queries");
   if (sensors == 0 || sensors >= 1000) {
+    // The u64 fallback's redundant encoding needs id < 1000; the blob
+    // plane has no such limit, but one envelope keeps the example simple.
     std::fprintf(stderr, "need 0 < sensors < 1000\n");
     return 1;
   }
@@ -66,13 +87,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   auto& array = *array_ptr;
+  const bool blob = array.value_plane() == "blob";
+  std::printf("value plane: %s (%s payloads)\n",
+              std::string(array.value_plane()).c_str(),
+              blob ? "struct SensorReading" : "packed u64");
 
   // Sensor threads: groups of sensors share a thread (the protocol cost is
   // per process, not per component).  All advance epoch in lock-step via a
-  // shared epoch counter; each publishes epoch*1000+id.  Thread 0 doubles
-  // as the hot-plug controller: every kPlugEvery epochs it brings a block
-  // of new sensors online -- concurrently with the other thread's updates
-  // and with all fusion queries.
+  // shared epoch counter; each publishes its SensorReading struct (blob
+  // plane) or epoch*1000+id (u64 plane).  Thread 0 doubles as the
+  // hot-plug controller: every block of fusion progress it brings new
+  // sensors online -- concurrently with the other thread's updates and
+  // with all fusion queries.
   constexpr std::uint32_t kSensorThreads = 2;
   const std::uint32_t kPlugBlock =
       std::max(1u, (sensors - sensors0) / 8);
@@ -93,7 +119,12 @@ int main(int argc, char** argv) {
         // mid-epoch starts publishing next epoch (spread stays <= 1).
         const std::uint32_t m = array.num_components();
         for (std::uint32_t s = t; s < m; s += kSensorThreads) {
-          array.update(s, e * 1000 + s);
+          if (blob) {
+            SensorReading r{s, e, 20.0 + 0.01 * s + 0.001 * (e % 97)};
+            array.update_blob(s, psnap::value::as_bytes_of(r));
+          } else {
+            array.update(s, e * 1000 + s);
+          }
         }
         // Barrier: last thread in advances the epoch.
         if (at_barrier.fetch_add(1) + 1 == kSensorThreads) {
@@ -110,7 +141,7 @@ int main(int argc, char** argv) {
 
   // Fusion readers: short-lived generations.  Each life registers a fresh
   // ThreadHandle, fuses kQueriesPerLife random overlapping subsets of the
-  // *currently installed* sensors, checks epoch spread, and exits.
+  // *currently installed* sensors, checks id + epoch spread, and exits.
   constexpr std::uint32_t kReaders = 2;
   constexpr std::uint64_t kQueriesPerLife = 500;
   std::atomic<std::uint64_t> bad_fusions{0};
@@ -129,6 +160,7 @@ int main(int argc, char** argv) {
     psnap::Xoshiro256 rng(seed);
     std::vector<std::uint32_t> subset;
     std::vector<std::uint64_t> values;
+    std::vector<psnap::value::Blob> blobs;
     for (std::uint64_t q = 0; q < kQueriesPerLife; ++q) {
       if (queries_done.fetch_add(1) >= queries) return;
       const std::uint32_t m = array.num_components();
@@ -146,18 +178,34 @@ int main(int argc, char** argv) {
           }
         }
       }
-      array.scan(subset, values);
       std::uint64_t lo = ~0ull, hi = 0;
-      for (std::size_t j = 0; j < subset.size(); ++j) {
-        if (values[j] == 0) continue;  // hot-plugged, not yet published
-        // Redundant encoding must match the component.
-        if (values[j] % 1000 != subset[j]) {
-          bad_fusions.fetch_add(1);
-          continue;
+      if (blob) {
+        array.scan_blobs(subset, blobs);
+        for (std::size_t j = 0; j < subset.size(); ++j) {
+          SensorReading r_back{};
+          // Hot-plugged but not yet published: still the 8-byte initial
+          // payload, not a SensorReading -- skip it.
+          if (!psnap::value::from_bytes(blobs[j], r_back)) continue;
+          if (r_back.id != subset[j]) {  // payload on the wrong component
+            bad_fusions.fetch_add(1);
+            continue;
+          }
+          lo = std::min(lo, r_back.epoch);
+          hi = std::max(hi, r_back.epoch);
         }
-        std::uint64_t e = values[j] / 1000;
-        lo = std::min(lo, e);
-        hi = std::max(hi, e);
+      } else {
+        array.scan(subset, values);
+        for (std::size_t j = 0; j < subset.size(); ++j) {
+          if (values[j] == 0) continue;  // hot-plugged, not yet published
+          // Redundant encoding must match the component.
+          if (values[j] % 1000 != subset[j]) {
+            bad_fusions.fetch_add(1);
+            continue;
+          }
+          std::uint64_t e = values[j] / 1000;
+          lo = std::min(lo, e);
+          hi = std::max(hi, e);
+        }
       }
       // All sensors move epochs through one barrier, so a consistent view
       // can straddle at most two adjacent epochs.

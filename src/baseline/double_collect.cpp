@@ -9,10 +9,10 @@
 
 namespace psnap::baseline {
 
-DoubleCollectSnapshot::DoubleCollectSnapshot(std::uint32_t initial_components,
-                                             std::uint32_t max_processes,
-                                             std::uint64_t max_collects_per_scan,
-                                             std::uint64_t initial_value)
+template <class Value>
+DoubleCollectSnapshotT<Value>::DoubleCollectSnapshotT(
+    std::uint32_t initial_components, std::uint32_t max_processes,
+    std::uint64_t max_collects_per_scan, std::uint64_t initial_value)
     : size_(initial_components),
       n_(max_processes),
       initial_value_(initial_value),
@@ -21,42 +21,66 @@ DoubleCollectSnapshot::DoubleCollectSnapshot(std::uint32_t initial_components,
   PSNAP_ASSERT_MSG(n_ <= reclaim::EbrDomain::kPidSlots,
                    "max_processes exceeds the pid-slot capacity");
   for (std::uint32_t i = 0; i < initial_components; ++i) {
-    r_.at(i).init(new SimpleRecord{initial_value, i, core::kInitPid},
-                  /*label=*/i);
+    SimpleRecord* rec = make_record(/*counter=*/i, core::kInitPid);
+    Value::encode(initial_value, rec->value);
+    r_.at(i).init(rec, /*label=*/i);
   }
 }
 
-DoubleCollectSnapshot::~DoubleCollectSnapshot() {
+template <class Value>
+DoubleCollectSnapshotT<Value>::~DoubleCollectSnapshotT() {
   const std::uint32_t m = size_.load();
   for (std::uint32_t i = 0; i < m; ++i) delete r_.at(i).peek();
 }
 
-std::uint32_t DoubleCollectSnapshot::add_components(std::uint32_t count) {
+template <class Value>
+std::uint32_t DoubleCollectSnapshotT<Value>::add_components(
+    std::uint32_t count) {
   return core::grow_components(
       size_, r_, count, [this](auto& slot, std::uint32_t i) {
-        slot.init(new SimpleRecord{initial_value_, i, core::kInitPid},
-                  /*label=*/i);
+        SimpleRecord* rec = make_record(/*counter=*/i, core::kInitPid);
+        Value::encode(initial_value_, rec->value);
+        slot.init(rec, /*label=*/i);
       });
 }
 
-void DoubleCollectSnapshot::update(std::uint32_t i, std::uint64_t v) {
+template <class Value>
+template <class Fill>
+void DoubleCollectSnapshotT<Value>::do_update(std::uint32_t i, Fill&& fill) {
   PSNAP_ASSERT(i < size_.load());
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   core::tls_op_stats().reset();
   auto guard = ebr_.pin();
   std::unique_ptr<SimpleRecord> rec(
-      new SimpleRecord{v, ++counter_.at(pid).value, pid});
+      make_record(++counter_.at(pid).value, pid));
+  fill(rec->value);
   const SimpleRecord* old = r_.at(i).exchange(rec.get());
   rec.release();
   ebr_.retire(const_cast<SimpleRecord*>(old));
 }
 
-void DoubleCollectSnapshot::scan(std::span<const std::uint32_t> indices,
-                                 std::vector<std::uint64_t>& out,
-                                 core::ScanContext& ctx) {
-  out.clear();
-  if (indices.empty()) return;
+template <class Value>
+void DoubleCollectSnapshotT<Value>::update(std::uint32_t i,
+                                           std::uint64_t v) {
+  do_update(i, [v](ValueType& out) { Value::encode(v, out); });
+}
+
+template <class Value>
+void DoubleCollectSnapshotT<Value>::update_blob(
+    std::uint32_t i, std::span<const std::byte> bytes) {
+  if constexpr (Value::kIndirect) {
+    do_update(i, [bytes](ValueType& out) { Value::assign(out, bytes); });
+  } else {
+    core::PartialSnapshot::update_blob(i, bytes);
+  }
+}
+
+template <class Value>
+template <class Extract>
+void DoubleCollectSnapshotT<Value>::do_scan(
+    std::span<const std::uint32_t> indices, core::ScanContext& ctx,
+    Extract&& extract) {
   const std::uint32_t m = size_.load();
   for (std::uint32_t i : indices) PSNAP_ASSERT(i < m);
   core::OpStats& stats = core::tls_op_stats();
@@ -86,12 +110,66 @@ void DoubleCollectSnapshot::scan(std::span<const std::uint32_t> indices,
     have_prev = true;
   }
 
-  out.reserve(indices.size());
-  for (std::uint32_t i : indices) {
-    auto it = std::lower_bound(ctx.canonical.begin(), ctx.canonical.end(), i);
-    out.push_back(
-        cur[static_cast<std::size_t>(it - ctx.canonical.begin())]->value);
+  // Still pinned: the collected records cannot be reclaimed under us, so
+  // the extractor may copy payloads straight out of them.
+  extract(ctx.canonical, cur);
+}
+
+template <class Value>
+void DoubleCollectSnapshotT<Value>::scan(
+    std::span<const std::uint32_t> indices, std::vector<std::uint64_t>& out,
+    core::ScanContext& ctx) {
+  out.clear();
+  if (indices.empty()) return;
+  do_scan(indices, ctx,
+          [&](const std::vector<std::uint32_t>& canonical,
+              std::span<const SimpleRecord*> cur) {
+            out.reserve(indices.size());
+            for (std::uint32_t i : indices) {
+              auto it =
+                  std::lower_bound(canonical.begin(), canonical.end(), i);
+              out.push_back(Value::decode(
+                  cur[static_cast<std::size_t>(it - canonical.begin())]
+                      ->value));
+            }
+          });
+}
+
+template <class Value>
+void DoubleCollectSnapshotT<Value>::scan_blobs(
+    std::span<const std::uint32_t> indices,
+    std::vector<psnap::value::Blob>& out, core::ScanContext& ctx) {
+  if constexpr (Value::kIndirect) {
+    if (indices.empty()) {
+      out.clear();
+      return;
+    }
+    out.resize(indices.size());  // keeps element byte capacity
+    try {
+      do_scan(indices, ctx,
+              [&](const std::vector<std::uint32_t>& canonical,
+                  std::span<const SimpleRecord*> cur) {
+                for (std::size_t k = 0; k < indices.size(); ++k) {
+                  auto it = std::lower_bound(canonical.begin(),
+                                             canonical.end(), indices[k]);
+                  Value::copy(
+                      cur[static_cast<std::size_t>(it - canonical.begin())]
+                          ->value,
+                      out[k]);
+                }
+              });
+    } catch (...) {
+      // Starvation path: never hand back a buffer of stale payloads (the
+      // u64 scan leaves `out` empty on throw; match it).
+      out.clear();
+      throw;
+    }
+  } else {
+    core::PartialSnapshot::scan_blobs(indices, out, ctx);
   }
 }
+
+template class DoubleCollectSnapshotT<psnap::value::DirectU64>;
+template class DoubleCollectSnapshotT<psnap::value::IndirectBlob>;
 
 }  // namespace psnap::baseline

@@ -10,9 +10,11 @@
 
 namespace psnap::baseline {
 
-FullSnapshot::FullSnapshot(std::uint32_t initial_components,
-                           std::uint32_t max_processes,
-                           std::uint64_t initial_value, exec::PidBound bound)
+template <class Value>
+FullSnapshotT<Value>::FullSnapshotT(std::uint32_t initial_components,
+                                    std::uint32_t max_processes,
+                                    std::uint64_t initial_value,
+                                    exec::PidBound bound)
     : size_(initial_components),
       n_(max_processes),
       bound_(bound),
@@ -21,28 +23,31 @@ FullSnapshot::FullSnapshot(std::uint32_t initial_components,
   PSNAP_ASSERT_MSG(n_ <= reclaim::EbrDomain::kPidSlots,
                    "max_processes exceeds the pid-slot capacity");
   for (std::uint32_t i = 0; i < initial_components; ++i) {
-    r_.at(i).init(new FullRecord{initial_value, i, core::kInitPid, {}},
-                  /*label=*/i);
+    r_.at(i).init(make_initial(initial_value, i), /*label=*/i);
   }
 }
 
-FullSnapshot::~FullSnapshot() {
+template <class Value>
+FullSnapshotT<Value>::~FullSnapshotT() {
   const std::uint32_t m = size_.load();
   for (std::uint32_t i = 0; i < m; ++i) delete r_.at(i).peek();
 }
 
-std::uint32_t FullSnapshot::add_components(std::uint32_t count) {
+template <class Value>
+std::uint32_t FullSnapshotT<Value>::add_components(std::uint32_t count) {
   return core::grow_components(
       size_, r_, count, [this](auto& slot, std::uint32_t i) {
-        slot.init(new FullRecord{initial_value_, i, core::kInitPid, {}},
-                  /*label=*/i);
+        slot.init(make_initial(initial_value_, i), /*label=*/i);
       });
 }
 
-void FullSnapshot::embedded_full_scan(core::ScanContext& ctx,
-                                      std::uint32_t m) {
+template <class Value>
+auto FullSnapshotT<Value>::embedded_full_scan(core::ScanContext& ctx,
+                                              std::uint32_t m)
+    -> std::vector<ValueType>& {
   core::OpStats& stats = core::tls_op_stats();
   stats.embedded_args = m;
+  std::vector<ValueType>& vals = core::values_for<ValueType>(ctx);
 
   // "Moved twice" helping rule bookkeeping; see the condition-(2)
   // discussion in register_psnap.cpp -- the same multi-writer soundness
@@ -75,23 +80,25 @@ void FullSnapshot::embedded_full_scan(core::ScanContext& ctx,
       // (it started during our scan; counts are monotone seq_cst), so its
       // full_view covers at least our m components.
       PSNAP_ASSERT(borrow->full_view.size() >= m);
-      ctx.values = borrow->full_view;  // capacity-reusing copy
-      return;
+      vals = borrow->full_view;  // capacity-reusing copy
+      return vals;
     }
     if (have_prev && std::equal(cur.begin(), cur.end(), prev.begin())) {
-      ctx.values.clear();
-      ctx.values.reserve(m);
+      // resize+assign keeps element payload capacity on the blob plane.
+      vals.resize(m);
       for (std::uint32_t j = 0; j < m; ++j) {
-        ctx.values.push_back(cur[j]->value);
+        Value::copy(cur[j]->value, vals[j]);
       }
-      return;
+      return vals;
     }
     std::swap(prev, cur);
     have_prev = true;
   }
 }
 
-void FullSnapshot::update(std::uint32_t i, std::uint64_t v) {
+template <class Value>
+template <class Fill>
+void FullSnapshotT<Value>::do_update(std::uint32_t i, Fill&& fill) {
   const std::uint32_t m = size_.load();
   PSNAP_ASSERT(i < m);
   std::uint32_t pid = exec::ctx().pid;
@@ -101,38 +108,84 @@ void FullSnapshot::update(std::uint32_t i, std::uint64_t v) {
   ctx.begin();
   auto guard = ebr_.pin();
 
-  embedded_full_scan(ctx, m);
+  std::vector<ValueType>& vals = embedded_full_scan(ctx, m);
   // Pool-backed record, owned by the Handle until publication (an
   // injected halt at the publish step returns it to the pool instead of
   // leaking).
   auto rec = record_pool_.acquire(ebr_);
-  rec->value = v;
+  fill(rec->value);
   rec->counter = ++counter_.at(pid).value;
   rec->pid = pid;
-  rec->full_view = ctx.values;  // capacity-reusing copy
+  rec->full_view = vals;  // capacity-reusing copy
   const FullRecord* old = r_.at(i).exchange(rec.get());
   rec.release();
   record_pool_.recycle(ebr_, const_cast<FullRecord*>(old));
 }
 
-void FullSnapshot::scan(std::span<const std::uint32_t> indices,
-                        std::vector<std::uint64_t>& out,
-                        core::ScanContext& ctx) {
-  out.clear();
-  if (indices.empty()) return;
+template <class Value>
+void FullSnapshotT<Value>::update(std::uint32_t i, std::uint64_t v) {
+  do_update(i, [v](ValueType& out) { Value::encode(v, out); });
+}
+
+template <class Value>
+void FullSnapshotT<Value>::update_blob(std::uint32_t i,
+                                       std::span<const std::byte> bytes) {
+  if constexpr (Value::kIndirect) {
+    do_update(i, [bytes](ValueType& out) { Value::assign(out, bytes); });
+  } else {
+    core::PartialSnapshot::update_blob(i, bytes);
+  }
+}
+
+template <class Value>
+template <class Extract>
+void FullSnapshotT<Value>::do_scan(std::span<const std::uint32_t> indices,
+                                   core::ScanContext& ctx,
+                                   Extract&& extract) {
   const std::uint32_t m = size_.load();
+  for (std::uint32_t i : indices) PSNAP_ASSERT(i < m);
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   core::tls_op_stats().reset();
   ctx.begin();
   auto guard = ebr_.pin();
 
-  embedded_full_scan(ctx, m);
-  out.reserve(indices.size());
-  for (std::uint32_t i : indices) {
-    PSNAP_ASSERT(i < m);
-    out.push_back(ctx.values[i]);
+  extract(embedded_full_scan(ctx, m));
+}
+
+template <class Value>
+void FullSnapshotT<Value>::scan(std::span<const std::uint32_t> indices,
+                                std::vector<std::uint64_t>& out,
+                                core::ScanContext& ctx) {
+  out.clear();
+  if (indices.empty()) return;
+  do_scan(indices, ctx, [&](const std::vector<ValueType>& vals) {
+    out.reserve(indices.size());
+    for (std::uint32_t i : indices) out.push_back(Value::decode(vals[i]));
+  });
+}
+
+template <class Value>
+void FullSnapshotT<Value>::scan_blobs(std::span<const std::uint32_t> indices,
+                                      std::vector<psnap::value::Blob>& out,
+                                      core::ScanContext& ctx) {
+  if constexpr (Value::kIndirect) {
+    if (indices.empty()) {
+      out.clear();
+      return;
+    }
+    out.resize(indices.size());  // keeps element byte capacity
+    do_scan(indices, ctx, [&](const std::vector<ValueType>& vals) {
+      for (std::size_t k = 0; k < indices.size(); ++k) {
+        Value::copy(vals[indices[k]], out[k]);
+      }
+    });
+  } else {
+    core::PartialSnapshot::scan_blobs(indices, out, ctx);
   }
 }
+
+template class FullSnapshotT<psnap::value::DirectU64>;
+template class FullSnapshotT<psnap::value::IndirectBlob>;
 
 }  // namespace psnap::baseline

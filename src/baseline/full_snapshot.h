@@ -8,6 +8,11 @@
 // and therefore both operations cost Omega(m) no matter how small the
 // partial scan's argument set is.  The LOC and CMP benches plot it against
 // the paper's algorithms to reproduce the locality argument.
+//
+// Value plane (primitives/value_plane.h): templated over the payload
+// policy like the paper's algorithms -- the full view simply becomes a
+// vector of payloads, so the Omega(m) cost scales with payload size too
+// (which is exactly the "wasteful" point, sharpened).
 #pragma once
 
 #include <memory>
@@ -20,62 +25,96 @@
 #include "core/scan_context.h"
 #include "exec/pid_bound.h"
 #include "primitives/primitives.h"
+#include "primitives/value_plane.h"
 #include "reclaim/ebr.h"
 #include "reclaim/pool.h"
 
 namespace psnap::baseline {
 
-class FullSnapshot final : public core::PartialSnapshot {
+template <class Value = psnap::value::DirectU64>
+class FullSnapshotT final : public core::PartialSnapshot {
  public:
+  using ValueType = typename Value::ValueType;
+
   // `bound` sizes the helping rule's moved-twice table (the one per-pid
   // cost here; scans are Omega(m) by design, that is the baseline's
   // point).
-  FullSnapshot(std::uint32_t initial_components, std::uint32_t max_processes,
-               std::uint64_t initial_value = 0,
-               exec::PidBound bound = {});
-  ~FullSnapshot() override;
+  FullSnapshotT(std::uint32_t initial_components, std::uint32_t max_processes,
+                std::uint64_t initial_value = 0,
+                exec::PidBound bound = {});
+  ~FullSnapshotT() override;
 
   std::uint32_t num_components() const override { return size_.load(); }
-  std::string_view name() const override { return "full-snapshot"; }
+  std::string_view name() const override {
+    return Value::kIndirect ? "full-snapshot-blob" : "full-snapshot";
+  }
   bool is_wait_free() const override { return true; }
   bool is_local() const override { return false; }
+  std::string_view value_plane() const override { return Value::kName; }
 
   std::uint32_t add_components(std::uint32_t count) override;
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
             std::vector<std::uint64_t>& out, core::ScanContext& ctx) override;
+  void update_blob(std::uint32_t i,
+                   std::span<const std::byte> bytes) override;
+  void scan_blobs(std::span<const std::uint32_t> indices,
+                  std::vector<psnap::value::Blob>& out,
+                  core::ScanContext& ctx) override;
   using core::PartialSnapshot::scan;
+  using core::PartialSnapshot::scan_blobs;
 
  private:
   struct FullRecord {
-    std::uint64_t value;
-    std::uint64_t counter;
-    std::uint32_t pid;
+    ValueType value{};
+    std::uint64_t counter = 0;
+    std::uint32_t pid = core::kInitPid;
     // All components up to the count the publishing operation captured.
     // Growth keeps this sound: a borrowed record belongs to an operation
     // that started after the borrower, so its full_view covers at least
     // the borrower's captured count (counts are monotone and captured
     // with seq_cst loads -- see embedded_full_scan).
-    std::vector<std::uint64_t> full_view;
+    std::vector<ValueType> full_view;
 
     bool is_initial() const { return pid == core::kInitPid; }
   };
 
-  // Fills ctx.values with the values of components [0, m) for the count m
-  // the caller captured at operation start.
-  void embedded_full_scan(core::ScanContext& ctx, std::uint32_t m);
+  FullRecord* make_initial(std::uint64_t v, std::uint32_t index) {
+    auto* rec = new FullRecord();
+    Value::encode(v, rec->value);
+    rec->counter = index;
+    rec->pid = core::kInitPid;
+    return rec;
+  }
+
+  // Fills the context's plane values with components [0, m) for the count
+  // m the caller captured at operation start.
+  std::vector<ValueType>& embedded_full_scan(core::ScanContext& ctx,
+                                             std::uint32_t m);
+
+  template <class Fill>
+  void do_update(std::uint32_t i, Fill&& fill);
+  // The one scan body; `extract` pulls the caller's components out of the
+  // full view (u64 decoding or blob copies).
+  template <class Extract>
+  void do_scan(std::span<const std::uint32_t> indices,
+               core::ScanContext& ctx, Extract&& extract);
 
   core::GrowableSize size_;
   std::uint32_t n_;
   exec::PidBound bound_;
   std::uint64_t initial_value_;
   // Pool before ebr_: ~EbrDomain flushes retired records into it.  Pooled
-  // records keep their full_view capacity, so steady-state updates are
+  // records keep their full_view capacity (per-element byte buffers
+  // included, on the blob plane), so steady-state updates are
   // allocation-free even though every record carries all m values.
   reclaim::Pool<FullRecord> record_pool_;
   core::ComponentStorage<primitives::Register<const FullRecord*>> r_;
   reclaim::EbrDomain ebr_;
   core::PerPidStorage<CachelinePadded<std::uint64_t>> counter_;
 };
+
+using FullSnapshot = FullSnapshotT<psnap::value::DirectU64>;
+using FullSnapshotBlob = FullSnapshotT<psnap::value::IndirectBlob>;
 
 }  // namespace psnap::baseline

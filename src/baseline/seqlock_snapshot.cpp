@@ -5,69 +5,189 @@
 
 namespace psnap::baseline {
 
-SeqlockSnapshot::SeqlockSnapshot(std::uint32_t initial_components,
-                                 std::uint64_t max_attempts_per_scan,
-                                 std::uint64_t initial_value)
+template <class Value>
+void SeqlockSnapshotT<Value>::init_cell(Cell& cell, std::uint32_t index) {
+  if constexpr (Value::kIndirect) {
+    auto* node = new primitives::BlobNode();
+    Value::encode(initial_value_, node->bytes);
+    cell.init(node, /*label=*/index);
+  } else {
+    cell.init(initial_value_, /*label=*/index);
+  }
+}
+
+template <class Value>
+SeqlockSnapshotT<Value>::SeqlockSnapshotT(std::uint32_t initial_components,
+                                          std::uint64_t max_attempts_per_scan,
+                                          std::uint64_t initial_value)
     : size_(initial_components),
       initial_value_(initial_value),
       max_attempts_(max_attempts_per_scan) {
   PSNAP_ASSERT(initial_components > 0);
   for (std::uint32_t i = 0; i < initial_components; ++i) {
-    data_.at(i).init(initial_value, /*label=*/i);
+    init_cell(data_.at(i), i);
   }
 }
 
-std::uint32_t SeqlockSnapshot::add_components(std::uint32_t count) {
+template <class Value>
+SeqlockSnapshotT<Value>::~SeqlockSnapshotT() {
+  if constexpr (Value::kIndirect) {
+    // Quiescent: the published nodes are owned here; in-flight retired
+    // nodes drain into the pool when plane_.ebr is destroyed.
+    const std::uint32_t m = size_.load();
+    for (std::uint32_t i = 0; i < m; ++i) delete data_.at(i).peek();
+  }
+}
+
+template <class Value>
+std::uint32_t SeqlockSnapshotT<Value>::add_components(std::uint32_t count) {
   return core::grow_components(size_, data_, count,
                                [this](auto& slot, std::uint32_t i) {
-                                 slot.init(initial_value_, /*label=*/i);
+                                 init_cell(slot, i);
                                });
 }
 
-void SeqlockSnapshot::update(std::uint32_t i, std::uint64_t v) {
+template <class Value>
+template <class Fill>
+void SeqlockSnapshotT<Value>::do_update(std::uint32_t i, Fill&& fill) {
   PSNAP_ASSERT(i < size_.load());
   core::tls_op_stats().reset();
-  // Acquire the writer "lock" by making the version odd.
-  while (true) {
-    std::uint64_t v0 = version_.load();
-    if (v0 % 2 == 1) continue;  // another writer holds it
-    if (version_.compare_and_swap_bool(v0, v0 + 1)) {
-      data_.at(i).store(v);
-      // Only the holder modifies an odd version, so this CAS cannot fail.
-      bool released = version_.compare_and_swap_bool(v0 + 1, v0 + 2);
-      PSNAP_ASSERT(released);
-      return;
+  if constexpr (Value::kIndirect) {
+    // Build the immutable node before taking the writer section (pool-
+    // backed: the byte buffer keeps its capacity across lives, and an
+    // unwind before publication returns the node without a grace period).
+    auto guard = plane_.ebr.pin();
+    auto node = plane_.pool.acquire(plane_.ebr);
+    fill(node->bytes);
+    while (true) {
+      std::uint64_t v0 = version_.load();
+      if (v0 % 2 == 1) continue;  // another writer holds it
+      if (version_.compare_and_swap_bool(v0, v0 + 1)) {
+        const primitives::BlobNode* old = data_.at(i).exchange(node.get());
+        node.release();
+        // Only the holder modifies an odd version, so this CAS cannot fail.
+        bool released = version_.compare_and_swap_bool(v0 + 1, v0 + 2);
+        PSNAP_ASSERT(released);
+        // Retire outside the writer section: a pinned reader may still
+        // dereference the replaced node until its grace period expires.
+        plane_.pool.recycle(plane_.ebr,
+                            const_cast<primitives::BlobNode*>(old));
+        return;
+      }
+    }
+  } else {
+    ValueType v{};
+    fill(v);
+    while (true) {
+      std::uint64_t v0 = version_.load();
+      if (v0 % 2 == 1) continue;  // another writer holds it
+      if (version_.compare_and_swap_bool(v0, v0 + 1)) {
+        data_.at(i).store(v);
+        // Only the holder modifies an odd version, so this CAS cannot fail.
+        bool released = version_.compare_and_swap_bool(v0 + 1, v0 + 2);
+        PSNAP_ASSERT(released);
+        return;
+      }
     }
   }
 }
 
-void SeqlockSnapshot::scan(std::span<const std::uint32_t> indices,
-                           std::vector<std::uint64_t>& out,
-                           core::ScanContext& ctx) {
-  out.clear();
-  if (indices.empty()) return;
-  const std::uint32_t m = size_.load();
+template <class Value>
+void SeqlockSnapshotT<Value>::update(std::uint32_t i, std::uint64_t v) {
+  do_update(i, [v](ValueType& out) { Value::encode(v, out); });
+}
+
+template <class Value>
+void SeqlockSnapshotT<Value>::update_blob(std::uint32_t i,
+                                          std::span<const std::byte> bytes) {
+  if constexpr (Value::kIndirect) {
+    do_update(i, [bytes](ValueType& out) { Value::assign(out, bytes); });
+  } else {
+    core::PartialSnapshot::update_blob(i, bytes);
+  }
+}
+
+template <class Value>
+template <class Collect>
+void SeqlockSnapshotT<Value>::do_scan(std::span<const std::uint32_t> indices,
+                                      std::uint32_t m, Collect&& collect) {
   core::OpStats& stats = core::tls_op_stats();
-  stats.reset();
-  ctx.begin();
-  // Collect straight into `out` (capacity-reusing); a retry overwrites in
-  // place, and the starvation path clears the partial collect.
-  out.resize(indices.size());
   while (true) {
     ++stats.collects;
     if (max_attempts_ != 0 && stats.collects > max_attempts_) {
-      out.clear();
       throw StarvationError(stats.collects - 1);
     }
     std::uint64_t v0 = version_.load();
     if (v0 % 2 == 1) continue;
     for (std::size_t j = 0; j < indices.size(); ++j) {
       PSNAP_ASSERT(indices[j] < m);
-      out[j] = data_.at(indices[j]).load();
+      collect(j, indices[j]);
     }
     std::uint64_t v1 = version_.load();
-    if (v1 == v0) break;
+    if (v1 == v0) return;
   }
 }
+
+template <class Value>
+void SeqlockSnapshotT<Value>::scan(std::span<const std::uint32_t> indices,
+                                   std::vector<std::uint64_t>& out,
+                                   core::ScanContext& ctx) {
+  out.clear();
+  if (indices.empty()) return;
+  const std::uint32_t m = size_.load();
+  core::tls_op_stats().reset();
+  ctx.begin();
+  // Collect straight into `out` (capacity-reusing); a retry overwrites in
+  // place, and the starvation path clears the partial collect.
+  out.resize(indices.size());
+  try {
+    if constexpr (Value::kIndirect) {
+      // Pinned across the retry loop: every pointer loaded inside is
+      // dereferenceable even if the writer that replaced it has already
+      // retired it (a version mismatch only discards the copied bytes).
+      auto guard = plane_.ebr.pin();
+      do_scan(indices, m, [&](std::size_t j, std::uint32_t index) {
+        out[j] = Value::decode(data_.at(index).load()->bytes);
+      });
+    } else {
+      do_scan(indices, m, [&](std::size_t j, std::uint32_t index) {
+        out[j] = data_.at(index).load();
+      });
+    }
+  } catch (...) {
+    out.clear();
+    throw;
+  }
+}
+
+template <class Value>
+void SeqlockSnapshotT<Value>::scan_blobs(
+    std::span<const std::uint32_t> indices,
+    std::vector<psnap::value::Blob>& out, core::ScanContext& ctx) {
+  if constexpr (Value::kIndirect) {
+    if (indices.empty()) {
+      out.clear();
+      return;
+    }
+    const std::uint32_t m = size_.load();
+    core::tls_op_stats().reset();
+    ctx.begin();
+    out.resize(indices.size());  // keeps element byte capacity
+    try {
+      auto guard = plane_.ebr.pin();
+      do_scan(indices, m, [&](std::size_t j, std::uint32_t index) {
+        Value::copy(data_.at(index).load()->bytes, out[j]);
+      });
+    } catch (...) {
+      out.clear();
+      throw;
+    }
+  } else {
+    core::PartialSnapshot::scan_blobs(indices, out, ctx);
+  }
+}
+
+template class SeqlockSnapshotT<psnap::value::DirectU64>;
+template class SeqlockSnapshotT<psnap::value::IndirectBlob>;
 
 }  // namespace psnap::baseline

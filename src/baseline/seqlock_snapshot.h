@@ -6,8 +6,18 @@
 // -- and starvation-prone at high ones, exactly like the double-collect
 // algorithm but with a single global conflict domain instead of a per-
 // component one.  A scan exceeding the retry cap throws StarvationError.
+//
+// Value plane (primitives/value_plane.h): this baseline stored RAW WORDS
+// in its component registers, so it is the one implementation that needs
+// primitives::ValueCell -- on the blob plane each cell becomes an atomic
+// pointer to an immutable, pooled, EBR-reclaimed BlobNode.  An update
+// builds the node and exchange()s it in inside the writer section; a
+// reader dereferences under an EBR pin (held across the retry loop).
+// Cost of the indirection: one extra acquire dereference per read, one
+// pool acquire per update; step counts are unchanged.
 #pragma once
 
+#include <type_traits>
 #include <vector>
 
 #include "baseline/double_collect.h"  // StarvationError
@@ -15,20 +25,31 @@
 #include "core/partial_snapshot.h"
 #include "core/scan_context.h"
 #include "primitives/primitives.h"
+#include "primitives/value_cell.h"
+#include "primitives/value_plane.h"
+#include "reclaim/ebr.h"
+#include "reclaim/pool.h"
 
 namespace psnap::baseline {
 
-class SeqlockSnapshot final : public core::PartialSnapshot {
+template <class Value = psnap::value::DirectU64>
+class SeqlockSnapshotT final : public core::PartialSnapshot {
  public:
+  using ValueType = typename Value::ValueType;
+
   // max_attempts_per_scan == 0 means retry forever.
-  SeqlockSnapshot(std::uint32_t initial_components,
-                  std::uint64_t max_attempts_per_scan = 0,
-                  std::uint64_t initial_value = 0);
+  SeqlockSnapshotT(std::uint32_t initial_components,
+                   std::uint64_t max_attempts_per_scan = 0,
+                   std::uint64_t initial_value = 0);
+  ~SeqlockSnapshotT() override;
 
   std::uint32_t num_components() const override { return size_.load(); }
-  std::string_view name() const override { return "seqlock"; }
+  std::string_view name() const override {
+    return Value::kIndirect ? "seqlock-blob" : "seqlock";
+  }
   bool is_wait_free() const override { return false; }
   bool is_local() const override { return true; }
+  std::string_view value_plane() const override { return Value::kName; }
 
   // Growth needs no version bump: new slots are initialized before the
   // count is published, and a reader only collects indices below the count
@@ -38,14 +59,46 @@ class SeqlockSnapshot final : public core::PartialSnapshot {
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
             std::vector<std::uint64_t>& out, core::ScanContext& ctx) override;
+  void update_blob(std::uint32_t i,
+                   std::span<const std::byte> bytes) override;
+  void scan_blobs(std::span<const std::uint32_t> indices,
+                  std::vector<psnap::value::Blob>& out,
+                  core::ScanContext& ctx) override;
   using core::PartialSnapshot::scan;
+  using core::PartialSnapshot::scan_blobs;
 
  private:
+  using Cell = primitives::ValueCell<Value, primitives::Instrumented>;
+
+  // Reclamation state of the indirect plane (absent on the direct plane).
+  // Pool before ebr: ~EbrDomain flushes retired nodes into the pool.
+  struct BlobPlane {
+    reclaim::Pool<primitives::BlobNode> pool;
+    reclaim::EbrDomain ebr;
+  };
+  struct NoPlane {};
+
+  void init_cell(Cell& cell, std::uint32_t index);
+
+  template <class Fill>
+  void do_update(std::uint32_t i, Fill&& fill);
+  // Runs the versioned retry loop; `collect` re-reads the components into
+  // the caller's buffers on each attempt (overwriting in place).
+  template <class Collect>
+  void do_scan(std::span<const std::uint32_t> indices, std::uint32_t m,
+               Collect&& collect);
+
   core::GrowableSize size_;
   std::uint64_t initial_value_;
   std::uint64_t max_attempts_;
   primitives::CasObject<std::uint64_t> version_;
-  core::ComponentStorage<primitives::Register<std::uint64_t>> data_;
+  core::ComponentStorage<Cell> data_;
+  [[no_unique_address]] std::conditional_t<Value::kIndirect, BlobPlane,
+                                           NoPlane>
+      plane_;
 };
+
+using SeqlockSnapshot = SeqlockSnapshotT<psnap::value::DirectU64>;
+using SeqlockSnapshotBlob = SeqlockSnapshotT<psnap::value::IndirectBlob>;
 
 }  // namespace psnap::baseline

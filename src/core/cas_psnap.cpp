@@ -16,20 +16,21 @@ namespace {
 // CAS-mode condition-(2) bookkeeping record.  Arena storage zero-fills it,
 // which is exactly its empty state (null pointers, zero counts).  The
 // write-ablation mode's per-pid table is core::MovedTwiceTable.
+template <class Rec>
 struct PerLocation {
-  const Record* recs[3];
+  const Rec* recs[3];
   std::uint32_t count;
 };
 
 }  // namespace
 
-template <class Policy>
-CasPartialSnapshotT<Policy>::CasPartialSnapshotT(
+template <class Policy, class Value>
+CasPartialSnapshotT<Policy, Value>::CasPartialSnapshotT(
     std::uint32_t initial_components, std::uint32_t max_processes)
     : CasPartialSnapshotT(initial_components, max_processes, Options{}) {}
 
-template <class Policy>
-CasPartialSnapshotT<Policy>::CasPartialSnapshotT(
+template <class Policy, class Value>
+CasPartialSnapshotT<Policy, Value>::CasPartialSnapshotT(
     std::uint32_t initial_components, std::uint32_t max_processes,
     Options options, std::uint64_t initial_value)
     : size_(initial_components),
@@ -42,12 +43,12 @@ CasPartialSnapshotT<Policy>::CasPartialSnapshotT(
   PSNAP_ASSERT_MSG(n_ <= reclaim::EbrDomain::kPidSlots,
                    "max_processes exceeds the pid-slot capacity");
   for (std::uint32_t i = 0; i < initial_components; ++i) {
-    r_.at(i)->init(new Record{initial_value, i, kInitPid, {}}, /*label=*/i);
+    r_.at(i)->init(make_initial_record<Value>(initial_value, i), /*label=*/i);
   }
 }
 
-template <class Policy>
-CasPartialSnapshotT<Policy>::~CasPartialSnapshotT() {
+template <class Policy, class Value>
+CasPartialSnapshotT<Policy, Value>::~CasPartialSnapshotT() {
   // Published records/announcements are owned here; everything in flight
   // through ebr_ drains into the pools when ebr_ is destroyed.
   const std::uint32_t m = size_.load();
@@ -60,23 +61,26 @@ CasPartialSnapshotT<Policy>::~CasPartialSnapshotT() {
   }
 }
 
-template <class Policy>
-std::uint32_t CasPartialSnapshotT<Policy>::add_components(
+template <class Policy, class Value>
+std::uint32_t CasPartialSnapshotT<Policy, Value>::add_components(
     std::uint32_t count) {
   // Same initial-record construction as the constructor; nobody can read
   // a new slot until grow_components publishes the count.
   return grow_components(size_, r_, count, [this](auto& slot, std::uint32_t i) {
-    slot->init(new Record{initial_value_, i, kInitPid, {}}, /*label=*/i);
+    slot->init(make_initial_record<Value>(initial_value_, i), /*label=*/i);
   });
 }
 
-template <class Policy>
-const View& CasPartialSnapshotT<Policy>::embedded_scan(
-    std::span<const std::uint32_t> args, ScanContext& ctx) {
+template <class Policy, class Value>
+auto CasPartialSnapshotT<Policy, Value>::embedded_scan(
+    std::span<const std::uint32_t> args, ScanContext& ctx) -> const ViewV& {
   OpStats& stats = tls_op_stats();
   stats.embedded_args = args.size();
-  ctx.view.clear();
-  if (args.empty()) return ctx.view;
+  ViewV& view = view_for<ValueType>(ctx);
+  if (args.empty()) {
+    view.clear();
+    return view;
+  }
 
   // Condition-(2) bookkeeping.
   //
@@ -96,17 +100,16 @@ const View& CasPartialSnapshotT<Policy>::embedded_scan(
   // is unavailable, so we fall back to Figure 1's moved-twice per-process
   // rule, population-adaptively sized like Figure 1's (core/moved_twice.h).
   // The table only exists in that mode; CAS-mode scans pay nothing for it.
-  std::span<PerLocation> seen_loc;
-  std::optional<MovedTwiceTable<Record>> seen_pid;
+  std::span<PerLocation<Rec>> seen_loc;
+  std::optional<MovedTwiceTable<Rec>> seen_pid;
   if (options_.use_cas) {
-    seen_loc = ctx.arena.take<PerLocation>(args.size());
+    seen_loc = ctx.arena.take<PerLocation<Rec>>(args.size());
   } else {
     seen_pid.emplace(ctx.arena, options_.bound.get(n_), n_);
   }
 
-  auto note_loc = [&seen_loc](std::size_t j,
-                              const Record* rec) -> const Record* {
-    PerLocation& s = seen_loc[j];
+  auto note_loc = [&seen_loc](std::size_t j, const Rec* rec) -> const Rec* {
+    PerLocation<Rec>& s = seen_loc[j];
     for (std::uint32_t k = 0; k < s.count; ++k) {
       if (s.recs[k] == rec) return nullptr;
     }
@@ -116,12 +119,12 @@ const View& CasPartialSnapshotT<Policy>::embedded_scan(
     // highest counter.
     return s.count == 3 ? s.recs[2] : nullptr;
   };
-  auto note_move = [&seen_pid](const Record* rec) {
+  auto note_move = [&seen_pid](const Rec* rec) {
     return seen_pid->note_move(rec);
   };
 
-  std::span<const Record*> prev = ctx.arena.take<const Record*>(args.size());
-  std::span<const Record*> cur = ctx.arena.take<const Record*>(args.size());
+  std::span<const Rec*> prev = ctx.arena.take<const Rec*>(args.size());
+  std::span<const Rec*> cur = ctx.arena.take<const Rec*>(args.size());
   bool have_prev = false;
 
   const std::uint64_t collect_bound =
@@ -135,7 +138,7 @@ const View& CasPartialSnapshotT<Policy>::embedded_scan(
     // condition (2); hence at most 2r+1 collects in CAS mode.
     PSNAP_ASSERT_MSG(stats.collects <= collect_bound,
                      "figure-3 embedded scan exceeded its collect bound");
-    const Record* borrow = nullptr;
+    const Rec* borrow = nullptr;
     for (std::size_t j = 0; j < args.size(); ++j) {
       cur[j] = r_.at(args[j])->load();
       if (borrow != nullptr) continue;
@@ -147,26 +150,32 @@ const View& CasPartialSnapshotT<Policy>::embedded_scan(
     }
     if (borrow != nullptr) {
       stats.borrowed = true;
-      // Copy (capacity-reusing) rather than reference: the borrowed record
-      // may be retired once our EBR pin drops, but ctx.view must survive
-      // until the caller extracts its components.
-      ctx.view = borrow->view;
-      return ctx.view;
+      // Copy (capacity-reusing, down to the blob plane's per-entry byte
+      // buffers) rather than reference: the borrowed record may be retired
+      // once our EBR pin drops, but the view must survive until the caller
+      // extracts its components.
+      view = borrow->view;
+      return view;
     }
     if (have_prev && std::equal(cur.begin(), cur.end(), prev.begin())) {
-      ctx.view.reserve(args.size());
+      // resize+assign rather than clear+push_back keeps existing entries'
+      // payload capacity (a blob-plane entry re-fills in place).
+      view.resize(args.size());
       for (std::size_t j = 0; j < args.size(); ++j) {
-        ctx.view.push_back(ViewEntry{args[j], cur[j]->value});
+        view[j].index = args[j];
+        Value::copy(cur[j]->value, view[j].value);
       }
-      return ctx.view;
+      return view;
     }
     std::swap(prev, cur);
     have_prev = true;
   }
 }
 
-template <class Policy>
-void CasPartialSnapshotT<Policy>::update(std::uint32_t i, std::uint64_t v) {
+template <class Policy, class Value>
+template <class Fill>
+void CasPartialSnapshotT<Policy, Value>::do_update(std::uint32_t i,
+                                                   Fill&& fill) {
   PSNAP_ASSERT(i < size_.load());
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
@@ -180,7 +189,7 @@ void CasPartialSnapshotT<Policy>::update(std::uint32_t i, std::uint64_t v) {
   // Release mode: acquire load; the record is only compared by address
   // until the CAS, and if dereferenced (retire path) the acquire pairs
   // with the publishing CAS's release.
-  const Record* old = r_.at(i)->load();
+  const Rec* old = r_.at(i)->load();
 
   as_->get_set(ctx.scanners);
   tls_op_stats().getset_size = ctx.scanners.size();
@@ -203,7 +212,7 @@ void CasPartialSnapshotT<Policy>::update(std::uint32_t i, std::uint64_t v) {
       std::unique(ctx.union_args.begin(), ctx.union_args.end()),
       ctx.union_args.end());
 
-  const View& view = embedded_scan(ctx.union_args, ctx);
+  const ViewV& view = embedded_scan(ctx.union_args, ctx);
 
   // Counter is bumped only when the record is actually published
   // (paper: "if the compare&swap was successful then counter++"); tags of
@@ -215,7 +224,7 @@ void CasPartialSnapshotT<Policy>::update(std::uint32_t i, std::uint64_t v) {
   // CAS-failure path and an injected halt at the publish step both unwind
   // through the Handle instead of leaking.
   auto rec = record_pool_.acquire(ebr_);
-  rec->value = v;
+  fill(rec->value);
   rec->counter = counter_.at(pid).value + 1;
   rec->pid = pid;
   rec->view = view;  // capacity-reusing copy into the recycled vector
@@ -224,11 +233,11 @@ void CasPartialSnapshotT<Policy>::update(std::uint32_t i, std::uint64_t v) {
     // Release mode: the CAS is acq_rel -- release so the record built
     // above is visible to any acquire load of R[i] that sees it, acquire
     // so the returned `prev` may be handed to reclamation.
-    const Record* prev = r_.at(i)->compare_and_swap(old, rec.get());
+    const Rec* prev = r_.at(i)->compare_and_swap(old, rec.get());
     if (prev == old) {
       rec.release();
       ++counter_.at(pid).value;
-      record_pool_.recycle(ebr_, const_cast<Record*>(old));
+      record_pool_.recycle(ebr_, const_cast<Rec*>(old));
     } else {
       // Linearized immediately before the update that beat us; our record
       // was never published, so it returns straight to the pool.
@@ -240,23 +249,38 @@ void CasPartialSnapshotT<Policy>::update(std::uint32_t i, std::uint64_t v) {
     // with a CAS retry loop; this path exists only to measure what the
     // paper's switch to CAS buys (Section 4's second modification).
     ++counter_.at(pid).value;
-    const Record* cur = old;
+    const Rec* cur = old;
     while (true) {
-      const Record* prev = r_.at(i)->compare_and_swap(cur, rec.get());
+      const Rec* prev = r_.at(i)->compare_and_swap(cur, rec.get());
       if (prev == cur) break;
       cur = prev;
     }
     rec.release();
-    record_pool_.recycle(ebr_, const_cast<Record*>(cur));
+    record_pool_.recycle(ebr_, const_cast<Rec*>(cur));
   }
 }
 
-template <class Policy>
-void CasPartialSnapshotT<Policy>::scan(std::span<const std::uint32_t> indices,
-                                       std::vector<std::uint64_t>& out,
-                                       ScanContext& ctx) {
-  out.clear();
-  if (indices.empty()) return;
+template <class Policy, class Value>
+void CasPartialSnapshotT<Policy, Value>::update(std::uint32_t i,
+                                                std::uint64_t v) {
+  do_update(i, [v](ValueType& out) { Value::encode(v, out); });
+}
+
+template <class Policy, class Value>
+void CasPartialSnapshotT<Policy, Value>::update_blob(
+    std::uint32_t i, std::span<const std::byte> bytes) {
+  if constexpr (Value::kIndirect) {
+    do_update(i, [bytes](ValueType& out) { Value::assign(out, bytes); });
+  } else {
+    PartialSnapshot::update_blob(i, bytes);
+  }
+}
+
+template <class Policy, class Value>
+template <class Extract>
+void CasPartialSnapshotT<Policy, Value>::do_scan(
+    std::span<const std::uint32_t> indices, ScanContext& ctx,
+    Extract&& extract) {
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   const std::uint32_t m = size_.load();
@@ -292,19 +316,58 @@ void CasPartialSnapshotT<Policy>::scan(std::span<const std::uint32_t> indices,
   // could miss us after our embedded scan has already begun -- which
   // would break the condition-(2) borrow coverage argument.
   primitives::protocol_fence<Policy>();
-  const View& view = embedded_scan(ctx.canonical, ctx);
+  const ViewV& view = embedded_scan(ctx.canonical, ctx);
   as_->leave();
 
-  out.reserve(indices.size());
-  for (std::uint32_t i : indices) {
-    const ViewEntry* e = view_find(view, i);
-    PSNAP_ASSERT_MSG(e != nullptr,
-                     "borrowed view is missing an announced component");
-    out.push_back(e->value);
+  extract(view);
+}
+
+template <class Policy, class Value>
+void CasPartialSnapshotT<Policy, Value>::scan(
+    std::span<const std::uint32_t> indices, std::vector<std::uint64_t>& out,
+    ScanContext& ctx) {
+  out.clear();
+  if (indices.empty()) return;
+  do_scan(indices, ctx, [&](const ViewV& view) {
+    out.reserve(indices.size());
+    for (std::uint32_t i : indices) {
+      const ViewEntryT<ValueType>* e = view_find(view, i);
+      PSNAP_ASSERT_MSG(e != nullptr,
+                       "borrowed view is missing an announced component");
+      out.push_back(Value::decode(e->value));
+    }
+  });
+}
+
+template <class Policy, class Value>
+void CasPartialSnapshotT<Policy, Value>::scan_blobs(
+    std::span<const std::uint32_t> indices, std::vector<value::Blob>& out,
+    ScanContext& ctx) {
+  if constexpr (Value::kIndirect) {
+    if (indices.empty()) {
+      out.clear();
+      return;
+    }
+    // resize, not clear: surviving elements keep their byte capacity.
+    out.resize(indices.size());
+    do_scan(indices, ctx, [&](const ViewV& view) {
+      for (std::size_t k = 0; k < indices.size(); ++k) {
+        const ViewEntryT<ValueType>* e = view_find(view, indices[k]);
+        PSNAP_ASSERT_MSG(e != nullptr,
+                         "borrowed view is missing an announced component");
+        Value::copy(e->value, out[k]);
+      }
+    });
+  } else {
+    PartialSnapshot::scan_blobs(indices, out, ctx);
   }
 }
 
-template class CasPartialSnapshotT<primitives::Instrumented>;
-template class CasPartialSnapshotT<primitives::Release>;
+template class CasPartialSnapshotT<primitives::Instrumented,
+                                   value::DirectU64>;
+template class CasPartialSnapshotT<primitives::Release, value::DirectU64>;
+template class CasPartialSnapshotT<primitives::Instrumented,
+                                   value::IndirectBlob>;
+template class CasPartialSnapshotT<primitives::Release, value::IndirectBlob>;
 
 }  // namespace psnap::core

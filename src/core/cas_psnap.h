@@ -30,10 +30,19 @@
 // with acquire, or (b) a CAS/F&I, which remains an RMW on the newest value
 // in its location's modification order even at acq_rel.
 //
+// Value plane (see primitives/value_plane.h): the second template
+// parameter picks the payload representation -- DirectU64 (the historical
+// word component, bit-identical) or IndirectBlob (variable-size byte
+// payloads embedded in the CAS'd record).  The CAS compares record
+// IDENTITY, not payload bytes, so the protocol -- including the per-
+// location condition (2) -- is untouched, and step counts are
+// plane-invariant.
+//
 // Steady-state updates and scans are allocation-free: Records and
 // announcement IndexSets are recycled through reclaim::Pool free lists
-// (their embedded vectors keep capacity across lives), and all transient
-// scratch lives in the caller's ScanContext.
+// (their embedded vectors -- and the blob plane's payload buffers -- keep
+// capacity across lives), and all transient scratch lives in the caller's
+// ScanContext.
 // Dynamic runtime: components live in grow-only segmented storage
 // (add_components() never invalidates a concurrent reader's pointers,
 // num_components() is a monotone count) and per-pid state keys off
@@ -51,28 +60,38 @@
 #include "core/record.h"
 #include "core/scan_context.h"
 #include "primitives/primitives.h"
+#include "primitives/value_plane.h"
 #include "reclaim/ebr.h"
 #include "reclaim/pool.h"
 
 namespace psnap::core {
 
-template <class Policy = primitives::Instrumented>
+// Construction options, shared by every (Policy, Value) instantiation --
+// a standalone type so registry factories can build one Options and hand
+// it to whichever plane the spec selected.
+struct CasSnapshotOptions {
+  // Options forwarded to the embedded Figure 2 active set.
+  activeset::FaiCasOptions active_set;
+  // ABL-3 ablation: publish updates with a plain overwrite (register
+  // semantics) instead of CAS.  Correctness is preserved by falling back
+  // to the Figure 1 condition (2) (three values by one process), but
+  // scans lose their O(r^2) locality bound -- the bench shows collects
+  // growing with update contention.
+  bool use_cas = true;
+  // Per-pid walk bound (exec/pid_bound.h): sizes the write-ablation
+  // mode's moved-twice table and bounds the destructor's announcement
+  // sweep.  The registry factories mirror it into active_set.bound.
+  exec::PidBound bound;
+};
+
+template <class Policy = primitives::Instrumented,
+          class Value = value::DirectU64>
 class CasPartialSnapshotT final : public PartialSnapshot {
  public:
-  struct Options {
-    // Options forwarded to the embedded Figure 2 active set.
-    activeset::FaiCasOptions active_set;
-    // ABL-3 ablation: publish updates with a plain overwrite (register
-    // semantics) instead of CAS.  Correctness is preserved by falling back
-    // to the Figure 1 condition (2) (three values by one process), but
-    // scans lose their O(r^2) locality bound -- the bench shows collects
-    // growing with update contention.
-    bool use_cas = true;
-    // Per-pid walk bound (exec/pid_bound.h): sizes the write-ablation
-    // mode's moved-twice table and bounds the destructor's announcement
-    // sweep.  The registry factories mirror it into active_set.bound.
-    exec::PidBound bound;
-  };
+  using ValueType = typename Value::ValueType;
+  using Rec = RecordT<ValueType>;
+  using ViewV = ViewT<ValueType>;
+  using Options = CasSnapshotOptions;
 
   CasPartialSnapshotT(std::uint32_t initial_components,
                       std::uint32_t max_processes);
@@ -84,26 +103,46 @@ class CasPartialSnapshotT final : public PartialSnapshot {
   std::uint32_t num_components() const override { return size_.load(); }
   std::string_view name() const override {
     if (!options_.use_cas) return "fig3-write(ablation)";
-    return Policy::kCountsSteps ? "fig3-cas" : "fig3-cas-fast";
+    if constexpr (Value::kIndirect) {
+      return Policy::kCountsSteps ? "fig3-cas-blob" : "fig3-cas-blob-fast";
+    } else {
+      return Policy::kCountsSteps ? "fig3-cas" : "fig3-cas-fast";
+    }
   }
   bool is_wait_free() const override { return true; }
   bool is_local() const override { return true; }
+  std::string_view value_plane() const override { return Value::kName; }
 
   std::uint32_t add_components(std::uint32_t count) override;
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
             std::vector<std::uint64_t>& out, ScanContext& ctx) override;
+  void update_blob(std::uint32_t i,
+                   std::span<const std::byte> bytes) override;
+  void scan_blobs(std::span<const std::uint32_t> indices,
+                  std::vector<value::Blob>& out, ScanContext& ctx) override;
   using PartialSnapshot::scan;
+  using PartialSnapshot::scan_blobs;
 
   activeset::FaiCasActiveSetT<Policy>& active_set() { return *as_; }
 
   // Pool observability for the allocation tests.
-  const reclaim::Pool<Record>& record_pool() const { return record_pool_; }
+  const reclaim::Pool<Rec>& record_pool() const { return record_pool_; }
 
  private:
-  // Fills ctx.view with the embedded-scan result and returns it.
-  const View& embedded_scan(std::span<const std::uint32_t> args,
-                            ScanContext& ctx);
+  // Fills the context's plane view with the embedded-scan result and
+  // returns it.
+  const ViewV& embedded_scan(std::span<const std::uint32_t> args,
+                             ScanContext& ctx);
+
+  // The one update body; `fill` writes the new payload into the record.
+  template <class Fill>
+  void do_update(std::uint32_t i, Fill&& fill);
+  // The one scan body; `extract` pulls the caller's components out of the
+  // final view.
+  template <class Extract>
+  void do_scan(std::span<const std::uint32_t> indices, ScanContext& ctx,
+               Extract&& extract);
 
   // Published component count (monotone; see core/growth.h).
   GrowableSize size_;
@@ -112,7 +151,7 @@ class CasPartialSnapshotT final : public PartialSnapshot {
   Options options_;
   // Pools are declared before ebr_ on purpose: ~EbrDomain flushes retired
   // nodes into them, so they must be destroyed after it.
-  reclaim::Pool<Record> record_pool_;
+  reclaim::Pool<Rec> record_pool_;
   reclaim::Pool<IndexSet> announce_pool_;
   // CachelinePadded: a CasObject is 16 bytes, so four components would
   // share a line and concurrent updates to distinct components would
@@ -120,7 +159,7 @@ class CasPartialSnapshotT final : public PartialSnapshot {
   // Segmented (grow-only) storage: slot addresses are stable forever, so
   // concurrent readers survive growth.
   ComponentStorage<
-      CachelinePadded<primitives::CasObject<const Record*, Policy>>>
+      CachelinePadded<primitives::CasObject<const Rec*, Policy>>>
       r_;
   // The paper's S[1..n] announcement registers (per-process single-writer,
   // padded for the same reason), keyed by registered pid.
@@ -134,5 +173,9 @@ class CasPartialSnapshotT final : public PartialSnapshot {
 
 using CasPartialSnapshot = CasPartialSnapshotT<primitives::Instrumented>;
 using CasPartialSnapshotFast = CasPartialSnapshotT<primitives::Release>;
+using CasPartialSnapshotBlob =
+    CasPartialSnapshotT<primitives::Instrumented, value::IndirectBlob>;
+using CasPartialSnapshotBlobFast =
+    CasPartialSnapshotT<primitives::Release, value::IndirectBlob>;
 
 }  // namespace psnap::core

@@ -1,14 +1,46 @@
 #include "core/partial_snapshot.h"
 
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "core/scan_context.h"
 
 namespace psnap::core {
 
+namespace {
+
+[[noreturn]] void reject_blob_op(const PartialSnapshot& snap,
+                                 const char* op) {
+  throw std::logic_error(
+      std::string(op) + " requires the blob value plane, but '" +
+      std::string(snap.name()) + "' stores value=" +
+      std::string(snap.value_plane()) +
+      " (construct with the registry option value=blob)");
+}
+
+}  // namespace
+
 void PartialSnapshot::scan(std::span<const std::uint32_t> indices,
                            std::vector<std::uint64_t>& out) {
   scan(indices, out, tls_scan_context());
+}
+
+void PartialSnapshot::update_blob(std::uint32_t i,
+                                  std::span<const std::byte> /*bytes*/) {
+  (void)i;
+  reject_blob_op(*this, "update_blob");
+}
+
+void PartialSnapshot::scan_blobs(std::span<const std::uint32_t> /*indices*/,
+                                 std::vector<value::Blob>& /*out*/,
+                                 ScanContext& /*ctx*/) {
+  reject_blob_op(*this, "scan_blobs");
+}
+
+void PartialSnapshot::scan_blobs(std::span<const std::uint32_t> indices,
+                                 std::vector<value::Blob>& out) {
+  scan_blobs(indices, out, tls_scan_context());
 }
 
 std::vector<std::uint64_t> PartialSnapshot::scan_all() {

@@ -17,11 +17,14 @@
 //   baseline::SeqlockSnapshot      -- global seqlock reference
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <span>
 #include <string_view>
 #include <vector>
+
+#include "primitives/value_plane.h"
 
 namespace psnap::core {
 
@@ -71,6 +74,33 @@ class PartialSnapshot {
 
   void scan(std::span<const std::uint32_t> indices,
             std::vector<std::uint64_t>& out);
+
+  // ---- The value plane (primitives/value_plane.h) ----
+  //
+  // Every implementation stores one of two payload planes, chosen at
+  // construction (registry option value=u64|blob): "u64" keeps today's
+  // word components; "blob" stores variable-size byte payloads behind the
+  // object's record indirection.  On BOTH planes the u64 operations above
+  // work -- on the blob plane update(i, v) publishes an 8-byte payload
+  // encoding v and scan decodes a payload's first 8 bytes (native-endian,
+  // zero-extended), so u64-driven harnesses exercise either plane
+  // unchanged.
+  virtual std::string_view value_plane() const { return "u64"; }
+
+  // Sets component i to an arbitrary byte payload, atomically, on behalf
+  // of exec::ctx().pid.  Blob plane only: the u64 plane (the default
+  // implementation here) throws std::logic_error.
+  virtual void update_blob(std::uint32_t i, std::span<const std::byte> bytes);
+
+  // Reads the given components' payloads atomically (same consistency
+  // contract as scan, same index semantics); out[k] receives a copy of
+  // indices[k]'s payload, reusing out's element capacity.  Blob plane
+  // only: the u64 plane throws std::logic_error.
+  virtual void scan_blobs(std::span<const std::uint32_t> indices,
+                          std::vector<value::Blob>& out, ScanContext& ctx);
+
+  void scan_blobs(std::span<const std::uint32_t> indices,
+                  std::vector<value::Blob>& out);
 
   // Convenience forms.
   std::vector<std::uint64_t> scan(std::span<const std::uint32_t> indices) {

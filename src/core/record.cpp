@@ -4,13 +4,19 @@
 
 namespace psnap::core {
 
-const ViewEntry* view_find(const View& view, std::uint32_t index) {
+template <class V>
+const ViewEntryT<V>* view_find(const ViewT<V>& view, std::uint32_t index) {
   auto it = std::lower_bound(
       view.begin(), view.end(), index,
-      [](const ViewEntry& e, std::uint32_t i) { return e.index < i; });
+      [](const ViewEntryT<V>& e, std::uint32_t i) { return e.index < i; });
   if (it == view.end() || it->index != index) return nullptr;
   return &*it;
 }
+
+template const ViewEntryT<std::uint64_t>* view_find(
+    const ViewT<std::uint64_t>& view, std::uint32_t index);
+template const ViewEntryT<value::Blob>* view_find(
+    const ViewT<value::Blob>& view, std::uint32_t index);
 
 std::vector<std::uint32_t> canonical_indices(
     std::span<const std::uint32_t> indices) {

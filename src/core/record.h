@@ -12,11 +12,20 @@
 //     write exactly the same contents" ABA argument;
 //   * reclaimed through EBR: readers dereference records only while pinned,
 //     so pointer identity is also ABA-safe within one operation.
+//
+// Everything here is templated over the payload type V of the value plane
+// (primitives/value_plane.h): V = std::uint64_t on the direct plane (the
+// historical types keep their names as aliases), V = value::Blob on the
+// indirect plane.  The record is the indirection the blob plane rides: an
+// update builds the payload inside the (pooled) record and publishes both
+// with the one atomic store/CAS the algorithm already performs.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "primitives/value_plane.h"
 
 namespace psnap::core {
 
@@ -24,29 +33,53 @@ namespace psnap::core {
 inline constexpr std::uint32_t kInitPid = ~std::uint32_t{0};
 
 // One (component, value) pair of an embedded-scan result.
-struct ViewEntry {
+template <class V>
+struct ViewEntryT {
   std::uint32_t index;
-  std::uint64_t value;
+  V value;
 
-  friend bool operator==(const ViewEntry&, const ViewEntry&) = default;
+  friend bool operator==(const ViewEntryT&, const ViewEntryT&) = default;
 };
 
-// A view is a vector of ViewEntry sorted by component index.  Scans that
+// A view is a vector of ViewEntryT sorted by component index.  Scans that
 // terminate by borrowing (condition (2)) binary-search it, per the paper's
 // small-register remark after Theorem 1.
-using View = std::vector<ViewEntry>;
+template <class V>
+using ViewT = std::vector<ViewEntryT<V>>;
+
+using ViewEntry = ViewEntryT<std::uint64_t>;
+using View = ViewT<std::uint64_t>;
+using BlobViewEntry = ViewEntryT<value::Blob>;
+using BlobView = ViewT<value::Blob>;
 
 // Looks up `index` in a sorted view; returns nullptr if absent.
-const ViewEntry* view_find(const View& view, std::uint32_t index);
+template <class V>
+const ViewEntryT<V>* view_find(const ViewT<V>& view, std::uint32_t index);
 
-struct Record {
-  std::uint64_t value = 0;
+template <class V>
+struct RecordT {
+  V value{};
   std::uint64_t counter = 0;     // per-process publication counter
   std::uint32_t pid = kInitPid;  // writing process
-  View view;                     // the update's embedded-scan result
+  ViewT<V> view;                 // the update's embedded-scan result
 
   bool is_initial() const { return pid == kInitPid; }
 };
+
+using Record = RecordT<std::uint64_t>;
+
+// Builds a pre-installed initial record (constructor / add_components
+// paths of fig1 and fig3): sentinel pid, the component index as the
+// counter, which keeps every record tag unique.
+template <class Value>
+RecordT<typename Value::ValueType>* make_initial_record(
+    std::uint64_t initial_value, std::uint32_t index) {
+  auto* rec = new RecordT<typename Value::ValueType>();
+  Value::encode(initial_value, rec->value);
+  rec->counter = index;
+  rec->pid = kInitPid;
+  return rec;
+}
 
 // An announced index set (the contents of the paper's A[p] / S[p]
 // registers): sorted, duplicate-free component indices, heap-allocated and

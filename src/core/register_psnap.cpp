@@ -11,8 +11,8 @@
 
 namespace psnap::core {
 
-template <class Policy>
-RegisterPartialSnapshotT<Policy>::RegisterPartialSnapshotT(
+template <class Policy, class Value>
+RegisterPartialSnapshotT<Policy, Value>::RegisterPartialSnapshotT(
     std::uint32_t initial_components, std::uint32_t max_processes,
     std::unique_ptr<activeset::ActiveSet> active_set,
     std::uint64_t initial_value, exec::PidBound bound)
@@ -31,12 +31,12 @@ RegisterPartialSnapshotT<Policy>::RegisterPartialSnapshotT(
   for (std::uint32_t i = 0; i < initial_components; ++i) {
     // Initial records carry the sentinel pid and the component index as the
     // counter, which keeps every record tag unique.
-    r_.at(i)->init(new Record{initial_value, i, kInitPid, {}}, /*label=*/i);
+    r_.at(i)->init(make_initial_record<Value>(initial_value, i), /*label=*/i);
   }
 }
 
-template <class Policy>
-RegisterPartialSnapshotT<Policy>::~RegisterPartialSnapshotT() {
+template <class Policy, class Value>
+RegisterPartialSnapshotT<Policy, Value>::~RegisterPartialSnapshotT() {
   const std::uint32_t m = size_.load();
   for (std::uint32_t i = 0; i < m; ++i) delete r_.at(i)->peek();
   // Any pid that ever announced is below the bound (its acquisition
@@ -48,23 +48,26 @@ RegisterPartialSnapshotT<Policy>::~RegisterPartialSnapshotT() {
   }
 }
 
-template <class Policy>
-std::uint32_t RegisterPartialSnapshotT<Policy>::add_components(
+template <class Policy, class Value>
+std::uint32_t RegisterPartialSnapshotT<Policy, Value>::add_components(
     std::uint32_t count) {
   // Same initial-record construction as the constructor; nobody can read
   // a new slot until grow_components publishes the count.
   return grow_components(size_, r_, count, [this](auto& slot, std::uint32_t i) {
-    slot->init(new Record{initial_value_, i, kInitPid, {}}, /*label=*/i);
+    slot->init(make_initial_record<Value>(initial_value_, i), /*label=*/i);
   });
 }
 
-template <class Policy>
-const View& RegisterPartialSnapshotT<Policy>::embedded_scan(
-    std::span<const std::uint32_t> args, ScanContext& ctx) {
+template <class Policy, class Value>
+auto RegisterPartialSnapshotT<Policy, Value>::embedded_scan(
+    std::span<const std::uint32_t> args, ScanContext& ctx) -> const ViewV& {
   OpStats& stats = tls_op_stats();
   stats.embedded_args = args.size();
-  ctx.view.clear();
-  if (args.empty()) return ctx.view;
+  ViewV& view = view_for<ValueType>(ctx);
+  if (args.empty()) {
+    view.clear();
+    return view;
+  }
 
   // Condition-(2) bookkeeping.  The paper phrases the rule as "three
   // different values written by the same process have been seen (in any
@@ -92,11 +95,11 @@ const View& RegisterPartialSnapshotT<Policy>::embedded_scan(
   // The table is population-adaptive: sized at the PidBound walk bound
   // (O(live pids) to zero-fill, not O(max_threads)) and regrown mid-scan
   // if a fresher pid publishes -- see core/moved_twice.h.
-  MovedTwiceTable<Record> seen(ctx.arena, bound_.get(n_), n_);
-  auto note_move = [&seen](const Record* rec) { return seen.note_move(rec); };
+  MovedTwiceTable<Rec> seen(ctx.arena, bound_.get(n_), n_);
+  auto note_move = [&seen](const Rec* rec) { return seen.note_move(rec); };
 
-  std::span<const Record*> prev = ctx.arena.take<const Record*>(args.size());
-  std::span<const Record*> cur = ctx.arena.take<const Record*>(args.size());
+  std::span<const Rec*> prev = ctx.arena.take<const Rec*>(args.size());
+  std::span<const Rec*> cur = ctx.arena.take<const Rec*>(args.size());
   bool have_prev = false;
 
   while (true) {
@@ -107,7 +110,7 @@ const View& RegisterPartialSnapshotT<Policy>::embedded_scan(
     // into a loud failure instead of an unbounded loop.
     PSNAP_ASSERT_MSG(stats.collects <= 2ull * n_ + 3,
                      "figure-1 embedded scan exceeded its collect bound");
-    const Record* borrow = nullptr;
+    const Rec* borrow = nullptr;
     for (std::size_t j = 0; j < args.size(); ++j) {
       cur[j] = r_.at(args[j])->load();
       if (have_prev && cur[j] != prev[j] && borrow == nullptr) {
@@ -116,29 +119,34 @@ const View& RegisterPartialSnapshotT<Policy>::embedded_scan(
     }
     if (borrow != nullptr) {
       // Condition (2): borrow the embedded-scan result of an update that
-      // started after we did.  Copied (capacity-reusing) because ctx.view
-      // must outlive the borrowed record's EBR grace period.
+      // started after we did.  Copied (capacity-reusing, down to the blob
+      // plane's per-entry byte buffers) because the view must outlive the
+      // borrowed record's EBR grace period.
       stats.borrowed = true;
-      ctx.view = borrow->view;
-      return ctx.view;
+      view = borrow->view;
+      return view;
     }
     if (have_prev && std::equal(cur.begin(), cur.end(), prev.begin())) {
       // Condition (1): both collects saw the same records, so those values
-      // coexisted at every instant between the collects.
-      ctx.view.reserve(args.size());
+      // coexisted at every instant between the collects.  resize+assign
+      // rather than clear+push_back keeps existing entries' payload
+      // capacity (a blob-plane entry re-fills its byte buffer in place).
+      view.resize(args.size());
       for (std::size_t j = 0; j < args.size(); ++j) {
-        ctx.view.push_back(ViewEntry{args[j], cur[j]->value});
+        view[j].index = args[j];
+        Value::copy(cur[j]->value, view[j].value);
       }
-      return ctx.view;
+      return view;
     }
     std::swap(prev, cur);
     have_prev = true;
   }
 }
 
-template <class Policy>
-void RegisterPartialSnapshotT<Policy>::update(std::uint32_t i,
-                                              std::uint64_t v) {
+template <class Policy, class Value>
+template <class Fill>
+void RegisterPartialSnapshotT<Policy, Value>::do_update(std::uint32_t i,
+                                                        Fill&& fill) {
   PSNAP_ASSERT(i < size_.load());
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
@@ -170,14 +178,15 @@ void RegisterPartialSnapshotT<Policy>::update(std::uint32_t i,
       std::unique(ctx.union_args.begin(), ctx.union_args.end()),
       ctx.union_args.end());
 
-  const View& view = embedded_scan(ctx.union_args, ctx);
+  const ViewV& view = embedded_scan(ctx.union_args, ctx);
 
   // Pool-backed record, owned by the Handle until publication: if this
   // process halts at the publish step (crash injection, Section 2's
-  // failure model), the unpublished record returns to the pool instead of
-  // leaking, skipping the grace period (nobody ever saw the pointer).
+  // failure model), the unpublished record -- payload included -- returns
+  // to the pool instead of leaking, skipping the grace period (nobody
+  // ever saw the pointer).
   auto rec = record_pool_.acquire(ebr_);
-  rec->value = v;
+  fill(rec->value);
   rec->counter = ++counter_.at(pid).value;
   rec->pid = pid;
   rec->view = view;  // capacity-reusing copy into the recycled vector
@@ -187,17 +196,32 @@ void RegisterPartialSnapshotT<Policy>::update(std::uint32_t i,
   // retires it.  Release mode: acq_rel -- release publishes the immutable
   // record to acquire collects, acquire covers the replaced record handed
   // to reclamation.
-  const Record* old = r_.at(i)->exchange(rec.get());
+  const Rec* old = r_.at(i)->exchange(rec.get());
   rec.release();
-  record_pool_.recycle(ebr_, const_cast<Record*>(old));
+  record_pool_.recycle(ebr_, const_cast<Rec*>(old));
 }
 
-template <class Policy>
-void RegisterPartialSnapshotT<Policy>::scan(
-    std::span<const std::uint32_t> indices, std::vector<std::uint64_t>& out,
-    ScanContext& ctx) {
-  out.clear();
-  if (indices.empty()) return;
+template <class Policy, class Value>
+void RegisterPartialSnapshotT<Policy, Value>::update(std::uint32_t i,
+                                                     std::uint64_t v) {
+  do_update(i, [v](ValueType& out) { Value::encode(v, out); });
+}
+
+template <class Policy, class Value>
+void RegisterPartialSnapshotT<Policy, Value>::update_blob(
+    std::uint32_t i, std::span<const std::byte> bytes) {
+  if constexpr (Value::kIndirect) {
+    do_update(i, [bytes](ValueType& out) { Value::assign(out, bytes); });
+  } else {
+    PartialSnapshot::update_blob(i, bytes);
+  }
+}
+
+template <class Policy, class Value>
+template <class Extract>
+void RegisterPartialSnapshotT<Policy, Value>::do_scan(
+    std::span<const std::uint32_t> indices, ScanContext& ctx,
+    Extract&& extract) {
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
   const std::uint32_t m = size_.load();
@@ -234,22 +258,64 @@ void RegisterPartialSnapshotT<Policy>::scan(
   // could miss us after our embedded scan has already begun -- which
   // would break the condition-(2) borrow coverage argument.
   primitives::protocol_fence<Policy>();
-  const View& view = embedded_scan(ctx.canonical, ctx);
+  const ViewV& view = embedded_scan(ctx.canonical, ctx);
   as_->leave();
 
-  // Extract the requested components, in the caller's order, by binary
-  // search (the paper's small-register remark after Theorem 1).  The
-  // correctness argument guarantees every announced index is present.
-  out.reserve(indices.size());
-  for (std::uint32_t i : indices) {
-    const ViewEntry* e = view_find(view, i);
-    PSNAP_ASSERT_MSG(e != nullptr,
-                     "borrowed view is missing an announced component");
-    out.push_back(e->value);
+  extract(view);
+}
+
+template <class Policy, class Value>
+void RegisterPartialSnapshotT<Policy, Value>::scan(
+    std::span<const std::uint32_t> indices, std::vector<std::uint64_t>& out,
+    ScanContext& ctx) {
+  out.clear();
+  if (indices.empty()) return;
+  do_scan(indices, ctx, [&](const ViewV& view) {
+    // Extract the requested components, in the caller's order, by binary
+    // search (the paper's small-register remark after Theorem 1).  The
+    // correctness argument guarantees every announced index is present.
+    out.reserve(indices.size());
+    for (std::uint32_t i : indices) {
+      const ViewEntryT<ValueType>* e = view_find(view, i);
+      PSNAP_ASSERT_MSG(e != nullptr,
+                       "borrowed view is missing an announced component");
+      out.push_back(Value::decode(e->value));
+    }
+  });
+}
+
+template <class Policy, class Value>
+void RegisterPartialSnapshotT<Policy, Value>::scan_blobs(
+    std::span<const std::uint32_t> indices, std::vector<value::Blob>& out,
+    ScanContext& ctx) {
+  if constexpr (Value::kIndirect) {
+    if (indices.empty()) {
+      out.clear();
+      return;
+    }
+    // resize, not clear: surviving elements keep their byte capacity, so a
+    // shape-stable caller's result buffers stop allocating after warm-up.
+    out.resize(indices.size());
+    do_scan(indices, ctx, [&](const ViewV& view) {
+      for (std::size_t k = 0; k < indices.size(); ++k) {
+        const ViewEntryT<ValueType>* e = view_find(view, indices[k]);
+        PSNAP_ASSERT_MSG(e != nullptr,
+                         "borrowed view is missing an announced component");
+        Value::copy(e->value, out[k]);
+      }
+    });
+  } else {
+    PartialSnapshot::scan_blobs(indices, out, ctx);
   }
 }
 
-template class RegisterPartialSnapshotT<primitives::Instrumented>;
-template class RegisterPartialSnapshotT<primitives::Release>;
+template class RegisterPartialSnapshotT<primitives::Instrumented,
+                                        value::DirectU64>;
+template class RegisterPartialSnapshotT<primitives::Release,
+                                        value::DirectU64>;
+template class RegisterPartialSnapshotT<primitives::Instrumented,
+                                        value::IndirectBlob>;
+template class RegisterPartialSnapshotT<primitives::Release,
+                                        value::IndirectBlob>;
 
 }  // namespace psnap::core

@@ -30,8 +30,17 @@
 // collects with acquire loads -- the memory-order downgrade arguments are
 // at the use sites in register_psnap.cpp and tabulated in README.md.
 //
+// Value plane (see primitives/value_plane.h): the second template
+// parameter picks the payload representation.  DirectU64 is the paper's
+// word component, bit-identical to the historical code; IndirectBlob
+// embeds a variable-size byte payload in the record, riding the same
+// publication, helping, pooling, and crash-unwind machinery -- the
+// algorithm synchronizes on record identity, never on payload shape, so
+// nothing in the protocol changes and step counts are plane-invariant.
+//
 // Steady-state updates and scans are allocation-free: Records and
-// announcement IndexSets recycle through reclaim::Pool free lists.
+// announcement IndexSets recycle through reclaim::Pool free lists (on the
+// blob plane the payload buffers keep their capacity across record lives).
 //
 // Dynamic runtime: components live in grow-only segmented storage, so
 // add_components() extends the vector at runtime (never invalidating a
@@ -52,14 +61,20 @@
 #include "core/scan_context.h"
 #include "exec/pid_bound.h"
 #include "primitives/primitives.h"
+#include "primitives/value_plane.h"
 #include "reclaim/ebr.h"
 #include "reclaim/pool.h"
 
 namespace psnap::core {
 
-template <class Policy = primitives::Instrumented>
+template <class Policy = primitives::Instrumented,
+          class Value = value::DirectU64>
 class RegisterPartialSnapshotT final : public PartialSnapshot {
  public:
+  using ValueType = typename Value::ValueType;
+  using Rec = RecordT<ValueType>;
+  using ViewV = ViewT<ValueType>;
+
   // active_set defaults to the register-only implementation in the same
   // runtime policy (the paper's Figure 1 uses a register-based active
   // set); injectable so benches can pair Figure 1 with the Figure 2 active
@@ -78,7 +93,12 @@ class RegisterPartialSnapshotT final : public PartialSnapshot {
 
   std::uint32_t num_components() const override { return size_.load(); }
   std::string_view name() const override {
-    return Policy::kCountsSteps ? "fig1-register" : "fig1-register-fast";
+    if constexpr (Value::kIndirect) {
+      return Policy::kCountsSteps ? "fig1-register-blob"
+                                  : "fig1-register-blob-fast";
+    } else {
+      return Policy::kCountsSteps ? "fig1-register" : "fig1-register-fast";
+    }
   }
   bool is_wait_free() const override { return true; }
   // Scans are contention-local but the helping machinery makes update cost
@@ -86,26 +106,43 @@ class RegisterPartialSnapshotT final : public PartialSnapshot {
   // m either.  (The active-set term of the default register active set is
   // O(n); see DESIGN.md substitutions.)
   bool is_local() const override { return true; }
+  std::string_view value_plane() const override { return Value::kName; }
 
   std::uint32_t add_components(std::uint32_t count) override;
   void update(std::uint32_t i, std::uint64_t v) override;
   void scan(std::span<const std::uint32_t> indices,
             std::vector<std::uint64_t>& out, ScanContext& ctx) override;
+  void update_blob(std::uint32_t i,
+                   std::span<const std::byte> bytes) override;
+  void scan_blobs(std::span<const std::uint32_t> indices,
+                  std::vector<value::Blob>& out, ScanContext& ctx) override;
   using PartialSnapshot::scan;
+  using PartialSnapshot::scan_blobs;
 
   activeset::ActiveSet& active_set() { return *as_; }
 
   // Pool observability for the allocation tests.
-  const reclaim::Pool<Record>& record_pool() const { return record_pool_; }
+  const reclaim::Pool<Rec>& record_pool() const { return record_pool_; }
 
  private:
   // Runs the embedded partial scan over `args` (sorted unique), filling
-  // ctx.view with a sorted view covering at least `args`... for condition
-  // (1) exactly `args`; for condition (2) whatever the borrowed view
-  // covers (a superset of every set announced by scanners that joined
-  // before this embedded scan began -- which is what scan() relies on).
-  const View& embedded_scan(std::span<const std::uint32_t> args,
-                            ScanContext& ctx);
+  // the context's plane view with a sorted view covering at least
+  // `args`... for condition (1) exactly `args`; for condition (2) whatever
+  // the borrowed view covers (a superset of every set announced by
+  // scanners that joined before this embedded scan began -- which is what
+  // scan() relies on).
+  const ViewV& embedded_scan(std::span<const std::uint32_t> args,
+                             ScanContext& ctx);
+
+  // The one update body; `fill` writes the new payload into the record
+  // (u64 encoding or blob bytes).
+  template <class Fill>
+  void do_update(std::uint32_t i, Fill&& fill);
+  // The one scan body; `extract` pulls the caller's components out of the
+  // final view (u64 decoding or blob copies).
+  template <class Extract>
+  void do_scan(std::span<const std::uint32_t> indices, ScanContext& ctx,
+               Extract&& extract);
 
   // Published component count (monotone; see core/growth.h).
   GrowableSize size_;
@@ -116,7 +153,7 @@ class RegisterPartialSnapshotT final : public PartialSnapshot {
   exec::PidBound bound_;
   std::uint64_t initial_value_;
   // Pools before ebr_: ~EbrDomain flushes retired nodes into them.
-  reclaim::Pool<Record> record_pool_;
+  reclaim::Pool<Rec> record_pool_;
   reclaim::Pool<IndexSet> announce_pool_;
   // CachelinePadded: a Register is 16 bytes; without padding four
   // components (or four processes' announcement slots) would share a line
@@ -124,7 +161,7 @@ class RegisterPartialSnapshotT final : public PartialSnapshot {
   // treatment.  Segmented (grow-only) storage: slot addresses are stable
   // forever, so concurrent readers survive growth.
   ComponentStorage<
-      CachelinePadded<primitives::Register<const Record*, Policy>>>
+      CachelinePadded<primitives::Register<const Rec*, Policy>>>
       r_;
   PerPidStorage<
       CachelinePadded<primitives::Register<const IndexSet*, Policy>>>
@@ -142,5 +179,9 @@ using RegisterPartialSnapshot =
     RegisterPartialSnapshotT<primitives::Instrumented>;
 using RegisterPartialSnapshotFast =
     RegisterPartialSnapshotT<primitives::Release>;
+using RegisterPartialSnapshotBlob =
+    RegisterPartialSnapshotT<primitives::Instrumented, value::IndirectBlob>;
+using RegisterPartialSnapshotBlobFast =
+    RegisterPartialSnapshotT<primitives::Release, value::IndirectBlob>;
 
 }  // namespace psnap::core

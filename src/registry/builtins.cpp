@@ -2,7 +2,17 @@
 //
 // Adding an implementation (or a canned ablation) is ONE add() call here;
 // every registry-driven test, bench, and example picks it up automatically.
+//
+// Value planes: every snapshot entry accepts the universal value=u64|blob
+// option (primitives/value_plane.h; validated centrally in
+// SnapshotRegistry::make against the entry's `values` list).  The three
+// core algorithms additionally register canned *_blob entries -- first-
+// class, sim_safe catalogue rows -- so the DFS/random linearizability,
+// validity, crash, growth, churn, and allocation suites enumerate the
+// indirect plane automatically, with zero per-suite wiring.
 #include <algorithm>
+#include <memory>
+#include <string>
 
 #include "activeset/bitmap_active_set.h"
 #include "activeset/faicas_active_set.h"
@@ -40,6 +50,100 @@ activeset::FaiCasActiveSet::Options faicas_options(const Options& options,
   return out;
 }
 
+// The entry's value plane.  `def` is the entry's default (the first plane
+// in its SnapshotInfo::values list); SnapshotRegistry::make has already
+// rejected planes the entry does not list.
+bool blob_plane(const Options& options, std::string_view def) {
+  return options.get_string("value", def) == "blob";
+}
+
+// Resolves the fig1 nested active-set spec ("as=name;k=v...") and the
+// adaptive= forwarding, shared by the direct and blob planes.
+std::unique_ptr<activeset::ActiveSet> fig1_active_set(const Options& options,
+                                                     std::uint32_t n) {
+  // Nested active-set options use ';' so they survive the outer comma
+  // split: "fig1_register:as=faicas;coalesce=false".  The first ';' plays
+  // the nested spec's ':' (name/options separator), the rest its commas.
+  std::string as_spec = options.get_string("as", "");
+  if (std::size_t semi = as_spec.find(';'); semi != std::string::npos) {
+    as_spec[semi] = ':';
+    std::replace(as_spec.begin() + semi, as_spec.end(), ';', ',');
+  }
+  if (as_spec.empty()) return nullptr;
+  // The outer adaptive= choice reaches the injected active set too (its
+  // collect is the dominant per-pid walk the option A/Bs); an explicit
+  // nested adaptive= wins.  The nested check matches the exact option KEY
+  // at an option boundary, so future options merely containing the word
+  // stay inert.
+  auto nested_sets_adaptive = [&as_spec] {
+    std::size_t colon = as_spec.find(':');
+    std::size_t pos = colon == std::string::npos ? as_spec.size() : colon + 1;
+    while (pos < as_spec.size()) {
+      std::size_t comma = as_spec.find(',', pos);
+      std::size_t end = comma == std::string::npos ? as_spec.size() : comma;
+      std::string_view item(as_spec.data() + pos, end - pos);
+      if (item.substr(0, item.find('=')) == "adaptive") {
+        return true;
+      }
+      pos = comma == std::string::npos ? as_spec.size() : comma + 1;
+    }
+    return false;
+  };
+  std::string adaptive = options.get_string("adaptive", "");
+  if (!adaptive.empty() && !nested_sets_adaptive()) {
+    as_spec += as_spec.find(':') == std::string::npos ? ':' : ',';
+    as_spec += "adaptive=" + adaptive;
+  }
+  return make_active_set(as_spec, n);
+}
+
+// Plane-dispatching constructors shared by the base entries (default
+// plane u64) and the canned *_blob entries (default plane blob).
+std::unique_ptr<core::PartialSnapshot> make_fig1(std::uint32_t m,
+                                                 std::uint32_t n,
+                                                 const Options& options,
+                                                 std::string_view def) {
+  auto as = fig1_active_set(options, n);
+  std::uint64_t initial = options.get_uint("initial", 0);
+  exec::PidBound bound = pid_bound(options, n);
+  if (blob_plane(options, def)) {
+    return std::make_unique<core::RegisterPartialSnapshotBlob>(
+        m, n, std::move(as), initial, bound);
+  }
+  return std::make_unique<core::RegisterPartialSnapshot>(m, n, std::move(as),
+                                                         initial, bound);
+}
+
+std::unique_ptr<core::PartialSnapshot> make_fig3(std::uint32_t m,
+                                                 std::uint32_t n,
+                                                 const Options& options,
+                                                 std::string_view def,
+                                                 bool use_cas) {
+  core::CasPartialSnapshot::Options impl;
+  impl.use_cas = use_cas;
+  impl.active_set = faicas_options(options, n);
+  impl.bound = impl.active_set.bound;
+  std::uint64_t initial = options.get_uint("initial", 0);
+  if (blob_plane(options, def)) {
+    return std::make_unique<core::CasPartialSnapshotBlob>(m, n, impl,
+                                                          initial);
+  }
+  return std::make_unique<core::CasPartialSnapshot>(m, n, impl, initial);
+}
+
+std::unique_ptr<core::PartialSnapshot> make_full(std::uint32_t m,
+                                                 std::uint32_t n,
+                                                 const Options& options,
+                                                 std::string_view def) {
+  std::uint64_t initial = options.get_uint("initial", 0);
+  exec::PidBound bound = pid_bound(options, n);
+  if (blob_plane(options, def)) {
+    return std::make_unique<baseline::FullSnapshotBlob>(m, n, initial,
+                                                        bound);
+  }
+  return std::make_unique<baseline::FullSnapshot>(m, n, initial, bound);
+}
+
 }  // namespace
 
 void register_builtin_snapshots(SnapshotRegistry& registry) {
@@ -52,53 +156,10 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .is_local = true,
       .counts_steps = true,
       .sim_safe = true,
+      .values = "u64,blob",
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
-            // Nested active-set options use ';' so they survive the outer
-            // comma split: "fig1_register:as=faicas;coalesce=false".  The
-            // first ';' plays the nested spec's ':' (name/options
-            // separator), the rest its commas.
-            std::string as_spec = options.get_string("as", "");
-            if (std::size_t semi = as_spec.find(';');
-                semi != std::string::npos) {
-              as_spec[semi] = ':';
-              std::replace(as_spec.begin() + semi, as_spec.end(), ';', ',');
-            }
-            std::unique_ptr<activeset::ActiveSet> as;
-            if (!as_spec.empty()) {
-              // The outer adaptive= choice reaches the injected active set
-              // too (its collect is the dominant per-pid walk the option
-              // A/Bs); an explicit nested adaptive= wins.  The nested
-              // check matches the exact option KEY at an option boundary,
-              // so future options merely containing the word stay inert.
-              auto nested_sets_adaptive = [&as_spec] {
-                std::size_t colon = as_spec.find(':');
-                std::size_t pos =
-                    colon == std::string::npos ? as_spec.size() : colon + 1;
-                while (pos < as_spec.size()) {
-                  std::size_t comma = as_spec.find(',', pos);
-                  std::size_t end =
-                      comma == std::string::npos ? as_spec.size() : comma;
-                  std::string_view item(as_spec.data() + pos, end - pos);
-                  if (item.substr(0, item.find('=')) == "adaptive") {
-                    return true;
-                  }
-                  pos = comma == std::string::npos ? as_spec.size()
-                                                   : comma + 1;
-                }
-                return false;
-              };
-              std::string adaptive = options.get_string("adaptive", "");
-              if (!adaptive.empty() && !nested_sets_adaptive()) {
-                as_spec +=
-                    as_spec.find(':') == std::string::npos ? ':' : ',';
-                as_spec += "adaptive=" + adaptive;
-              }
-              as = make_active_set(as_spec, n);
-            }
-            return std::make_unique<core::RegisterPartialSnapshot>(
-                m, n, std::move(as), options.get_uint("initial", 0),
-                pid_bound(options, n));
+            return make_fig1(m, n, options, "u64");
           },
   });
   registry.add(SnapshotInfo{
@@ -111,11 +172,34 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .is_local = true,
       .counts_steps = false,
       .sim_safe = false,
+      .values = "u64,blob",
+      .make =
+          [](std::uint32_t m, std::uint32_t n,
+             const Options& options) -> std::unique_ptr<core::PartialSnapshot> {
+            std::uint64_t initial = options.get_uint("initial", 0);
+            exec::PidBound bound = pid_bound(options, n);
+            if (blob_plane(options, "u64")) {
+              return std::make_unique<core::RegisterPartialSnapshotBlobFast>(
+                  m, n, nullptr, initial, bound);
+            }
+            return std::make_unique<core::RegisterPartialSnapshotFast>(
+                m, n, nullptr, initial, bound);
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "fig1_register_blob",
+      .description = "Figure 1 on the indirect value plane: byte payloads "
+                     "embedded in the pooled records (sim-covered twin of "
+                     "fig1_register:value=blob)",
+      .options_help = "as=<name[;k=v...]>,initial=<u64>,adaptive=<bool>",
+      .is_wait_free = true,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .values = "blob",
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
-            return std::make_unique<core::RegisterPartialSnapshotFast>(
-                m, n, nullptr, options.get_uint("initial", 0),
-                pid_bound(options, n));
+            return make_fig1(m, n, options, "blob");
           },
   });
   registry.add(SnapshotInfo{
@@ -129,14 +213,11 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .is_local = true,
       .counts_steps = true,
       .sim_safe = true,
+      .values = "u64,blob",
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
-            core::CasPartialSnapshot::Options impl;
-            impl.use_cas = options.get_bool("cas", true);
-            impl.active_set = faicas_options(options, n);
-            impl.bound = impl.active_set.bound;
-            return std::make_unique<core::CasPartialSnapshot>(
-                m, n, impl, options.get_uint("initial", 0));
+            return make_fig3(m, n, options, "u64",
+                             options.get_bool("cas", true));
           },
   });
   registry.add(SnapshotInfo{
@@ -151,13 +232,38 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .is_local = true,
       .counts_steps = false,
       .sim_safe = false,
+      .values = "u64,blob",
       .make =
-          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+          [](std::uint32_t m, std::uint32_t n,
+             const Options& options) -> std::unique_ptr<core::PartialSnapshot> {
             core::CasPartialSnapshotFast::Options impl;
             impl.active_set = faicas_options(options, n);
             impl.bound = impl.active_set.bound;
-            return std::make_unique<core::CasPartialSnapshotFast>(
-                m, n, impl, options.get_uint("initial", 0));
+            std::uint64_t initial = options.get_uint("initial", 0);
+            if (blob_plane(options, "u64")) {
+              return std::make_unique<core::CasPartialSnapshotBlobFast>(
+                  m, n, impl, initial);
+            }
+            return std::make_unique<core::CasPartialSnapshotFast>(m, n, impl,
+                                                                  initial);
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "fig3_cas_blob",
+      .description = "Figure 3 on the indirect value plane: byte payloads "
+                     "embedded in the CAS'd records (sim-covered twin of "
+                     "fig3_cas:value=blob)",
+      .options_help =
+          "coalesce=<bool>,publish=<bool>,max_joins=<u64>,initial=<u64>,"
+          "adaptive=<bool>",
+      .is_wait_free = true,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .values = "blob",
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            return make_fig3(m, n, options, "blob", /*use_cas=*/true);
           },
   });
   registry.add(SnapshotInfo{
@@ -169,14 +275,24 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .is_local = true,
       .counts_steps = true,
       .sim_safe = true,
+      .values = "u64,blob",
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            // No faicas options exposed here historically; keep the bound
+            // wiring identical to before.
             core::CasPartialSnapshot::Options impl;
             impl.use_cas = false;
             impl.bound = pid_bound(options, n);
             impl.active_set.bound = impl.bound;
-            return std::make_unique<core::CasPartialSnapshot>(
-                m, n, impl, options.get_uint("initial", 0));
+            std::uint64_t initial = options.get_uint("initial", 0);
+            if (blob_plane(options, "u64")) {
+              return std::unique_ptr<core::PartialSnapshot>(
+                  std::make_unique<core::CasPartialSnapshotBlob>(m, n, impl,
+                                                                 initial));
+            }
+            return std::unique_ptr<core::PartialSnapshot>(
+                std::make_unique<core::CasPartialSnapshot>(m, n, impl,
+                                                           initial));
           },
   });
   registry.add(SnapshotInfo{
@@ -188,10 +304,26 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .is_local = false,
       .counts_steps = true,
       .sim_safe = true,
+      .values = "u64,blob",
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
-            return std::make_unique<baseline::FullSnapshot>(
-                m, n, options.get_uint("initial", 0), pid_bound(options, n));
+            return make_full(m, n, options, "u64");
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "full_snapshot_blob",
+      .description = "the complete-scan baseline on the indirect value "
+                     "plane: every full view carries m byte payloads "
+                     "(sim-covered twin of full_snapshot:value=blob)",
+      .options_help = "initial=<u64>,adaptive=<bool>",
+      .is_wait_free = true,
+      .is_local = false,
+      .counts_steps = true,
+      .sim_safe = true,
+      .values = "blob",
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            return make_full(m, n, options, "blob");
           },
   });
   registry.add(SnapshotInfo{
@@ -203,11 +335,18 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .is_local = true,
       .counts_steps = true,
       .sim_safe = true,
+      .values = "u64,blob",
       .make =
-          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+          [](std::uint32_t m, std::uint32_t n,
+             const Options& options) -> std::unique_ptr<core::PartialSnapshot> {
+            std::uint64_t cap = options.get_uint("cap", 0);
+            std::uint64_t initial = options.get_uint("initial", 0);
+            if (blob_plane(options, "u64")) {
+              return std::make_unique<baseline::DoubleCollectSnapshotBlob>(
+                  m, n, cap, initial);
+            }
             return std::make_unique<baseline::DoubleCollectSnapshot>(
-                m, n, options.get_uint("cap", 0),
-                options.get_uint("initial", 0));
+                m, n, cap, initial);
           },
   });
   registry.add(SnapshotInfo{
@@ -219,10 +358,15 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .is_local = true,
       .counts_steps = false,
       .sim_safe = false,
+      .values = "u64,blob",
       .make =
-          [](std::uint32_t m, std::uint32_t /*n*/, const Options& options) {
-            return std::make_unique<baseline::LockSnapshot>(
-                m, options.get_uint("initial", 0));
+          [](std::uint32_t m, std::uint32_t /*n*/,
+             const Options& options) -> std::unique_ptr<core::PartialSnapshot> {
+            std::uint64_t initial = options.get_uint("initial", 0);
+            if (blob_plane(options, "u64")) {
+              return std::make_unique<baseline::LockSnapshotBlob>(m, initial);
+            }
+            return std::make_unique<baseline::LockSnapshot>(m, initial);
           },
   });
   registry.add(SnapshotInfo{
@@ -234,11 +378,18 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .is_local = true,
       .counts_steps = true,
       .sim_safe = false,
+      .values = "u64,blob",
       .make =
-          [](std::uint32_t m, std::uint32_t /*n*/, const Options& options) {
-            return std::make_unique<baseline::SeqlockSnapshot>(
-                m, options.get_uint("cap", 0),
-                options.get_uint("initial", 0));
+          [](std::uint32_t m, std::uint32_t /*n*/,
+             const Options& options) -> std::unique_ptr<core::PartialSnapshot> {
+            std::uint64_t cap = options.get_uint("cap", 0);
+            std::uint64_t initial = options.get_uint("initial", 0);
+            if (blob_plane(options, "u64")) {
+              return std::make_unique<baseline::SeqlockSnapshotBlob>(m, cap,
+                                                                     initial);
+            }
+            return std::make_unique<baseline::SeqlockSnapshot>(m, cap,
+                                                               initial);
           },
   });
 }

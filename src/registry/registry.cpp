@@ -230,6 +230,17 @@ std::unique_ptr<core::PartialSnapshot> SnapshotRegistry::make(
   // reshape the object's initial component count and thread bound.
   initial_m = get_u32_option(options, "m0", initial_m);
   max_threads = get_u32_option(options, "max_threads", max_threads);
+  // The value plane is validated centrally against the entry's supported
+  // list, so an unsupported combo fails with the catalogue (which names
+  // every entry's planes) instead of deep inside a factory.
+  std::string plane = options.get_string(
+      "value", default_value_plane(info->values));
+  if (!value_plane_supported(info->values, plane)) {
+    throw std::invalid_argument(
+        "snapshot implementation '" + info->name +
+        "' does not support value=" + plane + " (supported: " +
+        info->values + ")\nknown implementations:\n" + snapshot_catalogue());
+  }
   auto snapshot = info->make(initial_m, max_threads, options);
   options.check_consumed();
   return snapshot;
@@ -303,6 +314,21 @@ std::unique_ptr<activeset::ActiveSet> make_active_set(
   return ActiveSetRegistry::instance().make(spec, max_threads);
 }
 
+bool value_plane_supported(std::string_view values, std::string_view plane) {
+  std::size_t pos = 0;
+  while (pos <= values.size()) {
+    std::size_t comma = values.find(',', pos);
+    if (comma == std::string_view::npos) comma = values.size();
+    if (values.substr(pos, comma - pos) == plane) return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+std::string_view default_value_plane(std::string_view values) {
+  return values.substr(0, values.find(','));
+}
+
 std::string closest_snapshot_name(std::string_view name) {
   return closest_name(name, SnapshotRegistry::instance().all());
 }
@@ -318,9 +344,10 @@ std::string snapshot_catalogue() {
     if (!info->options_help.empty()) {
       out << " [" << info->options_help << "]";
     }
-    out << "\n";
+    out << " {value=" << info->values << "}\n";
   }
-  out << "  (every spec also accepts m0=<u32> and max_threads=<u32>)\n";
+  out << "  (every spec also accepts m0=<u32>, max_threads=<u32> and "
+         "value=<plane> from the listed {value=...} set)\n";
   return out.str();
 }
 

@@ -106,6 +106,12 @@ struct SnapshotInfo {
   // and for the seqlock, whose reader spin loop never performs a
   // scheduling step while waiting out a writer).
   bool sim_safe = true;
+  // Comma-separated value planes this entry accepts for the universal
+  // value=<plane> option (primitives/value_plane.h); the FIRST is the
+  // default plane.  make() validates the option against this list before
+  // calling the factory, so an unsupported combo fails with the full
+  // catalogue rather than inside the factory.
+  std::string values = "u64";
 
   SnapshotFactory make;
 };
@@ -126,11 +132,14 @@ class SnapshotRegistry {
 
   // Builds from a spec "name" or "name:key=value,...".  Every
   // implementation accepts the universal options m0=<u32> (initial
-  // component count) and max_threads=<u32>, which override the caller's
-  // initial_m / max_threads arguments -- so a CLI spec can reshape the
-  // object without the binary growing flags.  Throws std::invalid_argument
-  // for unknown names (with a "did you mean" suggestion and the full
-  // catalogue) or unknown options.
+  // component count), max_threads=<u32> -- which override the caller's
+  // initial_m / max_threads arguments, so a CLI spec can reshape the
+  // object without the binary growing flags -- and value=<plane>,
+  // validated against the entry's supported plane list.  Throws
+  // std::invalid_argument for unknown names (with a "did you mean"
+  // suggestion and the full catalogue), unknown options, or an
+  // unsupported value plane (again with the full catalogue, which lists
+  // each entry's planes).
   std::unique_ptr<core::PartialSnapshot> make(std::string_view spec,
                                               std::uint32_t initial_m,
                                               std::uint32_t max_threads)
@@ -188,6 +197,11 @@ std::unique_ptr<core::PartialSnapshot> make_snapshot(
 
 std::unique_ptr<activeset::ActiveSet> make_active_set(
     std::string_view spec, std::uint32_t max_threads);
+
+// Value-plane list helpers (SnapshotInfo::values is a comma-separated
+// plane list whose first entry is the default).
+bool value_plane_supported(std::string_view values, std::string_view plane);
+std::string_view default_value_plane(std::string_view values);
 
 // Closest registered name by edit distance (for "did you mean"
 // diagnostics); empty when nothing is plausibly close.

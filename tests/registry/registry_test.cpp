@@ -13,6 +13,7 @@
 #include "core/partial_snapshot.h"
 #include "core/register_psnap.h"
 #include "exec/exec.h"
+#include "primitives/value_plane.h"
 #include "tests/support/registry_params.h"
 
 namespace psnap::registry {
@@ -26,10 +27,11 @@ TEST(SnapshotRegistry, CataloguesTheExpectedBuiltins) {
   auto& registry = SnapshotRegistry::instance();
   for (const char* name :
        {"fig1_register", "fig3_cas", "fig3_write_ablation", "full_snapshot",
-        "double_collect", "lock", "seqlock"}) {
+        "double_collect", "lock", "seqlock", "fig1_register_blob",
+        "fig3_cas_blob", "full_snapshot_blob"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
-  EXPECT_GE(registry.all().size(), 7u);
+  EXPECT_GE(registry.all().size(), 10u);
   EXPECT_EQ(registry.find("no_such_impl"), nullptr);
 }
 
@@ -227,6 +229,115 @@ TEST(SnapshotRegistry, SpecOptionsReachTheImplementation) {
   {
     auto as = make_active_set("faicas:coalesce=false", 2);
     EXPECT_NE(dynamic_cast<activeset::FaiCasActiveSet*>(as.get()), nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Value planes.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotRegistry, ValuePlaneOptionSelectsThePlaneOnEveryBuiltin) {
+  exec::ScopedPid pid(0);
+  struct Payload {
+    std::uint32_t id;
+    double reading;
+  };
+  for (const char* spec :
+       {"fig1_register:value=blob", "fig3_cas:value=blob",
+        "full_snapshot:value=blob", "double_collect:value=blob",
+        "lock:value=blob", "seqlock:value=blob",
+        "fig1_register_fast:value=blob", "fig3_cas_fast:value=blob",
+        "fig3_write_ablation:value=blob", "fig1_register_blob",
+        "fig3_cas_blob", "full_snapshot_blob"}) {
+    auto snap = make_snapshot(spec, 4, 2);
+    EXPECT_EQ(snap->value_plane(), "blob") << spec;
+    // The logical-u64 interface round-trips through 8-byte payloads, so
+    // u64-driven harnesses cover this plane unchanged.
+    snap->update(1, 77);
+    EXPECT_EQ(snap->scan({1, 0}), (std::vector<std::uint64_t>{77, 0}))
+        << spec;
+    // Arbitrary struct payloads round-trip through the blob interface.
+    Payload in{9, 2.5};
+    snap->update_blob(2, value::as_bytes_of(in));
+    std::vector<value::Blob> blobs;
+    const std::vector<std::uint32_t> idx{2, 1};
+    snap->scan_blobs(idx, blobs);
+    ASSERT_EQ(blobs.size(), 2u) << spec;
+    Payload out{};
+    ASSERT_TRUE(value::from_bytes(blobs[0], out)) << spec;
+    EXPECT_EQ(out.id, 9u) << spec;
+    EXPECT_EQ(out.reading, 2.5) << spec;
+    // The u64 update at index 1 reads back as its 8-byte encoding.
+    EXPECT_EQ(value::IndirectBlob::decode(blobs[1]), 77u) << spec;
+  }
+}
+
+TEST(SnapshotRegistry, U64PlaneRejectsBlobOperations) {
+  exec::ScopedPid pid(0);
+  auto snap = make_snapshot("fig3_cas", 4, 2);
+  EXPECT_EQ(snap->value_plane(), "u64");
+  EXPECT_THROW(snap->update_blob(0, {}), std::logic_error);
+  std::vector<value::Blob> blobs;
+  const std::vector<std::uint32_t> idx{0};
+  EXPECT_THROW(snap->scan_blobs(idx, blobs), std::logic_error);
+}
+
+TEST(SnapshotRegistry, UnsupportedValuePlaneFailsWithTheFullCatalogue) {
+  // A plane the entry does not list fails loudly, naming the supported
+  // set and printing the catalogue (which itself lists every entry's
+  // {value=...} options).
+  try {
+    make_snapshot("fig3_cas:value=qword", 4, 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("does not support value=qword"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("supported: u64,blob"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("known implementations"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("{value=u64,blob}"), std::string::npos)
+        << message;
+  }
+  // The canned blob twins accept ONLY the blob plane.
+  try {
+    make_snapshot("fig1_register_blob:value=u64", 4, 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("does not support value=u64"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("supported: blob"), std::string::npos) << message;
+  }
+}
+
+TEST(SnapshotRegistry, CatalogueListsPerImplementationValuePlanes) {
+  std::string catalogue = snapshot_catalogue();
+  // Every entry advertises its plane set...
+  for (const SnapshotInfo* info : SnapshotRegistry::instance().all()) {
+    EXPECT_NE(catalogue.find(info->name), std::string::npos) << info->name;
+    EXPECT_NE(catalogue.find("{value=" + info->values + "}"),
+              std::string::npos)
+        << info->name << " planes missing from catalogue";
+  }
+  // ...and the trailer documents the universal option.
+  EXPECT_NE(catalogue.find("value=<plane>"), std::string::npos);
+}
+
+TEST(SnapshotRegistry, DefaultPlaneIsTheFirstListed) {
+  EXPECT_TRUE(value_plane_supported("u64,blob", "u64"));
+  EXPECT_TRUE(value_plane_supported("u64,blob", "blob"));
+  EXPECT_FALSE(value_plane_supported("u64,blob", "qword"));
+  EXPECT_FALSE(value_plane_supported("u64", "blob"));
+  EXPECT_EQ(default_value_plane("u64,blob"), "u64");
+  EXPECT_EQ(default_value_plane("blob"), "blob");
+  // Capability field vs instance, for every entry.
+  for (const SnapshotInfo* info : SnapshotRegistry::instance().all()) {
+    auto snap = test::make_snapshot(*info, 4, 2);
+    EXPECT_EQ(snap->value_plane(), default_value_plane(info->values))
+        << info->name;
   }
 }
 
