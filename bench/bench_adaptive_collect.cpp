@@ -110,10 +110,6 @@ std::vector<double> measure_population(
   return medians;
 }
 
-double median(std::vector<double> samples) {
-  return percentile(std::move(samples), 50.0);
-}
-
 // ns per getSet over `iters` calls.
 double time_getsets(activeset::ActiveSet& as, int iters) {
   std::vector<std::uint32_t> out;
@@ -174,12 +170,13 @@ void table_getset(int reps, int iters, bench::JsonReport& report) {
   for (const AsVariant& variant : getset_variants()) {
     std::vector<std::string> row{variant.label};
     for (std::uint32_t live : kLiveSweep) {
-      double ns = median(measure_population(live, /*churners=*/0, reps,
-                                            iters, variant.make,
-                                            time_getsets));
-      row.push_back(TablePrinter::fmt(ns, 1) + "ns");
-      report.add("ADPg/" + variant.label + "/live=" + std::to_string(live),
-                 ns, "ns/op");
+      Percentiles pct = summarize_percentiles(measure_population(
+          live, /*churners=*/0, reps, iters, variant.make, time_getsets));
+      row.push_back(TablePrinter::fmt(pct.p50, 1) + "ns");
+      const std::string name =
+          "ADPg/" + variant.label + "/live=" + std::to_string(live);
+      report.add(name, pct.p50, "ns/op");
+      report.add_percentiles(name, pct);
     }
     table.add_row(std::move(row));
   }
@@ -196,11 +193,12 @@ void table_churn(int reps, int iters, bench::JsonReport& report) {
   TablePrinter table({"impl", "churners=8 getSet"});
   for (const AsVariant& variant : getset_variants()) {
     if (!variant.supports_free_churn) continue;
-    double ns = median(measure_population(/*live=*/1, kChurners, reps,
-                                          iters, variant.make,
-                                          time_getsets));
-    table.add_row({variant.label, TablePrinter::fmt(ns, 1) + "ns"});
-    report.add("ADPc/" + variant.label + "/churners=8", ns, "ns/op");
+    Percentiles pct = summarize_percentiles(measure_population(
+        /*live=*/1, kChurners, reps, iters, variant.make, time_getsets));
+    table.add_row({variant.label, TablePrinter::fmt(pct.p50, 1) + "ns"});
+    const std::string name = "ADPc/" + variant.label + "/churners=8";
+    report.add(name, pct.p50, "ns/op");
+    report.add_percentiles(name, pct);
   }
   table.print(std::cout,
               "ADPc: getSet latency under pid churn (8 threads "
@@ -269,7 +267,7 @@ void table_scan(int reps, int iters, bench::JsonReport& report) {
         });
       }
 
-      double ns = 0;
+      Percentiles pct;
       {
         exec::ThreadHandle pid(registry);
         while (ready.load() + 1 < live) std::this_thread::yield();
@@ -283,14 +281,16 @@ void table_scan(int reps, int iters, bench::JsonReport& report) {
             samples.push_back(timer.elapsed_seconds() / iters * 1e9);
           }
         }
-        ns = median(std::move(samples));
+        pct = summarize_percentiles(std::move(samples));
         done.store(true, std::memory_order_release);
       }
       for (auto& t : parked) t.join();
 
-      row.push_back(TablePrinter::fmt(ns, 1) + "ns");
-      report.add("ADPs/" + variant.label + "/live=" + std::to_string(live),
-                 ns, "ns/op");
+      row.push_back(TablePrinter::fmt(pct.p50, 1) + "ns");
+      const std::string name =
+          "ADPs/" + variant.label + "/live=" + std::to_string(live);
+      report.add(name, pct.p50, "ns/op");
+      report.add_percentiles(name, pct);
     }
     table.add_row(std::move(row));
   }

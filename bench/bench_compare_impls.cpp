@@ -78,13 +78,21 @@ std::vector<std::string> impl_specs(const std::string& impls_flag) {
   return specs;
 }
 
-// Mixed workload throughput: each worker runs an OpStream for a fixed
-// duration.
-double mixed_throughput(const std::string& spec, std::uint32_t m,
-                        std::uint32_t r, std::uint32_t workers,
-                        double update_fraction, double seconds) {
+// Mixed workload: each worker runs an OpStream for a fixed duration.
+// Scans are individually timed into a bounded LatencySampler so the tables
+// report tail latency next to throughput (the averages hide exactly the
+// reader-starvation effects the versioned plane exists to remove).
+struct MixedResult {
+  double ops_per_second = 0;
+  Percentiles scan_ns;
+};
+
+MixedResult mixed_throughput(const std::string& spec, std::uint32_t m,
+                             std::uint32_t r, std::uint32_t workers,
+                             double update_fraction, double seconds) {
   auto snap = registry::make_snapshot(spec, m, workers);
   std::atomic<std::uint64_t> total_ops{0};
+  std::vector<bench::LatencySampler> samplers(workers);
   bench::run_workers(workers, [&](std::uint32_t w, bench::WorkerStats&) {
     workload::OpMix mix;
     mix.update_fraction = update_fraction;
@@ -101,14 +109,22 @@ double mixed_throughput(const std::string& spec, std::uint32_t m,
         if (op.is_update) {
           snap->update(op.update_index, ops);
         } else {
+          auto t0 = std::chrono::steady_clock::now();
           snap->scan(op.scan_set, out);
+          auto t1 = std::chrono::steady_clock::now();
+          samplers[w].add(static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()));
         }
         ++ops;
       }
     }
     total_ops.fetch_add(ops);
   });
-  return double(total_ops.load()) / seconds;
+  bench::LatencySampler merged;
+  for (const auto& s : samplers) merged.merge(s);
+  return MixedResult{double(total_ops.load()) / seconds,
+                     merged.summarize()};
 }
 
 void table_mixed(const std::vector<std::string>& specs,
@@ -117,16 +133,25 @@ void table_mixed(const std::vector<std::string>& specs,
   constexpr std::uint32_t kM = 256;
   constexpr std::uint32_t kR = 4;
   TablePrinter table({"impl", "10% updates ops/s", "50% updates ops/s",
-                      "90% updates ops/s"});
+                      "90% updates ops/s", "scan p50/p99 @50%"});
   for (const std::string& spec : specs) {
     std::vector<std::string> row{spec};
+    std::string tail;
     for (double uf : {0.1, 0.5, 0.9}) {
-      double ops = mixed_throughput(spec, kM, kR, workers, uf, seconds);
-      row.push_back(TablePrinter::fmt(ops / 1e6, 3) + "M");
-      report.add("CMPa/" + spec + "/updates=" +
-                     std::to_string(static_cast<int>(uf * 100)) + "%",
-                 ops);
+      MixedResult result =
+          mixed_throughput(spec, kM, kR, workers, uf, seconds);
+      row.push_back(TablePrinter::fmt(result.ops_per_second / 1e6, 3) + "M");
+      const std::string name =
+          "CMPa/" + spec + "/updates=" +
+          std::to_string(static_cast<int>(uf * 100)) + "%";
+      report.add(name, result.ops_per_second);
+      report.add_percentiles(name + "/scan_ns", result.scan_ns);
+      if (uf == 0.5) {
+        tail = TablePrinter::fmt(result.scan_ns.p50, 0) + "/" +
+               TablePrinter::fmt(result.scan_ns.p99, 0) + "ns";
+      }
     }
+    row.push_back(std::move(tail));
     table.add_row(std::move(row));
   }
   table.print(std::cout,
@@ -144,9 +169,12 @@ void table_crossover(const std::vector<std::string>& specs,
   for (const std::string& spec : specs) {
     std::vector<std::string> row{spec};
     for (std::uint32_t r : {2u, 16u, 64u, 256u}) {
-      double ops = mixed_throughput(spec, kM, r, workers, 0.3, seconds);
-      row.push_back(TablePrinter::fmt(ops / 1e6, 3) + "M");
-      report.add("CMPb/" + spec + "/r=" + std::to_string(r), ops);
+      MixedResult result =
+          mixed_throughput(spec, kM, r, workers, 0.3, seconds);
+      row.push_back(TablePrinter::fmt(result.ops_per_second / 1e6, 3) + "M");
+      const std::string name = "CMPb/" + spec + "/r=" + std::to_string(r);
+      report.add(name, result.ops_per_second);
+      report.add_percentiles(name + "/scan_ns", result.scan_ns);
     }
     table.add_row(std::move(row));
   }

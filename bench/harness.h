@@ -39,6 +39,15 @@ class JsonReport {
     entries_.push_back(Entry{name, value, unit});
   }
 
+  // Tail latency as first-class entries: "<name>/p50" and "<name>/p99"
+  // rows next to the mean-style entry of the same name, so trajectory
+  // diffs catch tail regressions that averages hide.
+  void add_percentiles(const std::string& name, const Percentiles& p,
+                       const std::string& unit = "ns/op") {
+    add(name + "/p50", p.p50, unit);
+    add(name + "/p99", p.p99, unit);
+  }
+
   bool empty() const { return entries_.empty(); }
 
   // Writes {"benchmarks": [{"name": ..., "value": ..., "unit": ...}]}.
@@ -67,6 +76,52 @@ class JsonReport {
     std::string unit;
   };
   std::vector<Entry> entries_;
+};
+
+// Bounded per-operation latency recorder for percentile reporting.  Keeps
+// at most `cap` samples however long the run is: when full it compacts to
+// every other retained sample and doubles its stride, so retention stays
+// uniform over the run (late samples are as likely kept as early ones) and
+// memory stays O(cap) -- tail percentiles over minutes-long sweeps without
+// gigabyte sample vectors.
+class LatencySampler {
+ public:
+  explicit LatencySampler(std::size_t cap = std::size_t{1} << 15)
+      : cap_(cap) {
+    samples_.reserve(cap_);
+  }
+
+  void add(double x) {
+    if (++tick_ % stride_ != 0) return;
+    if (samples_.size() == cap_) {
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < samples_.size(); i += 2) {
+        samples_[w++] = samples_[i];
+      }
+      samples_.resize(w);
+      stride_ *= 2;
+      if (tick_ % stride_ != 0) return;
+    }
+    samples_.push_back(x);
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  // Concatenates another sampler's retained samples (parallel reduction;
+  // strides may differ -- percentiles over the union stay representative
+  // because each worker's retention is uniform over its own run).
+  void merge(const LatencySampler& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  Percentiles summarize() const { return summarize_percentiles(samples_); }
+
+ private:
+  std::size_t cap_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t stride_ = 1;
+  std::vector<double> samples_;
 };
 
 // Statistics one worker gathers about its own operations.

@@ -3,7 +3,7 @@
 //
 //   build/examples/sensor_fusion [--sensors0=N] [--sensors=N]
 //                                [--readings=N] [--queries=N]
-//                                [--impl=<registry spec>]
+//                                [--readers=N] [--impl=<registry spec>]
 //
 // A sensor array publishes readings into a partial snapshot object.  The
 // array GROWS while the system runs: new sensors hot-plug in blocks via
@@ -27,6 +27,15 @@
 // a payload landed on the wrong component.  A sensor that hot-plugged but
 // has not yet published is skipped (blob plane: its payload is still the
 // 8-byte initial encoding, not a SensorReading; u64 plane: it reads 0).
+//
+// Reader-flood mode: --readers=N floods each reader generation with N
+// concurrent fusion threads (up to 128).  The versioned read plane is the
+// configuration built for exactly that shape -- e.g.
+//   sensor_fusion --readers=64 --impl=fig3_cas:value=versioned
+// runs the flood over camera-epoch chain walks (scans never double-
+// collect or retry, whatever N is) with the SAME epoch-spread oracle:
+// the versioned plane stores words, so the redundant u64 encoding and
+// its consistency check apply unchanged.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -58,6 +67,9 @@ int main(int argc, char** argv) {
   flags.define("sensors", "48", "sensors after all hot-plugs");
   flags.define("readings", "2000", "epochs the array publishes");
   flags.define("queries", "20000", "fusion queries (across reader lives)");
+  flags.define("readers", "2",
+               "concurrent fusion readers per generation (flood mode; "
+               "pair large values with --impl=fig3_cas:value=versioned)");
   flags.define("impl", "fig3_cas:value=blob",
                "registry spec of the snapshot implementation:\n" +
                    psnap::registry::snapshot_catalogue());
@@ -71,6 +83,9 @@ int main(int argc, char** argv) {
                    static_cast<std::uint32_t>(flags.get_uint("sensors0"))));
   const auto readings = flags.get_uint("readings");
   const auto queries = flags.get_uint("queries");
+  const auto readers = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, std::min<std::uint64_t>(
+                                     128, flags.get_uint("readers"))));
   if (sensors == 0 || sensors >= 1000) {
     // The u64 fallback's redundant encoding needs id < 1000; the blob
     // plane has no such limit, but one envelope keeps the example simple.
@@ -80,8 +95,11 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<psnap::core::PartialSnapshot> array_ptr;
   try {
-    array_ptr = psnap::registry::make_snapshot(flags.get_string("impl"),
-                                               sensors0, /*max_threads=*/8);
+    // Capacity: one pid per concurrent fusion reader plus the sensor
+    // threads (reader generations recycle pids, so the flood never needs
+    // more than one generation's worth at a time).
+    array_ptr = psnap::registry::make_snapshot(
+        flags.get_string("impl"), sensors0, /*max_threads=*/readers + 6);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
@@ -142,7 +160,7 @@ int main(int argc, char** argv) {
   // Fusion readers: short-lived generations.  Each life registers a fresh
   // ThreadHandle, fuses kQueriesPerLife random overlapping subsets of the
   // *currently installed* sensors, checks id + epoch spread, and exits.
-  constexpr std::uint32_t kReaders = 2;
+  // --readers floods each generation with that many concurrent lives.
   constexpr std::uint64_t kQueriesPerLife = 500;
   std::atomic<std::uint64_t> bad_fusions{0};
   std::atomic<std::uint64_t> max_spread_seen{0};
@@ -218,8 +236,8 @@ int main(int argc, char** argv) {
   std::uint64_t generation = 0;
   while (queries_done.load() < queries) {
     std::vector<std::thread> fusers;
-    for (std::uint32_t f = 0; f < kReaders; ++f) {
-      fusers.emplace_back(reader_life, generation * kReaders + f + 1,
+    for (std::uint32_t f = 0; f < readers; ++f) {
+      fusers.emplace_back(reader_life, generation * readers + f + 1,
                           f == 0);
     }
     for (auto& t : fusers) t.join();

@@ -30,7 +30,16 @@ FullSnapshotT<Value>::FullSnapshotT(std::uint32_t initial_components,
 template <class Value>
 FullSnapshotT<Value>::~FullSnapshotT() {
   const std::uint32_t m = size_.load();
-  for (std::uint32_t i = 0; i < m; ++i) delete r_.at(i).peek();
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const FullRecord* head = r_.at(i).peek();
+    if constexpr (Value::kVersioned) {
+      // Chain-trim invariant: {head, head->prev} are the only unretired
+      // nodes of a chain (see version_chain.h); everything older already
+      // recycled through the pool.
+      delete head->prev.load(std::memory_order_relaxed);
+    }
+    delete head;
+  }
 }
 
 template <class Value>
@@ -99,27 +108,63 @@ auto FullSnapshotT<Value>::embedded_full_scan(core::ScanContext& ctx,
 template <class Value>
 template <class Fill>
 void FullSnapshotT<Value>::do_update(std::uint32_t i, Fill&& fill) {
-  const std::uint32_t m = size_.load();
-  PSNAP_ASSERT(i < m);
-  std::uint32_t pid = exec::ctx().pid;
-  PSNAP_ASSERT(pid < n_);
-  core::tls_op_stats().reset();
-  core::ScanContext& ctx = core::tls_scan_context();
-  ctx.begin();
-  auto guard = ebr_.pin();
+  if constexpr (Value::kVersioned) {
+    // Versioned plane: no complete collect, no full view -- append one
+    // node to the component's chain.  The register exchange becomes a CAS
+    // retry loop (a chain append must name its predecessor); a retry
+    // means another update published, so the loop is lock-free.
+    PSNAP_ASSERT(i < size_.load());
+    std::uint32_t pid = exec::ctx().pid;
+    PSNAP_ASSERT(pid < n_);
+    core::tls_op_stats().reset();
+    auto guard = ebr_.pin();
 
-  std::vector<ValueType>& vals = embedded_full_scan(ctx, m);
-  // Pool-backed record, owned by the Handle until publication (an
-  // injected halt at the publish step returns it to the pool instead of
-  // leaking).
-  auto rec = record_pool_.acquire(ebr_);
-  fill(rec->value);
-  rec->counter = ++counter_.at(pid).value;
-  rec->pid = pid;
-  rec->full_view = vals;  // capacity-reusing copy
-  const FullRecord* old = r_.at(i).exchange(rec.get());
-  rec.release();
-  record_pool_.recycle(ebr_, const_cast<FullRecord*>(old));
+    auto rec = record_pool_.acquire(ebr_);
+    fill(rec->value);
+    rec->counter = ++counter_.at(pid).value;
+    rec->pid = pid;
+    rec->full_view.clear();  // versioned records carry no helping view
+    FullRecord* node = rec.get();
+    const FullRecord* old = r_.at(i).load();
+    while (true) {
+      // Fix the displaced head's version before publishing over it
+      // (chain stamps must never decrease in publication order).
+      primitives::ensure_stamped<primitives::Instrumented>(*old, camera_);
+      node->version.store(primitives::kUnstamped, std::memory_order_relaxed);
+      node->prev.store(old, std::memory_order_relaxed);
+      const FullRecord* prev = r_.at(i).compare_and_swap(old, node);
+      if (prev == old) break;
+      old = prev;
+    }
+    rec.release();
+    // Lazy chain trim: keeps the unretired set at {head, head->prev}.
+    if (const FullRecord* trim = old->prev.load(std::memory_order_relaxed)) {
+      record_pool_.recycle(ebr_, const_cast<FullRecord*>(trim));
+    }
+    primitives::ensure_stamped<primitives::Instrumented>(*node, camera_);
+  } else {
+    const std::uint32_t m = size_.load();
+    PSNAP_ASSERT(i < m);
+    std::uint32_t pid = exec::ctx().pid;
+    PSNAP_ASSERT(pid < n_);
+    core::tls_op_stats().reset();
+    core::ScanContext& ctx = core::tls_scan_context();
+    ctx.begin();
+    auto guard = ebr_.pin();
+
+    std::vector<ValueType>& vals = embedded_full_scan(ctx, m);
+    // Pool-backed record, owned by the Handle until publication (an
+    // injected halt at the publish step returns it to the pool instead of
+    // leaking).
+    auto rec = record_pool_.acquire(ebr_);
+    fill(rec->value);
+    rec->counter = ++counter_.at(pid).value;
+    rec->pid = pid;
+    rec->full_view = vals;  // capacity-reusing copy
+    const FullRecord* old = r_.at(i).exchange(rec.get());
+    rec.release();
+    record_pool_.recycle(ebr_, const_cast<FullRecord*>(old));
+  }
 }
 
 template <class Value>
@@ -154,15 +199,65 @@ void FullSnapshotT<Value>::do_scan(std::span<const std::uint32_t> indices,
 }
 
 template <class Value>
+std::uint64_t FullSnapshotT<Value>::do_scan_versioned(
+    std::span<const std::uint32_t> indices, std::vector<std::uint64_t>& out) {
+  if constexpr (Value::kVersioned) {
+    PSNAP_ASSERT(exec::ctx().pid < n_);
+    const std::uint32_t m = size_.load();
+    for (std::uint32_t i : indices) PSNAP_ASSERT(i < m);
+    core::OpStats& stats = core::tls_op_stats();
+    stats.reset();
+    auto guard = ebr_.pin();
+
+    // One camera fetch-add, then only the r requested chains -- the
+    // baseline's Omega(m) scan cost is gone (see the header comment).
+    const std::uint64_t epoch = camera_.new_epoch();
+    stats.epoch = epoch;
+    out.resize(indices.size());
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      std::uint64_t walked = 0;
+      const FullRecord* node =
+          primitives::chain_read<primitives::Instrumented>(
+              r_.at(indices[k]).load(), epoch, camera_, walked);
+      out[k] = Value::decode(node->value);
+      stats.chain_nodes = std::max(stats.chain_nodes, walked);
+    }
+    return epoch;
+  } else {
+    (void)indices;
+    (void)out;
+    PSNAP_ASSERT_MSG(false, "do_scan_versioned on a non-versioned plane");
+    return 0;
+  }
+}
+
+template <class Value>
+std::uint64_t FullSnapshotT<Value>::scan_versioned(
+    std::span<const std::uint32_t> indices, std::vector<std::uint64_t>& out,
+    core::ScanContext& ctx) {
+  if constexpr (Value::kVersioned) {
+    (void)ctx;
+    return do_scan_versioned(indices, out);
+  } else {
+    return core::PartialSnapshot::scan_versioned(indices, out, ctx);
+  }
+}
+
+template <class Value>
 void FullSnapshotT<Value>::scan(std::span<const std::uint32_t> indices,
                                 std::vector<std::uint64_t>& out,
                                 core::ScanContext& ctx) {
-  out.clear();
-  if (indices.empty()) return;
-  do_scan(indices, ctx, [&](const std::vector<ValueType>& vals) {
-    out.reserve(indices.size());
-    for (std::uint32_t i : indices) out.push_back(Value::decode(vals[i]));
-  });
+  if constexpr (Value::kVersioned) {
+    do_scan_versioned(indices, out);
+    return;
+  } else {
+    out.clear();
+    if (indices.empty()) return;
+    do_scan(indices, ctx, [&](const std::vector<ValueType>& vals) {
+      out.reserve(indices.size());
+      for (std::uint32_t i : indices) out.push_back(Value::decode(vals[i]));
+    });
+  }
 }
 
 template <class Value>
@@ -187,5 +282,6 @@ void FullSnapshotT<Value>::scan_blobs(std::span<const std::uint32_t> indices,
 
 template class FullSnapshotT<psnap::value::DirectU64>;
 template class FullSnapshotT<psnap::value::IndirectBlob>;
+template class FullSnapshotT<psnap::value::VersionedU64>;
 
 }  // namespace psnap::baseline

@@ -13,9 +13,21 @@
 // policy like the paper's algorithms -- the full view simply becomes a
 // vector of payloads, so the Omega(m) cost scales with payload size too
 // (which is exactly the "wasteful" point, sharpened).
+//
+// Versioned plane (VersionedU64; primitives/version_chain.h): the plane
+// that rescues the wasteful baseline.  Records become version-chain nodes,
+// a camera epoch replaces the complete collect, and a scan reads only its
+// r requested chains -- the Omega(m) scan cost disappears entirely, so the
+// versioned twin reports is_local() = true.  The price is on the write
+// side: this baseline published with a plain register exchange, but a
+// chain append must know its predecessor, so versioned updates publish
+// with a CAS retry loop -- lock-free (a retry means another update
+// succeeded), not wait-free, and the twin honestly reports that.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/padding.h"
@@ -26,6 +38,7 @@
 #include "exec/pid_bound.h"
 #include "primitives/primitives.h"
 #include "primitives/value_plane.h"
+#include "primitives/version_chain.h"
 #include "reclaim/ebr.h"
 #include "reclaim/pool.h"
 
@@ -46,10 +59,18 @@ class FullSnapshotT final : public core::PartialSnapshot {
 
   std::uint32_t num_components() const override { return size_.load(); }
   std::string_view name() const override {
-    return Value::kIndirect ? "full-snapshot-blob" : "full-snapshot";
+    if constexpr (Value::kVersioned) {
+      return "full-snapshot-versioned";
+    } else if constexpr (Value::kIndirect) {
+      return "full-snapshot-blob";
+    } else {
+      return "full-snapshot";
+    }
   }
-  bool is_wait_free() const override { return true; }
-  bool is_local() const override { return false; }
+  // Versioned updates CAS-retry (lock-free; see the header comment), and
+  // versioned scans touch only their r requested chains (local).
+  bool is_wait_free() const override { return !Value::kVersioned; }
+  bool is_local() const override { return Value::kVersioned; }
   std::string_view value_plane() const override { return Value::kName; }
 
   std::uint32_t add_components(std::uint32_t count) override;
@@ -61,8 +82,12 @@ class FullSnapshotT final : public core::PartialSnapshot {
   void scan_blobs(std::span<const std::uint32_t> indices,
                   std::vector<psnap::value::Blob>& out,
                   core::ScanContext& ctx) override;
+  std::uint64_t scan_versioned(std::span<const std::uint32_t> indices,
+                               std::vector<std::uint64_t>& out,
+                               core::ScanContext& ctx) override;
   using core::PartialSnapshot::scan;
   using core::PartialSnapshot::scan_blobs;
+  using core::PartialSnapshot::scan_versioned;
 
  private:
   struct FullRecord {
@@ -75,6 +100,11 @@ class FullSnapshotT final : public core::PartialSnapshot {
     // the borrower's captured count (counts are monotone and captured
     // with seq_cst loads -- see embedded_full_scan).
     std::vector<ValueType> full_view;
+    // Version-chain fields, used only on the versioned plane (dead weight
+    // on the others; keeping them unconditional keeps FullRecord one
+    // type).  See primitives/version_chain.h for the protocol.
+    mutable std::atomic<std::uint64_t> version{primitives::kUnstamped};
+    std::atomic<const FullRecord*> prev{nullptr};
 
     bool is_initial() const { return pid == core::kInitPid; }
   };
@@ -84,6 +114,10 @@ class FullSnapshotT final : public core::PartialSnapshot {
     Value::encode(v, rec->value);
     rec->counter = index;
     rec->pid = core::kInitPid;
+    if constexpr (Value::kVersioned) {
+      rec->version.store(primitives::kInitialVersion,
+                         std::memory_order_relaxed);
+    }
     return rec;
   }
 
@@ -99,6 +133,16 @@ class FullSnapshotT final : public core::PartialSnapshot {
   template <class Extract>
   void do_scan(std::span<const std::uint32_t> indices,
                core::ScanContext& ctx, Extract&& extract);
+  // The versioned plane's scan body; returns the epoch.
+  std::uint64_t do_scan_versioned(std::span<const std::uint32_t> indices,
+                                  std::vector<std::uint64_t>& out);
+
+  // Versioned cells must support CAS (chain appends need to know their
+  // predecessor); the other planes keep the historical plain register.
+  using Slot =
+      std::conditional_t<Value::kVersioned,
+                         primitives::CasObject<const FullRecord*>,
+                         primitives::Register<const FullRecord*>>;
 
   core::GrowableSize size_;
   std::uint32_t n_;
@@ -109,12 +153,17 @@ class FullSnapshotT final : public core::PartialSnapshot {
   // included, on the blob plane), so steady-state updates are
   // allocation-free even though every record carries all m values.
   reclaim::Pool<FullRecord> record_pool_;
-  core::ComponentStorage<primitives::Register<const FullRecord*>> r_;
+  core::ComponentStorage<Slot> r_;
   reclaim::EbrDomain ebr_;
   core::PerPidStorage<CachelinePadded<std::uint64_t>> counter_;
+  [[no_unique_address]] std::conditional_t<Value::kVersioned,
+                                           primitives::VersionCamera<>,
+                                           primitives::NoCamera>
+      camera_;
 };
 
 using FullSnapshot = FullSnapshotT<psnap::value::DirectU64>;
 using FullSnapshotBlob = FullSnapshotT<psnap::value::IndirectBlob>;
+using FullSnapshotVersioned = FullSnapshotT<psnap::value::VersionedU64>;
 
 }  // namespace psnap::baseline

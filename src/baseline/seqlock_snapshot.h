@@ -15,6 +15,16 @@
 // reader dereferences under an EBR pin (held across the retry loop).
 // Cost of the indirection: one extra acquire dereference per read, one
 // pool acquire per update; step counts are unchanged.
+//
+// Versioned plane (VersionedU64; primitives/version_chain.h): the plane
+// that cures the seqlock's reader pathology.  Cells publish version-chain
+// heads; writers still serialize through the global writer section (which
+// is what makes an exchange-based chain append sound), but READERS no
+// longer touch the seqlock at all -- a scan grabs a camera epoch and
+// walks its chains, so a stalled or preempted writer never makes a single
+// reader retry, the exact failure mode the collect-based seqlock scan is
+// starvation-prone to.  max_attempts_per_scan becomes irrelevant to scans
+// (they are wait-free given the writer-serialized chains).
 #pragma once
 
 #include <type_traits>
@@ -27,6 +37,7 @@
 #include "primitives/primitives.h"
 #include "primitives/value_cell.h"
 #include "primitives/value_plane.h"
+#include "primitives/version_chain.h"
 #include "reclaim/ebr.h"
 #include "reclaim/pool.h"
 
@@ -45,7 +56,13 @@ class SeqlockSnapshotT final : public core::PartialSnapshot {
 
   std::uint32_t num_components() const override { return size_.load(); }
   std::string_view name() const override {
-    return Value::kIndirect ? "seqlock-blob" : "seqlock";
+    if constexpr (Value::kVersioned) {
+      return "seqlock-versioned";
+    } else if constexpr (Value::kIndirect) {
+      return "seqlock-blob";
+    } else {
+      return "seqlock";
+    }
   }
   bool is_wait_free() const override { return false; }
   bool is_local() const override { return true; }
@@ -64,8 +81,12 @@ class SeqlockSnapshotT final : public core::PartialSnapshot {
   void scan_blobs(std::span<const std::uint32_t> indices,
                   std::vector<psnap::value::Blob>& out,
                   core::ScanContext& ctx) override;
+  std::uint64_t scan_versioned(std::span<const std::uint32_t> indices,
+                               std::vector<std::uint64_t>& out,
+                               core::ScanContext& ctx) override;
   using core::PartialSnapshot::scan;
   using core::PartialSnapshot::scan_blobs;
+  using core::PartialSnapshot::scan_versioned;
 
  private:
   using Cell = primitives::ValueCell<Value, primitives::Instrumented>;
@@ -75,6 +96,12 @@ class SeqlockSnapshotT final : public core::PartialSnapshot {
   struct BlobPlane {
     reclaim::Pool<primitives::BlobNode> pool;
     reclaim::EbrDomain ebr;
+  };
+  // Reclamation + camera state of the versioned plane (version_chain.h).
+  struct VersionedPlane {
+    reclaim::Pool<primitives::VersionNodeU64> pool;
+    reclaim::EbrDomain ebr;
+    primitives::VersionCamera<primitives::Instrumented> camera;
   };
   struct NoPlane {};
 
@@ -87,18 +114,24 @@ class SeqlockSnapshotT final : public core::PartialSnapshot {
   template <class Collect>
   void do_scan(std::span<const std::uint32_t> indices, std::uint32_t m,
                Collect&& collect);
+  // The versioned plane's scan body (seqlock-free; see the header
+  // comment); returns the epoch.
+  std::uint64_t do_scan_versioned(std::span<const std::uint32_t> indices,
+                                  std::vector<std::uint64_t>& out);
 
   core::GrowableSize size_;
   std::uint64_t initial_value_;
   std::uint64_t max_attempts_;
   primitives::CasObject<std::uint64_t> version_;
   core::ComponentStorage<Cell> data_;
-  [[no_unique_address]] std::conditional_t<Value::kIndirect, BlobPlane,
-                                           NoPlane>
+  [[no_unique_address]] std::conditional_t<
+      Value::kVersioned, VersionedPlane,
+      std::conditional_t<Value::kIndirect, BlobPlane, NoPlane>>
       plane_;
 };
 
 using SeqlockSnapshot = SeqlockSnapshotT<psnap::value::DirectU64>;
 using SeqlockSnapshotBlob = SeqlockSnapshotT<psnap::value::IndirectBlob>;
+using SeqlockSnapshotVersioned = SeqlockSnapshotT<psnap::value::VersionedU64>;
 
 }  // namespace psnap::baseline

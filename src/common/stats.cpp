@@ -47,16 +47,38 @@ void OnlineStats::merge(const OnlineStats& other) {
   m2_ = m2;
 }
 
+namespace {
+
+// Rank interpolation on an already-sorted vector (shared by percentile and
+// summarize_percentiles so the summary pays for one sort, not four).
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.size() == 1) return sorted[0];
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 double percentile(std::vector<double> samples, double p) {
   PSNAP_ASSERT(!samples.empty());
   PSNAP_ASSERT(p >= 0.0 && p <= 100.0);
   std::sort(samples.begin(), samples.end());
-  if (samples.size() == 1) return samples[0];
-  double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
-  std::size_t lo = static_cast<std::size_t>(rank);
-  std::size_t hi = std::min(lo + 1, samples.size() - 1);
-  double frac = rank - static_cast<double>(lo);
-  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  return sorted_percentile(samples, p);
+}
+
+Percentiles summarize_percentiles(std::vector<double> samples) {
+  Percentiles out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.count = samples.size();
+  out.p50 = sorted_percentile(samples, 50.0);
+  out.p90 = sorted_percentile(samples, 90.0);
+  out.p99 = sorted_percentile(samples, 99.0);
+  out.max = samples.back();
+  return out;
 }
 
 LinearFit fit_linear(const std::vector<double>& xs,

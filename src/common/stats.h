@@ -34,6 +34,18 @@ class OnlineStats {
 // ranks.  p in [0, 100].  The input is copied and sorted.
 double percentile(std::vector<double> samples, double p);
 
+// Tail-latency summary: the percentiles the bench tables report, computed
+// with one sort of the sample vector (same interpolation as percentile()).
+// Zero-filled for an empty input.
+struct Percentiles {
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+Percentiles summarize_percentiles(std::vector<double> samples);
+
 // Least-squares fit of y = a + b*x; returns {a, b}.  Used by the benchmark
 // harness to report empirical growth exponents (fit on log-log data).
 struct LinearFit {

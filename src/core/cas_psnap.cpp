@@ -52,7 +52,16 @@ CasPartialSnapshotT<Policy, Value>::~CasPartialSnapshotT() {
   // Published records/announcements are owned here; everything in flight
   // through ebr_ drains into the pools when ebr_ is destroyed.
   const std::uint32_t m = size_.load();
-  for (std::uint32_t i = 0; i < m; ++i) delete r_.at(i)->peek();
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const Rec* head = r_.at(i)->peek();
+    if constexpr (Value::kVersioned) {
+      // Chain-trim invariant: the only unretired nodes of a chain are the
+      // head and its prev (everything older went through the pool when it
+      // was displaced), so the destructor owns exactly those two.
+      delete head->prev.load(std::memory_order_relaxed);
+    }
+    delete head;
+  }
   // Any pid that ever announced is below the bound (its acquisition
   // raised the watermark first; destruction is quiescent).
   const std::uint32_t pids = options_.bound.get(n_);
@@ -176,6 +185,57 @@ template <class Policy, class Value>
 template <class Fill>
 void CasPartialSnapshotT<Policy, Value>::do_update(std::uint32_t i,
                                                    Fill&& fill) {
+  if constexpr (Value::kVersioned) {
+    // Versioned plane: append one node to the component's version chain.
+    // No getSet, no embedded scan -- the write path's interference is a
+    // constant handful of steps no matter how many scanners are live.
+    PSNAP_ASSERT(i < size_.load());
+    std::uint32_t pid = exec::ctx().pid;
+    PSNAP_ASSERT(pid < n_);
+    tls_op_stats().reset();
+    auto guard = ebr_.pin();
+
+    const Rec* old = r_.at(i)->load();
+    // Fix the displaced head's version BEFORE publishing over it: chain
+    // versions then never decrease in publication order, which is what
+    // the reader walk's termination and cut arguments rest on
+    // (version_chain.h).
+    primitives::ensure_stamped<Policy>(*old, camera_);
+
+    auto rec = record_pool_.acquire(ebr_);
+    fill(rec->value);
+    rec->counter = counter_.at(pid).value + 1;
+    rec->pid = pid;
+    rec->view.clear();  // versioned updates carry no helping view
+    rec->version.store(primitives::kUnstamped, std::memory_order_relaxed);
+    rec->prev.store(old, std::memory_order_relaxed);
+
+    // fig3's try-once CAS, unchanged: a failed update linearizes
+    // immediately before the winner and its node -- never published --
+    // unwinds straight back to the pool through the Handle.
+    Rec* node = rec.get();
+    const Rec* prev = r_.at(i)->compare_and_swap(old, node);
+    if (prev == old) {
+      rec.release();
+      ++counter_.at(pid).value;
+      // Lazy chain trim.  With `node` now head and `old` its prev, no
+      // reader pinned from here on can reach past `old` (its stamp
+      // predates every future epoch), so exactly old->prev retires; the
+      // live unretired set per component stays {head, head->prev}.  This
+      // runs before the self-stamp's first step on purpose: an injected
+      // halt below can orphan no node.
+      if (const Rec* trim = old->prev.load(std::memory_order_relaxed)) {
+        record_pool_.recycle(ebr_, const_cast<Rec*>(trim));
+      }
+      // Self-stamp (the update's linearization point, unless a racing
+      // reader or displacer already fixed it).
+      primitives::ensure_stamped<Policy>(*node, camera_);
+    } else {
+      tls_op_stats().cas_failed = true;
+    }
+    return;
+  }
+
   PSNAP_ASSERT(i < size_.load());
   std::uint32_t pid = exec::ctx().pid;
   PSNAP_ASSERT(pid < n_);
@@ -323,9 +383,60 @@ void CasPartialSnapshotT<Policy, Value>::do_scan(
 }
 
 template <class Policy, class Value>
+std::uint64_t CasPartialSnapshotT<Policy, Value>::do_scan_versioned(
+    std::span<const std::uint32_t> indices, std::vector<std::uint64_t>& out) {
+  if constexpr (Value::kVersioned) {
+    PSNAP_ASSERT(exec::ctx().pid < n_);
+    const std::uint32_t m = size_.load();
+    for (std::uint32_t i : indices) PSNAP_ASSERT(i < m);
+    OpStats& stats = tls_op_stats();
+    stats.reset();
+    auto guard = ebr_.pin();
+
+    // The scan's linearization point: every stamp fixed before this
+    // fetch-add is <= epoch, every later one is > epoch, so the values
+    // extracted below form a consistent cut -- no announce, no join, no
+    // collect, O(1) steps per requested component.
+    const std::uint64_t epoch = camera_.new_epoch();
+    stats.epoch = epoch;
+    out.resize(indices.size());
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      std::uint64_t walked = 0;
+      const Rec* node = primitives::chain_read<Policy>(
+          r_.at(indices[k])->load(), epoch, camera_, walked);
+      out[k] = Value::decode(node->value);
+      stats.chain_nodes = std::max(stats.chain_nodes, walked);
+    }
+    return epoch;
+  } else {
+    (void)indices;
+    (void)out;
+    PSNAP_ASSERT_MSG(false, "do_scan_versioned on a non-versioned plane");
+    return 0;
+  }
+}
+
+template <class Policy, class Value>
+std::uint64_t CasPartialSnapshotT<Policy, Value>::scan_versioned(
+    std::span<const std::uint32_t> indices, std::vector<std::uint64_t>& out,
+    ScanContext& ctx) {
+  if constexpr (Value::kVersioned) {
+    (void)ctx;  // the versioned walk needs no scratch
+    return do_scan_versioned(indices, out);
+  } else {
+    return PartialSnapshot::scan_versioned(indices, out, ctx);
+  }
+}
+
+template <class Policy, class Value>
 void CasPartialSnapshotT<Policy, Value>::scan(
     std::span<const std::uint32_t> indices, std::vector<std::uint64_t>& out,
     ScanContext& ctx) {
+  if constexpr (Value::kVersioned) {
+    // Every u64-driven harness exercises the versioned read path.
+    do_scan_versioned(indices, out);
+    return;
+  }
   out.clear();
   if (indices.empty()) return;
   do_scan(indices, ctx, [&](const ViewV& view) {
@@ -369,5 +480,8 @@ template class CasPartialSnapshotT<primitives::Release, value::DirectU64>;
 template class CasPartialSnapshotT<primitives::Instrumented,
                                    value::IndirectBlob>;
 template class CasPartialSnapshotT<primitives::Release, value::IndirectBlob>;
+template class CasPartialSnapshotT<primitives::Instrumented,
+                                   value::VersionedU64>;
+template class CasPartialSnapshotT<primitives::Release, value::VersionedU64>;
 
 }  // namespace psnap::core

@@ -38,6 +38,18 @@
 // location condition (2) -- is untouched, and step counts are
 // plane-invariant.
 //
+// Versioned plane (VersionedU64; see primitives/version_chain.h): the
+// records double as version-chain nodes and a camera epoch replaces the
+// whole announce/join/collect machinery on BOTH sides.  An update becomes
+// help-stamp + one CAS + lazy chain trim (constant interference,
+// independent of how many scanners are live -- collect-mode updates pay
+// an embedded scan over the union of all announced sets); a scan becomes
+// one camera fetch-add plus one chain read per requested component (O(r),
+// beating Theorem 3's O(r^2) collect bound, with no helping round at
+// all).  Wait-freedom is preserved: the update keeps fig3's try-once CAS
+// (a failed update still linearizes immediately before the winner), and
+// the chain walk is bounded by the nodes stamped after the scan's epoch.
+//
 // Steady-state updates and scans are allocation-free: Records and
 // announcement IndexSets are recycled through reclaim::Pool free lists
 // (their embedded vectors -- and the blob plane's payload buffers -- keep
@@ -51,6 +63,7 @@
 #pragma once
 
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "activeset/faicas_active_set.h"
@@ -89,7 +102,7 @@ template <class Policy = primitives::Instrumented,
 class CasPartialSnapshotT final : public PartialSnapshot {
  public:
   using ValueType = typename Value::ValueType;
-  using Rec = RecordT<ValueType>;
+  using Rec = RecordFor<Value>;
   using ViewV = ViewT<ValueType>;
   using Options = CasSnapshotOptions;
 
@@ -103,7 +116,10 @@ class CasPartialSnapshotT final : public PartialSnapshot {
   std::uint32_t num_components() const override { return size_.load(); }
   std::string_view name() const override {
     if (!options_.use_cas) return "fig3-write(ablation)";
-    if constexpr (Value::kIndirect) {
+    if constexpr (Value::kVersioned) {
+      return Policy::kCountsSteps ? "fig3-cas-versioned"
+                                  : "fig3-cas-versioned-fast";
+    } else if constexpr (Value::kIndirect) {
       return Policy::kCountsSteps ? "fig3-cas-blob" : "fig3-cas-blob-fast";
     } else {
       return Policy::kCountsSteps ? "fig3-cas" : "fig3-cas-fast";
@@ -121,8 +137,12 @@ class CasPartialSnapshotT final : public PartialSnapshot {
                    std::span<const std::byte> bytes) override;
   void scan_blobs(std::span<const std::uint32_t> indices,
                   std::vector<value::Blob>& out, ScanContext& ctx) override;
+  std::uint64_t scan_versioned(std::span<const std::uint32_t> indices,
+                               std::vector<std::uint64_t>& out,
+                               ScanContext& ctx) override;
   using PartialSnapshot::scan;
   using PartialSnapshot::scan_blobs;
+  using PartialSnapshot::scan_versioned;
 
   activeset::FaiCasActiveSetT<Policy>& active_set() { return *as_; }
 
@@ -143,6 +163,10 @@ class CasPartialSnapshotT final : public PartialSnapshot {
   template <class Extract>
   void do_scan(std::span<const std::uint32_t> indices, ScanContext& ctx,
                Extract&& extract);
+  // The versioned plane's scan body: camera fetch-add + one chain read
+  // per requested component.  Returns the epoch.
+  std::uint64_t do_scan_versioned(std::span<const std::uint32_t> indices,
+                                  std::vector<std::uint64_t>& out);
 
   // Published component count (monotone; see core/growth.h).
   GrowableSize size_;
@@ -169,6 +193,11 @@ class CasPartialSnapshotT final : public PartialSnapshot {
   std::unique_ptr<activeset::FaiCasActiveSetT<Policy>> as_;
   reclaim::EbrDomain ebr_;
   PerPidStorage<CachelinePadded<std::uint64_t>> counter_;
+  // The versioned plane's camera (empty on the other planes).
+  [[no_unique_address]] std::conditional_t<Value::kVersioned,
+                                           primitives::VersionCamera<Policy>,
+                                           primitives::NoCamera>
+      camera_;
 };
 
 using CasPartialSnapshot = CasPartialSnapshotT<primitives::Instrumented>;
@@ -177,5 +206,9 @@ using CasPartialSnapshotBlob =
     CasPartialSnapshotT<primitives::Instrumented, value::IndirectBlob>;
 using CasPartialSnapshotBlobFast =
     CasPartialSnapshotT<primitives::Release, value::IndirectBlob>;
+using CasPartialSnapshotVersioned =
+    CasPartialSnapshotT<primitives::Instrumented, value::VersionedU64>;
+using CasPartialSnapshotVersionedFast =
+    CasPartialSnapshotT<primitives::Release, value::VersionedU64>;
 
 }  // namespace psnap::core

@@ -23,6 +23,12 @@ struct OpStats {
   std::uint64_t getset_size = 0;
   // The update's compare&swap failed (CAS-based algorithm only).
   bool cas_failed = false;
+  // Versioned plane: the longest version-chain walk any component of the
+  // scan needed (1 = every head was already at or below the epoch -- the
+  // quiescent steady state the chain-boundedness tests pin down).
+  std::uint64_t chain_nodes = 0;
+  // Versioned plane: the epoch the scan linearized at.
+  std::uint64_t epoch = 0;
 
   void reset() { *this = OpStats{}; }
 };

@@ -19,6 +19,15 @@ namespace {
       " (construct with the registry option value=blob)");
 }
 
+[[noreturn]] void reject_versioned_op(const PartialSnapshot& snap,
+                                      const char* op) {
+  throw std::logic_error(
+      std::string(op) + " requires the versioned value plane, but '" +
+      std::string(snap.name()) + "' stores value=" +
+      std::string(snap.value_plane()) +
+      " (construct with the registry option value=versioned)");
+}
+
 }  // namespace
 
 void PartialSnapshot::scan(std::span<const std::uint32_t> indices,
@@ -41,6 +50,17 @@ void PartialSnapshot::scan_blobs(std::span<const std::uint32_t> /*indices*/,
 void PartialSnapshot::scan_blobs(std::span<const std::uint32_t> indices,
                                  std::vector<value::Blob>& out) {
   scan_blobs(indices, out, tls_scan_context());
+}
+
+std::uint64_t PartialSnapshot::scan_versioned(
+    std::span<const std::uint32_t> /*indices*/,
+    std::vector<std::uint64_t>& /*out*/, ScanContext& /*ctx*/) {
+  reject_versioned_op(*this, "scan_versioned");
+}
+
+std::uint64_t PartialSnapshot::scan_versioned(
+    std::span<const std::uint32_t> indices, std::vector<std::uint64_t>& out) {
+  return scan_versioned(indices, out, tls_scan_context());
 }
 
 std::vector<std::uint64_t> PartialSnapshot::scan_all() {

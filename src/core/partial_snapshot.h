@@ -77,13 +77,17 @@ class PartialSnapshot {
 
   // ---- The value plane (primitives/value_plane.h) ----
   //
-  // Every implementation stores one of two payload planes, chosen at
-  // construction (registry option value=u64|blob): "u64" keeps today's
-  // word components; "blob" stores variable-size byte payloads behind the
-  // object's record indirection.  On BOTH planes the u64 operations above
-  // work -- on the blob plane update(i, v) publishes an 8-byte payload
-  // encoding v and scan decodes a payload's first 8 bytes (native-endian,
-  // zero-extended), so u64-driven harnesses exercise either plane
+  // Every implementation stores one of the payload planes, chosen at
+  // construction (registry option value=u64|blob|versioned): "u64" keeps
+  // today's word components; "blob" stores variable-size byte payloads
+  // behind the object's record indirection; "versioned" keeps word
+  // payloads but publishes them through per-component version chains
+  // ordered by a global camera epoch (primitives/version_chain.h), which
+  // turns scans constant-time per component.  On EVERY plane the u64
+  // operations above work -- on the blob plane update(i, v) publishes an
+  // 8-byte payload encoding v and scan decodes a payload's first 8 bytes
+  // (native-endian, zero-extended); on the versioned plane scan() routes
+  // through the epoch walk -- so u64-driven harnesses exercise any plane
   // unchanged.
   virtual std::string_view value_plane() const { return "u64"; }
 
@@ -101,6 +105,21 @@ class PartialSnapshot {
 
   void scan_blobs(std::span<const std::uint32_t> indices,
                   std::vector<value::Blob>& out);
+
+  // Reads the given components atomically through the version-chain walk
+  // (same consistency contract and index semantics as scan) and returns
+  // the epoch the scan linearized at: one camera fetch-add, then per
+  // component the newest version at or below that epoch.  Epochs returned
+  // to one thread are strictly increasing, and a value stamped at epoch e
+  // is visible to every scan with epoch >= e -- the "camera" semantics
+  // callers can key retries/merges off.  Versioned plane only: the other
+  // planes (the default implementation here) throw std::logic_error.
+  virtual std::uint64_t scan_versioned(std::span<const std::uint32_t> indices,
+                                       std::vector<std::uint64_t>& out,
+                                       ScanContext& ctx);
+
+  std::uint64_t scan_versioned(std::span<const std::uint32_t> indices,
+                               std::vector<std::uint64_t>& out);
 
   // Convenience forms.
   std::vector<std::uint64_t> scan(std::span<const std::uint32_t> indices) {

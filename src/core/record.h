@@ -21,11 +21,14 @@
 // with the one atomic store/CAS the algorithm already performs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "primitives/value_plane.h"
+#include "primitives/version_chain.h"
 
 namespace psnap::core {
 
@@ -68,16 +71,42 @@ struct RecordT {
 
 using Record = RecordT<std::uint64_t>;
 
+// The versioned plane's record (primitives/version_chain.h): the same
+// pooled immutable record, extended with the chain fields.  A publication
+// appends the record to its component's version chain (prev set before the
+// publishing CAS, version fixed afterwards by the publish-then-stamp
+// protocol), so the record doubles as the plane's version node -- no
+// second allocation, same Pool/EBR lifecycle.
+template <class V>
+struct VersionedRecordT : RecordT<V> {
+  mutable std::atomic<std::uint64_t> version{primitives::kUnstamped};
+  std::atomic<const VersionedRecordT<V>*> prev{nullptr};
+};
+
+// The record type a value plane publishes: versioned planes carry the
+// chain fields, the others are plain RecordT.
+template <class Value>
+using RecordFor =
+    std::conditional_t<Value::kVersioned,
+                       VersionedRecordT<typename Value::ValueType>,
+                       RecordT<typename Value::ValueType>>;
+
 // Builds a pre-installed initial record (constructor / add_components
 // paths of fig1 and fig3): sentinel pid, the component index as the
-// counter, which keeps every record tag unique.
+// counter, which keeps every record tag unique.  On the versioned plane
+// the initial record roots its chain: version 0 (older than every epoch),
+// no predecessor.
 template <class Value>
-RecordT<typename Value::ValueType>* make_initial_record(
-    std::uint64_t initial_value, std::uint32_t index) {
-  auto* rec = new RecordT<typename Value::ValueType>();
+RecordFor<Value>* make_initial_record(std::uint64_t initial_value,
+                                      std::uint32_t index) {
+  auto* rec = new RecordFor<Value>();
   Value::encode(initial_value, rec->value);
   rec->counter = index;
   rec->pid = kInitPid;
+  if constexpr (Value::kVersioned) {
+    rec->version.store(primitives::kInitialVersion,
+                       std::memory_order_relaxed);
+  }
   return rec;
 }
 

@@ -47,7 +47,7 @@ class ThreadRegistry {
   // Capacity ceiling shared with the EBR pid-keyed slot range
   // (reclaim::EbrDomain::kPidSlots); a registry can be smaller, never
   // larger.
-  static constexpr std::uint32_t kMaxCapacity = 128;
+  static constexpr std::uint32_t kMaxCapacity = 192;
 
   explicit ThreadRegistry(std::uint32_t max_threads = kMaxCapacity);
 

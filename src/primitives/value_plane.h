@@ -62,11 +62,32 @@ using Blob = std::vector<std::byte>;
 struct DirectU64 {
   using ValueType = std::uint64_t;
   static constexpr bool kIndirect = false;
+  static constexpr bool kVersioned = false;
   static constexpr std::string_view kName = "u64";
 
   static void encode(std::uint64_t v, ValueType& out) { out = v; }
   static std::uint64_t decode(const ValueType& v) { return v; }
   // Payload-to-payload copy (view building, borrow extraction).
+  static void copy(const ValueType& src, ValueType& dst) { dst = src; }
+};
+
+// The versioned read plane (primitives/version_chain.h): the payload is
+// still one 64-bit word, but every publication appends an immutable
+// {value, version, prev} node to a per-component version chain and a
+// global camera epoch orders them.  Scans become constant-time per
+// component -- grab an epoch, walk each requested chain to the newest
+// node at or below it -- with no collects, no helping round, and no
+// seqlock retries; see PartialSnapshot::scan_versioned.  The plane policy
+// itself is payload-only (bit-identical to DirectU64); the chain fields
+// live in the implementations' records/cells, keyed off kVersioned.
+struct VersionedU64 {
+  using ValueType = std::uint64_t;
+  static constexpr bool kIndirect = false;
+  static constexpr bool kVersioned = true;
+  static constexpr std::string_view kName = "versioned";
+
+  static void encode(std::uint64_t v, ValueType& out) { out = v; }
+  static std::uint64_t decode(const ValueType& v) { return v; }
   static void copy(const ValueType& src, ValueType& dst) { dst = src; }
 };
 
@@ -78,6 +99,7 @@ struct DirectU64 {
 struct IndirectBlob {
   using ValueType = Blob;
   static constexpr bool kIndirect = true;
+  static constexpr bool kVersioned = false;
   static constexpr std::string_view kName = "blob";
 
   static void encode(std::uint64_t v, Blob& out) {

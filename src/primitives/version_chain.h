@@ -1,0 +1,163 @@
+// The versioned value plane's primitives: version chains and the camera.
+//
+// Wei, Fatourou & Ben-David ("Constant-Time Snapshots with Applications to
+// Concurrent Data Structures", PAPERS.md) take a snapshot in O(1) by
+// fetch-adding a global epoch counter -- the CAMERA -- and resolving reads
+// lazily against per-location VERSION CHAINS: each publication carries an
+// immutable node {value, version, prev}, and a reader with epoch s walks
+// prev pointers to the newest node whose version is <= s.  This header
+// holds the pieces the snapshot implementations share:
+//
+//   * the publish-then-stamp protocol.  A node is published with
+//     version = kUnstamped and its version is FIXED afterwards by a CAS
+//     from kUnstamped to a camera read.  Anyone who needs the version --
+//     the publisher itself, a later updater displacing the node, a reader
+//     deciding which side of its epoch the node falls on -- helps stamp
+//     first (ensure_stamped), so the fix is unique and an updater stalled
+//     between publish and stamp never blocks a reader.  An update
+//     linearizes at its stamp fix; a scan linearizes at its camera
+//     fetch-add.
+//
+//   * the chain invariant the walk's termination rests on: an updater
+//     help-stamps the node it displaces BEFORE publishing over it, so
+//     stamps never decrease along publication order -- walking prev the
+//     versions are non-increasing, and every chain is rooted in an initial
+//     node stamped 0 (< every epoch: the camera starts at 1).
+//
+//   * the consistency argument: a stamp is a camera read, so every stamp
+//     fixed before a scan's fetch-add is <= that scan's epoch s, and every
+//     stamp fixed after it is > s.  The values a scan extracts -- newest
+//     node with version <= s per component -- were therefore all
+//     simultaneously current at the instant of the fetch-add.
+//
+//   * reclamation (lazy chain trimming): after publishing N over H, the
+//     only nodes of the chain a future reader can still reach are N and H
+//     -- a reader pinned after the publication starts its walk at N (or
+//     newer) and stops at the first node with version <= its epoch, which
+//     is at latest H, because H's stamp was fixed before N was published
+//     and hence before any later epoch.  So the updater retires H.prev
+//     through the pool and the live unretired set per component is always
+//     exactly {head, head->prev}; readers that raced the publication are
+//     protected by the EBR grace period.  Steady state stays
+//     zero-allocation: one node acquired, one retired, per update.
+//
+// Every shared access here is one base-object step under the Instrumented
+// policy (the version word is a CAS object, prev is a register, the camera
+// is the paper's fetch&increment), so the sim scheduler interleaves the
+// versioned algorithms exactly like the collect-based ones.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "exec/exec.h"
+#include "primitives/primitives.h"
+
+namespace psnap::primitives {
+
+// A published-but-not-yet-stamped version (see publish-then-stamp above).
+inline constexpr std::uint64_t kUnstamped = ~std::uint64_t{0};
+
+// Stamp carried by pre-installed initial nodes; the camera starts at 1, so
+// an initial node is older than every epoch ever handed out.
+inline constexpr std::uint64_t kInitialVersion = 0;
+
+// The standalone version node for cells that had no record to embed the
+// chain in (the seqlock baseline's raw-word cells; see value_cell.h).
+// Record-publishing implementations embed the same two fields in their
+// records instead (core::VersionedRecordT).  `version` is mutable because
+// stamping is metadata fixing on an otherwise-immutable published node.
+struct VersionNodeU64 {
+  std::uint64_t value = 0;
+  mutable std::atomic<std::uint64_t> version{kUnstamped};
+  std::atomic<const VersionNodeU64*> prev{nullptr};
+};
+
+// The camera: a fetch&increment object whose value is the next epoch to be
+// handed out.  new_epoch() atomically claims the current value (one F&I
+// step); now() reads it (one register-kind step on the F&I object).
+template <class Policy = Instrumented>
+class VersionCamera {
+ public:
+  // A scan's epoch: all stamps fixed before this fetch-add are <= the
+  // returned value, all fixed after are > it.
+  std::uint64_t new_epoch() { return fai_.fetch_increment() - 1; }
+
+  // The stamp value for a node published before this read.
+  std::uint64_t now() { return fai_.read(); }
+
+ private:
+  FetchIncrementT<Policy> fai_{1};
+};
+
+// Empty stand-in so non-versioned instantiations carry no camera
+// ([[no_unique_address]] member via std::conditional_t).
+struct NoCamera {};
+
+// --- chain accessors (one step each; Node is any type with the
+// VersionNodeU64 field shape) ---
+
+template <class Policy, class Node>
+std::uint64_t version_of(const Node& node) {
+  if constexpr (Policy::kCountsSteps) {
+    exec::on_step(exec::ObjKind::kCas);
+  }
+  return node.version.load(Policy::kLoad);
+}
+
+// Fixes an unstamped node's version to `stamp`; returns the version the
+// node ended up with (the existing one if another stamper won).
+template <class Policy, class Node>
+std::uint64_t stamp_version(const Node& node, std::uint64_t stamp) {
+  if constexpr (Policy::kCountsSteps) {
+    exec::on_step(exec::ObjKind::kCas);
+  }
+  std::uint64_t expected = kUnstamped;
+  if (node.version.compare_exchange_strong(expected, stamp, Policy::kRmw,
+                                           Policy::kCasFailure)) {
+    return stamp;
+  }
+  return expected;
+}
+
+template <class Policy, class Node>
+const Node* prev_of(const Node& node) {
+  if constexpr (Policy::kCountsSteps) {
+    exec::on_step(exec::ObjKind::kRegister);
+  }
+  return node.prev.load(Policy::kLoad);
+}
+
+// The helping primitive: returns the node's fixed version, stamping it
+// from the camera first if it is still unstamped.  Used by updaters on the
+// node they displace (before publishing over it), by publishers on their
+// own node (after publishing), and by readers on any node whose epoch side
+// they must decide.
+template <class Policy, class Node, class Camera>
+std::uint64_t ensure_stamped(const Node& node, Camera& camera) {
+  std::uint64_t version = version_of<Policy>(node);
+  if (version == kUnstamped) {
+    version = stamp_version<Policy>(node, camera.now());
+  }
+  return version;
+}
+
+// The reader's walk: newest node with version <= epoch, starting from a
+// head loaded under the caller's EBR pin.  Terminates at latest at the
+// chain's initial node (version 0); every prev it dereferences belongs to
+// a node stamped AFTER the caller's fetch-add (version > epoch), whose
+// displacement -- and hence whose prev's retirement -- came after the
+// caller's pin, so the grace period protects the whole walk.  `walked`
+// counts visited nodes (chain-length observability for tests/benches).
+template <class Policy, class Node, class Camera>
+const Node* chain_read(const Node* head, std::uint64_t epoch, Camera& camera,
+                       std::uint64_t& walked) {
+  const Node* node = head;
+  while (true) {
+    ++walked;
+    if (ensure_stamped<Policy>(*node, camera) <= epoch) return node;
+    node = prev_of<Policy>(*node);
+  }
+}
+
+}  // namespace psnap::primitives

@@ -36,7 +36,7 @@ class EbrDomain {
   // retired list simply transfers to the slot's next holder.  Threads
   // without a pid (direct reclaim tests, bookkeeping threads) fall back to
   // sticky CAS-claimed slots in [kPidSlots, kTotalSlots).
-  static constexpr std::uint32_t kPidSlots = 128;
+  static constexpr std::uint32_t kPidSlots = 192;
   static constexpr std::uint32_t kAnonSlots = 32;
   static constexpr std::uint32_t kTotalSlots = kPidSlots + kAnonSlots;
 

@@ -3,13 +3,16 @@
 // Adding an implementation (or a canned ablation) is ONE add() call here;
 // every registry-driven test, bench, and example picks it up automatically.
 //
-// Value planes: every snapshot entry accepts the universal value=u64|blob
-// option (primitives/value_plane.h; validated centrally in
-// SnapshotRegistry::make against the entry's `values` list).  The three
-// core algorithms additionally register canned *_blob entries -- first-
-// class, sim_safe catalogue rows -- so the DFS/random linearizability,
-// validity, crash, growth, churn, and allocation suites enumerate the
-// indirect plane automatically, with zero per-suite wiring.
+// Value planes: every snapshot entry accepts the universal
+// value=u64|blob|versioned option (primitives/value_plane.h; validated
+// centrally in SnapshotRegistry::make against the entry's `values` list).
+// The three core algorithms additionally register canned *_blob entries --
+// first-class, sim_safe catalogue rows -- so the DFS/random
+// linearizability, validity, crash, growth, churn, and allocation suites
+// enumerate the indirect plane automatically, with zero per-suite wiring;
+// the versioned read plane (primitives/version_chain.h) gets the same
+// treatment through canned *_versioned entries on the implementations
+// that support it (fig3_cas, full_snapshot, seqlock).
 #include <algorithm>
 #include <memory>
 #include <string>
@@ -55,6 +58,10 @@ activeset::FaiCasActiveSet::Options faicas_options(const Options& options,
 // rejected planes the entry does not list.
 bool blob_plane(const Options& options, std::string_view def) {
   return options.get_string("value", def) == "blob";
+}
+
+bool versioned_plane(const Options& options, std::string_view def) {
+  return options.get_string("value", def) == "versioned";
 }
 
 // Resolves the fig1 nested active-set spec ("as=name;k=v...") and the
@@ -124,6 +131,10 @@ std::unique_ptr<core::PartialSnapshot> make_fig3(std::uint32_t m,
   impl.active_set = faicas_options(options, n);
   impl.bound = impl.active_set.bound;
   std::uint64_t initial = options.get_uint("initial", 0);
+  if (versioned_plane(options, def)) {
+    return std::make_unique<core::CasPartialSnapshotVersioned>(m, n, impl,
+                                                               initial);
+  }
   if (blob_plane(options, def)) {
     return std::make_unique<core::CasPartialSnapshotBlob>(m, n, impl,
                                                           initial);
@@ -137,11 +148,30 @@ std::unique_ptr<core::PartialSnapshot> make_full(std::uint32_t m,
                                                  std::string_view def) {
   std::uint64_t initial = options.get_uint("initial", 0);
   exec::PidBound bound = pid_bound(options, n);
+  if (versioned_plane(options, def)) {
+    return std::make_unique<baseline::FullSnapshotVersioned>(m, n, initial,
+                                                             bound);
+  }
   if (blob_plane(options, def)) {
     return std::make_unique<baseline::FullSnapshotBlob>(m, n, initial,
                                                         bound);
   }
   return std::make_unique<baseline::FullSnapshot>(m, n, initial, bound);
+}
+
+std::unique_ptr<core::PartialSnapshot> make_seqlock(std::uint32_t m,
+                                                    const Options& options,
+                                                    std::string_view def) {
+  std::uint64_t cap = options.get_uint("cap", 0);
+  std::uint64_t initial = options.get_uint("initial", 0);
+  if (versioned_plane(options, def)) {
+    return std::make_unique<baseline::SeqlockSnapshotVersioned>(m, cap,
+                                                                initial);
+  }
+  if (blob_plane(options, def)) {
+    return std::make_unique<baseline::SeqlockSnapshotBlob>(m, cap, initial);
+  }
+  return std::make_unique<baseline::SeqlockSnapshot>(m, cap, initial);
 }
 
 }  // namespace
@@ -213,7 +243,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .is_local = true,
       .counts_steps = true,
       .sim_safe = true,
-      .values = "u64,blob",
+      .values = "u64,blob,versioned",
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             return make_fig3(m, n, options, "u64",
@@ -232,7 +262,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .is_local = true,
       .counts_steps = false,
       .sim_safe = false,
-      .values = "u64,blob",
+      .values = "u64,blob,versioned",
       .make =
           [](std::uint32_t m, std::uint32_t n,
              const Options& options) -> std::unique_ptr<core::PartialSnapshot> {
@@ -240,6 +270,10 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
             impl.active_set = faicas_options(options, n);
             impl.bound = impl.active_set.bound;
             std::uint64_t initial = options.get_uint("initial", 0);
+            if (versioned_plane(options, "u64")) {
+              return std::make_unique<core::CasPartialSnapshotVersionedFast>(
+                  m, n, impl, initial);
+            }
             if (blob_plane(options, "u64")) {
               return std::make_unique<core::CasPartialSnapshotBlobFast>(
                   m, n, impl, initial);
@@ -264,6 +298,25 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             return make_fig3(m, n, options, "blob", /*use_cas=*/true);
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "fig3_cas_versioned",
+      .description = "Figure 3 on the versioned read plane: scans walk "
+                     "version chains under a camera epoch instead of "
+                     "double-collecting (sim-covered twin of "
+                     "fig3_cas:value=versioned)",
+      .options_help =
+          "coalesce=<bool>,publish=<bool>,max_joins=<u64>,initial=<u64>,"
+          "adaptive=<bool>",
+      .is_wait_free = true,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .values = "versioned",
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            return make_fig3(m, n, options, "versioned", /*use_cas=*/true);
           },
   });
   registry.add(SnapshotInfo{
@@ -304,7 +357,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .is_local = false,
       .counts_steps = true,
       .sim_safe = true,
-      .values = "u64,blob",
+      .values = "u64,blob,versioned",
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             return make_full(m, n, options, "u64");
@@ -324,6 +377,23 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             return make_full(m, n, options, "blob");
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "full_snapshot_versioned",
+      .description = "the complete-scan baseline rescued by the versioned "
+                     "read plane: scans walk only the requested chains, "
+                     "updates CAS-retry (lock-free; sim-covered twin of "
+                     "full_snapshot:value=versioned)",
+      .options_help = "initial=<u64>,adaptive=<bool>",
+      .is_wait_free = false,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .values = "versioned",
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            return make_full(m, n, options, "versioned");
           },
   });
   registry.add(SnapshotInfo{
@@ -378,18 +448,29 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .is_local = true,
       .counts_steps = true,
       .sim_safe = false,
-      .values = "u64,blob",
+      .values = "u64,blob,versioned",
       .make =
           [](std::uint32_t m, std::uint32_t /*n*/,
              const Options& options) -> std::unique_ptr<core::PartialSnapshot> {
-            std::uint64_t cap = options.get_uint("cap", 0);
-            std::uint64_t initial = options.get_uint("initial", 0);
-            if (blob_plane(options, "u64")) {
-              return std::make_unique<baseline::SeqlockSnapshotBlob>(m, cap,
-                                                                     initial);
-            }
-            return std::make_unique<baseline::SeqlockSnapshot>(m, cap,
-                                                               initial);
+            return make_seqlock(m, options, "u64");
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "seqlock_versioned",
+      .description = "the global seqlock on the versioned read plane: "
+                     "writers still serialize, but scans walk version "
+                     "chains and never retry (twin of "
+                     "seqlock:value=versioned)",
+      .options_help = "cap=<u64>,initial=<u64>",
+      .is_wait_free = false,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = false,
+      .values = "versioned",
+      .make =
+          [](std::uint32_t m, std::uint32_t /*n*/,
+             const Options& options) -> std::unique_ptr<core::PartialSnapshot> {
+            return make_seqlock(m, options, "versioned");
           },
   });
 }

@@ -1,0 +1,180 @@
+// Steady-state VERSIONED (value=versioned) operations must not touch the
+// heap, and quiescent chains must stay trimmed.
+//
+// The versioned read plane (primitives/version_chain.h) appends one
+// version node per update and walks chains per scan; this suite proves
+// the two lifecycle claims ISSUE 6 makes about it:
+//
+//   * zero steady-state allocations: after warm-up, every update's node
+//     comes from the Pool (the node retired by the lazy chain trim
+//     returns through EBR with its storage intact -- acquire 1 / retire 1
+//     per update, balanced), and every scan re-fills the caller's buffer
+//     in place;
+//   * chain-length boundedness: the lazy trim keeps the unretired set of
+//     each chain at {head, head->prev}, and with quiescent readers a
+//     scan's chain walk reads the head immediately -- the OpStats
+//     chain_nodes oracle reports exactly 1 node walked.
+//
+// Like its alloc-test siblings this is its own binary: it replaces the
+// global operator new/delete with the shared counting versions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/cas_psnap.h"
+#include "core/op_stats.h"
+#include "core/partial_snapshot.h"
+#include "exec/exec.h"
+#include "primitives/value_plane.h"
+#include "registry/registry.h"
+#include "tests/support/counting_allocator.h"
+
+namespace psnap::core {
+namespace {
+
+using test::g_allocations;
+
+constexpr std::uint32_t kM = 64;
+constexpr std::uint32_t kN = 4;
+
+const std::vector<std::uint32_t> kIdx{3, 9, 17, 40};
+
+// Every versioned construction route: canned sim-safe entries and
+// value=versioned specs, both runtimes, all three host algorithms.
+const char* const kVersionedSpecs[] = {
+    "fig3_cas_versioned",
+    "full_snapshot_versioned",
+    "seqlock_versioned",
+    "fig3_cas:value=versioned",
+    "fig3_cas_fast:value=versioned",
+    "full_snapshot:value=versioned",
+    "seqlock:value=versioned",
+};
+
+// Drives updates and scans far past every warm-up watermark: pool fill,
+// EBR retired-list capacity, chain trims, and the caller-side scan
+// buffer's capacity.
+void warm_up(PartialSnapshot& snap) {
+  std::vector<std::uint64_t> out;
+  for (int round = 0; round < 8; ++round) {
+    for (std::uint32_t i = 0; i < kM; ++i) snap.update(i, i);
+    snap.scan(kIdx, out);
+  }
+  for (int k = 0; k < 512; ++k) {
+    snap.update(static_cast<std::uint32_t>(k % kM), 100 + k);
+  }
+}
+
+TEST(VersionAllocTest, SteadyStateVersionedUpdatesAreAllocationFree) {
+  exec::ScopedPid pid(0);
+  for (const char* spec : kVersionedSpecs) {
+    auto snap = registry::make_snapshot(spec, kM, kN);
+    ASSERT_EQ(snap->value_plane(), "versioned") << spec;
+    warm_up(*snap);
+    std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    for (int k = 0; k < 512; ++k) {
+      snap->update(static_cast<std::uint32_t>(k % kM), 5000 + k);
+    }
+    EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u)
+        << spec;
+    // The updates still publish real data through the chains.
+    std::vector<std::uint64_t> out;
+    const std::vector<std::uint32_t> last{511 % kM};
+    snap->scan(last, out);
+    EXPECT_EQ(out, (std::vector<std::uint64_t>{5000 + 511})) << spec;
+  }
+}
+
+TEST(VersionAllocTest, SteadyStateVersionedScansAreAllocationFree) {
+  exec::ScopedPid pid(0);
+  for (const char* spec : kVersionedSpecs) {
+    auto snap = registry::make_snapshot(spec, kM, kN);
+    warm_up(*snap);
+    std::vector<std::uint64_t> out;
+    for (int k = 0; k < 64; ++k) snap->scan(kIdx, out);
+    std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    for (int k = 0; k < 256; ++k) snap->scan(kIdx, out);
+    for (int k = 0; k < 256; ++k) snap->scan_versioned(kIdx, out);
+    EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u)
+        << spec;
+  }
+}
+
+// The quiescent-reader chain-length oracle: every update self-stamps
+// before returning, so a subsequent scan's epoch covers every published
+// stamp and the chain walk must stop at the head -- chain_nodes == 1, on
+// every component, no matter how many updates ran.  (Anything larger
+// would mean trims are lagging or stamps are leaking past the camera.)
+TEST(VersionChainTest, QuiescentScansWalkExactlyOneNode) {
+  exec::ScopedPid pid(0);
+  for (const char* spec : kVersionedSpecs) {
+    auto snap = registry::make_snapshot(spec, kM, kN);
+    std::vector<std::uint64_t> out;
+    std::vector<std::uint32_t> all(kM);
+    for (std::uint32_t i = 0; i < kM; ++i) all[i] = i;
+    for (int round = 0; round < 16; ++round) {
+      for (std::uint32_t i = 0; i < kM; ++i) {
+        snap->update(i, round * kM + i);
+      }
+      snap->scan(all, out);
+      EXPECT_EQ(tls_op_stats().chain_nodes, 1u) << spec;
+      for (std::uint32_t i = 0; i < kM; ++i) {
+        EXPECT_EQ(out[i], static_cast<std::uint64_t>(round) * kM + i) << spec;
+      }
+    }
+  }
+}
+
+// Per-thread epochs are strictly increasing (each scan buys a fresh
+// camera tick), and a value stamped at epoch e stays visible to every
+// later scan.
+TEST(VersionChainTest, ScanEpochsStrictlyIncrease) {
+  exec::ScopedPid pid(0);
+  for (const char* spec : kVersionedSpecs) {
+    auto snap = registry::make_snapshot(spec, kM, kN);
+    std::vector<std::uint64_t> out;
+    std::uint64_t prev_epoch = 0;
+    bool first = true;
+    for (int k = 0; k < 32; ++k) {
+      snap->update(static_cast<std::uint32_t>(k % kM), 7000 + k);
+      std::uint64_t epoch = snap->scan_versioned(kIdx, out);
+      EXPECT_EQ(tls_op_stats().epoch, epoch) << spec;
+      if (!first) {
+        EXPECT_GT(epoch, prev_epoch) << spec;
+      }
+      prev_epoch = epoch;
+      first = false;
+    }
+  }
+}
+
+// The non-versioned planes must reject scan_versioned loudly (there is no
+// camera to linearize against), naming the requested plane in the error.
+TEST(VersionChainTest, NonVersionedPlanesRejectScanVersioned) {
+  exec::ScopedPid pid(0);
+  for (const char* spec : {"fig3_cas", "full_snapshot", "seqlock",
+                           "fig1_register", "double_collect"}) {
+    auto snap = registry::make_snapshot(spec, kM, kN);
+    std::vector<std::uint64_t> out;
+    EXPECT_THROW(snap->scan_versioned(kIdx, out), std::logic_error) << spec;
+  }
+}
+
+// Pool observability: steady-state updates must be RECYCLING nodes (the
+// trim feeds the pool through EBR), not silently heap-feeding -- the
+// counting allocator above proves "no heap", this proves "yes pool".
+TEST(VersionChainTest, TrimmedNodesRecycleThroughThePool) {
+  exec::ScopedPid pid(0);
+  CasPartialSnapshotVersioned snap(kM, kN);
+  warm_up(snap);
+  std::uint64_t reused_before = snap.record_pool().reused_count();
+  for (int k = 0; k < 512; ++k) {
+    snap.update(static_cast<std::uint32_t>(k % kM), 9000 + k);
+  }
+  EXPECT_GE(snap.record_pool().reused_count(), reused_before + 256)
+      << "version nodes are not recycling through the pool";
+}
+
+}  // namespace
+}  // namespace psnap::core

@@ -28,10 +28,11 @@ TEST(SnapshotRegistry, CataloguesTheExpectedBuiltins) {
   for (const char* name :
        {"fig1_register", "fig3_cas", "fig3_write_ablation", "full_snapshot",
         "double_collect", "lock", "seqlock", "fig1_register_blob",
-        "fig3_cas_blob", "full_snapshot_blob"}) {
+        "fig3_cas_blob", "full_snapshot_blob", "fig3_cas_versioned",
+        "full_snapshot_versioned", "seqlock_versioned"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
-  EXPECT_GE(registry.all().size(), 10u);
+  EXPECT_GE(registry.all().size(), 13u);
   EXPECT_EQ(registry.find("no_such_impl"), nullptr);
 }
 
@@ -272,6 +273,42 @@ TEST(SnapshotRegistry, ValuePlaneOptionSelectsThePlaneOnEveryBuiltin) {
   }
 }
 
+TEST(SnapshotRegistry, ValuePlaneOptionSelectsTheVersionedPlane) {
+  exec::ScopedPid pid(0);
+  for (const char* spec :
+       {"fig3_cas:value=versioned", "fig3_cas_fast:value=versioned",
+        "full_snapshot:value=versioned", "seqlock:value=versioned",
+        "fig3_cas_versioned", "full_snapshot_versioned",
+        "seqlock_versioned"}) {
+    auto snap = make_snapshot(spec, 4, 2);
+    EXPECT_EQ(snap->value_plane(), "versioned") << spec;
+    // The u64 interface routes through the version chains, so every
+    // u64-driven harness covers this plane unchanged.
+    snap->update(1, 77);
+    EXPECT_EQ(snap->scan({1, 0}), (std::vector<std::uint64_t>{77, 0}))
+        << spec;
+    // The plane-specific API returns the scan's camera epoch.
+    std::vector<std::uint64_t> out;
+    const std::vector<std::uint32_t> idx{1, 3};
+    std::uint64_t e1 = snap->scan_versioned(idx, out);
+    EXPECT_EQ(out, (std::vector<std::uint64_t>{77, 0})) << spec;
+    std::uint64_t e2 = snap->scan_versioned(idx, out);
+    EXPECT_GT(e2, e1) << spec;
+    // Versioned stores words, not byte payloads.
+    EXPECT_THROW(snap->update_blob(0, {}), std::logic_error) << spec;
+  }
+}
+
+TEST(SnapshotRegistry, NonVersionedPlanesRejectScanVersioned) {
+  exec::ScopedPid pid(0);
+  for (const char* spec : {"fig3_cas", "fig3_cas:value=blob", "seqlock"}) {
+    auto snap = make_snapshot(spec, 4, 2);
+    std::vector<std::uint64_t> out;
+    const std::vector<std::uint32_t> idx{0};
+    EXPECT_THROW(snap->scan_versioned(idx, out), std::logic_error) << spec;
+  }
+}
+
 TEST(SnapshotRegistry, U64PlaneRejectsBlobOperations) {
   exec::ScopedPid pid(0);
   auto snap = make_snapshot("fig3_cas", 4, 2);
@@ -294,11 +331,14 @@ TEST(SnapshotRegistry, UnsupportedValuePlaneFailsWithTheFullCatalogue) {
     EXPECT_NE(message.find("does not support value=qword"),
               std::string::npos)
         << message;
-    EXPECT_NE(message.find("supported: u64,blob"), std::string::npos)
+    EXPECT_NE(message.find("supported: u64,blob,versioned"),
+              std::string::npos)
         << message;
     EXPECT_NE(message.find("known implementations"), std::string::npos)
         << message;
     EXPECT_NE(message.find("{value=u64,blob}"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("{value=u64,blob,versioned}"), std::string::npos)
         << message;
   }
   // The canned blob twins accept ONLY the blob plane.
@@ -310,6 +350,29 @@ TEST(SnapshotRegistry, UnsupportedValuePlaneFailsWithTheFullCatalogue) {
     EXPECT_NE(message.find("does not support value=u64"), std::string::npos)
         << message;
     EXPECT_NE(message.find("supported: blob"), std::string::npos) << message;
+  }
+  // Entries that never grew a version chain reject the versioned plane...
+  try {
+    make_snapshot("fig1_register:value=versioned", 4, 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("does not support value=versioned"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("supported: u64,blob"), std::string::npos)
+        << message;
+  }
+  // ...and the canned versioned twins accept ONLY the versioned plane.
+  try {
+    make_snapshot("fig3_cas_versioned:value=u64", 4, 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("does not support value=u64"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("supported: versioned"), std::string::npos)
+        << message;
   }
 }
 
@@ -331,6 +394,9 @@ TEST(SnapshotRegistry, DefaultPlaneIsTheFirstListed) {
   EXPECT_TRUE(value_plane_supported("u64,blob", "blob"));
   EXPECT_FALSE(value_plane_supported("u64,blob", "qword"));
   EXPECT_FALSE(value_plane_supported("u64", "blob"));
+  EXPECT_TRUE(value_plane_supported("u64,blob,versioned", "versioned"));
+  EXPECT_FALSE(value_plane_supported("u64,blob", "versioned"));
+  EXPECT_EQ(default_value_plane("versioned"), "versioned");
   EXPECT_EQ(default_value_plane("u64,blob"), "u64");
   EXPECT_EQ(default_value_plane("blob"), "blob");
   // Capability field vs instance, for every entry.
