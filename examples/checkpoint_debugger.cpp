@@ -16,10 +16,14 @@
 // which holds at every real instant (a stage cannot have consumed more
 // than its upstream produced).  A torn checkpoint -- new downstream value
 // with a stale upstream value -- would violate it; a consistent partial
-// scan never does.  At the end, a full checkpoint (scan of all stages) is
-// taken and printed as the recovery point.
+// scan never does.  At the end, a full checkpoint is committed as a
+// DURABLE frame through the persist layer (CRC-framed, atomic-rename),
+// loaded back, re-verified against the invariant, and printed as the
+// recovery point -- the same frames examples/recovery_service restarts
+// from after kill -9.
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -27,6 +31,8 @@
 
 #include "common/cli.h"
 #include "exec/thread_registry.h"
+#include "persist/checkpoint.h"
+#include "recovery/checkpointer.h"
 #include "registry/registry.h"
 
 int main(int argc, char** argv) {
@@ -36,6 +42,7 @@ int main(int argc, char** argv) {
   flags.define("impl", "fig3_cas",
                "registry spec of the snapshot implementation:\n" +
                    psnap::registry::snapshot_catalogue());
+  flags.define("dir", "", "checkpoint directory (default: fresh temp dir)");
   if (!flags.parse(argc, argv)) return 1;
 
   const auto stages = static_cast<std::uint32_t>(flags.get_uint("stages"));
@@ -95,17 +102,47 @@ int main(int argc, char** argv) {
   for (auto& w : workers) w.join();
   debugger.join();
 
-  psnap::exec::ThreadHandle pid;
-  auto recovery_point = progress.scan_all();
   std::printf("pipeline finished; %llu adjacent-pair checkpoints, "
               "%llu invariant violations\n",
               static_cast<unsigned long long>(checkpoints),
               static_cast<unsigned long long>(violations));
-  std::printf("recovery checkpoint:");
+
+  // The final recovery point rides the durable path: commit one full
+  // frame, load it back through the corruption-checked loader, and trust
+  // only what the load returned.
+  std::string dir = flags.get_string("dir");
+  if (dir.empty()) {
+    std::string tmpl = "/tmp/psnap-debugger-XXXXXX";
+    char* made = ::mkdtemp(tmpl.data());
+    if (made == nullptr) {
+      std::perror("mkdtemp");
+      return 1;
+    }
+    dir = made;
+  }
+  psnap::exec::ThreadHandle pid;
+  psnap::persist::CheckpointWriter writer(dir);
+  psnap::recovery::Checkpointer::Options options;
+  options.impl_spec = flags.get_string("impl");
+  options.initial_m = stages;
+  options.max_threads = stages + 1;
+  psnap::recovery::Checkpointer ck(progress, writer, options);
+  std::string frame_path = ck.checkpoint_now();
+
+  auto loaded = psnap::persist::CheckpointLoader(dir).load_newest();
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "committed frame did not load back\n");
+    return 1;
+  }
+  bool frame_consistent = true;
+  for (std::uint32_t k = 1; k < stages; ++k) {
+    if (loaded->values[k] > loaded->values[k - 1]) frame_consistent = false;
+  }
+  std::printf("recovery checkpoint (%s):", frame_path.c_str());
   for (std::uint32_t k = 0; k < stages; ++k) {
     std::printf(" stage%u=%llu", k,
-                static_cast<unsigned long long>(recovery_point[k]));
+                static_cast<unsigned long long>(loaded->values[k]));
   }
-  std::printf("\n");
-  return violations == 0 ? 0 : 1;
+  std::printf("%s\n", frame_consistent ? "" : "  INVARIANT VIOLATED");
+  return violations == 0 && frame_consistent ? 0 : 1;
 }

@@ -1,0 +1,383 @@
+#include "persist/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+#include "persist/crc32.h"
+
+namespace psnap::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'S', 'N', 'P', 'C', 'K', 'P', '1'};
+constexpr std::size_t kCrcBytes = sizeof(std::uint32_t);
+constexpr std::string_view kFramePrefix = "ckpt-";
+constexpr std::string_view kFrameSuffix = ".psnap";
+
+enum class Plane : std::uint32_t { kU64 = 0, kBlob = 1, kVersioned = 2 };
+
+std::optional<Plane> plane_from_name(std::string_view name) {
+  if (name == "u64") return Plane::kU64;
+  if (name == "blob") return Plane::kBlob;
+  if (name == "versioned") return Plane::kVersioned;
+  return std::nullopt;
+}
+
+std::string_view plane_name(Plane plane) {
+  switch (plane) {
+    case Plane::kU64: return "u64";
+    case Plane::kBlob: return "blob";
+    case Plane::kVersioned: return "versioned";
+  }
+  return "u64";
+}
+
+template <class T>
+void append_raw(std::vector<std::byte>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+void append_bytes(std::vector<std::byte>& out,
+                  std::span<const std::byte> bytes) {
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+// Bounds-checked cursor over an untrusted byte image.  Every read is
+// validated against the remaining length BEFORE dereferencing, so a
+// bit-flipped length field can at worst make parsing fail, never read out
+// of bounds or allocate absurd amounts.
+struct Cursor {
+  std::span<const std::byte> bytes;
+  std::size_t pos = 0;
+
+  std::size_t remaining() const { return bytes.size() - pos; }
+
+  template <class T>
+  bool read(T& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (remaining() < sizeof(T)) return false;
+    std::memcpy(&out, bytes.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+
+  bool read_bytes(std::size_t n, std::span<const std::byte>& out) {
+    if (remaining() < n) return false;
+    out = bytes.subspan(pos, n);
+    pos += n;
+    return true;
+  }
+};
+
+bool fail(std::string* error, std::string_view reason) {
+  if (error != nullptr) *error = std::string(reason);
+  return false;
+}
+
+// Parses "<prefix><seq><suffix>"; nullopt for anything else (tmp orphans,
+// stray files).
+std::optional<std::uint64_t> frame_sequence(std::string_view name) {
+  if (name.size() <= kFramePrefix.size() + kFrameSuffix.size()) {
+    return std::nullopt;
+  }
+  if (name.substr(0, kFramePrefix.size()) != kFramePrefix ||
+      name.substr(name.size() - kFrameSuffix.size()) != kFrameSuffix) {
+    return std::nullopt;
+  }
+  std::string_view digits = name.substr(
+      kFramePrefix.size(),
+      name.size() - kFramePrefix.size() - kFrameSuffix.size());
+  std::uint64_t seq = 0;
+  auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), seq);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+    return std::nullopt;
+  }
+  return seq;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void fsync_path(const std::string& path, bool directory) {
+  int flags = O_RDONLY;
+#ifdef O_DIRECTORY
+  if (directory) flags |= O_DIRECTORY;
+#endif
+  int fd = ::open(path.c_str(), flags);
+  if (fd < 0) throw_errno("open for fsync " + path);
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fsync " + path);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize_frame(const CheckpointData& frame) {
+  auto plane = plane_from_name(frame.value_plane);
+  if (!plane) {
+    throw std::invalid_argument("serialize_frame: unknown value plane '" +
+                                frame.value_plane + "'");
+  }
+  const std::size_t entries = frame.entry_count();
+  const std::size_t payloads =
+      *plane == Plane::kBlob ? frame.blobs.size() : frame.values.size();
+  if (payloads != entries) {
+    throw std::invalid_argument(
+        "serialize_frame: " + std::to_string(payloads) + " payloads for " +
+        std::to_string(entries) + " entries");
+  }
+  if (!frame.indices.empty()) {
+    for (std::uint32_t i : frame.indices) {
+      if (i >= frame.num_components) {
+        throw std::invalid_argument(
+            "serialize_frame: partial-frame index " + std::to_string(i) +
+            " >= m=" + std::to_string(frame.num_components));
+      }
+    }
+  }
+
+  std::vector<std::byte> out;
+  append_bytes(out, std::as_bytes(std::span(kMagic)));
+  append_raw(out, frame.sequence);
+  append_raw(out, frame.epoch);
+  append_raw(out, static_cast<std::uint32_t>(*plane));
+  append_raw(out, frame.initial_m);
+  append_raw(out, frame.num_components);
+  append_raw(out, frame.max_threads);
+  append_raw(out, static_cast<std::uint32_t>(frame.impl_spec.size()));
+  append_raw(out, static_cast<std::uint32_t>(frame.indices.size()));
+  append_bytes(out, std::as_bytes(std::span(frame.impl_spec)));
+  append_bytes(out, std::as_bytes(std::span(frame.indices)));
+  if (*plane == Plane::kBlob) {
+    for (const value::Blob& blob : frame.blobs) {
+      append_raw(out, static_cast<std::uint32_t>(blob.size()));
+      append_bytes(out, blob);
+    }
+  } else {
+    append_bytes(out, std::as_bytes(std::span(frame.values)));
+  }
+  append_raw(out, crc32(out));
+  return out;
+}
+
+std::optional<CheckpointData> parse_frame(std::span<const std::byte> bytes,
+                                          std::string* error) {
+  auto reject = [&](std::string_view why) -> std::optional<CheckpointData> {
+    fail(error, why);
+    return std::nullopt;
+  };
+
+  // Integrity first: nothing in the image is believed until the CRC over
+  // everything before the trailer matches the trailer.
+  if (bytes.size() < sizeof(kMagic) + kCrcBytes) {
+    return reject("frame shorter than header + CRC trailer");
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - kCrcBytes,
+              kCrcBytes);
+  if (crc32(bytes.first(bytes.size() - kCrcBytes)) != stored_crc) {
+    return reject("CRC mismatch");
+  }
+
+  Cursor cur{bytes.first(bytes.size() - kCrcBytes)};
+  std::span<const std::byte> magic;
+  if (!cur.read_bytes(sizeof(kMagic), magic) ||
+      std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+    return reject("bad magic");
+  }
+
+  CheckpointData frame;
+  std::uint32_t plane_id = 0, spec_len = 0, index_count = 0;
+  if (!cur.read(frame.sequence) || !cur.read(frame.epoch) ||
+      !cur.read(plane_id) || !cur.read(frame.initial_m) ||
+      !cur.read(frame.num_components) || !cur.read(frame.max_threads) ||
+      !cur.read(spec_len) || !cur.read(index_count)) {
+    return reject("truncated header");
+  }
+  if (plane_id > static_cast<std::uint32_t>(Plane::kVersioned)) {
+    return reject("unknown value plane id");
+  }
+  const Plane plane = static_cast<Plane>(plane_id);
+  frame.value_plane = std::string(plane_name(plane));
+  if (frame.initial_m > frame.num_components) {
+    return reject("initial_m exceeds component count");
+  }
+
+  std::span<const std::byte> spec_bytes;
+  if (!cur.read_bytes(spec_len, spec_bytes)) {
+    return reject("truncated registry spec");
+  }
+  frame.impl_spec.assign(reinterpret_cast<const char*>(spec_bytes.data()),
+                         spec_bytes.size());
+
+  if (index_count > cur.remaining() / sizeof(std::uint32_t)) {
+    return reject("truncated index list");
+  }
+  frame.indices.resize(index_count);
+  for (std::uint32_t& i : frame.indices) {
+    if (!cur.read(i)) return reject("truncated index list");
+    if (i >= frame.num_components) return reject("index out of range");
+  }
+
+  const std::size_t entries = frame.entry_count();
+  if (plane == Plane::kBlob) {
+    frame.blobs.reserve(entries);
+    for (std::size_t k = 0; k < entries; ++k) {
+      std::uint32_t len = 0;
+      std::span<const std::byte> payload;
+      if (!cur.read(len) || !cur.read_bytes(len, payload)) {
+        return reject("truncated blob payload");
+      }
+      frame.blobs.emplace_back(payload.begin(), payload.end());
+    }
+  } else {
+    if (entries > cur.remaining() / sizeof(std::uint64_t)) {
+      return reject("truncated value payload");
+    }
+    frame.values.resize(entries);
+    for (std::uint64_t& v : frame.values) {
+      if (!cur.read(v)) return reject("truncated value payload");
+    }
+  }
+  if (cur.remaining() != 0) {
+    return reject("trailing bytes after payload");
+  }
+  return frame;
+}
+
+CheckpointWriter::CheckpointWriter(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.keep_frames < 2) options_.keep_frames = 2;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("CheckpointWriter: cannot create '" + dir_ +
+                             "': " + ec.message());
+  }
+}
+
+std::string CheckpointWriter::commit(const CheckpointData& frame) {
+  const std::vector<std::byte> image = serialize_frame(frame);
+  const std::string final_name =
+      std::string(kFramePrefix) + std::to_string(frame.sequence) +
+      std::string(kFrameSuffix);
+  const std::string final_path = dir_ + "/" + final_name;
+  const std::string tmp_path = final_path + ".tmp";
+
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open " + tmp_path);
+  const std::byte* p = image.data();
+  std::size_t left = image.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("write " + tmp_path);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (options_.sync && ::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fsync " + tmp_path);
+  }
+  ::close(fd);
+
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    throw_errno("rename " + tmp_path + " -> " + final_path);
+  }
+  if (options_.sync) fsync_path(dir_, /*directory=*/true);
+
+  // Prune: keep the newest keep_frames committed frames.  Pruning after
+  // the commit means a crash anywhere in here leaves MORE history than
+  // asked for, never less.
+  CheckpointLoader loader(dir_);
+  std::vector<std::string> paths = loader.frame_paths();
+  for (std::size_t k = options_.keep_frames; k < paths.size(); ++k) {
+    std::error_code ec;
+    fs::remove(paths[k], ec);  // best effort
+  }
+  return final_path;
+}
+
+CheckpointLoader::CheckpointLoader(std::string dir) : dir_(std::move(dir)) {}
+
+std::vector<std::string> CheckpointLoader::frame_paths() const {
+  std::vector<std::pair<std::uint64_t, std::string>> frames;
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return {};
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    auto seq = frame_sequence(entry.path().filename().string());
+    if (!seq) continue;
+    frames.emplace_back(*seq, entry.path().string());
+  }
+  std::sort(frames.begin(), frames.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> out;
+  out.reserve(frames.size());
+  for (auto& [seq, path] : frames) out.push_back(std::move(path));
+  return out;
+}
+
+std::optional<CheckpointData> CheckpointLoader::load_newest(
+    Report* report) const {
+  for (const std::string& path : frame_paths()) {
+    std::vector<std::byte> image;
+    {
+      int fd = ::open(path.c_str(), O_RDONLY);
+      if (fd < 0) {
+        if (report != nullptr) {
+          report->rejected.push_back(path + ": " + std::strerror(errno));
+        }
+        continue;
+      }
+      std::byte buf[1 << 16];
+      ssize_t n;
+      while ((n = ::read(fd, buf, sizeof buf)) > 0) {
+        image.insert(image.end(), buf, buf + n);
+      }
+      ::close(fd);
+      if (n < 0) {
+        if (report != nullptr) {
+          report->rejected.push_back(path + ": read failed");
+        }
+        continue;
+      }
+    }
+    std::string error;
+    if (auto frame = parse_frame(image, &error)) {
+      return frame;
+    }
+    if (report != nullptr) {
+      report->rejected.push_back(path + ": " + error);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace psnap::persist

@@ -1,0 +1,44 @@
+#include "persist/crc32.h"
+
+#include <array>
+
+namespace psnap::persist {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::byte> bytes) {
+  for (std::byte b : bytes) {
+    state = kTable[(state ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^
+            (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32_finish(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(std::span<const std::byte> bytes) {
+  return crc32_finish(crc32_update(crc32_init(), bytes));
+}
+
+}  // namespace psnap::persist

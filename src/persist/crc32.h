@@ -1,0 +1,31 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) for checkpoint
+// frame integrity.
+//
+// The durability layer never trusts bytes it reads back from disk: a
+// frame's CRC is computed over everything before the trailer and verified
+// before a single field is believed (persist/checkpoint.h).  CRC-32
+// detects every single-bit error and every burst up to 32 bits -- the
+// torn-write and bit-rot shapes the torn-checkpoint tests inject -- which
+// is the right tool for "reject and fall back", as opposed to a
+// cryptographic hash, which would defend against an adversary the
+// recovery model does not include.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace psnap::persist {
+
+// One-shot CRC-32 of a byte range.  check("123456789") == 0xCBF43926.
+std::uint32_t crc32(std::span<const std::byte> bytes);
+
+// Incremental form: feed chunks with `state` threaded through, starting
+// and finishing with crc32_init/crc32_finish.  Lets the frame writer
+// checksum header and payload without concatenating them.
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::byte> bytes);
+std::uint32_t crc32_finish(std::uint32_t state);
+
+}  // namespace psnap::persist

@@ -1,0 +1,37 @@
+// Rollback restore: rebuild a live snapshot object from a durable frame.
+//
+// restore() is the contract the checkpoint format exists for: given a
+// FULL frame (persist/checkpoint.h) it reconstructs a registry-spec'd
+// object whose observable state -- value plane, component count, growth
+// watermark, and every component's payload -- matches the consistent scan
+// the frame captured:
+//
+//   1. build: registry::make_snapshot(frame.impl_spec, frame.initial_m,
+//      frame.max_threads), i.e. the SAME spec string the checkpointed
+//      service was built from (options, ablations, and plane included);
+//   2. regrow: add_components() from the constructed count up to
+//      frame.num_components, so growth is REPLAYED -- post-restore the
+//      object sits at the same point of its grow-only lifecycle and
+//      further add_components() calls continue from there;
+//   3. replay: update (or update_blob) every component with the frame's
+//      payload, on behalf of the calling thread's pid.
+//
+// Requirements, enforced loudly: the frame must be full (a partial frame
+// cannot define the unlisted components -- std::invalid_argument), the
+// spec must rebuild on the frame's value plane (a frame written from a
+// blob object does not restore into a u64 spec -- std::invalid_argument),
+// and the caller must hold a registered pid (std::logic_error), because
+// the replay is made of ordinary update operations.
+#pragma once
+
+#include <memory>
+
+#include "core/partial_snapshot.h"
+#include "persist/checkpoint.h"
+
+namespace psnap::recovery {
+
+std::unique_ptr<core::PartialSnapshot> restore(
+    const persist::CheckpointData& frame);
+
+}  // namespace psnap::recovery

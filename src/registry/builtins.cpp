@@ -159,10 +159,20 @@ std::unique_ptr<core::PartialSnapshot> make_full(std::uint32_t m,
   return std::make_unique<baseline::FullSnapshot>(m, n, initial, bound);
 }
 
+// The scan-attempt cap of the starvation-prone baselines.  `max_attempts`
+// is the service-facing spelling (the Checkpointer's graceful-degradation
+// knob: a capped scan throws StarvationError and the Checkpointer backs
+// off and retries); `cap` remains as the historical alias.  When both are
+// given, max_attempts wins.
+std::uint64_t scan_attempt_cap(const Options& options) {
+  std::uint64_t cap = options.get_uint("cap", 0);
+  return options.get_uint("max_attempts", cap);
+}
+
 std::unique_ptr<core::PartialSnapshot> make_seqlock(std::uint32_t m,
                                                     const Options& options,
                                                     std::string_view def) {
-  std::uint64_t cap = options.get_uint("cap", 0);
+  std::uint64_t cap = scan_attempt_cap(options);
   std::uint64_t initial = options.get_uint("initial", 0);
   if (versioned_plane(options, def)) {
     return std::make_unique<baseline::SeqlockSnapshotVersioned>(m, cap,
@@ -399,8 +409,8 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
   registry.add(SnapshotInfo{
       .name = "double_collect",
       .description = "lock-free double collect, no helping: scans can "
-                     "starve (cap>0 throws StarvationError)",
-      .options_help = "cap=<u64>,initial=<u64>",
+                     "starve (max_attempts>0 throws StarvationError)",
+      .options_help = "max_attempts=<u64>,cap=<u64>,initial=<u64>",
       .is_wait_free = false,
       .is_local = true,
       .counts_steps = true,
@@ -409,7 +419,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .make =
           [](std::uint32_t m, std::uint32_t n,
              const Options& options) -> std::unique_ptr<core::PartialSnapshot> {
-            std::uint64_t cap = options.get_uint("cap", 0);
+            std::uint64_t cap = scan_attempt_cap(options);
             std::uint64_t initial = options.get_uint("initial", 0);
             if (blob_plane(options, "u64")) {
               return std::make_unique<baseline::DoubleCollectSnapshotBlob>(
@@ -442,8 +452,9 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
   registry.add(SnapshotInfo{
       .name = "seqlock",
       .description = "global-seqlock reference: invisible readers, one "
-                     "global conflict domain (cap>0 throws StarvationError)",
-      .options_help = "cap=<u64>,initial=<u64>",
+                     "global conflict domain (max_attempts>0 throws "
+                     "StarvationError)",
+      .options_help = "max_attempts=<u64>,cap=<u64>,initial=<u64>",
       .is_wait_free = false,
       .is_local = true,
       .counts_steps = true,
@@ -461,7 +472,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
                      "writers still serialize, but scans walk version "
                      "chains and never retry (twin of "
                      "seqlock:value=versioned)",
-      .options_help = "cap=<u64>,initial=<u64>",
+      .options_help = "max_attempts=<u64>,cap=<u64>,initial=<u64>",
       .is_wait_free = false,
       .is_local = true,
       .counts_steps = true,

@@ -1,0 +1,102 @@
+// Reusable fault-injection plans over the sim scheduler's crash hook.
+//
+// SimScheduler::Options::crashes implements the paper's Section 2 halting
+// failures: {pid, k} makes process pid's k-th base-object step never
+// execute and the process never run again.  The crash suites have been
+// hand-building those vectors; a FaultPlan names the recurring shapes so
+// recovery tests can say what they mean:
+//
+//   * crash_at(pid, step)      -- die at an absolute step of the process;
+//   * stall_after(pid, steps)  -- a STOP-COOPERATING worker: it keeps
+//     every announcement, active-set membership, and pid it holds,
+//     forever.  Mechanically identical to a crash (the process never
+//     steps again), which is exactly the adversary the wait-free
+//     protocols are proved against: survivors must finish while the
+//     stalled worker's announcement stays pending and its pid stays
+//     stranded at the watermark;
+//   * sweep(pid, first, last)  -- one plan per crash step, covering every
+//     window of the victim's execution (just-before-publish, mid
+//     embedded-scan, ...);
+//   * sweep_during(pid, before, during) -- the call-site-relative form:
+//     crash somewhere inside the victim's (k+1)-th..-ish operation, with
+//     `before` the steps its preceding operations take and `during` the
+//     steps of the operation under attack.  Pair with measure_steps(),
+//     which counts an operation's solo steps, to phrase
+//     "crash during update / scan / add_components" without hard-coding
+//     step counts that drift with the implementation.
+//
+// Plans compose: one FaultPlan can crash several processes (the
+// multi-failure suites), and apply() merges into an existing Options so
+// schedule policy and crash plan stay independently owned.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/sim_scheduler.h"
+
+namespace psnap::runtime {
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Process `pid` halts at its `step`-th base-object step (1-based); the
+  // step never executes.
+  FaultPlan& crash_at(std::uint32_t pid, std::uint64_t step) {
+    crashes_.push_back({pid, step});
+    return *this;
+  }
+
+  // Stop cooperating after `steps` completed steps (i.e. halt at step
+  // steps+1): the worker stays registered everywhere it was registered.
+  FaultPlan& stall_after(std::uint32_t pid, std::uint64_t steps) {
+    return crash_at(pid, steps + 1);
+  }
+
+  bool empty() const { return crashes_.empty(); }
+  const std::vector<SimScheduler::Options::Crash>& crashes() const {
+    return crashes_;
+  }
+
+  // Merges this plan into a scheduler option set (keeping any crashes
+  // already there) and returns it.
+  SimScheduler::Options apply(SimScheduler::Options base = {}) const {
+    base.crashes.insert(base.crashes.end(), crashes_.begin(), crashes_.end());
+    return base;
+  }
+
+  // One single-crash plan per step in [first, last] for `pid`.
+  static std::vector<FaultPlan> sweep(std::uint32_t pid, std::uint64_t first,
+                                      std::uint64_t last) {
+    std::vector<FaultPlan> plans;
+    for (std::uint64_t step = first; step <= last; ++step) {
+      plans.push_back(FaultPlan{}.crash_at(pid, step));
+    }
+    return plans;
+  }
+
+  // Plans crashing `pid` at every step of the operation that starts after
+  // `steps_before` completed steps and runs for `steps_during` steps.
+  static std::vector<FaultPlan> sweep_during(std::uint32_t pid,
+                                             std::uint64_t steps_before,
+                                             std::uint64_t steps_during) {
+    return sweep(pid, steps_before + 1, steps_before + steps_during);
+  }
+
+  // Counts the base-object steps `op` takes when run solo (pid 0) under
+  // the deterministic scheduler.  The count is schedule-independent for a
+  // solo run, so it anchors sweep_during() windows: measure the ops
+  // preceding the target, measure the target, sweep inside it.
+  static std::uint64_t measure_steps(const std::function<void()>& op) {
+    SimScheduler sched;
+    sched.add_process(op);
+    return sched.run().total_steps;
+  }
+
+ private:
+  std::vector<SimScheduler::Options::Crash> crashes_;
+};
+
+}  // namespace psnap::runtime

@@ -1,0 +1,146 @@
+// runtime::FaultPlan -- the named fault shapes the recovery suites are
+// built on.  Checks the plan algebra (crash_at/stall_after/sweep/
+// sweep_during/apply) and that the shapes mean what they claim against a
+// real snapshot under the sim scheduler: a crashed process halts exactly
+// where planned, a stalled worker stays registered forever, and
+// measure_steps anchors call-site-relative windows.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "registry/registry.h"
+#include "runtime/fault_plan.h"
+#include "runtime/sim_scheduler.h"
+
+namespace psnap::runtime {
+namespace {
+
+TEST(FaultPlan, SweepCoversEveryStepInclusive) {
+  auto plans = FaultPlan::sweep(/*pid=*/3, 5, 8);
+  ASSERT_EQ(plans.size(), 4u);
+  for (std::size_t k = 0; k < plans.size(); ++k) {
+    ASSERT_EQ(plans[k].crashes().size(), 1u);
+    EXPECT_EQ(plans[k].crashes()[0].pid, 3u);
+    EXPECT_EQ(plans[k].crashes()[0].at_step, 5 + k);
+  }
+}
+
+TEST(FaultPlan, SweepDuringIsCallSiteRelative) {
+  // Operation under attack starts after 10 completed steps and takes 4:
+  // the crash points are its steps, i.e. absolute steps 11..14.
+  auto plans = FaultPlan::sweep_during(/*pid=*/0, 10, 4);
+  ASSERT_EQ(plans.size(), 4u);
+  EXPECT_EQ(plans.front().crashes()[0].at_step, 11u);
+  EXPECT_EQ(plans.back().crashes()[0].at_step, 14u);
+}
+
+TEST(FaultPlan, StallAfterIsCrashAtNextStep) {
+  FaultPlan stall = FaultPlan{}.stall_after(2, 7);
+  ASSERT_EQ(stall.crashes().size(), 1u);
+  EXPECT_EQ(stall.crashes()[0].pid, 2u);
+  EXPECT_EQ(stall.crashes()[0].at_step, 8u);
+}
+
+TEST(FaultPlan, ApplyMergesIntoExistingOptions) {
+  SimScheduler::Options base;
+  base.policy = SimScheduler::Policy::kRandom;
+  base.seed = 42;
+  base.crashes = {{5, 100}};
+
+  FaultPlan plan = FaultPlan{}.crash_at(0, 3).crash_at(1, 9);
+  SimScheduler::Options merged = plan.apply(base);
+
+  EXPECT_EQ(merged.policy, SimScheduler::Policy::kRandom);
+  EXPECT_EQ(merged.seed, 42u);
+  ASSERT_EQ(merged.crashes.size(), 3u);  // pre-existing crash kept
+  EXPECT_EQ(merged.crashes[0].pid, 5u);
+  EXPECT_EQ(merged.crashes[1].pid, 0u);
+  EXPECT_EQ(merged.crashes[2].pid, 1u);
+  EXPECT_TRUE(FaultPlan{}.empty());
+  EXPECT_FALSE(plan.empty());
+}
+
+// measure_steps anchors sweep_during windows: a solo run is
+// schedule-independent, so the difference of two measurements isolates
+// one operation's step count.
+TEST(FaultPlan, MeasureStepsIsDeterministic) {
+  auto one_update = [] {
+    auto snap = registry::make_snapshot("fig3_cas", 2, 2);
+    snap->update(0, 1);
+  };
+  std::uint64_t a = FaultPlan::measure_steps(one_update);
+  std::uint64_t b = FaultPlan::measure_steps(one_update);
+  ASSERT_GT(a, 0u);
+  EXPECT_EQ(a, b);
+
+  std::uint64_t base = FaultPlan::measure_steps(
+      [] { auto snap = registry::make_snapshot("fig3_cas", 2, 2); });
+  EXPECT_GT(a, base);  // the update itself costs steps
+}
+
+// The semantic claim behind every recovery sweep: a planned crash halts
+// the victim exactly there (its later operations never run) while the
+// survivor still finishes -- swept across the victim's whole operation,
+// its step count anchored by measure_steps differences.
+TEST(FaultPlan, CrashHaltsVictimSurvivorFinishes) {
+  std::uint64_t constructed = FaultPlan::measure_steps(
+      [] { auto snap = registry::make_snapshot("fig3_cas", 2, 2); });
+  std::uint64_t with_update = FaultPlan::measure_steps([] {
+    auto snap = registry::make_snapshot("fig3_cas", 2, 2);
+    snap->update(0, 11);
+  });
+  std::uint64_t update_steps = with_update - constructed;
+  ASSERT_GT(update_steps, 0u);
+
+  for (const FaultPlan& plan : FaultPlan::sweep(0, 1, update_steps)) {
+    auto snap = registry::make_snapshot("fig3_cas", 2, 2);
+    bool victim_finished = false;
+    bool survivor_finished = false;
+
+    SimScheduler sched(plan.apply());
+    sched.add_process([&] {
+      snap->update(0, 11);
+      victim_finished = true;
+    });
+    sched.add_process([&] {
+      std::vector<std::uint64_t> out;
+      snap->update(1, 22);
+      snap->scan(std::vector<std::uint32_t>{0, 1}, out);
+      survivor_finished = true;
+    });
+    sched.run();
+
+    EXPECT_FALSE(victim_finished)
+        << "crash at step " << plan.crashes()[0].at_step
+        << " did not halt the victim";
+    EXPECT_TRUE(survivor_finished);
+  }
+}
+
+// A stalled (stop-cooperating) worker is indistinguishable from a crashed
+// one to the survivors: it holds its announcements forever, and the
+// wait-free implementation must complete around it.
+TEST(FaultPlan, StalledWorkerDoesNotBlockSurvivors) {
+  auto snap = registry::make_snapshot("fig3_cas", 2, 2);
+  bool survivor_finished = false;
+
+  SimScheduler sched(FaultPlan{}.stall_after(0, 3).apply());
+  sched.add_process([&] {
+    std::vector<std::uint64_t> out;
+    snap->scan(std::vector<std::uint32_t>{0, 1}, out);  // stalls mid-scan
+  });
+  sched.add_process([&] {
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t k = 1; k <= 5; ++k) snap->update(0, k);
+    snap->scan(std::vector<std::uint32_t>{0, 1}, out);
+    EXPECT_EQ(out[0], 5u);
+    survivor_finished = true;
+  });
+  auto result = sched.run();
+
+  EXPECT_TRUE(survivor_finished);
+  EXPECT_FALSE(result.hit_step_limit);
+}
+
+}  // namespace
+}  // namespace psnap::runtime
