@@ -4,6 +4,7 @@
 //   build/examples/sensor_fusion [--sensors0=N] [--sensors=N]
 //                                [--readings=N] [--queries=N]
 //                                [--readers=N] [--impl=<registry spec>]
+//                                [--publish=batch|singleton]
 //
 // A sensor array publishes readings into a partial snapshot object.  The
 // array GROWS while the system runs: new sensors hot-plug in blocks via
@@ -36,11 +37,24 @@
 // collect or retry, whatever N is) with the SAME epoch-spread oracle:
 // the versioned plane stores words, so the redundant u64 encoding and
 // its consistency check apply unchanged.
+//
+// Publish modes: the default --publish=batch presses update_batch into
+// service as the multi-sensor publish -- ONE batched call covers every
+// installed sensor per epoch, so the whole frame shares one announcement
+// and one helping round.  The oracle tightens with the implementation's
+// batch_atomicity() tier: on an atomic tier (versioned planes, lock,
+// seqlock) a fused subset must sit at exactly ONE epoch (spread 0); on
+// the amortized tiers entries land in argument order, so a scan may
+// straddle two adjacent frames (spread <= 1), same envelope as the
+// barrier gives the singleton mode.  --publish=singleton keeps the
+// historical per-component path for A/B comparison.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <memory>
+#include <span>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -73,7 +87,17 @@ int main(int argc, char** argv) {
   flags.define("impl", "fig3_cas:value=blob",
                "registry spec of the snapshot implementation:\n" +
                    psnap::registry::snapshot_catalogue());
+  flags.define("publish", "batch",
+               "multi-sensor publish path: 'batch' (one update_batch per "
+               "epoch frame) or 'singleton' (one update per sensor)");
   if (!flags.parse(argc, argv)) return 1;
+
+  const std::string publish = flags.get_string("publish");
+  if (publish != "batch" && publish != "singleton") {
+    std::fprintf(stderr, "--publish expects 'batch' or 'singleton'\n");
+    return 1;
+  }
+  const bool batch_publish = publish == "batch";
 
   const auto sensors = static_cast<std::uint32_t>(flags.get_uint("sensors"));
   // A --sensors below the default start size just means no hot-plugs; at
@@ -106,9 +130,26 @@ int main(int argc, char** argv) {
   }
   auto& array = *array_ptr;
   const bool blob = array.value_plane() == "blob";
-  std::printf("value plane: %s (%s payloads)\n",
+  const psnap::core::BatchAtomicity tier = array.batch_atomicity();
+  if (batch_publish && tier == psnap::core::BatchAtomicity::kUnsupported) {
+    std::fprintf(stderr,
+                 "--publish=batch needs a batch-capable implementation "
+                 "(catalogue entries marked (batch)); retry with "
+                 "--publish=singleton or another --impl\n");
+    return 1;
+  }
+  // The oracle's envelope: an atomic batch publish makes every fused
+  // subset single-epoch; amortized batches and the barrier-coupled
+  // singleton threads may straddle two adjacent frames.
+  const std::uint64_t allowed_spread =
+      batch_publish && tier == psnap::core::BatchAtomicity::kAtomic ? 0 : 1;
+  std::printf("value plane: %s (%s payloads), publish: %s (%s)\n",
               std::string(array.value_plane()).c_str(),
-              blob ? "struct SensorReading" : "packed u64");
+              blob ? "struct SensorReading" : "packed u64", publish.c_str(),
+              tier == psnap::core::BatchAtomicity::kAtomic    ? "atomic"
+              : tier == psnap::core::BatchAtomicity::kAmortized
+                  ? "amortized"
+                  : "per-component");
 
   // Sensor threads: groups of sensors share a thread (the protocol cost is
   // per process, not per component).  All advance epoch in lock-step via a
@@ -127,34 +168,73 @@ int main(int argc, char** argv) {
   std::atomic<std::uint64_t> queries_done{0};
 
   std::vector<std::thread> sensor_threads;
-  for (std::uint32_t t = 0; t < kSensorThreads; ++t) {
-    sensor_threads.emplace_back([&, t] {
+  if (batch_publish) {
+    // One publisher owns the whole frame: every installed sensor's reading
+    // for epoch e goes out in a single update_batch(_blob) -- one
+    // announcement and one helping round per epoch, and (on the atomic
+    // tiers) no scan can straddle two frames.  No barrier needed: the
+    // batch IS the epoch boundary.
+    sensor_threads.emplace_back([&] {
       psnap::exec::ThreadHandle pid;
-      while (!stop) {
-        std::uint64_t e = epoch.load(std::memory_order_acquire);
-        if (e > readings) break;
-        // Cover the sensors installed as of this epoch; a sensor plugged
-        // mid-epoch starts publishing next epoch (spread stays <= 1).
+      std::vector<SensorReading> frame;
+      std::vector<psnap::core::BlobBatchEntry> blob_entries;
+      std::vector<psnap::core::BatchEntry> entries;
+      for (std::uint64_t e = 1; e <= readings && !stop; ++e) {
+        // A sensor plugged mid-frame joins the next frame's batch.
         const std::uint32_t m = array.num_components();
-        for (std::uint32_t s = t; s < m; s += kSensorThreads) {
-          if (blob) {
-            SensorReading r{s, e, 20.0 + 0.01 * s + 0.001 * (e % 97)};
-            array.update_blob(s, psnap::value::as_bytes_of(r));
-          } else {
-            array.update(s, e * 1000 + s);
+        if (blob) {
+          frame.clear();
+          for (std::uint32_t s = 0; s < m; ++s) {
+            frame.push_back({s, e, 20.0 + 0.01 * s + 0.001 * (e % 97)});
           }
-        }
-        // Barrier: last thread in advances the epoch.
-        if (at_barrier.fetch_add(1) + 1 == kSensorThreads) {
-          at_barrier.store(0);
-          epoch.store(e + 1, std::memory_order_release);
+          blob_entries.clear();
+          for (std::uint32_t s = 0; s < m; ++s) {
+            blob_entries.push_back(
+                {s, psnap::value::as_bytes_of(frame[s])});
+          }
+          array.update_batch_blob(blob_entries);
         } else {
-          while (epoch.load(std::memory_order_acquire) == e && !stop) {
-            std::this_thread::yield();
+          entries.clear();
+          for (std::uint32_t s = 0; s < m; ++s) {
+            entries.push_back({s, e * 1000 + s});
           }
+          array.update_batch(
+              std::span<const psnap::core::BatchEntry>(entries));
         }
+        epoch.store(e + 1, std::memory_order_release);
       }
     });
+  } else {
+    for (std::uint32_t t = 0; t < kSensorThreads; ++t) {
+      sensor_threads.emplace_back([&, t] {
+        psnap::exec::ThreadHandle pid;
+        while (!stop) {
+          std::uint64_t e = epoch.load(std::memory_order_acquire);
+          if (e > readings) break;
+          // Cover the sensors installed as of this epoch; a sensor
+          // plugged mid-epoch starts publishing next epoch (spread
+          // stays <= 1).
+          const std::uint32_t m = array.num_components();
+          for (std::uint32_t s = t; s < m; s += kSensorThreads) {
+            if (blob) {
+              SensorReading r{s, e, 20.0 + 0.01 * s + 0.001 * (e % 97)};
+              array.update_blob(s, psnap::value::as_bytes_of(r));
+            } else {
+              array.update(s, e * 1000 + s);
+            }
+          }
+          // Barrier: last thread in advances the epoch.
+          if (at_barrier.fetch_add(1) + 1 == kSensorThreads) {
+            at_barrier.store(0);
+            epoch.store(e + 1, std::memory_order_release);
+          } else {
+            while (epoch.load(std::memory_order_acquire) == e && !stop) {
+              std::this_thread::yield();
+            }
+          }
+        }
+      });
+    }
   }
 
   // Fusion readers: short-lived generations.  Each life registers a fresh
@@ -225,10 +305,10 @@ int main(int argc, char** argv) {
           hi = std::max(hi, e);
         }
       }
-      // All sensors move epochs through one barrier, so a consistent view
-      // can straddle at most two adjacent epochs.
+      // Singleton/amortized publishes can straddle at most two adjacent
+      // epochs; an atomic batch publish pins the whole subset to one.
       std::uint64_t spread = (hi > lo) ? hi - lo : 0;
-      if (spread > 1) bad_fusions.fetch_add(1);
+      if (spread > allowed_spread) bad_fusions.fetch_add(1);
       record_spread(spread);
     }
   };

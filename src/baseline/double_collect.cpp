@@ -77,6 +77,63 @@ void DoubleCollectSnapshotT<Value>::update_blob(
 }
 
 template <class Value>
+template <class EntryT, class Fill>
+void DoubleCollectSnapshotT<Value>::do_update_batch(
+    std::span<const EntryT> entries, Fill&& fill) {
+  if (entries.empty()) return;
+  const std::uint32_t m = size_.load();
+  for (const EntryT& e : entries) PSNAP_ASSERT(e.index < m);
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  core::OpStats& stats = core::tls_op_stats();
+  stats.reset();
+  core::ScanContext& ctx = core::tls_scan_context();
+  ctx.begin();
+  auto guard = ebr_.pin();
+
+  // Coalesce duplicate indices, later entries winning.
+  std::span<const EntryT*> merged =
+      ctx.arena.take<const EntryT*>(entries.size());
+  std::uint32_t count = 0;
+  for (const EntryT& e : entries) {
+    std::uint32_t j = 0;
+    while (j < count && merged[j]->index != e.index) ++j;
+    merged[j] = &e;
+    if (j == count) ++count;
+  }
+  stats.batch_size = count;
+
+  for (std::uint32_t j = 0; j < count; ++j) {
+    std::unique_ptr<SimpleRecord> rec(
+        make_record(++counter_.at(pid).value, pid));
+    fill(*merged[j], rec->value);
+    const SimpleRecord* old = r_.at(merged[j]->index).exchange(rec.get());
+    rec.release();
+    ebr_.retire(const_cast<SimpleRecord*>(old));
+  }
+}
+
+template <class Value>
+void DoubleCollectSnapshotT<Value>::update_batch(
+    std::span<const core::BatchEntry> entries) {
+  do_update_batch(entries, [](const core::BatchEntry& e, ValueType& out) {
+    Value::encode(e.value, out);
+  });
+}
+
+template <class Value>
+void DoubleCollectSnapshotT<Value>::update_batch_blob(
+    std::span<const core::BlobBatchEntry> entries) {
+  if constexpr (Value::kIndirect) {
+    do_update_batch(entries, [](const core::BlobBatchEntry& e, ValueType& out) {
+      Value::assign(out, e.bytes);
+    });
+  } else {
+    core::PartialSnapshot::update_batch_blob(entries);
+  }
+}
+
+template <class Value>
 template <class Extract>
 void DoubleCollectSnapshotT<Value>::do_scan(
     std::span<const std::uint32_t> indices, core::ScanContext& ctx,

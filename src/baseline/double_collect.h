@@ -71,6 +71,15 @@ class DoubleCollectSnapshotT final : public core::PartialSnapshot {
   void scan_blobs(std::span<const std::uint32_t> indices,
                   std::vector<psnap::value::Blob>& out,
                   core::ScanContext& ctx) override;
+  // Batched updates share one EBR pin and one retire wave, but each of
+  // the k exchanges still linearizes on its own (there is no helping
+  // round here to amortize) -- kAmortized.
+  void update_batch(std::span<const core::BatchEntry> entries) override;
+  void update_batch_blob(
+      std::span<const core::BlobBatchEntry> entries) override;
+  core::BatchAtomicity batch_atomicity() const override {
+    return core::BatchAtomicity::kAmortized;
+  }
   using core::PartialSnapshot::scan;
   using core::PartialSnapshot::scan_blobs;
 
@@ -91,6 +100,8 @@ class DoubleCollectSnapshotT final : public core::PartialSnapshot {
 
   template <class Fill>
   void do_update(std::uint32_t i, Fill&& fill);
+  template <class EntryT, class Fill>
+  void do_update_batch(std::span<const EntryT> entries, Fill&& fill);
   // Runs the double collect; `extract` receives the stable collect (record
   // pointers, still EBR-pinned) and the canonical index set.
   template <class Extract>

@@ -40,6 +40,27 @@ FullSnapshotT<Value>::~FullSnapshotT() {
     }
     delete head;
   }
+  if constexpr (Value::kVersioned) {
+    // Crash sweep: a thread halted mid-update_batch leaves its descriptor
+    // in the per-pid slot.  Installed members belong to their chains
+    // (freed above or already recycled); the never-installed nodes and the
+    // descriptor itself are reachable only from here.
+    const std::uint32_t pids = bound_.get(n_);
+    for (std::uint32_t p = 0; p < pids; ++p) {
+      auto* slot = active_batch_.try_at(p);
+      if (slot == nullptr) continue;
+      BatchDesc* desc = (*slot)->load(std::memory_order_relaxed);
+      if (desc == nullptr) continue;
+      for (std::uint32_t e = 0; e < desc->slots.size(); ++e) {
+        auto& entry = desc->slots[e];
+        if (entry.node != nullptr &&
+            !entry.installed.load(std::memory_order_relaxed)) {
+          delete entry.node;
+        }
+      }
+      delete desc;
+    }
+  }
 }
 
 template <class Value>
@@ -124,6 +145,8 @@ void FullSnapshotT<Value>::do_update(std::uint32_t i, Fill&& fill) {
     rec->counter = ++counter_.at(pid).value;
     rec->pid = pid;
     rec->full_view.clear();  // versioned records carry no helping view
+    // A recycled record may have been a batch member in a prior life.
+    rec->batch.store(nullptr, std::memory_order_relaxed);
     FullRecord* node = rec.get();
     const FullRecord* old = r_.at(i).load();
     while (true) {
@@ -179,6 +202,142 @@ void FullSnapshotT<Value>::update_blob(std::uint32_t i,
     do_update(i, [bytes](ValueType& out) { Value::assign(out, bytes); });
   } else {
     core::PartialSnapshot::update_blob(i, bytes);
+  }
+}
+
+template <class Value>
+void FullSnapshotT<Value>::resolve_batch(const BatchDesc& desc) {
+  if constexpr (Value::kVersioned) {
+    primitives::batch_install_and_resolve<primitives::Instrumented>(
+        desc.slots.data(), desc.slots.size(), desc, camera_,
+        [this](std::uint32_t i) -> auto& { return r_.at(i); },
+        [this](const FullRecord* displaced) {
+          // Lazy chain trim, as in the singleton update.
+          if (const FullRecord* trim =
+                  displaced->prev.load(std::memory_order_relaxed)) {
+            record_pool_.recycle(ebr_, const_cast<FullRecord*>(trim));
+          }
+        });
+  } else {
+    (void)desc;
+    PSNAP_ASSERT_MSG(false, "resolve_batch on a non-versioned plane");
+  }
+}
+
+template <class Value>
+template <class EntryT, class Fill>
+void FullSnapshotT<Value>::do_update_batch(std::span<const EntryT> entries,
+                                           Fill&& fill) {
+  if (entries.empty()) return;
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  const std::uint32_t m = size_.load();
+  for (const EntryT& e : entries) PSNAP_ASSERT(e.index < m);
+  core::OpStats& stats = core::tls_op_stats();
+  stats.reset();
+  core::ScanContext& ctx = core::tls_scan_context();
+  ctx.begin();
+  auto guard = ebr_.pin();
+
+  // Coalesce duplicate indices, later entries winning (one protocol
+  // instance, so per-component order degenerates to last-wins).
+  std::span<const EntryT*> merged =
+      ctx.arena.take<const EntryT*>(entries.size());
+  std::uint32_t count = 0;
+  for (const EntryT& e : entries) {
+    std::uint32_t j = 0;
+    while (j < count && merged[j]->index != e.index) ++j;
+    merged[j] = &e;
+    if (j == count) ++count;
+  }
+  stats.batch_size = count;
+
+  if constexpr (Value::kVersioned) {
+    // Ascending component order is the install engine's help-ordering
+    // invariant (version_chain.h).
+    std::sort(merged.begin(), merged.begin() + count,
+              [](const EntryT* a, const EntryT* b) {
+                return a->index < b->index;
+              });
+
+    auto desc_handle = batch_pool_.acquire(ebr_);
+    BatchDesc* desc = desc_handle.get();
+    desc->owner = this;
+    desc->version.store(primitives::kUnstamped, std::memory_order_relaxed);
+    desc->slots.reset(count);
+    for (std::uint32_t j = 0; j < count; ++j) {
+      desc->slots[j].index = merged[j]->index;
+    }
+    // Publish the descriptor for the crash sweep BEFORE any node leaves
+    // the pool (see the twin in cas_psnap.cpp).
+    active_batch_.at(pid)->store(desc_handle.release(),
+                                 std::memory_order_release);
+
+    for (std::uint32_t j = 0; j < count; ++j) {
+      auto rec = record_pool_.acquire(ebr_);
+      fill(*merged[j], rec->value);
+      rec->counter = counter_.at(pid).value + 1 + j;
+      rec->pid = pid;
+      rec->full_view.clear();
+      rec->version.store(primitives::kUnstamped, std::memory_order_relaxed);
+      rec->prev.store(nullptr, std::memory_order_relaxed);
+      rec->batch.store(desc, std::memory_order_relaxed);
+      desc->slots[j].node = rec.release();
+    }
+    counter_.at(pid).value += count;
+
+    // ONE helping round for the k appends, then the one shared stamp --
+    // the batch's linearization point.
+    resolve_batch(*desc);
+
+    const std::uint64_t stamp = desc->version.load(std::memory_order_acquire);
+    stats.epoch = stamp;
+    for (std::uint32_t j = 0; j < count; ++j) {
+      primitives::stamp_version<primitives::Instrumented>(
+          *desc->slots[j].node, stamp);
+    }
+    active_batch_.at(pid)->store(nullptr, std::memory_order_relaxed);
+    batch_pool_.recycle(ebr_, desc);
+  } else {
+    // Collect planes: ONE embedded full scan (the Omega(m) helping cost,
+    // the whole point of batching here) shared by k exchange
+    // publications.  All k records carry the batch's one counter -- a
+    // batch is one operation, and the moved-twice rule counts moves per
+    // operation (core/moved_twice.h), so its k publications read as one
+    // move; the borrow argument then holds verbatim with "operation"
+    // substituted for "record".
+    std::vector<ValueType>& vals = embedded_full_scan(ctx, m);
+    const std::uint64_t batch_counter = ++counter_.at(pid).value;
+    for (std::uint32_t j = 0; j < count; ++j) {
+      auto rec = record_pool_.acquire(ebr_);
+      fill(*merged[j], rec->value);
+      rec->counter = batch_counter;
+      rec->pid = pid;
+      rec->full_view = vals;  // capacity-reusing copy
+      const FullRecord* old = r_.at(merged[j]->index).exchange(rec.get());
+      rec.release();
+      record_pool_.recycle(ebr_, const_cast<FullRecord*>(old));
+    }
+  }
+}
+
+template <class Value>
+void FullSnapshotT<Value>::update_batch(
+    std::span<const core::BatchEntry> entries) {
+  do_update_batch(entries, [](const core::BatchEntry& e, ValueType& out) {
+    Value::encode(e.value, out);
+  });
+}
+
+template <class Value>
+void FullSnapshotT<Value>::update_batch_blob(
+    std::span<const core::BlobBatchEntry> entries) {
+  if constexpr (Value::kIndirect) {
+    do_update_batch(entries, [](const core::BlobBatchEntry& e, ValueType& out) {
+      Value::assign(out, e.bytes);
+    });
+  } else {
+    core::PartialSnapshot::update_batch_blob(entries);
   }
 }
 

@@ -85,6 +85,17 @@ class FullSnapshotT final : public core::PartialSnapshot {
   std::uint64_t scan_versioned(std::span<const std::uint32_t> indices,
                                std::vector<std::uint64_t>& out,
                                core::ScanContext& ctx) override;
+  // Batched updates: collect planes share ONE embedded full scan (the
+  // Omega(m) helping cost, paid once for k writes) and publish k records
+  // by exchange -- kAmortized.  The versioned plane shares one stamp
+  // through a batch descriptor (install-helped, like fig3's) -- kAtomic.
+  void update_batch(std::span<const core::BatchEntry> entries) override;
+  void update_batch_blob(
+      std::span<const core::BlobBatchEntry> entries) override;
+  core::BatchAtomicity batch_atomicity() const override {
+    return Value::kVersioned ? core::BatchAtomicity::kAtomic
+                             : core::BatchAtomicity::kAmortized;
+  }
   using core::PartialSnapshot::scan;
   using core::PartialSnapshot::scan_blobs;
   using core::PartialSnapshot::scan_versioned;
@@ -105,9 +116,23 @@ class FullSnapshotT final : public core::PartialSnapshot {
     // type).  See primitives/version_chain.h for the protocol.
     mutable std::atomic<std::uint64_t> version{primitives::kUnstamped};
     std::atomic<const FullRecord*> prev{nullptr};
+    // Non-null while the record is an unresolved update_batch member.
+    std::atomic<const primitives::BatchControl*> batch{nullptr};
 
     bool is_initial() const { return pid == core::kInitPid; }
   };
+
+  // The versioned plane's batch descriptor; see the twin in cas_psnap.h.
+  struct BatchDesc final : primitives::BatchControl {
+    FullSnapshotT* owner = nullptr;
+    primitives::BatchSlots<FullRecord> slots;
+    void resolve() const override { owner->resolve_batch(*this); }
+  };
+
+  void resolve_batch(const BatchDesc& desc);
+
+  template <class EntryT, class Fill>
+  void do_update_batch(std::span<const EntryT> entries, Fill&& fill);
 
   FullRecord* make_initial(std::uint64_t v, std::uint32_t index) {
     auto* rec = new FullRecord();
@@ -153,9 +178,13 @@ class FullSnapshotT final : public core::PartialSnapshot {
   // included, on the blob plane), so steady-state updates are
   // allocation-free even though every record carries all m values.
   reclaim::Pool<FullRecord> record_pool_;
+  reclaim::Pool<BatchDesc> batch_pool_;
   core::ComponentStorage<Slot> r_;
   reclaim::EbrDomain ebr_;
   core::PerPidStorage<CachelinePadded<std::uint64_t>> counter_;
+  // Owner's in-flight batch descriptor, per pid (versioned plane) -- read
+  // only by the destructor's crash sweep; see the twin in cas_psnap.h.
+  core::PerPidStorage<CachelinePadded<std::atomic<BatchDesc*>>> active_batch_;
   [[no_unique_address]] std::conditional_t<Value::kVersioned,
                                            primitives::VersionCamera<>,
                                            primitives::NoCamera>

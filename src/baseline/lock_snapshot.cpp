@@ -39,6 +39,32 @@ void LockSnapshotT<Value>::update_blob(std::uint32_t i,
 }
 
 template <class Value>
+void LockSnapshotT<Value>::update_batch(
+    std::span<const core::BatchEntry> entries) {
+  std::scoped_lock lock(mu_);
+  // Applying in argument order makes duplicate indices last-wins without
+  // a merge pass.
+  for (const core::BatchEntry& e : entries) {
+    PSNAP_ASSERT(e.index < data_.size());
+    Value::encode(e.value, data_[e.index]);
+  }
+}
+
+template <class Value>
+void LockSnapshotT<Value>::update_batch_blob(
+    std::span<const core::BlobBatchEntry> entries) {
+  if constexpr (Value::kIndirect) {
+    std::scoped_lock lock(mu_);
+    for (const core::BlobBatchEntry& e : entries) {
+      PSNAP_ASSERT(e.index < data_.size());
+      Value::assign(data_[e.index], e.bytes);
+    }
+  } else {
+    core::PartialSnapshot::update_batch_blob(entries);
+  }
+}
+
+template <class Value>
 void LockSnapshotT<Value>::scan(std::span<const std::uint32_t> indices,
                                 std::vector<std::uint64_t>& out,
                                 core::ScanContext& /*ctx*/) {

@@ -55,6 +55,15 @@ class LockSnapshotT final : public core::PartialSnapshot {
   void scan_blobs(std::span<const std::uint32_t> indices,
                   std::vector<psnap::value::Blob>& out,
                   core::ScanContext& ctx) override;
+  // One critical section covers all k writes, so batches are trivially
+  // atomic -- the lock baseline is the reference implementation the
+  // batch-atomicity oracle checks the clever ones against.
+  void update_batch(std::span<const core::BatchEntry> entries) override;
+  void update_batch_blob(
+      std::span<const core::BlobBatchEntry> entries) override;
+  core::BatchAtomicity batch_atomicity() const override {
+    return core::BatchAtomicity::kAtomic;
+  }
   using core::PartialSnapshot::scan;
   using core::PartialSnapshot::scan_blobs;
 

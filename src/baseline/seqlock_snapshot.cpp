@@ -80,6 +80,8 @@ void SeqlockSnapshotT<Value>::do_update(std::uint32_t i, Fill&& fill) {
     auto guard = plane_.ebr.pin();
     auto node = plane_.pool.acquire(plane_.ebr);
     fill(node->value);
+    // A recycled node may have been a batch member in a prior life.
+    node->batch.store(nullptr, std::memory_order_relaxed);
     const primitives::VersionNodeU64* old = nullptr;
     while (true) {
       std::uint64_t v0 = version_.load();
@@ -163,6 +165,144 @@ void SeqlockSnapshotT<Value>::update_blob(std::uint32_t i,
     do_update(i, [bytes](ValueType& out) { Value::assign(out, bytes); });
   } else {
     core::PartialSnapshot::update_blob(i, bytes);
+  }
+}
+
+template <class Value>
+template <class EntryT, class Fill>
+void SeqlockSnapshotT<Value>::do_update_batch(std::span<const EntryT> entries,
+                                              Fill&& fill) {
+  if (entries.empty()) return;
+  const std::uint32_t m = size_.load();
+  for (const EntryT& e : entries) PSNAP_ASSERT(e.index < m);
+  core::OpStats& stats = core::tls_op_stats();
+  stats.reset();
+  core::ScanContext& ctx = core::tls_scan_context();
+  ctx.begin();
+
+  // Coalesce duplicate indices, later entries winning.
+  std::span<const EntryT*> merged =
+      ctx.arena.take<const EntryT*>(entries.size());
+  std::uint32_t count = 0;
+  for (const EntryT& e : entries) {
+    std::uint32_t j = 0;
+    while (j < count && merged[j]->index != e.index) ++j;
+    merged[j] = &e;
+    if (j == count) ++count;
+  }
+  stats.batch_size = count;
+
+  if constexpr (Value::kVersioned) {
+    using Node = primitives::VersionNodeU64;
+    auto guard = plane_.ebr.pin();
+    auto desc_handle = plane_.batch_pool.acquire(plane_.ebr);
+    SeqBatchDesc* desc = desc_handle.get();
+    desc->camera = &plane_.camera;
+    desc->version.store(primitives::kUnstamped, std::memory_order_relaxed);
+    desc->installed.store(false, std::memory_order_relaxed);
+    std::span<const Node*> olds = ctx.arena.take<const Node*>(count);
+    std::span<Node*> nodes = ctx.arena.take<Node*>(count);
+
+    while (true) {
+      std::uint64_t v0 = version_.load();
+      if (v0 % 2 == 1) continue;  // another writer holds it
+      if (!version_.compare_and_swap_bool(v0, v0 + 1)) continue;
+      // One writer section for the k chain appends.
+      for (std::uint32_t j = 0; j < count; ++j) {
+        auto node = plane_.pool.acquire(plane_.ebr);
+        fill(*merged[j], node->value);
+        const Node* old = data_.at(merged[j]->index).load();
+        primitives::ensure_stamped<primitives::Instrumented>(*old,
+                                                             plane_.camera);
+        node->version.store(primitives::kUnstamped,
+                            std::memory_order_relaxed);
+        node->prev.store(old, std::memory_order_relaxed);
+        node->batch.store(desc, std::memory_order_relaxed);
+        olds[j] = old;
+        nodes[j] = node.get();
+        data_.at(merged[j]->index).exchange(node.release());
+      }
+      // All members reachable: the descriptor is now published (every
+      // node's batch pointer names it), so ownership passes from the
+      // handle to the recycle below -- and any helper spinning in
+      // resolve() is released before the lock goes back even.
+      desc_handle.release();
+      desc->installed.store(true, std::memory_order_release);
+      bool released = version_.compare_and_swap_bool(v0 + 1, v0 + 2);
+      PSNAP_ASSERT(released);
+      break;
+    }
+
+    // Fix the one shared stamp -- the batch's linearization point -- then
+    // copy it into the members' own version words and trim the chains.
+    desc->resolve();
+    const std::uint64_t stamp = desc->version.load(std::memory_order_acquire);
+    stats.epoch = stamp;
+    for (std::uint32_t j = 0; j < count; ++j) {
+      primitives::stamp_version<primitives::Instrumented>(*nodes[j], stamp);
+    }
+    for (std::uint32_t j = 0; j < count; ++j) {
+      if (const Node* trim = olds[j]->prev.load(std::memory_order_relaxed)) {
+        plane_.pool.recycle(plane_.ebr, const_cast<Node*>(trim));
+      }
+    }
+    plane_.batch_pool.recycle(plane_.ebr, desc);
+  } else if constexpr (Value::kIndirect) {
+    auto guard = plane_.ebr.pin();
+    std::span<const primitives::BlobNode*> olds =
+        ctx.arena.take<const primitives::BlobNode*>(count);
+    while (true) {
+      std::uint64_t v0 = version_.load();
+      if (v0 % 2 == 1) continue;  // another writer holds it
+      if (!version_.compare_and_swap_bool(v0, v0 + 1)) continue;
+      for (std::uint32_t j = 0; j < count; ++j) {
+        auto node = plane_.pool.acquire(plane_.ebr);
+        fill(*merged[j], node->bytes);
+        olds[j] = data_.at(merged[j]->index).exchange(node.release());
+      }
+      bool released = version_.compare_and_swap_bool(v0 + 1, v0 + 2);
+      PSNAP_ASSERT(released);
+      break;
+    }
+    // Retire outside the writer section, as in the singleton update.
+    for (std::uint32_t j = 0; j < count; ++j) {
+      plane_.pool.recycle(plane_.ebr,
+                          const_cast<primitives::BlobNode*>(olds[j]));
+    }
+  } else {
+    while (true) {
+      std::uint64_t v0 = version_.load();
+      if (v0 % 2 == 1) continue;  // another writer holds it
+      if (!version_.compare_and_swap_bool(v0, v0 + 1)) continue;
+      for (std::uint32_t j = 0; j < count; ++j) {
+        ValueType v{};
+        fill(*merged[j], v);
+        data_.at(merged[j]->index).store(v);
+      }
+      bool released = version_.compare_and_swap_bool(v0 + 1, v0 + 2);
+      PSNAP_ASSERT(released);
+      return;
+    }
+  }
+}
+
+template <class Value>
+void SeqlockSnapshotT<Value>::update_batch(
+    std::span<const core::BatchEntry> entries) {
+  do_update_batch(entries, [](const core::BatchEntry& e, ValueType& out) {
+    Value::encode(e.value, out);
+  });
+}
+
+template <class Value>
+void SeqlockSnapshotT<Value>::update_batch_blob(
+    std::span<const core::BlobBatchEntry> entries) {
+  if constexpr (Value::kIndirect) {
+    do_update_batch(entries, [](const core::BlobBatchEntry& e, ValueType& out) {
+      Value::assign(out, e.bytes);
+    });
+  } else {
+    core::PartialSnapshot::update_batch_blob(entries);
   }
 }
 

@@ -84,6 +84,18 @@ class SeqlockSnapshotT final : public core::PartialSnapshot {
   std::uint64_t scan_versioned(std::span<const std::uint32_t> indices,
                                std::vector<std::uint64_t>& out,
                                core::ScanContext& ctx) override;
+  // Batched updates: every plane is kAtomic here, because the global
+  // writer section is a natural multi-component critical section -- all k
+  // writes land inside one odd/even window, so a collect-plane scan either
+  // retries past the whole batch or sees none of it.  The versioned plane
+  // additionally shares one stamp through a descriptor (readers bypass the
+  // seqlock, so the window alone would not protect them).
+  void update_batch(std::span<const core::BatchEntry> entries) override;
+  void update_batch_blob(
+      std::span<const core::BlobBatchEntry> entries) override;
+  core::BatchAtomicity batch_atomicity() const override {
+    return core::BatchAtomicity::kAtomic;
+  }
   using core::PartialSnapshot::scan;
   using core::PartialSnapshot::scan_blobs;
   using core::PartialSnapshot::scan_versioned;
@@ -97,9 +109,30 @@ class SeqlockSnapshotT final : public core::PartialSnapshot {
     reclaim::Pool<primitives::BlobNode> pool;
     reclaim::EbrDomain ebr;
   };
+  // Versioned batch descriptor.  Unlike fig3's (cas_psnap.h), no install
+  // engine is needed: the writer section already serializes the k chain
+  // appends, so a helper that reaches an unresolved member through
+  // ensure_stamped only has to WAIT for the owner's installs (the
+  // `installed` flag, set before the owner leaves the section) and then
+  // fix the one shared stamp.  The spin is blocking, but so is the
+  // seqlock itself -- this baseline never claimed lock-freedom.
+  struct SeqBatchDesc final : primitives::BatchControl {
+    primitives::VersionCamera<primitives::Instrumented>* camera = nullptr;
+    std::atomic<bool> installed{false};
+    void resolve() const override {
+      while (!installed.load(std::memory_order_acquire)) {
+      }
+      std::uint64_t expected = primitives::kUnstamped;
+      version.compare_exchange_strong(expected, camera->now(),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+    }
+  };
+
   // Reclamation + camera state of the versioned plane (version_chain.h).
   struct VersionedPlane {
     reclaim::Pool<primitives::VersionNodeU64> pool;
+    reclaim::Pool<SeqBatchDesc> batch_pool;
     reclaim::EbrDomain ebr;
     primitives::VersionCamera<primitives::Instrumented> camera;
   };
@@ -109,6 +142,8 @@ class SeqlockSnapshotT final : public core::PartialSnapshot {
 
   template <class Fill>
   void do_update(std::uint32_t i, Fill&& fill);
+  template <class EntryT, class Fill>
+  void do_update_batch(std::span<const EntryT> entries, Fill&& fill);
   // Runs the versioned retry loop; `collect` re-reads the components into
   // the caller's buffers on each attempt (overwriting in place).
   template <class Collect>

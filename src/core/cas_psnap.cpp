@@ -68,6 +68,26 @@ CasPartialSnapshotT<Policy, Value>::~CasPartialSnapshotT() {
   for (std::uint32_t p = 0; p < pids; ++p) {
     if (const auto* reg = s_.try_at(p)) delete (*reg)->peek();
   }
+  if constexpr (Value::kVersioned) {
+    // Crash sweep: a thread halted mid-update_batch leaves its descriptor
+    // in the per-pid slot.  Installed members belong to their chains
+    // (freed above or already recycled); the never-installed nodes and the
+    // descriptor itself are reachable only from here.
+    for (std::uint32_t p = 0; p < pids; ++p) {
+      auto* slot = active_batch_.try_at(p);
+      if (slot == nullptr) continue;
+      BatchDesc* desc = (*slot)->load(std::memory_order_relaxed);
+      if (desc == nullptr) continue;
+      for (std::uint32_t e = 0; e < desc->slots.size(); ++e) {
+        auto& entry = desc->slots[e];
+        if (entry.node != nullptr &&
+            !entry.installed.load(std::memory_order_relaxed)) {
+          delete entry.node;
+        }
+      }
+      delete desc;
+    }
+  }
 }
 
 template <class Policy, class Value>
@@ -209,6 +229,10 @@ void CasPartialSnapshotT<Policy, Value>::do_update(std::uint32_t i,
     rec->view.clear();  // versioned updates carry no helping view
     rec->version.store(primitives::kUnstamped, std::memory_order_relaxed);
     rec->prev.store(old, std::memory_order_relaxed);
+    // A recycled record may have been a batch member in a previous life;
+    // a singleton publication must not route stampers to a stale
+    // descriptor.
+    rec->batch.store(nullptr, std::memory_order_relaxed);
 
     // fig3's try-once CAS, unchanged: a failed update linearizes
     // immediately before the winner and its node -- never published --
@@ -324,6 +348,209 @@ template <class Policy, class Value>
 void CasPartialSnapshotT<Policy, Value>::update(std::uint32_t i,
                                                 std::uint64_t v) {
   do_update(i, [v](ValueType& out) { Value::encode(v, out); });
+}
+
+template <class Policy, class Value>
+void CasPartialSnapshotT<Policy, Value>::resolve_batch(const BatchDesc& desc) {
+  if constexpr (Value::kVersioned) {
+    primitives::batch_install_and_resolve<Policy>(
+        desc.slots.data(), desc.slots.size(), desc, camera_,
+        [this](std::uint32_t i) -> auto& { return *r_.at(i); },
+        [this](const Rec* displaced) {
+          // Lazy chain trim, as in the singleton update: with the batch
+          // node now head and `displaced` its prev, nothing older than
+          // `displaced` is reachable by any future reader.
+          if (const Rec* trim =
+                  displaced->prev.load(std::memory_order_relaxed)) {
+            record_pool_.recycle(ebr_, const_cast<Rec*>(trim));
+          }
+        });
+  } else {
+    (void)desc;
+    PSNAP_ASSERT_MSG(false, "resolve_batch on a non-versioned plane");
+  }
+}
+
+template <class Policy, class Value>
+template <class EntryT, class Fill>
+void CasPartialSnapshotT<Policy, Value>::do_update_batch(
+    std::span<const EntryT> entries, Fill&& fill) {
+  if (entries.empty()) return;
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT(pid < n_);
+  const std::uint32_t m = size_.load();
+  for (const EntryT& e : entries) PSNAP_ASSERT(e.index < m);
+  OpStats& stats = tls_op_stats();
+  stats.reset();
+  ScanContext& ctx = tls_scan_context();
+  ctx.begin();
+  auto guard = ebr_.pin();
+
+  // Coalesce duplicate indices, later entries winning -- a batch is one
+  // protocol instance, so "apply in order" degenerates to last-wins per
+  // component.  Linear scan: batches are small (the coalescing front-end
+  // caps them) and the scratch is arena storage, so this is branchy but
+  // allocation-free.
+  std::span<const EntryT*> merged =
+      ctx.arena.take<const EntryT*>(entries.size());
+  std::uint32_t count = 0;
+  for (const EntryT& e : entries) {
+    std::uint32_t j = 0;
+    while (j < count && merged[j]->index != e.index) ++j;
+    merged[j] = &e;
+    if (j == count) ++count;
+  }
+  stats.batch_size = count;
+
+  if constexpr (Value::kVersioned) {
+    // Ascending component order is the install engine's help-ordering
+    // invariant (version_chain.h): recursion across overlapping batches
+    // strictly increases the index, so helping terminates.
+    std::sort(merged.begin(), merged.begin() + count,
+              [](const EntryT* a, const EntryT* b) {
+                return a->index < b->index;
+              });
+
+    auto desc_handle = batch_pool_.acquire(ebr_);
+    BatchDesc* desc = desc_handle.get();
+    desc->owner = this;
+    desc->version.store(primitives::kUnstamped, std::memory_order_relaxed);
+    desc->slots.reset(count);
+    for (std::uint32_t j = 0; j < count; ++j) {
+      desc->slots[j].index = merged[j]->index;
+    }
+    // Publish the descriptor for the crash sweep BEFORE any node leaves
+    // the pool: from here on, every acquired node is reachable from the
+    // slot table, so an injected halt anywhere below leaks nothing (the
+    // destructor frees never-installed nodes; helpers finish the rest).
+    active_batch_.at(pid)->store(desc_handle.release(),
+                                 std::memory_order_release);
+
+    for (std::uint32_t j = 0; j < count; ++j) {
+      auto rec = record_pool_.acquire(ebr_);
+      fill(*merged[j], rec->value);
+      // Tags of published records stay unique: one counter stride per
+      // member, bumped below once the whole table is handed over.
+      rec->counter = counter_.at(pid).value + 1 + j;
+      rec->pid = pid;
+      rec->view.clear();
+      rec->version.store(primitives::kUnstamped, std::memory_order_relaxed);
+      rec->prev.store(nullptr, std::memory_order_relaxed);
+      rec->batch.store(desc, std::memory_order_relaxed);
+      desc->slots[j].node = rec.release();
+    }
+    counter_.at(pid).value += count;
+
+    // ONE helping round for the k writes: install every entry (ascending,
+    // with concurrent helpers), then fix the one shared stamp -- the
+    // batch's linearization point.
+    resolve_batch(*desc);
+
+    // Copy the shared stamp into each member's own version word so the
+    // read fast path never dereferences the descriptor again, then retire
+    // the descriptor through its pool (one grace period for the batch).
+    const std::uint64_t stamp =
+        desc->version.load(std::memory_order_acquire);
+    stats.epoch = stamp;
+    for (std::uint32_t j = 0; j < count; ++j) {
+      primitives::stamp_version<Policy>(*desc->slots[j].node, stamp);
+    }
+    active_batch_.at(pid)->store(nullptr, std::memory_order_relaxed);
+    batch_pool_.recycle(ebr_, desc);
+    return;
+  } else {
+    // Collect planes: the amortization is ONE getSet + announced-set
+    // union + embedded scan (the helping round) shared by every record of
+    // the batch.  Each record still publishes with fig3's try-once CAS,
+    // so entries linearize individually (kAmortized).
+    //
+    // Phase 1: read each component's current record BEFORE the helping
+    // round -- the condition-(2) borrow argument needs a published
+    // record's embedded scan to have started after its old-value read,
+    // exactly as in the singleton protocol.
+    std::span<const Rec*> olds = ctx.arena.take<const Rec*>(count);
+    for (std::uint32_t j = 0; j < count; ++j) {
+      olds[j] = r_.at(merged[j]->index)->load();
+    }
+
+    // Phase 2: the shared helping round.
+    as_->get_set(ctx.scanners);
+    stats.getset_size = ctx.scanners.size();
+    ctx.union_args.clear();
+    for (std::uint32_t p : ctx.scanners) {
+      const auto* slot = s_.try_at(p);
+      const IndexSet* announced = slot ? (*slot)->load() : nullptr;
+      if (announced != nullptr) {
+        ctx.union_args.insert(ctx.union_args.end(),
+                              announced->indices.begin(),
+                              announced->indices.end());
+      }
+    }
+    std::sort(ctx.union_args.begin(), ctx.union_args.end());
+    ctx.union_args.erase(
+        std::unique(ctx.union_args.begin(), ctx.union_args.end()),
+        ctx.union_args.end());
+    const ViewV& view = embedded_scan(ctx.union_args, ctx);
+
+    // Phase 3: one pooled record and one publication per entry.  Every
+    // record of the batch carries the SAME counter -- the counter is an
+    // operation sequence number, and the moved-twice table (write-ablation
+    // mode and the full-snapshot baseline) counts moves per operation, so
+    // a batch's k publications must read as one move.  Record identity
+    // (the CAS compare, condition (2)'s per-location values) is pointer
+    // identity under EBR, which same-tag records do not perturb.
+    const std::uint64_t batch_counter = counter_.at(pid).value + 1;
+    ++counter_.at(pid).value;
+    for (std::uint32_t j = 0; j < count; ++j) {
+      const std::uint32_t i = merged[j]->index;
+      auto rec = record_pool_.acquire(ebr_);
+      fill(*merged[j], rec->value);
+      rec->counter = batch_counter;
+      rec->pid = pid;
+      rec->view = view;
+      if (options_.use_cas) {
+        const Rec* prev = r_.at(i)->compare_and_swap(olds[j], rec.get());
+        if (prev == olds[j]) {
+          rec.release();
+          record_pool_.recycle(ebr_, const_cast<Rec*>(olds[j]));
+        } else {
+          // Linearized immediately before the update that beat us; the
+          // record unwinds to the pool through its Handle.
+          stats.cas_failed = true;
+        }
+      } else {
+        // ABL-3 ablation: register-style overwrite via CAS retry.
+        const Rec* cur = olds[j];
+        while (true) {
+          const Rec* prev = r_.at(i)->compare_and_swap(cur, rec.get());
+          if (prev == cur) break;
+          cur = prev;
+        }
+        rec.release();
+        record_pool_.recycle(ebr_, const_cast<Rec*>(cur));
+      }
+    }
+  }
+}
+
+template <class Policy, class Value>
+void CasPartialSnapshotT<Policy, Value>::update_batch(
+    std::span<const BatchEntry> entries) {
+  do_update_batch(entries, [](const BatchEntry& e, ValueType& out) {
+    Value::encode(e.value, out);
+  });
+}
+
+template <class Policy, class Value>
+void CasPartialSnapshotT<Policy, Value>::update_batch_blob(
+    std::span<const BlobBatchEntry> entries) {
+  if constexpr (Value::kIndirect) {
+    do_update_batch(entries, [](const BlobBatchEntry& e, ValueType& out) {
+      Value::assign(out, e.bytes);
+    });
+  } else {
+    PartialSnapshot::update_batch_blob(entries);
+  }
 }
 
 template <class Policy, class Value>

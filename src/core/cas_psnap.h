@@ -135,6 +135,19 @@ class CasPartialSnapshotT final : public PartialSnapshot {
             std::vector<std::uint64_t>& out, ScanContext& ctx) override;
   void update_blob(std::uint32_t i,
                    std::span<const std::byte> bytes) override;
+  // Batched updates.  Collect planes amortize: ONE getSet + announced-set
+  // union + embedded scan (the helping round) is shared by all k records,
+  // which then publish with fig3's per-entry try-once CAS -- kAmortized.
+  // The versioned plane is kAtomic: the k chain nodes share one stamp
+  // through a pooled batch descriptor, fixed only after every node is
+  // installed (helpers included), so a scan's epoch falls entirely before
+  // or entirely after the whole batch.
+  void update_batch(std::span<const BatchEntry> entries) override;
+  void update_batch_blob(std::span<const BlobBatchEntry> entries) override;
+  BatchAtomicity batch_atomicity() const override {
+    return Value::kVersioned ? BatchAtomicity::kAtomic
+                             : BatchAtomicity::kAmortized;
+  }
   void scan_blobs(std::span<const std::uint32_t> indices,
                   std::vector<value::Blob>& out, ScanContext& ctx) override;
   std::uint64_t scan_versioned(std::span<const std::uint32_t> indices,
@@ -150,6 +163,24 @@ class CasPartialSnapshotT final : public PartialSnapshot {
   const reclaim::Pool<Rec>& record_pool() const { return record_pool_; }
 
  private:
+  // The versioned plane's batch descriptor (primitives::BatchControl):
+  // entry table + shared stamp, pooled like the records it publishes.
+  // resolve() routes helpers (readers/updaters that hit an unresolved
+  // member through ensure_stamped) into the owner's install engine.
+  struct BatchDesc final : primitives::BatchControl {
+    CasPartialSnapshotT* owner = nullptr;
+    primitives::BatchSlots<Rec> slots;
+    void resolve() const override { owner->resolve_batch(*this); }
+  };
+
+  // Installs every pending entry and fixes the shared stamp (the engine in
+  // version_chain.h); safe to call from any pinned thread.
+  void resolve_batch(const BatchDesc& desc);
+
+  // The one batch-update body; `fill(slot, value_out)` writes entry
+  // `slot`'s payload.
+  template <class EntryT, class Fill>
+  void do_update_batch(std::span<const EntryT> entries, Fill&& fill);
   // Fills the context's plane view with the embedded-scan result and
   // returns it.
   const ViewV& embedded_scan(std::span<const std::uint32_t> args,
@@ -177,6 +208,7 @@ class CasPartialSnapshotT final : public PartialSnapshot {
   // nodes into them, so they must be destroyed after it.
   reclaim::Pool<Rec> record_pool_;
   reclaim::Pool<IndexSet> announce_pool_;
+  reclaim::Pool<BatchDesc> batch_pool_;
   // CachelinePadded: a CasObject is 16 bytes, so four components would
   // share a line and concurrent updates to distinct components would
   // false-share; per-component isolation matches counter_'s treatment.
@@ -193,6 +225,13 @@ class CasPartialSnapshotT final : public PartialSnapshot {
   std::unique_ptr<activeset::FaiCasActiveSetT<Policy>> as_;
   reclaim::EbrDomain ebr_;
   PerPidStorage<CachelinePadded<std::uint64_t>> counter_;
+  // The owner's in-flight batch descriptor, per pid (versioned plane): set
+  // before the first install, cleared after the descriptor retires.  Its
+  // only readers are the destructor's crash sweep (an injected halt
+  // mid-batch leaves the descriptor here, so the quiescent teardown can
+  // free the uninstalled nodes) -- helpers reach the descriptor through
+  // the member nodes' batch pointers, never through this slot.
+  PerPidStorage<CachelinePadded<std::atomic<BatchDesc*>>> active_batch_;
   // The versioned plane's camera (empty on the other planes).
   [[no_unique_address]] std::conditional_t<Value::kVersioned,
                                            primitives::VersionCamera<Policy>,

@@ -49,11 +49,19 @@ class MovedTwiceTable {
   // the later of the two ("the one with the highest counter field"): its
   // update began after the earlier move's write, hence after this scan
   // began.
+  //
+  // A move is an OPERATION, keyed by (pid, counter), not a record: the
+  // records of one update_batch share a counter because they share one
+  // embedded scan, and counting them as separate moves would let a scan
+  // borrow a view whose collect predates it (two "moves" from a single
+  // batch prove nothing about when that batch's scan began).  For
+  // singleton updates -- one record per operation -- the counter key
+  // degenerates to the historical record identity.
   const Rec* note_move(const Rec* rec) {
     PSNAP_ASSERT(!rec->is_initial());  // initial records are never published
     Slot& s = slot(rec->pid);
     for (std::uint32_t k = 0; k < s.count; ++k) {
-      if (s.moved[k] == rec) return nullptr;  // already counted
+      if (s.moved[k]->counter == rec->counter) return nullptr;  // same op
     }
     s.moved[s.count++] = rec;
     if (s.count < 2) return nullptr;

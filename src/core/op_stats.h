@@ -29,6 +29,9 @@ struct OpStats {
   std::uint64_t chain_nodes = 0;
   // Versioned plane: the epoch the scan linearized at.
   std::uint64_t epoch = 0;
+  // update_batch: number of distinct components the batch wrote (after
+  // last-wins coalescing of duplicate indices).  0 for singleton ops.
+  std::uint64_t batch_size = 0;
 
   void reset() { *this = OpStats{}; }
 };

@@ -41,6 +41,24 @@ void PartialSnapshot::update_blob(std::uint32_t i,
   reject_blob_op(*this, "update_blob");
 }
 
+void PartialSnapshot::update_batch(std::span<const BatchEntry> /*entries*/) {
+  throw std::logic_error(
+      "update_batch is not supported by '" + std::string(name()) +
+      "' (batch_atomicity() == kUnsupported); pick an implementation whose "
+      "registry entry lists the batch capability");
+}
+
+void PartialSnapshot::update_batch_blob(
+    std::span<const BlobBatchEntry> /*entries*/) {
+  if (value_plane() != "blob") {
+    reject_blob_op(*this, "update_batch_blob");
+  }
+  throw std::logic_error(
+      "update_batch_blob is not supported by '" + std::string(name()) +
+      "' (batch_atomicity() == kUnsupported); pick an implementation whose "
+      "registry entry lists the batch capability");
+}
+
 void PartialSnapshot::scan_blobs(std::span<const std::uint32_t> /*indices*/,
                                  std::vector<value::Blob>& /*out*/,
                                  ScanContext& /*ctx*/) {

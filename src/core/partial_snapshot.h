@@ -30,6 +30,31 @@ namespace psnap::core {
 
 struct ScanContext;
 
+// One component write of a batched update (update_batch below).
+struct BatchEntry {
+  std::uint32_t index;
+  std::uint64_t value;
+};
+
+// The blob plane's batch entry: the bytes are borrowed for the duration of
+// the update_batch_blob call, like update_blob's span.
+struct BlobBatchEntry {
+  std::uint32_t index;
+  std::span<const std::byte> bytes;
+};
+
+// What a scan can observe of a k-entry batch (batch_atomicity below):
+//
+//   kUnsupported -- the implementation has no batch path (fig1); the batch
+//                   entry points throw std::logic_error.
+//   kAmortized   -- the k writes share one announcement/helping round/grace
+//                   period (the cost amortization), but each entry
+//                   linearizes individually: a concurrent scan may observe
+//                   a prefix of the batch.
+//   kAtomic      -- the whole batch linearizes at one point: no scan ever
+//                   observes some of the batch's writes without the others.
+enum class BatchAtomicity { kUnsupported, kAmortized, kAtomic };
+
 class PartialSnapshot {
  public:
   virtual ~PartialSnapshot() = default;
@@ -60,6 +85,37 @@ class PartialSnapshot {
   // Sets component i (0-based, < num_components) to v on behalf of
   // exec::ctx().pid.
   virtual void update(std::uint32_t i, std::uint64_t v) = 0;
+
+  // ---- Batched updates ----
+  //
+  // Applies k component writes as ONE protocol instance: one EBR pin, one
+  // announcement-set read + helping round (collect planes), one version
+  // stamp (versioned planes), one grace period -- the per-write cost of
+  // the singleton protocol amortizes over the batch.  Entries are applied
+  // in order; when two entries name the same component the later one wins.
+  // An empty span is a no-op.
+  //
+  // Consistency is per-implementation, reported by batch_atomicity():
+  // kAtomic implementations guarantee no scan observes a torn batch;
+  // kAmortized ones only share the protocol cost.  On the versioned plane
+  // a batch RETRIES until every entry is applied (lock-free), unlike the
+  // singleton update's wait-free try-once CAS -- ingest batches must not
+  // silently drop writes.
+  //
+  // The default implementations throw std::logic_error (fig1 has no batch
+  // path; update_batch_blob additionally requires the blob plane).
+  virtual void update_batch(std::span<const BatchEntry> entries);
+  virtual void update_batch_blob(std::span<const BlobBatchEntry> entries);
+
+  // What a concurrent scan can observe of a batch (kUnsupported when the
+  // entry points above throw).
+  virtual BatchAtomicity batch_atomicity() const {
+    return BatchAtomicity::kUnsupported;
+  }
+
+  void update_batch(std::initializer_list<BatchEntry> il) {
+    update_batch(std::span<const BatchEntry>(il.begin(), il.size()));
+  }
 
   // Reads the given components atomically; out[k] receives the value of
   // indices[k] (indices may be unsorted and may contain duplicates; an

@@ -81,6 +81,9 @@ template <class V>
 struct VersionedRecordT : RecordT<V> {
   mutable std::atomic<std::uint64_t> version{primitives::kUnstamped};
   std::atomic<const VersionedRecordT<V>*> prev{nullptr};
+  // Non-null while the record is an unresolved update_batch member
+  // (primitives::BatchControl); singleton publications clear it.
+  std::atomic<const primitives::BatchControl*> batch{nullptr};
 };
 
 // The record type a value plane publishes: versioned planes carry the

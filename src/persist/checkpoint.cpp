@@ -51,7 +51,14 @@ void append_raw(std::vector<std::byte>& out, const T& v) {
 
 void append_bytes(std::vector<std::byte>& out,
                   std::span<const std::byte> bytes) {
-  out.insert(out.end(), bytes.begin(), bytes.end());
+  // resize + memcpy instead of insert(end, first, last): GCC 12's -O2
+  // stringop-overflow analysis misreads the range-insert over span
+  // iterators as a write past the end and fails the -Werror release
+  // build.
+  if (bytes.empty()) return;
+  const std::size_t old_size = out.size();
+  out.resize(old_size + bytes.size());
+  std::memcpy(out.data() + old_size, bytes.data(), bytes.size());
 }
 
 // Bounds-checked cursor over an untrusted byte image.  Every read is

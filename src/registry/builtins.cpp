@@ -28,6 +28,7 @@
 #include "core/cas_psnap.h"
 #include "core/register_psnap.h"
 #include "exec/pid_bound.h"
+#include "ingest/batch_routed.h"
 #include "registry/registry.h"
 
 namespace psnap::registry {
@@ -254,6 +255,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .counts_steps = true,
       .sim_safe = true,
       .values = "u64,blob,versioned",
+      .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             return make_fig3(m, n, options, "u64",
@@ -273,6 +275,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .counts_steps = false,
       .sim_safe = false,
       .values = "u64,blob,versioned",
+      .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n,
              const Options& options) -> std::unique_ptr<core::PartialSnapshot> {
@@ -305,6 +308,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .counts_steps = true,
       .sim_safe = true,
       .values = "blob",
+      .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             return make_fig3(m, n, options, "blob", /*use_cas=*/true);
@@ -324,6 +328,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .counts_steps = true,
       .sim_safe = true,
       .values = "versioned",
+      .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             return make_fig3(m, n, options, "versioned", /*use_cas=*/true);
@@ -339,6 +344,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .counts_steps = true,
       .sim_safe = true,
       .values = "u64,blob",
+      .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             // No faicas options exposed here historically; keep the bound
@@ -368,6 +374,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .counts_steps = true,
       .sim_safe = true,
       .values = "u64,blob,versioned",
+      .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             return make_full(m, n, options, "u64");
@@ -384,6 +391,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .counts_steps = true,
       .sim_safe = true,
       .values = "blob",
+      .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             return make_full(m, n, options, "blob");
@@ -401,6 +409,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .counts_steps = true,
       .sim_safe = true,
       .values = "versioned",
+      .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             return make_full(m, n, options, "versioned");
@@ -416,6 +425,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .counts_steps = true,
       .sim_safe = true,
       .values = "u64,blob",
+      .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n,
              const Options& options) -> std::unique_ptr<core::PartialSnapshot> {
@@ -439,6 +449,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .counts_steps = false,
       .sim_safe = false,
       .values = "u64,blob",
+      .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t /*n*/,
              const Options& options) -> std::unique_ptr<core::PartialSnapshot> {
@@ -460,6 +471,7 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .counts_steps = true,
       .sim_safe = false,
       .values = "u64,blob,versioned",
+      .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t /*n*/,
              const Options& options) -> std::unique_ptr<core::PartialSnapshot> {
@@ -478,10 +490,77 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
       .counts_steps = true,
       .sim_safe = false,
       .values = "versioned",
+      .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t /*n*/,
              const Options& options) -> std::unique_ptr<core::PartialSnapshot> {
             return make_seqlock(m, options, "versioned");
+          },
+  });
+  // Canned batch-routed twins (ingest/batch_routed.h): every singleton
+  // update goes through the k=1 batch path, so the registry-driven suites
+  // exercise the batch protocol -- descriptor install/resolve, shared
+  // counters, pooled batch records -- on their existing workloads.
+  registry.add(SnapshotInfo{
+      .name = "fig3_cas_batch",
+      .description = "Figure 3 with updates routed through the batch "
+                     "entry points (sim-covered twin driving the shared "
+                     "announcement/helping path at k=1)",
+      .options_help =
+          "cas=<bool>,coalesce=<bool>,publish=<bool>,max_joins=<u64>,"
+          "initial=<u64>,adaptive=<bool>",
+      .is_wait_free = true,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .values = "u64,blob",
+      .supports_batch = true,
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            return std::make_unique<ingest::BatchRouted>(
+                make_fig3(m, n, options, "u64",
+                          options.get_bool("cas", true)),
+                /*wait_free=*/true);
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "fig3_cas_versioned_batch",
+      .description = "Figure 3 on the versioned plane with batch-routed "
+                     "updates: the descriptor install engine CAS-retries, "
+                     "so this twin is lock-free, not wait-free",
+      .options_help =
+          "coalesce=<bool>,publish=<bool>,max_joins=<u64>,initial=<u64>,"
+          "adaptive=<bool>",
+      .is_wait_free = false,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .values = "versioned",
+      .supports_batch = true,
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            return std::make_unique<ingest::BatchRouted>(
+                make_fig3(m, n, options, "versioned", /*use_cas=*/true),
+                /*wait_free=*/false);
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "full_snapshot_versioned_batch",
+      .description = "the versioned complete-scan baseline with "
+                     "batch-routed updates (lock-free descriptor engine "
+                     "over the full-view records)",
+      .options_help = "initial=<u64>,adaptive=<bool>",
+      .is_wait_free = false,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .values = "versioned",
+      .supports_batch = true,
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            return std::make_unique<ingest::BatchRouted>(
+                make_full(m, n, options, "versioned"),
+                /*wait_free=*/false);
           },
   });
 }

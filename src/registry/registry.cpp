@@ -218,6 +218,12 @@ const SnapshotInfo* SnapshotRegistry::find(std::string_view name) const {
 std::unique_ptr<core::PartialSnapshot> SnapshotRegistry::make(
     std::string_view spec, std::uint32_t initial_m,
     std::uint32_t max_threads) const {
+  return make(spec, initial_m, max_threads, /*knobs=*/nullptr);
+}
+
+std::unique_ptr<core::PartialSnapshot> SnapshotRegistry::make(
+    std::string_view spec, std::uint32_t initial_m,
+    std::uint32_t max_threads, IngestKnobs* knobs) const {
   auto [name, opt_spec] = split_spec(spec);
   const SnapshotInfo* info = find(name);
   if (info == nullptr) {
@@ -240,6 +246,40 @@ std::unique_ptr<core::PartialSnapshot> SnapshotRegistry::make(
         "snapshot implementation '" + info->name +
         "' does not support value=" + plane + " (supported: " +
         info->values + ")\nknown implementations:\n" + snapshot_catalogue());
+  }
+  // Universal ingest knobs, validated here so an unsupported combo fails
+  // with the catalogue, but ACTED on by the caller: batching is a
+  // property of how writes are fed to the object, so only entry points
+  // that batch (the coalescing ingest front-end, benches, examples) pass
+  // an IngestKnobs sink.  With a nullptr sink the knobs would silently
+  // mean "singleton anyway" -- reject instead.
+  const bool has_batch = options.contains("batch");
+  const bool has_window = options.contains("coalesce_window");
+  if ((has_batch || has_window) && knobs == nullptr) {
+    throw std::invalid_argument(
+        "spec '" + std::string(spec) + "' sets " +
+        (has_batch ? "batch=" : "coalesce_window=") +
+        " but this entry point feeds writes one at a time and cannot "
+        "honor ingest knobs");
+  }
+  if (knobs != nullptr) {
+    knobs->batch = get_u32_option(options, "batch", knobs->batch);
+    knobs->coalesce_window =
+        get_u32_option(options, "coalesce_window", knobs->coalesce_window);
+    if (knobs->batch == 0) {
+      throw std::invalid_argument(
+          "option 'batch' expects a positive flush threshold (batch=1 "
+          "means singleton updates)");
+    }
+    if (knobs->batching_requested() && !info->supports_batch) {
+      throw std::invalid_argument(
+          "snapshot implementation '" + info->name +
+          "' does not support batched updates (requested batch=" +
+          std::to_string(knobs->batch) + ", coalesce_window=" +
+          std::to_string(knobs->coalesce_window) +
+          "; batch-capable entries are marked (batch) below)"
+          "\nknown implementations:\n" + snapshot_catalogue());
+    }
   }
   auto snapshot = info->make(initial_m, max_threads, options);
   options.check_consumed();
@@ -309,6 +349,13 @@ std::unique_ptr<core::PartialSnapshot> make_snapshot(
   return SnapshotRegistry::instance().make(spec, initial_m, max_threads);
 }
 
+std::unique_ptr<core::PartialSnapshot> make_snapshot(
+    std::string_view spec, std::uint32_t initial_m,
+    std::uint32_t max_threads, IngestKnobs* knobs) {
+  return SnapshotRegistry::instance().make(spec, initial_m, max_threads,
+                                           knobs);
+}
+
 std::unique_ptr<activeset::ActiveSet> make_active_set(
     std::string_view spec, std::uint32_t max_threads) {
   return ActiveSetRegistry::instance().make(spec, max_threads);
@@ -344,10 +391,14 @@ std::string snapshot_catalogue() {
     if (!info->options_help.empty()) {
       out << " [" << info->options_help << "]";
     }
-    out << " {value=" << info->values << "}\n";
+    out << " {value=" << info->values << "}";
+    if (info->supports_batch) out << " (batch)";
+    out << "\n";
   }
   out << "  (every spec also accepts m0=<u32>, max_threads=<u32> and "
-         "value=<plane> from the listed {value=...} set)\n";
+         "value=<plane> from the listed {value=...} set; entries marked "
+         "(batch) additionally accept batch=<k> and coalesce_window=<w> "
+         "at batch-aware entry points)\n";
   return out.str();
 }
 

@@ -59,6 +59,10 @@ class Options {
   // Throws std::invalid_argument naming any key no get_* ever asked for.
   void check_consumed() const;
 
+  // Presence check; counts as consumption (used for universal keys the
+  // registry handles itself, never for factory options).
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+
   bool empty() const { return entries_.empty(); }
 
  private:
@@ -112,8 +116,33 @@ struct SnapshotInfo {
   // calling the factory, so an unsupported combo fails with the full
   // catalogue rather than inside the factory.
   std::string values = "u64";
+  // Implements update_batch()/update_batch_blob() (false for the fig1
+  // register constructions, whose base-class defaults throw).  Gates the
+  // universal batch=/coalesce_window= ingest knobs: a spec asking for
+  // batching on an entry without it fails with the full catalogue.
+  bool supports_batch = false;
 
   SnapshotFactory make;
+};
+
+// Ingest-shaping knobs parsed from the universal spec options batch=<k>
+// and coalesce_window=<w>.  The registry only parses and validates them
+// (batching is a property of how the CALLER feeds the object, not of the
+// object itself); callers that batch writes -- the Coalescer front-end,
+// benches, examples -- pass an IngestKnobs* to make() and act on the
+// result.  Callers that cannot batch pass nullptr, and a spec asking for
+// batching then fails loudly instead of silently running singleton.
+struct IngestKnobs {
+  // Flush after this many distinct components are pending (k=1 means
+  // singleton updates; the default).
+  std::uint32_t batch = 1;
+  // Merge same-component writes while fewer than this many raw writes
+  // are pending; 0 disables coalescing (every write is kept).
+  std::uint32_t coalesce_window = 0;
+
+  bool batching_requested() const {
+    return batch > 1 || coalesce_window > 0;
+  }
 };
 
 class SnapshotRegistry {
@@ -144,6 +173,18 @@ class SnapshotRegistry {
                                               std::uint32_t initial_m,
                                               std::uint32_t max_threads)
       const;
+
+  // As above, additionally consuming the universal ingest knobs
+  // batch=<u32> and coalesce_window=<u32> into *knobs (see IngestKnobs).
+  // Throws std::invalid_argument when the spec requests batching on an
+  // entry without supports_batch, when batch=0, or when knobs is nullptr
+  // but the spec contains either knob (the three-argument overload above
+  // forwards nullptr, so batching specs fail loudly in callers that
+  // would silently ignore them).
+  std::unique_ptr<core::PartialSnapshot> make(std::string_view spec,
+                                              std::uint32_t initial_m,
+                                              std::uint32_t max_threads,
+                                              IngestKnobs* knobs) const;
 
  private:
   std::vector<SnapshotInfo> infos_;
@@ -194,6 +235,10 @@ std::pair<std::string_view, std::string_view> split_spec(
 std::unique_ptr<core::PartialSnapshot> make_snapshot(
     std::string_view spec, std::uint32_t initial_m,
     std::uint32_t max_threads);
+
+std::unique_ptr<core::PartialSnapshot> make_snapshot(
+    std::string_view spec, std::uint32_t initial_m,
+    std::uint32_t max_threads, IngestKnobs* knobs);
 
 std::unique_ptr<activeset::ActiveSet> make_active_set(
     std::string_view spec, std::uint32_t max_threads);
