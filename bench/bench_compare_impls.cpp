@@ -51,6 +51,8 @@
 #include <chrono>
 #include <thread>
 
+#include <fstream>
+
 #include "bench/harness.h"
 #include "common/cli.h"
 #include "common/rng.h"
@@ -61,6 +63,7 @@
 #include "exec/thread_registry.h"
 #include "ingest/coalescer.h"
 #include "registry/registry.h"
+#include "runtime/trace.h"
 #include "workload/workload.h"
 
 using namespace psnap;
@@ -479,8 +482,10 @@ double ingest_throughput(const std::string& spec, std::uint32_t m,
     std::uint64_t writes = 0;
     bench::StopAfter stop_after(seconds);
     if (coalesce) {
-      ingest::Coalescer ingest(*snap,
-                               {.batch = k, .coalesce_window = 4 * k});
+      ingest::Coalescer::Options co_options;
+      co_options.batch = k;
+      co_options.coalesce_window = 4 * k;
+      ingest::Coalescer ingest(*snap, std::move(co_options));
       while (!stop_after.expired()) {
         for (int burst = 0; burst < 64; ++burst) {
           ingest.write(static_cast<std::uint32_t>(rng.next() % m), writes);
@@ -636,6 +641,84 @@ void table_ingest_amortization(double seconds, bench::JsonReport& report) {
   std::cout << "\n";
 }
 
+// --trace mode: a dedicated full-speed run with every operation recorded
+// into runtime::TraceSink, dumped as a JSONL artifact for offline
+// auditing (tools/trace_audit).  This is the wall-clock complement to the
+// sim fuzzer: too long to linearizability-check, cheap to audit for epoch
+// regressions, torn batches, and watermark violations.
+int trace_profile(const std::string& spec, std::uint32_t workers,
+                  double seconds, const std::string& path) {
+  const std::uint32_t m0 = 48;
+  auto snap = registry::make_snapshot(spec, m0, workers + 2);
+  runtime::TraceSink sink(exec::ThreadRegistry::kMaxCapacity, 2048);
+  runtime::TracingSnapshot traced(*snap, sink);
+  const bool versioned = traced.value_plane() == "versioned";
+  const bool batched =
+      traced.batch_atomicity() != core::BatchAtomicity::kUnsupported;
+
+  bench::run_workers(workers, [&](std::uint32_t w, bench::WorkerStats&) {
+    Xoshiro256 rng(w + 17);
+    bench::StopAfter stop_after(seconds);
+    std::vector<std::uint64_t> out;
+    std::vector<std::uint32_t> idx;
+    std::vector<core::BatchEntry> entries;
+    std::uint64_t n = 0;
+    std::uint32_t grows_left = w == 0 ? 2 : 0;
+    while (!stop_after.expired()) {
+      const std::uint32_t m = traced.num_components();
+      std::uint32_t roll = static_cast<std::uint32_t>(rng.next() % 100);
+      if (roll < 50) {
+        traced.update(static_cast<std::uint32_t>(rng.next() % m), ++n);
+      } else if (roll < 70 && batched) {
+        entries.clear();
+        for (int k = 0; k < 3; ++k) {
+          entries.push_back(
+              {static_cast<std::uint32_t>(rng.next() % m), ++n});
+        }
+        traced.update_batch(
+            std::span<const core::BatchEntry>(entries));
+      } else {
+        idx.clear();
+        for (int k = 0; k < 4; ++k) {
+          idx.push_back(static_cast<std::uint32_t>(rng.next() % m));
+        }
+        if (versioned) {
+          (void)traced.scan_versioned(idx, out);
+        } else {
+          traced.scan(idx, out);
+        }
+      }
+      if (grows_left > 0 && n > 200 * (3 - grows_left)) {
+        traced.add_components(4);
+        --grows_left;
+      }
+    }
+  });
+
+  runtime::TraceSink::Drained drained = sink.drain();
+  runtime::TraceArtifact artifact;
+  artifact.impl = spec;
+  artifact.m0 = m0;
+  artifact.final_m = traced.num_components();
+  artifact.emitted = drained.emitted;
+  artifact.dropped = drained.dropped;
+  artifact.events = std::move(drained.events);
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "failed to open %s\n", path.c_str());
+    return 1;
+  }
+  runtime::dump_jsonl(artifact, file);
+  std::uint64_t dropped_total = 0;
+  for (std::uint64_t d : artifact.dropped) dropped_total += d;
+  std::printf("trace profile: impl=%s events=%zu emitted=%llu dropped=%llu "
+              "-> %s\n",
+              spec.c_str(), artifact.events.size(),
+              static_cast<unsigned long long>(artifact.emitted),
+              static_cast<unsigned long long>(dropped_total), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -649,12 +732,32 @@ int main(int argc, char** argv) {
   flags.define("json", "",
                "also write machine-readable results to this JSON file "
                "(perf-trajectory artifact)");
+  flags.define("trace", "",
+               "run a dedicated trace profile instead of the tables: "
+               "record every operation of a full-speed mixed run into a "
+               "JSONL artifact at this path (audit with "
+               "tools/trace_audit); uses the first --impls spec, default "
+               "fig3_cas_versioned_batch");
   if (!flags.parse(argc, argv)) return 1;
 
   if (flags.get_string("impls") == "help") {
     std::printf("registered snapshot implementations:\n%s",
                 registry::snapshot_catalogue().c_str());
     return 0;
+  }
+
+  if (!flags.get_string("trace").empty()) {
+    std::string spec = flags.get_string("impls").empty()
+                           ? "fig3_cas_versioned_batch"
+                           : impl_specs(flags.get_string("impls")).front();
+    try {
+      return trace_profile(
+          spec, static_cast<std::uint32_t>(flags.get_uint("threads")),
+          flags.get_double("seconds"), flags.get_string("trace"));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
   }
 
   std::printf("Experiment CMP: implementation comparison (Sections 1, 5)\n\n");

@@ -5,6 +5,7 @@
 //                                [--readings=N] [--queries=N]
 //                                [--readers=N] [--impl=<registry spec>]
 //                                [--publish=batch|singleton]
+//                                [--trace=<path.jsonl>]
 //
 // A sensor array publishes readings into a partial snapshot object.  The
 // array GROWS while the system runs: new sensors hot-plug in blocks via
@@ -58,11 +59,15 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+#include <optional>
+
 #include "common/cli.h"
 #include "common/rng.h"
 #include "exec/thread_registry.h"
 #include "primitives/value_plane.h"
 #include "registry/registry.h"
+#include "runtime/trace.h"
 
 namespace {
 
@@ -90,6 +95,9 @@ int main(int argc, char** argv) {
   flags.define("publish", "batch",
                "multi-sensor publish path: 'batch' (one update_batch per "
                "epoch frame) or 'singleton' (one update per sensor)");
+  flags.define("trace", "",
+               "record every snapshot operation into a JSONL trace "
+               "artifact at this path (audit with tools/trace_audit)");
   if (!flags.parse(argc, argv)) return 1;
 
   const std::string publish = flags.get_string("publish");
@@ -128,7 +136,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
-  auto& array = *array_ptr;
+  // --trace wraps the array in the tracing decorator; the main thread
+  // also takes a pid so its hot-plug calls own their own trace ring (the
+  // per-pid rings are single-writer).
+  const std::string trace_path = flags.get_string("trace");
+  const std::uint32_t sensors0_m = array_ptr->num_components();
+  std::optional<psnap::exec::ThreadHandle> main_pid;
+  std::optional<psnap::runtime::TraceSink> trace_sink;
+  std::optional<psnap::runtime::TracingSnapshot> traced;
+  if (!trace_path.empty()) {
+    main_pid.emplace();
+    trace_sink.emplace(psnap::exec::ThreadRegistry::kMaxCapacity, 2048);
+    traced.emplace(*array_ptr, *trace_sink);
+  }
+  auto& array = traced
+                    ? static_cast<psnap::core::PartialSnapshot&>(*traced)
+                    : *array_ptr;
   const bool blob = array.value_plane() == "blob";
   const psnap::core::BatchAtomicity tier = array.batch_atomicity();
   if (batch_publish && tier == psnap::core::BatchAtomicity::kUnsupported) {
@@ -334,6 +357,25 @@ int main(int argc, char** argv) {
   }
   stop = true;
   for (auto& t : sensor_threads) t.join();
+
+  if (traced) {
+    psnap::runtime::TraceSink::Drained drained = trace_sink->drain();
+    psnap::runtime::TraceArtifact artifact;
+    artifact.impl = flags.get_string("impl");
+    artifact.m0 = sensors0_m;
+    artifact.final_m = array.num_components();
+    artifact.emitted = drained.emitted;
+    artifact.dropped = drained.dropped;
+    artifact.events = std::move(drained.events);
+    std::ofstream file(trace_path);
+    if (!file) {
+      std::fprintf(stderr, "failed to open %s\n", trace_path.c_str());
+      return 1;
+    }
+    psnap::runtime::dump_jsonl(artifact, file);
+    std::printf("trace: %zu events -> %s\n", artifact.events.size(),
+                trace_path.c_str());
+  }
 
   std::printf(
       "fusion queries: %llu over %llu reader lives, sensors %u -> %u "

@@ -256,6 +256,19 @@ void CasPartialSnapshotT<Policy, Value>::do_update(std::uint32_t i,
       primitives::ensure_stamped<Policy>(*node, camera_);
     } else {
       tls_op_stats().cas_failed = true;
+      // A failed update linearizes immediately before the update that
+      // beat it, so the winner's linearization point -- its stamp fix,
+      // which lazy stamping would otherwise leave floating -- must be
+      // pinned before this op responds.  Otherwise a scan invoked after
+      // our response can fetch an epoch below the winner's eventual
+      // stamp and observe the pre-race value, ordering both updates
+      // after an operation that real-time-follows this one.  `prev` is
+      // the head our CAS observed: either the winner itself (stamp it
+      // here), or a later node whose publisher already fixed the
+      // winner's stamp before displacing it -- ensure_stamped settles
+      // both, and resolves the batch first when the winner is a batch
+      // member.
+      primitives::ensure_stamped<Policy>(*prev, camera_);
     }
     return;
   }

@@ -1,0 +1,53 @@
+// Deliberately broken snapshot implementations: the fuzzer's mutation
+// suite (ISSUE: seeded-bug detection).
+//
+// Each mutant seeds exactly one protocol-step bug of a kind the real
+// algorithms guard against, and the fuzz campaign must detect every one
+// of them within a bounded budget (tests/verify/fuzz_mutation_test.cpp is
+// a hard CI gate).  The bugs are STEP-LEVEL protocol mistakes, not
+// memory-ordering mistakes: the deterministic scheduler serializes
+// execution between base-object steps, so a dropped fence would be
+// invisible under sim -- what the fuzzer can see is a protocol that takes
+// the wrong steps.
+//
+//   mut_torn_scan        scan is a single collect: no validation pass at
+//                        all, so an update landing mid-collect yields a
+//                        value vector no linearization can produce.
+//   mut_skipped_helping  bounded double collect that gives up: after two
+//                        disagreeing collects it returns the last (dirty)
+//                        one instead of retrying/helping -- the
+//                        "termination by helping" obligation dropped.
+//   mut_torn_batch       claims BatchAtomicity::kAtomic but applies
+//                        update_batch entry-by-entry through the singleton
+//                        path, so concurrent scans observe batch prefixes
+//                        the atomic tier forbids.
+//   mut_stale_epoch      versioned plane whose scan_versioned reads the
+//                        camera without taking a ticket: values are
+//                        consistent but consecutive scans repeat the same
+//                        epoch, violating the strictly-increasing camera
+//                        contract.
+//
+// These live in psnap_experimental (linked only by the mutation tests and
+// the fuzz tool's --mutants mode) so the production library and registry
+// carry no intentionally-broken code.
+#pragma once
+
+#include "registry/registry.h"
+
+namespace psnap::experimental {
+
+// Registers the four mutants into `reg` (normally
+// registry::SnapshotRegistry::instance()).  Idempotent per registry --
+// calling twice would violate the registry's unique-name invariant, so it
+// asserts via the registry itself; call once per process.
+void register_mutant_snapshots(registry::SnapshotRegistry& reg);
+
+// The registered mutant names, for iterating the mutation suite.
+inline constexpr const char* kMutantNames[] = {
+    "mut_torn_scan",
+    "mut_skipped_helping",
+    "mut_torn_batch",
+    "mut_stale_epoch",
+};
+
+}  // namespace psnap::experimental

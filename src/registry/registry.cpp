@@ -254,7 +254,8 @@ std::unique_ptr<core::PartialSnapshot> SnapshotRegistry::make(
   // an IngestKnobs sink.  With a nullptr sink the knobs would silently
   // mean "singleton anyway" -- reject instead.
   const bool has_batch = options.contains("batch");
-  const bool has_window = options.contains("coalesce_window");
+  const bool has_window = options.contains("coalesce_window") ||
+                          options.contains("coalesce_window_us");
   if ((has_batch || has_window) && knobs == nullptr) {
     throw std::invalid_argument(
         "spec '" + std::string(spec) + "' sets " +
@@ -266,6 +267,9 @@ std::unique_ptr<core::PartialSnapshot> SnapshotRegistry::make(
     knobs->batch = get_u32_option(options, "batch", knobs->batch);
     knobs->coalesce_window =
         get_u32_option(options, "coalesce_window", knobs->coalesce_window);
+    knobs->coalesce_window_us = get_u32_option(
+        options, "coalesce_window_us",
+        static_cast<std::uint32_t>(knobs->coalesce_window_us));
     if (knobs->batch == 0) {
       throw std::invalid_argument(
           "option 'batch' expects a positive flush threshold (batch=1 "
@@ -384,9 +388,25 @@ std::string closest_active_set_name(std::string_view name) {
   return closest_name(name, ActiveSetRegistry::instance().all());
 }
 
+namespace {
+
+// Catalogues print in name order, not registration order: the output is
+// consumed by humans diffing `--impls=help` across builds, and link-order
+// differences (or late registrations like the experimental mutants) must
+// not reshuffle it.
+template <typename Info>
+std::vector<const Info*> sorted_by_name(std::vector<const Info*> infos) {
+  std::sort(infos.begin(), infos.end(),
+            [](const Info* a, const Info* b) { return a->name < b->name; });
+  return infos;
+}
+
+}  // namespace
+
 std::string snapshot_catalogue() {
   std::ostringstream out;
-  for (const SnapshotInfo* info : SnapshotRegistry::instance().all()) {
+  for (const SnapshotInfo* info :
+       sorted_by_name(SnapshotRegistry::instance().all())) {
     out << "  " << info->name << " -- " << info->description;
     if (!info->options_help.empty()) {
       out << " [" << info->options_help << "]";
@@ -397,14 +417,15 @@ std::string snapshot_catalogue() {
   }
   out << "  (every spec also accepts m0=<u32>, max_threads=<u32> and "
          "value=<plane> from the listed {value=...} set; entries marked "
-         "(batch) additionally accept batch=<k> and coalesce_window=<w> "
-         "at batch-aware entry points)\n";
+         "(batch) additionally accept batch=<k>, coalesce_window=<w>, and "
+         "coalesce_window_us=<t> at batch-aware entry points)\n";
   return out.str();
 }
 
 std::string active_set_catalogue() {
   std::ostringstream out;
-  for (const ActiveSetInfo* info : ActiveSetRegistry::instance().all()) {
+  for (const ActiveSetInfo* info :
+       sorted_by_name(ActiveSetRegistry::instance().all())) {
     out << "  " << info->name << " -- " << info->description;
     if (!info->options_help.empty()) {
       out << " [" << info->options_help << "]";

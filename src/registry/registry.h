@@ -139,9 +139,13 @@ struct IngestKnobs {
   // Merge same-component writes while fewer than this many raw writes
   // are pending; 0 disables coalescing (every write is kept).
   std::uint32_t coalesce_window = 0;
+  // Flush once the oldest pending write is this many microseconds old
+  // (the Coalescer's wall-clock staleness bound); 0 disables the
+  // deadline.
+  std::uint64_t coalesce_window_us = 0;
 
   bool batching_requested() const {
-    return batch > 1 || coalesce_window > 0;
+    return batch > 1 || coalesce_window > 0 || coalesce_window_us > 0;
   }
 };
 
@@ -175,7 +179,8 @@ class SnapshotRegistry {
       const;
 
   // As above, additionally consuming the universal ingest knobs
-  // batch=<u32> and coalesce_window=<u32> into *knobs (see IngestKnobs).
+  // batch=<u32>, coalesce_window=<u32>, and coalesce_window_us=<u32>
+  // into *knobs (see IngestKnobs).
   // Throws std::invalid_argument when the spec requests batching on an
   // entry without supports_batch, when batch=0, or when knobs is nullptr
   // but the spec contains either knob (the three-argument overload above

@@ -1,0 +1,425 @@
+#include "runtime/trace.h"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/assert.h"
+#include "exec/exec.h"
+
+namespace psnap::runtime {
+
+namespace {
+
+std::uint32_t round_up_pow2(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::uint64_t max_index(std::span<const std::uint32_t> indices) {
+  std::uint64_t m = 0;
+  for (std::uint32_t i : indices) m = std::max<std::uint64_t>(m, i);
+  return m;
+}
+
+std::uint64_t max_batch_index(std::span<const core::BatchEntry> entries) {
+  std::uint64_t m = 0;
+  for (const core::BatchEntry& e : entries) {
+    m = std::max<std::uint64_t>(m, e.index);
+  }
+  return m;
+}
+
+const char* kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kUpdate:
+      return "update";
+    case TraceEventKind::kBatchBegin:
+      return "batch_begin";
+    case TraceEventKind::kBatchEnd:
+      return "batch_end";
+    case TraceEventKind::kScan:
+      return "scan";
+    case TraceEventKind::kScanVersioned:
+      return "scan_versioned";
+    case TraceEventKind::kGrow:
+      return "grow";
+  }
+  return "?";
+}
+
+bool kind_from_name(std::string_view name, TraceEventKind* kind) {
+  for (TraceEventKind k :
+       {TraceEventKind::kUpdate, TraceEventKind::kBatchBegin,
+        TraceEventKind::kBatchEnd, TraceEventKind::kScan,
+        TraceEventKind::kScanVersioned, TraceEventKind::kGrow}) {
+    if (name == kind_name(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TraceSink::TraceSink(std::uint32_t max_pids, std::uint32_t events_per_pid)
+    : capacity_(round_up_pow2(std::max<std::uint32_t>(events_per_pid, 2))),
+      rings_(max_pids) {
+  for (Ring& ring : rings_) ring.slots.resize(capacity_);
+}
+
+void TraceSink::emit(TraceEventKind kind, std::uint64_t a, std::uint64_t b,
+                     std::uint64_t c) {
+  std::uint32_t pid = exec::ctx().pid;
+  PSNAP_ASSERT_MSG(pid < rings_.size(), "trace sink pid out of range");
+  Ring& ring = rings_[pid];
+  TraceEvent& slot = ring.slots[ring.count % capacity_];
+  slot.kind = kind;
+  slot.pid = pid;
+  slot.seq = ticket_.fetch_add(1, std::memory_order_relaxed);
+  slot.a = a;
+  slot.b = b;
+  slot.c = c;
+  ++ring.count;
+}
+
+TraceSink::Drained TraceSink::drain() const {
+  Drained drained;
+  drained.dropped.resize(rings_.size(), 0);
+  for (std::size_t pid = 0; pid < rings_.size(); ++pid) {
+    const Ring& ring = rings_[pid];
+    std::uint64_t kept = std::min<std::uint64_t>(ring.count, capacity_);
+    drained.emitted += ring.count;
+    drained.dropped[pid] = ring.count - kept;
+    for (std::uint64_t k = ring.count - kept; k < ring.count; ++k) {
+      drained.events.push_back(ring.slots[k % capacity_]);
+    }
+  }
+  std::sort(drained.events.begin(), drained.events.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.seq < y.seq;
+            });
+  return drained;
+}
+
+// ---------------------------------------------------------------------------
+// TracingSnapshot
+// ---------------------------------------------------------------------------
+
+std::uint32_t TracingSnapshot::add_components(std::uint32_t count) {
+  std::uint32_t first = delegate_.add_components(count);
+  sink_.emit(TraceEventKind::kGrow, first, count);
+  return first;
+}
+
+void TracingSnapshot::update(std::uint32_t i, std::uint64_t v) {
+  delegate_.update(i, v);
+  sink_.emit(TraceEventKind::kUpdate, i, v);
+}
+
+void TracingSnapshot::update_blob(std::uint32_t i,
+                                  std::span<const std::byte> bytes) {
+  delegate_.update_blob(i, bytes);
+  sink_.emit(TraceEventKind::kUpdate, i, 0);
+}
+
+void TracingSnapshot::update_batch(std::span<const core::BatchEntry> entries) {
+  if (entries.empty()) {
+    delegate_.update_batch(entries);
+    return;
+  }
+  std::uint64_t top = max_batch_index(entries);
+  sink_.emit(TraceEventKind::kBatchBegin, entries.size(), top);
+  delegate_.update_batch(entries);
+  sink_.emit(TraceEventKind::kBatchEnd, entries.size(), top);
+}
+
+void TracingSnapshot::update_batch_blob(
+    std::span<const core::BlobBatchEntry> entries) {
+  if (entries.empty()) {
+    delegate_.update_batch_blob(entries);
+    return;
+  }
+  std::uint64_t top = 0;
+  for (const core::BlobBatchEntry& e : entries) {
+    top = std::max<std::uint64_t>(top, e.index);
+  }
+  sink_.emit(TraceEventKind::kBatchBegin, entries.size(), top);
+  delegate_.update_batch_blob(entries);
+  sink_.emit(TraceEventKind::kBatchEnd, entries.size(), top);
+}
+
+void TracingSnapshot::scan(std::span<const std::uint32_t> indices,
+                           std::vector<std::uint64_t>& out,
+                           core::ScanContext& ctx) {
+  delegate_.scan(indices, out, ctx);
+  sink_.emit(TraceEventKind::kScan, max_index(indices), indices.size());
+}
+
+std::uint64_t TracingSnapshot::scan_versioned(
+    std::span<const std::uint32_t> indices, std::vector<std::uint64_t>& out,
+    core::ScanContext& ctx) {
+  std::uint64_t epoch = delegate_.scan_versioned(indices, out, ctx);
+  sink_.emit(TraceEventKind::kScanVersioned, epoch, max_index(indices),
+             indices.size());
+  return epoch;
+}
+
+void TracingSnapshot::scan_blobs(std::span<const std::uint32_t> indices,
+                                 std::vector<value::Blob>& out,
+                                 core::ScanContext& ctx) {
+  delegate_.scan_blobs(indices, out, ctx);
+  sink_.emit(TraceEventKind::kScan, max_index(indices), indices.size());
+}
+
+// ---------------------------------------------------------------------------
+// JSONL artifact
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void bad_line(const std::string& line, const std::string& why) {
+  throw std::invalid_argument("malformed trace line '" + line + "': " + why);
+}
+
+std::uint64_t get_u64(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) bad_line(line, "missing field " + key);
+  pos += needle.size();
+  std::uint64_t value = 0;
+  auto [end, ec] =
+      std::from_chars(line.data() + pos, line.data() + line.size(), value);
+  if (ec != std::errc{} || end == line.data() + pos) {
+    bad_line(line, "field " + key + " is not an unsigned integer");
+  }
+  return value;
+}
+
+std::string get_string(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\":\"";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) bad_line(line, "missing field " + key);
+  pos += needle.size();
+  std::size_t end = line.find('"', pos);
+  if (end == std::string::npos) bad_line(line, "unterminated string " + key);
+  return line.substr(pos, end - pos);
+}
+
+std::vector<std::uint64_t> get_array(const std::string& line,
+                                     const std::string& key) {
+  std::string needle = "\"" + key + "\":[";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) bad_line(line, "missing field " + key);
+  pos += needle.size();
+  std::size_t end = line.find(']', pos);
+  if (end == std::string::npos) bad_line(line, "unterminated array " + key);
+  std::vector<std::uint64_t> values;
+  while (pos < end) {
+    std::uint64_t value = 0;
+    auto [p, ec] = std::from_chars(line.data() + pos, line.data() + end, value);
+    if (ec != std::errc{}) bad_line(line, "bad array element in " + key);
+    values.push_back(value);
+    pos = static_cast<std::size_t>(p - line.data());
+    if (pos < end && line[pos] == ',') ++pos;
+  }
+  return values;
+}
+
+}  // namespace
+
+void dump_jsonl(const TraceArtifact& artifact, std::ostream& os) {
+  os << "{\"type\":\"header\",\"impl\":\"" << artifact.impl
+     << "\",\"m0\":" << artifact.m0 << ",\"emitted\":" << artifact.emitted
+     << ",\"dropped\":[";
+  for (std::size_t i = 0; i < artifact.dropped.size(); ++i) {
+    if (i) os << ",";
+    os << artifact.dropped[i];
+  }
+  os << "]}\n";
+  for (const TraceEvent& e : artifact.events) {
+    os << "{\"type\":\"event\",\"kind\":\"" << kind_name(e.kind)
+       << "\",\"pid\":" << e.pid << ",\"seq\":" << e.seq << ",\"a\":" << e.a
+       << ",\"b\":" << e.b << ",\"c\":" << e.c << "}\n";
+  }
+  os << "{\"type\":\"footer\",\"final_m\":" << artifact.final_m << "}\n";
+}
+
+TraceArtifact parse_jsonl(std::istream& is) {
+  TraceArtifact artifact;
+  bool saw_header = false;
+  bool saw_footer = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line.find("\"type\":\"header\"") != std::string::npos) {
+      if (saw_header) bad_line(line, "duplicate header");
+      saw_header = true;
+      artifact.impl = get_string(line, "impl");
+      artifact.m0 = static_cast<std::uint32_t>(get_u64(line, "m0"));
+      artifact.emitted = get_u64(line, "emitted");
+      artifact.dropped = get_array(line, "dropped");
+    } else if (line.find("\"type\":\"footer\"") != std::string::npos) {
+      if (!saw_header) bad_line(line, "footer before header");
+      if (saw_footer) bad_line(line, "duplicate footer");
+      saw_footer = true;
+      artifact.final_m = static_cast<std::uint32_t>(get_u64(line, "final_m"));
+    } else if (line.find("\"type\":\"event\"") != std::string::npos) {
+      if (!saw_header) bad_line(line, "event before header");
+      if (saw_footer) bad_line(line, "event after footer");
+      TraceEvent e;
+      std::string kind = get_string(line, "kind");
+      if (!kind_from_name(kind, &e.kind)) {
+        bad_line(line, "unknown event kind '" + kind + "'");
+      }
+      e.pid = static_cast<std::uint32_t>(get_u64(line, "pid"));
+      e.seq = get_u64(line, "seq");
+      e.a = get_u64(line, "a");
+      e.b = get_u64(line, "b");
+      e.c = get_u64(line, "c");
+      artifact.events.push_back(e);
+    } else {
+      bad_line(line, "unknown line type");
+    }
+  }
+  if (!saw_header) throw std::invalid_argument("trace has no header line");
+  if (!saw_footer) throw std::invalid_argument("trace has no footer line");
+  return artifact;
+}
+
+// ---------------------------------------------------------------------------
+// Offline audit
+// ---------------------------------------------------------------------------
+
+TraceAuditReport audit_trace(const TraceArtifact& artifact) {
+  TraceAuditReport report;
+  auto violate = [&report](std::string what) {
+    report.ok = false;
+    report.violations.push_back(std::move(what));
+  };
+  auto dropped_for = [&artifact](std::uint32_t pid) {
+    return pid < artifact.dropped.size() ? artifact.dropped[pid] : 0;
+  };
+  auto describe = [](const TraceEvent& e) {
+    std::ostringstream os;
+    os << kind_name(e.kind) << " pid=" << e.pid << " seq=" << e.seq
+       << " a=" << e.a << " b=" << e.b << " c=" << e.c;
+    return os.str();
+  };
+
+  std::vector<TraceEvent> events = artifact.events;
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.seq < y.seq;
+            });
+
+  struct PidState {
+    bool has_epoch = false;
+    std::uint64_t last_epoch = 0;
+    bool batch_open = false;
+    std::uint64_t batch_entries = 0;
+  };
+  std::map<std::uint32_t, PidState> pids;
+  struct Block {
+    std::uint64_t first;
+    std::uint64_t count;
+  };
+  std::vector<Block> grow_blocks;
+
+  for (const TraceEvent& e : events) {
+    ++report.events_checked;
+    PidState& state = pids[e.pid];
+    std::uint64_t top_index = 0;
+    bool check_index = false;
+    switch (e.kind) {
+      case TraceEventKind::kUpdate:
+        top_index = e.a;
+        check_index = true;
+        break;
+      case TraceEventKind::kBatchBegin:
+        top_index = e.b;
+        check_index = true;
+        if (state.batch_open && dropped_for(e.pid) == 0) {
+          violate("batch_begin while a batch is already open: " + describe(e));
+        }
+        state.batch_open = true;
+        state.batch_entries = e.a;
+        break;
+      case TraceEventKind::kBatchEnd:
+        top_index = e.b;
+        check_index = true;
+        if (!state.batch_open) {
+          if (dropped_for(e.pid) == 0) {
+            violate("batch_end without batch_begin: " + describe(e));
+          }
+        } else if (state.batch_entries != e.a) {
+          violate("torn batch: begin announced " +
+                  std::to_string(state.batch_entries) + " entries, end saw " +
+                  std::to_string(e.a) + ": " + describe(e));
+        }
+        state.batch_open = false;
+        break;
+      case TraceEventKind::kScan:
+        if (e.b > 0) {
+          top_index = e.a;
+          check_index = true;
+        }
+        break;
+      case TraceEventKind::kScanVersioned:
+        if (e.c > 0) {
+          top_index = e.b;
+          check_index = true;
+        }
+        if (state.has_epoch && e.a <= state.last_epoch) {
+          violate("epoch regression: pid " + std::to_string(e.pid) +
+                  " saw epoch " + std::to_string(state.last_epoch) +
+                  " then " + std::to_string(e.a) + ": " + describe(e));
+        }
+        state.has_epoch = true;
+        state.last_epoch = e.a;
+        break;
+      case TraceEventKind::kGrow:
+        grow_blocks.push_back({e.a, e.b});
+        break;
+    }
+    if (check_index && top_index >= artifact.final_m) {
+      violate("index beyond the final component count " +
+              std::to_string(artifact.final_m) + ": " + describe(e));
+    }
+  }
+
+  for (const auto& [pid, state] : pids) {
+    if (state.batch_open && dropped_for(pid) == 0) {
+      violate("torn batch publish: pid " + std::to_string(pid) +
+              " ends the trace inside an open batch");
+    }
+  }
+
+  std::sort(grow_blocks.begin(), grow_blocks.end(),
+            [](const Block& x, const Block& y) { return x.first < y.first; });
+  std::uint64_t prev_end = artifact.m0;
+  for (const Block& b : grow_blocks) {
+    if (b.first < prev_end) {
+      violate("watermark violation: grow block [" + std::to_string(b.first) +
+              ", " + std::to_string(b.first + b.count) +
+              ") overlaps earlier components (watermark " +
+              std::to_string(prev_end) + ")");
+    }
+    prev_end = std::max(prev_end, b.first + b.count);
+    if (b.first + b.count > artifact.final_m) {
+      violate("watermark violation: grow block ends at " +
+              std::to_string(b.first + b.count) +
+              " beyond final_m=" + std::to_string(artifact.final_m));
+    }
+  }
+
+  return report;
+}
+
+}  // namespace psnap::runtime

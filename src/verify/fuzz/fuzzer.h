@@ -1,0 +1,99 @@
+// The fuzzing engine: execute plans under the deterministic scheduler,
+// check them with the oracles, shrink failures, replay tokens.
+//
+// One fuzz case = (target, shape, op seed, schedule seed).  The runner
+// builds the object from its registry spec, records every operation
+// through verify::Recording, runs the plan's processes under SimScheduler
+// (random policy seeded by the schedule seed, or an explicit rank script
+// during shrinking), and checks the history: linearizability (with
+// batch-tier expansion), camera epochs, grow-only blocks for snapshots;
+// Section 2.1 validity for active sets.  Plan op kChurn releases the
+// process's pid to a case-local ThreadRegistry and re-acquires (usually
+// the same pid -- lowest-free reuse), exercising the pid-reuse lanes the
+// History tracks.
+//
+// Failures shrink greedily -- drop processes, drop ops, thin batch/scan
+// argument sets, then truncate the schedule's rank script -- re-running
+// the case after each candidate edit with the same seeds, so the minimal
+// counterexample is a deterministic function of the repro token.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/fuzz/oracles.h"
+#include "verify/fuzz/plan.h"
+#include "verify/fuzz/token.h"
+
+namespace psnap::verify::fuzz {
+
+struct CaseOutcome {
+  bool failed = false;
+  // Checker node budget or scheduler step limit hit; the case proves
+  // nothing either way and is not counted as a failure.
+  bool inconclusive = false;
+  std::string diagnosis;
+  std::string history;
+};
+
+// Executes one plan.  `script` non-null replays an explicit rank script
+// under Policy::kScriptThenLowest (shrinking); otherwise Policy::kRandom
+// seeded with spec.sched_seed.  `ranks_out` non-null receives the schedule
+// actually taken (valid as a script for this exact plan).
+CaseOutcome run_case(const CaseSpec& spec, const FuzzPlan& plan,
+                     const std::vector<std::uint32_t>* script = nullptr,
+                     std::vector<std::uint32_t>* ranks_out = nullptr);
+
+struct FailingCase {
+  CaseSpec spec;
+  std::string token;
+  std::string diagnosis;        // from the original (unshrunk) failure
+  FuzzPlan minimal_plan;
+  std::vector<std::uint32_t> minimal_script;
+  std::string minimal_diagnosis;
+  std::string minimal_history;
+
+  // Stable rendering of the minimal counterexample; two replays of the
+  // same token must produce identical summaries (asserted by the
+  // mutation suite).
+  std::string minimal_summary() const;
+};
+
+// Runs spec from scratch (generate plan, run, and -- when it fails --
+// shrink).  Returns true and fills *failing on failure.
+bool run_and_shrink(const CaseSpec& spec, FailingCase* failing);
+
+// Decodes the token and run_and_shrink()s it.
+bool replay_token(const std::string& token, FailingCase* failing);
+
+struct CampaignOptions {
+  std::uint64_t base_seed = 1;
+  // Iterations per target per sweep; the campaign keeps sweeping (with
+  // fresh derived seeds) until budget_seconds elapses, or runs exactly one
+  // sweep when the budget is zero.
+  std::uint32_t iters_per_target = 20;
+  double budget_seconds = 0;
+  // Stop after this many failures (0 = never; the mutation suite stops at
+  // the first).
+  std::uint32_t max_failures = 0;
+  bool shrink = true;
+  // Pinned regression tokens (corpus.h) re-run at the start of every
+  // campaign before any generated cases.
+  std::vector<std::string> pinned_tokens;
+};
+
+struct CampaignStats {
+  std::uint64_t cases_run = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t inconclusive = 0;
+};
+
+// Fuzzes every target, round-robin.  on_failure (may be null) receives
+// each shrunk failure.
+CampaignStats run_campaign(
+    const std::vector<FuzzTarget>& targets, const CampaignOptions& options,
+    const std::function<void(const FailingCase&)>& on_failure);
+
+}  // namespace psnap::verify::fuzz

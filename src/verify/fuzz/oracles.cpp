@@ -1,0 +1,126 @@
+#include "verify/fuzz/oracles.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace psnap::verify::fuzz {
+
+std::vector<Operation> expand_batches_for_lin(
+    const std::vector<Operation>& ops, core::BatchAtomicity tier) {
+  std::vector<Operation> out;
+  out.reserve(ops.size());
+  for (const Operation& op : ops) {
+    if (op.type != Operation::Type::kUpdateBatch ||
+        tier == core::BatchAtomicity::kAtomic) {
+      out.push_back(op);
+      continue;
+    }
+    // Amortized tier: each entry linearizes individually somewhere inside
+    // the batch's interval.  The expansion drops the argument-order
+    // constraint between entries (the searcher may order them freely),
+    // which only ACCEPTS more histories -- sound, no false alarms.  A
+    // pending batch expands into pending updates (apply-or-omit per
+    // entry), a superset of the true prefix behavior, likewise sound.
+    for (std::size_t j = 0; j < op.indices.size(); ++j) {
+      Operation entry;
+      entry.type = Operation::Type::kUpdate;
+      entry.pid = op.pid;
+      entry.incarnation = op.incarnation;
+      entry.invoke_seq = op.invoke_seq;
+      entry.respond_seq = op.respond_seq;
+      entry.index = op.indices[j];
+      entry.value = op.batch_values[j];
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+OracleOutcome check_epochs(const std::vector<Operation>& ops) {
+  std::vector<const Operation*> scans;
+  for (const Operation& op : ops) {
+    if (op.type == Operation::Type::kScanVersioned && op.complete()) {
+      scans.push_back(&op);
+    }
+  }
+  // Per-lane program order: strictly increasing epochs.
+  std::map<std::uint64_t, const Operation*> last_by_lane;
+  std::vector<const Operation*> by_invoke = scans;
+  std::sort(by_invoke.begin(), by_invoke.end(),
+            [](const Operation* a, const Operation* b) {
+              return a->invoke_seq < b->invoke_seq;
+            });
+  for (const Operation* scan : by_invoke) {
+    auto [it, fresh] = last_by_lane.try_emplace(scan->lane(), scan);
+    if (!fresh) {
+      if (scan->epoch <= it->second->epoch) {
+        return {false, "per-lane epoch regression:\n  " +
+                           it->second->to_string() + "\n  " +
+                           scan->to_string()};
+      }
+      it->second = scan;
+    }
+  }
+  // Cross-lane real-time order: every scan takes a fresh fetch&add ticket,
+  // so a scan that completes strictly before another begins must carry a
+  // strictly smaller epoch.
+  for (const Operation* a : scans) {
+    for (const Operation* b : scans) {
+      if (a->respond_seq < b->invoke_seq && a->epoch >= b->epoch) {
+        return {false, "real-time epoch regression:\n  " + a->to_string() +
+                           "\n  " + b->to_string()};
+      }
+    }
+  }
+  return {};
+}
+
+OracleOutcome check_growth(const std::vector<Operation>& ops,
+                           std::uint32_t initial_m, std::uint32_t final_m) {
+  struct Block {
+    std::uint64_t first;
+    std::uint64_t count;
+    const Operation* op;
+  };
+  std::vector<Block> blocks;
+  std::uint64_t grown = 0;
+  bool pending_grow = false;
+  for (const Operation& op : ops) {
+    if (op.type != Operation::Type::kGrow) continue;
+    if (!op.complete()) {
+      pending_grow = true;
+      continue;
+    }
+    blocks.push_back({op.index, op.value, &op});
+    grown += op.value;
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const Block& a, const Block& b) { return a.first < b.first; });
+  std::uint64_t prev_end = initial_m;
+  for (const Block& b : blocks) {
+    if (b.first < prev_end) {
+      return {false, "grow blocks overlap (or dip below the initial count) "
+                     "at:\n  " +
+                         b.op->to_string()};
+    }
+    prev_end = b.first + b.count;
+  }
+  if (prev_end > final_m) {
+    return {false,
+            "grow block ends beyond the final component count " +
+                std::to_string(final_m)};
+  }
+  // With no pending grow, the final count must account for exactly the
+  // completed blocks: growth is grow-only and nothing else resizes.
+  if (!pending_grow &&
+      std::uint64_t{initial_m} + grown != std::uint64_t{final_m}) {
+    std::ostringstream os;
+    os << "final component count " << final_m << " != initial " << initial_m
+       << " + grown " << grown;
+    return {false, os.str()};
+  }
+  return {};
+}
+
+}  // namespace psnap::verify::fuzz

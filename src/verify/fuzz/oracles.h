@@ -1,0 +1,48 @@
+// Per-plane history oracles the fuzzer checks beyond linearizability.
+//
+// The linearizability checker (verify/lin_checker.h) validates values; the
+// oracles here validate the plane-specific contracts layered on top:
+//
+//   * batch-atomicity tiers (PR 8): kAtomic batches must linearize whole
+//     (kept as kUpdateBatch for the searcher); kAmortized batches expand
+//     into per-entry updates sharing the batch's interval, which is the
+//     sound relaxation of "entries linearize individually";
+//   * monotone camera epochs (PR 6): scan_versioned epochs are strictly
+//     increasing per lane AND across real-time-ordered scans anywhere
+//     (every scan takes its own fetch&add ticket, so equality is a bug);
+//   * grow-only watermarks (PR 3): add_components blocks are disjoint,
+//     start at or above the initial count, and the final component count
+//     accounts for exactly the completed grows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/partial_snapshot.h"
+#include "verify/history.h"
+#include "verify/lin_checker.h"
+
+namespace psnap::verify::fuzz {
+
+struct OracleOutcome {
+  bool ok = true;
+  std::string diagnosis;
+};
+
+// Rewrites a recorded snapshot history for the linearizability search:
+// kAmortized (and kUnsupported, defensively) batches expand into
+// per-entry kUpdate operations that share the batch's [invoke, respond]
+// interval; kAtomic batches pass through intact.
+std::vector<Operation> expand_batches_for_lin(
+    const std::vector<Operation>& ops, core::BatchAtomicity tier);
+
+// Camera-epoch contract over the complete kScanVersioned operations.
+OracleOutcome check_epochs(const std::vector<Operation>& ops);
+
+// Grow-only contract over the kGrow operations.  final_m is the object's
+// num_components() after the run quiesced.
+OracleOutcome check_growth(const std::vector<Operation>& ops,
+                           std::uint32_t initial_m, std::uint32_t final_m);
+
+}  // namespace psnap::verify::fuzz

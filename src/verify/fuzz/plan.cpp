@@ -1,0 +1,216 @@
+#include "verify/fuzz/plan.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace psnap::verify::fuzz {
+
+namespace {
+
+// Weighted pick over the op kinds a target admits.  Weights are part of
+// the deterministic generator: changing them invalidates old tokens'
+// minimal counterexamples (the token still replays, it just re-shrinks),
+// so keep them stable unless the mix is wrong.
+struct WeightedKind {
+  FuzzOp::Kind kind;
+  std::uint32_t weight;
+};
+
+FuzzOp::Kind pick(const std::vector<WeightedKind>& kinds, Xoshiro256& rng) {
+  std::uint32_t total = 0;
+  for (const WeightedKind& wk : kinds) total += wk.weight;
+  std::uint32_t roll = static_cast<std::uint32_t>(rng.next_below(total));
+  for (const WeightedKind& wk : kinds) {
+    if (roll < wk.weight) return wk.kind;
+    roll -= wk.weight;
+  }
+  return kinds.back().kind;
+}
+
+std::uint64_t fresh_value(Xoshiro256& rng) {
+  // Small enough to read in a diagnosis, collision-sparse enough that a
+  // torn scan almost never fakes a legal state by accident.
+  return rng.next_below(999983) + 1;
+}
+
+void generate_snapshot_ops(const FuzzTarget& target, const PlanShape& shape,
+                           Xoshiro256& rng, std::vector<FuzzOp>& ops) {
+  std::vector<WeightedKind> kinds = {{FuzzOp::Kind::kUpdate, 30},
+                                     {FuzzOp::Kind::kScan, 24},
+                                     {FuzzOp::Kind::kGrow, 6},
+                                     {FuzzOp::Kind::kChurn, 6}};
+  if (target.supports_batch) kinds.push_back({FuzzOp::Kind::kUpdateBatch, 14});
+  if (target.blob) kinds.push_back({FuzzOp::Kind::kUpdateBlob, 12});
+  if (target.versioned) {
+    kinds.push_back({FuzzOp::Kind::kScanVersioned, 16});
+  }
+
+  // Indices are drawn below the components THIS process has proof exist:
+  // the initial count plus its own completed grows (the global count is
+  // monotone and covers every completed grow, so these indices are valid
+  // whenever the op runs, regardless of how other processes interleave).
+  std::uint32_t local_m = shape.initial_m;
+  std::uint32_t grows = 0;
+  std::uint32_t churns = 0;
+  for (std::uint32_t i = 0; i < shape.ops_per_proc; ++i) {
+    FuzzOp op;
+    op.kind = pick(kinds, rng);
+    if (op.kind == FuzzOp::Kind::kGrow && grows >= 2) {
+      op.kind = FuzzOp::Kind::kUpdate;
+    }
+    if (op.kind == FuzzOp::Kind::kChurn && churns >= 2) {
+      op.kind = FuzzOp::Kind::kScan;
+    }
+    switch (op.kind) {
+      case FuzzOp::Kind::kUpdate:
+      case FuzzOp::Kind::kUpdateBlob:
+        op.index = static_cast<std::uint32_t>(rng.next_below(local_m));
+        op.value = fresh_value(rng);
+        break;
+      case FuzzOp::Kind::kUpdateBatch: {
+        std::uint32_t k = 2 + static_cast<std::uint32_t>(rng.next_below(2));
+        for (std::uint32_t e = 0; e < k; ++e) {
+          op.entries.push_back(
+              {static_cast<std::uint32_t>(rng.next_below(local_m)),
+               fresh_value(rng)});
+        }
+        break;
+      }
+      case FuzzOp::Kind::kScan:
+      case FuzzOp::Kind::kScanVersioned: {
+        std::uint32_t r =
+            1 + static_cast<std::uint32_t>(rng.next_below(
+                    std::min<std::uint32_t>(3, local_m)));
+        for (std::uint32_t e = 0; e < r; ++e) {
+          op.indices.push_back(
+              static_cast<std::uint32_t>(rng.next_below(local_m)));
+        }
+        break;
+      }
+      case FuzzOp::Kind::kGrow:
+        op.count = 1 + static_cast<std::uint32_t>(rng.next_below(2));
+        local_m += op.count;
+        ++grows;
+        break;
+      case FuzzOp::Kind::kChurn:
+        ++churns;
+        break;
+      default:
+        break;
+    }
+    ops.push_back(std::move(op));
+  }
+}
+
+void generate_active_set_ops(const PlanShape& shape, Xoshiro256& rng,
+                             std::vector<FuzzOp>& ops) {
+  bool joined = false;
+  std::uint32_t churns = 0;
+  for (std::uint32_t i = 0; i < shape.ops_per_proc; ++i) {
+    FuzzOp op;
+    if (joined) {
+      // A joined process must leave before it can release its pid (the
+      // active set is keyed by pid), so churn is only offered when idle.
+      op.kind = rng.next_below(100) < 55 ? FuzzOp::Kind::kLeave
+                                         : FuzzOp::Kind::kGetSet;
+    } else {
+      std::uint64_t roll = rng.next_below(100);
+      if (roll < 45) {
+        op.kind = FuzzOp::Kind::kJoin;
+      } else if (roll < 80 || churns >= 2) {
+        op.kind = FuzzOp::Kind::kGetSet;
+      } else {
+        op.kind = FuzzOp::Kind::kChurn;
+        ++churns;
+      }
+    }
+    if (op.kind == FuzzOp::Kind::kJoin) joined = true;
+    if (op.kind == FuzzOp::Kind::kLeave) joined = false;
+    ops.push_back(std::move(op));
+  }
+}
+
+}  // namespace
+
+std::string FuzzOp::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kUpdate:
+      os << "update(" << index << ", " << value << ")";
+      break;
+    case Kind::kUpdateBlob:
+      os << "update_blob(" << index << ", enc(" << value << "))";
+      break;
+    case Kind::kUpdateBatch: {
+      os << "update_batch(";
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (i) os << ",";
+        os << entries[i].index << ":=" << entries[i].value;
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kScan:
+    case Kind::kScanVersioned: {
+      os << (kind == Kind::kScan ? "scan(" : "scan_versioned(");
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (i) os << ",";
+        os << indices[i];
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kGrow:
+      os << "add_components(" << count << ")";
+      break;
+    case Kind::kChurn:
+      os << "churn";
+      break;
+    case Kind::kJoin:
+      os << "join";
+      break;
+    case Kind::kLeave:
+      os << "leave";
+      break;
+    case Kind::kGetSet:
+      os << "getSet";
+      break;
+  }
+  return os.str();
+}
+
+std::uint32_t FuzzPlan::total_ops() const {
+  std::uint32_t n = 0;
+  for (const auto& proc : procs) n += static_cast<std::uint32_t>(proc.size());
+  return n;
+}
+
+std::string FuzzPlan::to_string() const {
+  std::ostringstream os;
+  os << "m0=" << initial_m << "\n";
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    os << "  proc " << p << ":";
+    for (const FuzzOp& op : procs[p]) os << " " << op.to_string() << ";";
+    os << "\n";
+  }
+  return os.str();
+}
+
+FuzzPlan generate_plan(const FuzzTarget& target, const PlanShape& shape,
+                       std::uint64_t op_seed) {
+  FuzzPlan plan;
+  plan.initial_m = shape.initial_m;
+  Xoshiro256 rng(op_seed);
+  plan.procs.resize(shape.procs);
+  for (std::uint32_t p = 0; p < shape.procs; ++p) {
+    if (target.kind == FuzzTarget::Kind::kSnapshot) {
+      generate_snapshot_ops(target, shape, rng, plan.procs[p]);
+    } else {
+      generate_active_set_ops(shape, rng, plan.procs[p]);
+    }
+  }
+  return plan;
+}
+
+}  // namespace psnap::verify::fuzz

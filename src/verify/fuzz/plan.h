@@ -1,0 +1,64 @@
+// Randomized operation plans: what each simulated process will do.
+//
+// A plan is generated deterministically from (target capabilities, shape,
+// op seed); re-generating with the same inputs yields the same plan, which
+// is what makes repro tokens sufficient for replay.  Shrinking works on
+// the plan structure (drop processes, drop ops, thin batches and scan
+// sets), never on the generator, so a shrunk counterexample is an ordinary
+// plan the runner executes like any other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/partial_snapshot.h"
+#include "verify/fuzz/target.h"
+
+namespace psnap::verify::fuzz {
+
+struct FuzzOp {
+  enum class Kind : std::uint8_t {
+    kUpdate,
+    kUpdateBlob,    // blob plane: update_blob with the 8-byte encoding
+    kUpdateBatch,   // batch-capable targets
+    kScan,
+    kScanVersioned,  // versioned plane
+    kGrow,           // add_components
+    kChurn,          // release + re-acquire this process's pid
+    kJoin,           // active-set targets only
+    kLeave,
+    kGetSet,
+  };
+
+  Kind kind;
+  std::uint32_t index = 0;  // kUpdate / kUpdateBlob
+  std::uint64_t value = 0;  // kUpdate / kUpdateBlob
+  std::vector<core::BatchEntry> entries;   // kUpdateBatch
+  std::vector<std::uint32_t> indices;      // kScan / kScanVersioned
+  std::uint32_t count = 0;                 // kGrow
+
+  std::string to_string() const;
+};
+
+struct FuzzPlan {
+  std::uint32_t initial_m = 0;
+  std::vector<std::vector<FuzzOp>> procs;
+
+  std::uint32_t total_ops() const;
+  std::string to_string() const;
+};
+
+// Shape knobs the campaign varies per iteration; bounded so that every
+// history stays under the linearizability checker's 64-op ceiling even
+// after amortized batches expand into per-entry updates.
+struct PlanShape {
+  std::uint32_t procs = 3;
+  std::uint32_t ops_per_proc = 4;
+  std::uint32_t initial_m = 3;
+};
+
+FuzzPlan generate_plan(const FuzzTarget& target, const PlanShape& shape,
+                       std::uint64_t op_seed);
+
+}  // namespace psnap::verify::fuzz

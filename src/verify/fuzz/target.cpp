@@ -1,0 +1,110 @@
+#include "verify/fuzz/target.h"
+
+#include <stdexcept>
+
+#include "registry/registry.h"
+
+namespace psnap::verify::fuzz {
+
+namespace {
+
+// The one ingest-knob combination fuzzed per batch-capable combo: small
+// enough that plans stay within the checker's 64-op ceiling, large enough
+// that flushes really carry multi-entry batches through update_batch.
+constexpr char kIngestKnobs[] = "batch=3,coalesce_window=6";
+
+std::vector<std::string> split_planes(std::string_view values) {
+  std::vector<std::string> planes;
+  std::size_t pos = 0;
+  while (pos <= values.size()) {
+    std::size_t comma = values.find(',', pos);
+    if (comma == std::string_view::npos) comma = values.size();
+    planes.emplace_back(values.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return planes;
+}
+
+FuzzTarget snapshot_target(const registry::SnapshotInfo& info,
+                           const std::string& plane, bool coalesced) {
+  FuzzTarget target;
+  target.kind = FuzzTarget::Kind::kSnapshot;
+  target.spec = info.name + ":value=" + plane;
+  if (coalesced) target.spec += std::string(",") + kIngestKnobs;
+  target.supports_batch = info.supports_batch;
+  target.versioned = plane == "versioned";
+  target.blob = plane == "blob";
+  target.coalesced = coalesced;
+  return target;
+}
+
+}  // namespace
+
+std::vector<FuzzTarget> enumerate_snapshot_targets() {
+  std::vector<FuzzTarget> targets;
+  for (const registry::SnapshotInfo* info :
+       registry::SnapshotRegistry::instance().all()) {
+    if (!info->sim_safe) continue;
+    for (const std::string& plane : split_planes(info->values)) {
+      targets.push_back(snapshot_target(*info, plane, /*coalesced=*/false));
+      if (info->supports_batch) {
+        targets.push_back(snapshot_target(*info, plane, /*coalesced=*/true));
+      }
+    }
+  }
+  return targets;
+}
+
+std::vector<FuzzTarget> enumerate_active_set_targets() {
+  std::vector<FuzzTarget> targets;
+  for (const registry::ActiveSetInfo* info :
+       registry::ActiveSetRegistry::instance().all()) {
+    if (!info->sim_safe) continue;
+    FuzzTarget target;
+    target.kind = FuzzTarget::Kind::kActiveSet;
+    target.spec = info->name;
+    targets.push_back(std::move(target));
+  }
+  return targets;
+}
+
+std::vector<FuzzTarget> enumerate_targets() {
+  std::vector<FuzzTarget> targets = enumerate_snapshot_targets();
+  std::vector<FuzzTarget> sets = enumerate_active_set_targets();
+  targets.insert(targets.end(), sets.begin(), sets.end());
+  return targets;
+}
+
+FuzzTarget target_from_spec(FuzzTarget::Kind kind, std::string spec) {
+  FuzzTarget target;
+  target.kind = kind;
+  auto [name, opt_spec] = registry::split_spec(spec);
+  if (kind == FuzzTarget::Kind::kActiveSet) {
+    if (registry::ActiveSetRegistry::instance().find(name) == nullptr) {
+      throw std::invalid_argument("unknown active-set implementation '" +
+                                  std::string(name) + "' in fuzz token");
+    }
+    target.spec = std::move(spec);
+    return target;
+  }
+  const registry::SnapshotInfo* info =
+      registry::SnapshotRegistry::instance().find(name);
+  if (info == nullptr) {
+    throw std::invalid_argument("unknown snapshot implementation '" +
+                                std::string(name) +
+                                "' in fuzz token (mutant tokens need the "
+                                "experimental registrations)");
+  }
+  registry::Options options = registry::Options::parse(opt_spec);
+  std::string plane = options.get_string(
+      "value", registry::default_value_plane(info->values));
+  target.supports_batch = info->supports_batch;
+  target.versioned = plane == "versioned";
+  target.blob = plane == "blob";
+  target.coalesced =
+      options.contains("batch") || options.contains("coalesce_window");
+  target.spec = std::move(spec);
+  return target;
+}
+
+}  // namespace psnap::verify::fuzz

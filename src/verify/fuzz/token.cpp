@@ -1,0 +1,97 @@
+#include "verify/fuzz/token.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace psnap::verify::fuzz {
+
+namespace {
+
+std::vector<std::string> split_fields(const std::string& token) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  while (pos <= token.size()) {
+    std::size_t bar = token.find('|', pos);
+    if (bar == std::string::npos) bar = token.size();
+    fields.push_back(token.substr(pos, bar - pos));
+    pos = bar + 1;
+  }
+  return fields;
+}
+
+[[noreturn]] void bad_token(const std::string& token, const std::string& why) {
+  throw std::invalid_argument("malformed fuzz token '" + token + "': " + why);
+}
+
+// "key=value" field with an unsigned payload (decimal or, for base 16,
+// bare hex digits).
+std::uint64_t parse_field(const std::string& token, const std::string& field,
+                          const std::string& key, int base) {
+  std::string prefix = key + "=";
+  if (field.rfind(prefix, 0) != 0) {
+    bad_token(token, "expected field '" + key + "=...', got '" + field + "'");
+  }
+  std::string_view digits(field);
+  digits.remove_prefix(prefix.size());
+  std::uint64_t value = 0;
+  auto [end, ec] = std::from_chars(digits.data(), digits.data() + digits.size(),
+                                   value, base);
+  if (ec != std::errc{} || end != digits.data() + digits.size()) {
+    bad_token(token, "field '" + field + "' is not a base-" +
+                         std::to_string(base) + " integer");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string encode_token(const CaseSpec& spec) {
+  std::ostringstream os;
+  os << kTokenPrefix << "|"
+     << (spec.target.kind == FuzzTarget::Kind::kSnapshot ? "snap" : "aset")
+     << "|" << spec.target.spec << "|m0=" << spec.shape.initial_m
+     << "|procs=" << spec.shape.procs << "|ops=" << spec.shape.ops_per_proc
+     << "|op=" << std::hex << spec.op_seed << "|sched=" << spec.sched_seed;
+  return os.str();
+}
+
+CaseSpec decode_token(const std::string& token) {
+  std::vector<std::string> fields = split_fields(token);
+  if (fields.size() != 8) {
+    bad_token(token, "expected 8 '|'-separated fields, got " +
+                         std::to_string(fields.size()));
+  }
+  if (fields[0] != kTokenPrefix) {
+    bad_token(token, "unknown format tag '" + fields[0] + "'");
+  }
+  FuzzTarget::Kind kind;
+  if (fields[1] == "snap") {
+    kind = FuzzTarget::Kind::kSnapshot;
+  } else if (fields[1] == "aset") {
+    kind = FuzzTarget::Kind::kActiveSet;
+  } else {
+    bad_token(token, "target kind must be 'snap' or 'aset'");
+  }
+  CaseSpec spec;
+  spec.target = target_from_spec(kind, fields[2]);
+  spec.shape.initial_m =
+      static_cast<std::uint32_t>(parse_field(token, fields[3], "m0", 10));
+  spec.shape.procs =
+      static_cast<std::uint32_t>(parse_field(token, fields[4], "procs", 10));
+  spec.shape.ops_per_proc =
+      static_cast<std::uint32_t>(parse_field(token, fields[5], "ops", 10));
+  spec.op_seed = parse_field(token, fields[6], "op", 16);
+  spec.sched_seed = parse_field(token, fields[7], "sched", 16);
+  if (spec.shape.procs == 0 || spec.shape.ops_per_proc == 0) {
+    bad_token(token, "shape fields must be positive");
+  }
+  if (spec.target.kind == FuzzTarget::Kind::kSnapshot &&
+      spec.shape.initial_m == 0) {
+    bad_token(token, "snapshot cases need m0 >= 1");
+  }
+  return spec;
+}
+
+}  // namespace psnap::verify::fuzz

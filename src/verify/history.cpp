@@ -8,13 +8,16 @@ namespace psnap::verify {
 
 std::string Operation::to_string() const {
   std::ostringstream os;
-  os << "p" << pid << " ";
+  os << "p" << pid;
+  if (incarnation != 0) os << "#" << incarnation;
+  os << " ";
   switch (type) {
     case Type::kUpdate:
       os << "update(" << index << ", " << value << ")";
       break;
-    case Type::kScan: {
-      os << "scan(";
+    case Type::kScan:
+    case Type::kScanVersioned: {
+      os << (type == Type::kScan ? "scan(" : "scan_versioned(");
       for (std::size_t i = 0; i < indices.size(); ++i) {
         if (i) os << ",";
         os << indices[i];
@@ -25,8 +28,24 @@ std::string Operation::to_string() const {
         os << result[i];
       }
       os << ")";
+      if (type == Type::kScanVersioned && complete()) {
+        os << " @" << epoch;
+      }
       break;
     }
+    case Type::kUpdateBatch: {
+      os << "update_batch(";
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (i) os << ",";
+        os << indices[i] << ":=" << batch_values[i];
+      }
+      os << ")";
+      break;
+    }
+    case Type::kGrow:
+      os << "add_components(" << value << ")";
+      if (complete()) os << " -> " << index;
+      break;
     case Type::kJoin:
       os << "join";
       break;
@@ -57,6 +76,8 @@ std::size_t History::begin_op(Operation op) {
   op.invoke_seq = next_seq();
   op.respond_seq = kPending;
   std::scoped_lock lock(mu_);
+  auto it = incarnations_.find(op.pid);
+  op.incarnation = it == incarnations_.end() ? 0 : it->second;
   ops_.push_back(std::move(op));
   return ops_.size() - 1;
 }
@@ -80,6 +101,29 @@ void History::complete_scan(std::size_t handle,
   op.respond_seq = seq;
 }
 
+void History::complete_scan_versioned(std::size_t handle,
+                                      std::vector<std::uint64_t> result,
+                                      std::uint64_t epoch) {
+  std::uint64_t seq = next_seq();
+  std::scoped_lock lock(mu_);
+  PSNAP_ASSERT(handle < ops_.size());
+  Operation& op = ops_[handle];
+  PSNAP_ASSERT(op.type == Operation::Type::kScanVersioned && !op.complete());
+  op.result = std::move(result);
+  op.epoch = epoch;
+  op.respond_seq = seq;
+}
+
+void History::complete_grow(std::size_t handle, std::uint32_t first) {
+  std::uint64_t seq = next_seq();
+  std::scoped_lock lock(mu_);
+  PSNAP_ASSERT(handle < ops_.size());
+  Operation& op = ops_[handle];
+  PSNAP_ASSERT(op.type == Operation::Type::kGrow && !op.complete());
+  op.index = first;
+  op.respond_seq = seq;
+}
+
 void History::complete_get_set(std::size_t handle,
                                std::vector<std::uint32_t> set_result) {
   std::uint64_t seq = next_seq();
@@ -89,6 +133,11 @@ void History::complete_get_set(std::size_t handle,
   PSNAP_ASSERT(op.type == Operation::Type::kGetSet && !op.complete());
   op.set_result = std::move(set_result);
   op.respond_seq = seq;
+}
+
+void History::note_pid_released(std::uint32_t pid) {
+  std::scoped_lock lock(mu_);
+  ++incarnations_[pid];
 }
 
 std::vector<Operation> History::operations() const {

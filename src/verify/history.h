@@ -5,12 +5,20 @@
 // smaller than B's invocation sequence number.  Under the deterministic
 // scheduler the sequence numbers are exact; under native threads they come
 // from an atomic counter, which is sound for the checkers used there.
+//
+// Thread identity is a LANE, not a raw pid: ThreadRegistry reuses released
+// pids, so two different logical threads can record under the same pid
+// within one history.  The history tracks a per-pid incarnation counter,
+// bumped by note_pid_released(); checkers that need per-thread program
+// order (epoch monotonicity, batch pairing) key on Operation::lane(),
+// which never merges operations from distinct holders of a reused pid.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace psnap::verify {
@@ -18,25 +26,48 @@ namespace psnap::verify {
 inline constexpr std::uint64_t kPending = ~std::uint64_t{0};
 
 struct Operation {
-  enum class Type : std::uint8_t { kUpdate, kScan, kJoin, kLeave, kGetSet };
+  enum class Type : std::uint8_t {
+    kUpdate,
+    kScan,
+    kJoin,
+    kLeave,
+    kGetSet,
+    kUpdateBatch,    // update_batch: indices[i] := batch_values[i]
+    kScanVersioned,  // scan carrying the camera epoch it returned
+    kGrow,           // add_components: value = count, index = first (at
+                     // response; the block base is only known on return)
+  };
 
   Type type;
   std::uint32_t pid = 0;
+  // Which holder of `pid` this was (see lane() below).
+  std::uint32_t incarnation = 0;
   std::uint64_t invoke_seq = 0;
   std::uint64_t respond_seq = kPending;
 
-  // kUpdate payload.
+  // kUpdate payload; kGrow reuses index=first, value=count.
   std::uint32_t index = 0;
   std::uint64_t value = 0;
 
-  // kScan payload.
+  // kScan / kScanVersioned / kUpdateBatch payload.
   std::vector<std::uint32_t> indices;
   std::vector<std::uint64_t> result;
+
+  // kUpdateBatch payload: parallel to indices.
+  std::vector<std::uint64_t> batch_values;
+
+  // kScanVersioned payload: the epoch stamped on the returned view.
+  std::uint64_t epoch = 0;
 
   // kGetSet payload.
   std::vector<std::uint32_t> set_result;
 
   bool complete() const { return respond_seq != kPending; }
+
+  // Per-thread identity that survives pid reuse.
+  std::uint64_t lane() const {
+    return (std::uint64_t{pid} << 32) | incarnation;
+  }
 
   std::string to_string() const;
 };
@@ -50,8 +81,18 @@ class History {
   void complete_op(std::size_t handle);
   // Completes with payload fields that are only known at response time.
   void complete_scan(std::size_t handle, std::vector<std::uint64_t> result);
+  void complete_scan_versioned(std::size_t handle,
+                               std::vector<std::uint64_t> result,
+                               std::uint64_t epoch);
+  void complete_grow(std::size_t handle, std::uint32_t first);
   void complete_get_set(std::size_t handle,
                         std::vector<std::uint32_t> set_result);
+
+  // Declares that pid's current holder released it: operations recorded
+  // under this pid from now on belong to a new lane.  Call between the
+  // release and the next acquire (ThreadRegistry hands pids to one holder
+  // at a time, so there is no in-flight operation to misattribute).
+  void note_pid_released(std::uint32_t pid);
 
   // Snapshot of all operations (call after the run has quiesced).
   std::vector<Operation> operations() const;
@@ -66,6 +107,7 @@ class History {
   mutable std::mutex mu_;
   std::atomic<std::uint64_t> seq_{0};
   std::vector<Operation> ops_;
+  std::unordered_map<std::uint32_t, std::uint32_t> incarnations_;
 };
 
 }  // namespace psnap::verify

@@ -100,8 +100,24 @@ class Searcher {
         state_[op.index] = op.value;
         if (dfs(remaining & ~(std::uint64_t{1} << i))) return true;
         state_[op.index] = saved;
+      } else if (op.type == Operation::Type::kUpdateBatch) {
+        // The whole batch takes effect at ONE linearization point
+        // (kAtomic tier; amortized-tier batches are expanded into
+        // per-entry updates before the search).  Entries apply in
+        // argument order, so duplicate indices coalesce last-wins.
+        std::vector<std::uint64_t> saved;
+        saved.reserve(op.indices.size());
+        for (std::size_t j = 0; j < op.indices.size(); ++j) {
+          saved.push_back(state_[op.indices[j]]);
+          state_[op.indices[j]] = op.batch_values[j];
+        }
+        if (dfs(remaining & ~(std::uint64_t{1} << i))) return true;
+        for (std::size_t j = op.indices.size(); j-- > 0;) {
+          state_[op.indices[j]] = saved[j];
+        }
       } else {
-        PSNAP_ASSERT(op.type == Operation::Type::kScan);
+        PSNAP_ASSERT(op.type == Operation::Type::kScan ||
+                     op.type == Operation::Type::kScanVersioned);
         PSNAP_ASSERT(op.indices.size() == op.result.size());
         bool matches = true;
         for (std::size_t j = 0; j < op.indices.size(); ++j) {
@@ -149,15 +165,30 @@ LinCheckOutcome check_snapshot_linearizable(const std::vector<Operation>& ops,
   filtered.reserve(ops.size());
   for (const Operation& op : ops) {
     PSNAP_ASSERT_MSG(op.type == Operation::Type::kUpdate ||
-                         op.type == Operation::Type::kScan,
-                     "snapshot checker accepts only updates and scans");
+                         op.type == Operation::Type::kScan ||
+                         op.type == Operation::Type::kScanVersioned ||
+                         op.type == Operation::Type::kUpdateBatch ||
+                         op.type == Operation::Type::kGrow,
+                     "snapshot checker accepts only snapshot operations");
+    if (op.type == Operation::Type::kGrow) {
+      // Growth is not a value operation: new components hold the initial
+      // value, indistinguishable from having existed all along, so the
+      // search runs against the final component count.  (The grow-only
+      // oracle checks the blocks themselves.)
+      continue;
+    }
     if (op.type == Operation::Type::kUpdate) {
       PSNAP_ASSERT(op.index < options.num_components);
+    } else if (op.type == Operation::Type::kUpdateBatch) {
+      PSNAP_ASSERT(op.indices.size() == op.batch_values.size());
+      for (std::uint32_t i : op.indices) {
+        PSNAP_ASSERT(i < options.num_components);
+      }
     } else {
       for (std::uint32_t i : op.indices) {
         PSNAP_ASSERT(i < options.num_components);
       }
-      if (!op.complete()) continue;
+      if (!op.complete()) continue;  // pending scans returned nothing
     }
     filtered.push_back(op);
   }

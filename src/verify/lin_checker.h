@@ -47,7 +47,12 @@ struct LinCheckOutcome {
   std::string diagnosis;
 };
 
-// ops must contain only kUpdate and kScan operations, all complete.
+// ops may contain kUpdate, kScan, kScanVersioned, kUpdateBatch and kGrow
+// operations.  kGrow is skipped (run the check against the final component
+// count); kScanVersioned checks like kScan; a kUpdateBatch linearizes
+// atomically at one point -- expand amortized-tier batches into per-entry
+// kUpdates (sharing the batch's interval) before calling, as
+// fuzz/oracles.h does.
 LinCheckOutcome check_snapshot_linearizable(const std::vector<Operation>& ops,
                                             const LinCheckOptions& options);
 

@@ -1,8 +1,35 @@
 #include "verify/recording.h"
 
+#include <cstring>
+
 #include "exec/exec.h"
 
 namespace psnap::verify {
+
+namespace {
+
+// The blob plane's u64 view of a payload: first 8 bytes, native-endian,
+// zero-extended (core/partial_snapshot.h's scan-on-blob contract).
+std::uint64_t decode_blob_word(std::span<const std::byte> bytes) {
+  std::uint64_t v = 0;
+  if (!bytes.empty()) {
+    std::memcpy(&v, bytes.data(), std::min<std::size_t>(bytes.size(), 8));
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t RecordingSnapshot::add_components(std::uint32_t count) {
+  Operation op;
+  op.type = Operation::Type::kGrow;
+  op.pid = exec::ctx().pid;
+  op.value = count;
+  std::size_t handle = history_.begin_op(std::move(op));
+  std::uint32_t first = delegate_.add_components(count);
+  history_.complete_grow(handle, first);
+  return first;
+}
 
 void RecordingSnapshot::update(std::uint32_t i, std::uint64_t v) {
   Operation op;
@@ -12,6 +39,38 @@ void RecordingSnapshot::update(std::uint32_t i, std::uint64_t v) {
   op.value = v;
   std::size_t handle = history_.begin_op(std::move(op));
   delegate_.update(i, v);
+  history_.complete_op(handle);
+}
+
+void RecordingSnapshot::update_blob(std::uint32_t i,
+                                    std::span<const std::byte> bytes) {
+  Operation op;
+  op.type = Operation::Type::kUpdate;
+  op.pid = exec::ctx().pid;
+  op.index = i;
+  op.value = decode_blob_word(bytes);
+  std::size_t handle = history_.begin_op(std::move(op));
+  delegate_.update_blob(i, bytes);
+  history_.complete_op(handle);
+}
+
+void RecordingSnapshot::update_batch(
+    std::span<const core::BatchEntry> entries) {
+  if (entries.empty()) {
+    delegate_.update_batch(entries);
+    return;
+  }
+  Operation op;
+  op.type = Operation::Type::kUpdateBatch;
+  op.pid = exec::ctx().pid;
+  op.indices.reserve(entries.size());
+  op.batch_values.reserve(entries.size());
+  for (const core::BatchEntry& e : entries) {
+    op.indices.push_back(e.index);
+    op.batch_values.push_back(e.value);
+  }
+  std::size_t handle = history_.begin_op(std::move(op));
+  delegate_.update_batch(entries);
   history_.complete_op(handle);
 }
 
@@ -25,6 +84,19 @@ void RecordingSnapshot::scan(std::span<const std::uint32_t> indices,
   std::size_t handle = history_.begin_op(std::move(op));
   delegate_.scan(indices, out, ctx);
   history_.complete_scan(handle, out);
+}
+
+std::uint64_t RecordingSnapshot::scan_versioned(
+    std::span<const std::uint32_t> indices, std::vector<std::uint64_t>& out,
+    core::ScanContext& ctx) {
+  Operation op;
+  op.type = Operation::Type::kScanVersioned;
+  op.pid = exec::ctx().pid;
+  op.indices.assign(indices.begin(), indices.end());
+  std::size_t handle = history_.begin_op(std::move(op));
+  std::uint64_t epoch = delegate_.scan_versioned(indices, out, ctx);
+  history_.complete_scan_versioned(handle, out, epoch);
+  return epoch;
 }
 
 void RecordingActiveSet::join() {

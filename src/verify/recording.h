@@ -22,19 +22,48 @@ class RecordingSnapshot final : public core::PartialSnapshot {
   std::string_view name() const override { return delegate_.name(); }
   bool is_wait_free() const override { return delegate_.is_wait_free(); }
   bool is_local() const override { return delegate_.is_local(); }
-
-  // Forwarded without recording: growth is not one of the checked
-  // operations (new components start at the initial value, which is
-  // indistinguishable from their having existed all along, so histories
-  // stay checkable against the final component count).
-  std::uint32_t add_components(std::uint32_t count) override {
-    return delegate_.add_components(count);
+  std::string_view value_plane() const override {
+    return delegate_.value_plane();
+  }
+  core::BatchAtomicity batch_atomicity() const override {
+    return delegate_.batch_atomicity();
   }
 
+  // Recorded as kGrow: growth itself is not a linearized value operation
+  // (new components start at the initial value, indistinguishable from
+  // having existed all along), but the grow-only oracle checks the
+  // returned blocks for disjointness and watermark monotonicity.
+  std::uint32_t add_components(std::uint32_t count) override;
+
   void update(std::uint32_t i, std::uint64_t v) override;
+  // Recorded as kUpdate carrying the u64 the blob plane's scan() would
+  // decode from the payload (first 8 bytes, native-endian, zero-extended),
+  // so blob-plane histories check against the same sequential spec.
+  void update_blob(std::uint32_t i,
+                   std::span<const std::byte> bytes) override;
+  void update_batch(std::span<const core::BatchEntry> entries) override;
+  using core::PartialSnapshot::update_batch;
+  // Forwarded without recording: the fuzzers drive the blob plane through
+  // update_blob/update_batch (which encode), not the blob batch entry.
+  void update_batch_blob(
+      std::span<const core::BlobBatchEntry> entries) override {
+    delegate_.update_batch_blob(entries);
+  }
+
   void scan(std::span<const std::uint32_t> indices,
             std::vector<std::uint64_t>& out, core::ScanContext& ctx) override;
   using core::PartialSnapshot::scan;
+  std::uint64_t scan_versioned(std::span<const std::uint32_t> indices,
+                               std::vector<std::uint64_t>& out,
+                               core::ScanContext& ctx) override;
+  using core::PartialSnapshot::scan_versioned;
+  // Forwarded without recording (see update_batch_blob).
+  void scan_blobs(std::span<const std::uint32_t> indices,
+                  std::vector<value::Blob>& out,
+                  core::ScanContext& ctx) override {
+    delegate_.scan_blobs(indices, out, ctx);
+  }
+  using core::PartialSnapshot::scan_blobs;
 
  private:
   core::PartialSnapshot& delegate_;

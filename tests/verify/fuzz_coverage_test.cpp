@@ -1,0 +1,101 @@
+// Coverage assertion for the fuzz target enumeration (verify/fuzz/target.h):
+// every sim-safe registry entry, on every plane it supports, with a
+// coalescing ingest variant for every batch-capable combo, appears exactly
+// once.  The expected set is recomputed here straight from the registries
+// -- no hand-curated impl tables -- so registering a new implementation
+// without fuzz coverage fails this test, not code review.
+#include "verify/fuzz/target.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "registry/registry.h"
+
+namespace psnap::verify::fuzz {
+namespace {
+
+std::vector<std::string> planes_of(const std::string& values) {
+  std::vector<std::string> planes;
+  std::size_t pos = 0;
+  while (pos <= values.size()) {
+    std::size_t comma = values.find(',', pos);
+    if (comma == std::string::npos) comma = values.size();
+    planes.push_back(values.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return planes;
+}
+
+TEST(FuzzCoverage, EverySimSafeImplPlaneAndKnobComboIsEnumerated) {
+  std::set<std::string> expected;
+  for (const registry::SnapshotInfo* info :
+       registry::SnapshotRegistry::instance().all()) {
+    if (!info->sim_safe) continue;
+    for (const std::string& plane : planes_of(info->values)) {
+      expected.insert("snap " + info->name + ":value=" + plane);
+      if (info->supports_batch) {
+        expected.insert("snap " + info->name + ":value=" + plane +
+                        ",batch=3,coalesce_window=6");
+      }
+    }
+  }
+  for (const registry::ActiveSetInfo* info :
+       registry::ActiveSetRegistry::instance().all()) {
+    if (!info->sim_safe) continue;
+    expected.insert("aset " + std::string(info->name));
+  }
+
+  std::set<std::string> actual;
+  for (const FuzzTarget& target : enumerate_targets()) {
+    EXPECT_TRUE(actual.insert(target.display()).second)
+        << "duplicate fuzz target: " << target.display();
+  }
+
+  for (const std::string& spec : expected) {
+    EXPECT_TRUE(actual.count(spec)) << "registry combo not fuzzed: " << spec;
+  }
+  for (const std::string& spec : actual) {
+    EXPECT_TRUE(expected.count(spec))
+        << "fuzz target not derived from the registry: " << spec;
+  }
+  // The seed registries alone yield dozens of combos; a collapsed
+  // enumeration (e.g. only default planes) cannot reach this floor.
+  EXPECT_GE(actual.size(), 30u);
+}
+
+TEST(FuzzCoverage, CapabilityFlagsMatchTheRegistryEntry) {
+  for (const FuzzTarget& target : enumerate_targets()) {
+    if (target.kind != FuzzTarget::Kind::kSnapshot) continue;
+    auto [name, opts] = registry::split_spec(target.spec);
+    const registry::SnapshotInfo* info =
+        registry::SnapshotRegistry::instance().find(name);
+    ASSERT_NE(info, nullptr) << target.spec;
+    EXPECT_EQ(target.supports_batch, info->supports_batch) << target.spec;
+    EXPECT_EQ(target.versioned,
+              target.spec.find("value=versioned") != std::string::npos)
+        << target.spec;
+    EXPECT_EQ(target.coalesced,
+              target.spec.find("batch=") != std::string::npos)
+        << target.spec;
+  }
+}
+
+TEST(FuzzCoverage, TargetFromSpecRebuildsEnumeratedTargets) {
+  // Token replay rebuilds targets from their spec alone; the rebuilt
+  // capability flags must agree with the enumerated original, or a token
+  // would fuzz a different op mix than the campaign that minted it.
+  for (const FuzzTarget& target : enumerate_targets()) {
+    FuzzTarget rebuilt = target_from_spec(target.kind, target.spec);
+    EXPECT_EQ(rebuilt.spec, target.spec);
+    EXPECT_EQ(rebuilt.supports_batch, target.supports_batch) << target.spec;
+    EXPECT_EQ(rebuilt.versioned, target.versioned) << target.spec;
+    EXPECT_EQ(rebuilt.blob, target.blob) << target.spec;
+    EXPECT_EQ(rebuilt.coalesced, target.coalesced) << target.spec;
+  }
+}
+
+}  // namespace
+}  // namespace psnap::verify::fuzz

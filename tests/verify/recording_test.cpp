@@ -1,0 +1,111 @@
+// The recording decorators and the History's pid-reuse lanes
+// (verify/history.h): ThreadRegistry hands released pids to new logical
+// threads, so a History must keep operations from distinct holders of one
+// pid in distinct LANES -- merging them would let per-thread checkers
+// (epoch monotonicity, batch pairing) see a program order that never
+// existed.
+#include "verify/recording.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "exec/exec.h"
+#include "registry/registry.h"
+#include "verify/history.h"
+
+namespace psnap::verify {
+namespace {
+
+TEST(Recording, PidReuseOpensANewLane) {
+  exec::ScopedPid pid(0);
+  auto snap = registry::make_snapshot("fig3_cas", 4, 2);
+  History history;
+  RecordingSnapshot rec(*snap, history);
+
+  // First holder of pid 0.
+  rec.update(0, 1);
+  (void)rec.scan({0});
+
+  // The holder releases its pid; a new logical thread acquires it.
+  history.note_pid_released(0);
+  rec.update(1, 2);
+
+  // And a third holder after another release.
+  history.note_pid_released(0);
+  (void)rec.scan({0, 1});
+
+  std::vector<Operation> ops = history.operations();
+  ASSERT_EQ(ops.size(), 4u);
+  for (const Operation& op : ops) EXPECT_EQ(op.pid, 0u);
+
+  // Same pid, three distinct lanes with the expected grouping.
+  EXPECT_EQ(ops[0].lane(), ops[1].lane());
+  EXPECT_NE(ops[1].lane(), ops[2].lane());
+  EXPECT_NE(ops[2].lane(), ops[3].lane());
+  std::set<std::uint64_t> lanes;
+  for (const Operation& op : ops) lanes.insert(op.lane());
+  EXPECT_EQ(lanes.size(), 3u);
+
+  // Incarnations count holders in order.
+  EXPECT_EQ(ops[0].incarnation, 0u);
+  EXPECT_EQ(ops[2].incarnation, 1u);
+  EXPECT_EQ(ops[3].incarnation, 2u);
+}
+
+TEST(Recording, ReleaseOfOnePidLeavesOtherLanesAlone) {
+  auto snap = registry::make_snapshot("fig3_cas", 4, 3);
+  History history;
+  RecordingSnapshot rec(*snap, history);
+
+  {
+    exec::ScopedPid pid(0);
+    rec.update(0, 1);
+  }
+  {
+    exec::ScopedPid pid(1);
+    rec.update(1, 2);
+  }
+  history.note_pid_released(0);
+  {
+    exec::ScopedPid pid(0);
+    rec.update(2, 3);
+  }
+  {
+    exec::ScopedPid pid(1);
+    rec.update(3, 4);
+  }
+
+  std::vector<Operation> ops = history.operations();
+  ASSERT_EQ(ops.size(), 4u);
+  // pid 0's lane split at the release...
+  EXPECT_NE(ops[0].lane(), ops[2].lane());
+  // ...while pid 1's lane is untouched by pid 0's churn.
+  EXPECT_EQ(ops[1].lane(), ops[3].lane());
+}
+
+TEST(Recording, ActiveSetOperationsCarryLanesToo) {
+  exec::ScopedPid pid(0);
+  auto set = registry::make_active_set("faicas", 3);
+  History history;
+  RecordingActiveSet rec(*set, history);
+
+  rec.join();
+  rec.leave();
+  history.note_pid_released(0);
+  rec.join();
+  std::vector<std::uint32_t> out;
+  rec.get_set(out);
+  rec.leave();
+
+  std::vector<Operation> ops = history.operations();
+  ASSERT_EQ(ops.size(), 5u);
+  EXPECT_EQ(ops[0].lane(), ops[1].lane());
+  EXPECT_NE(ops[1].lane(), ops[2].lane());
+  EXPECT_EQ(ops[2].lane(), ops[4].lane());
+}
+
+}  // namespace
+}  // namespace psnap::verify

@@ -1,0 +1,242 @@
+// Fuzzed linearizability harness, CLI front-end (verify/fuzz/).
+//
+//   build/tools/fuzz_psnap [--budget-ms=N] [--iters=N] [--base-seed=N]
+//                          [--impls=<substring>|help] [--mutants]
+//                          [--max-failures=N] [--no-shrink] [--no-corpus]
+//                          [--artifacts=<dir>] [--replay=<token>] [--list]
+//
+// Default mode runs a fuzz campaign over EVERY registry-enumerated
+// sim-safe implementation x value plane x ingest-knob combination plus
+// every sim-safe active set, with the pinned regression corpus replayed
+// first.  Failing cases print a one-line repro token and the shrunk
+// minimal counterexample; --replay=<token> re-runs one token
+// deterministically (same shrink, same minimal counterexample).
+//
+//   --budget-ms=0   one sweep of --iters cases per target (the default);
+//                   otherwise sweeps repeat until the budget elapses.
+//   --impls=foo     only targets whose spec contains "foo".
+//   --impls=help    print the catalogues (sorted; diffable) and exit.
+//   --mutants       also register the deliberately broken implementations
+//                   from psnap_experimental and fuzz ONLY them: exits 1
+//                   unless every mutant is detected (the CI gate inverts
+//                   the usual success condition).
+//   --artifacts=D   write one <token-hash>.txt per failure (token, plan,
+//                   schedule script, diagnosis, history) into D.
+//
+// Exit codes: 0 clean (or every mutant detected under --mutants), 1
+// failures found (or a mutant escaped), 2 usage/setup error.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "experimental/mutants.h"
+#include "registry/registry.h"
+#include "verify/fuzz/corpus.h"
+#include "verify/fuzz/fuzzer.h"
+
+namespace {
+
+using namespace psnap;
+using verify::fuzz::CampaignOptions;
+using verify::fuzz::CampaignStats;
+using verify::fuzz::FailingCase;
+using verify::fuzz::FuzzTarget;
+
+struct Args {
+  double budget_ms = 0;
+  std::uint32_t iters = 20;
+  std::uint64_t base_seed = 1;
+  std::string impls;
+  bool mutants = false;
+  std::uint32_t max_failures = 0;
+  bool shrink = true;
+  bool corpus = true;
+  std::string artifacts;
+  std::string replay;
+  bool list = false;
+  bool help = false;
+};
+
+bool consume(const std::string& arg, const char* name, std::string* out) {
+  std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (consume(arg, "--budget-ms", &value)) {
+      args.budget_ms = std::stod(value);
+    } else if (consume(arg, "--iters", &value)) {
+      args.iters = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (consume(arg, "--base-seed", &value)) {
+      args.base_seed = std::stoull(value);
+    } else if (consume(arg, "--impls", &value)) {
+      args.impls = value;
+    } else if (consume(arg, "--max-failures", &value)) {
+      args.max_failures = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (consume(arg, "--artifacts", &value)) {
+      args.artifacts = value;
+    } else if (consume(arg, "--replay", &value)) {
+      args.replay = value;
+    } else if (arg == "--mutants") {
+      args.mutants = true;
+    } else if (arg == "--no-shrink") {
+      args.shrink = false;
+    } else if (arg == "--no-corpus") {
+      args.corpus = false;
+    } else if (arg == "--list") {
+      args.list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      args.help = true;
+    } else {
+      throw std::invalid_argument("unknown argument '" + arg + "'");
+    }
+  }
+  return args;
+}
+
+void write_artifact(const std::string& dir, const FailingCase& failing) {
+  std::filesystem::create_directories(dir);
+  // File name from the token's FNV hash: stable across replays, safe for
+  // any registry spec characters.
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : failing.token) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.txt",
+                static_cast<unsigned long long>(h));
+  std::ofstream out(std::filesystem::path(dir) / name);
+  out << failing.minimal_summary() << "\nminimal history:\n"
+      << failing.minimal_history << "\noriginal diagnosis: "
+      << failing.diagnosis << "\n";
+}
+
+int run(const Args& args) {
+  if (args.impls == "help") {
+    std::printf("snapshot implementations:\n%s\nactive sets:\n%s",
+                registry::snapshot_catalogue().c_str(),
+                registry::active_set_catalogue().c_str());
+    return 0;
+  }
+  if (args.mutants) {
+    experimental::register_mutant_snapshots(
+        registry::SnapshotRegistry::instance());
+  }
+
+  if (!args.replay.empty()) {
+    FailingCase failing;
+    if (!verify::fuzz::replay_token(args.replay, &failing)) {
+      std::printf("token replays CLEAN (no failure)\n");
+      return 0;
+    }
+    std::printf("token reproduces a failure\n%s\nminimal history:\n%s\n",
+                failing.minimal_summary().c_str(),
+                failing.minimal_history.c_str());
+    if (!args.artifacts.empty()) write_artifact(args.artifacts, failing);
+    return 1;
+  }
+
+  std::vector<FuzzTarget> targets;
+  for (FuzzTarget& target : verify::fuzz::enumerate_targets()) {
+    if (args.mutants &&
+        target.spec.rfind("mut_", 0) != 0) {
+      continue;
+    }
+    if (!args.impls.empty() &&
+        target.spec.find(args.impls) == std::string::npos) {
+      continue;
+    }
+    targets.push_back(std::move(target));
+  }
+  if (args.list) {
+    for (const FuzzTarget& target : targets) {
+      std::printf("%s\n", target.display().c_str());
+    }
+    return 0;
+  }
+  if (targets.empty()) {
+    std::fprintf(stderr, "no fuzz targets match\n");
+    return 2;
+  }
+
+  CampaignOptions options;
+  options.base_seed = args.base_seed;
+  options.iters_per_target = args.iters;
+  options.budget_seconds = args.budget_ms / 1000.0;
+  options.max_failures = args.max_failures;
+  options.shrink = args.shrink;
+  if (args.corpus && !args.mutants) {
+    options.pinned_tokens = verify::fuzz::pinned_corpus();
+  }
+
+  std::uint64_t reported = 0;
+  std::set<std::string> failing_specs;
+  CampaignStats stats = verify::fuzz::run_campaign(
+      targets, options, [&](const FailingCase& failing) {
+        ++reported;
+        failing_specs.insert(failing.spec.target.spec);
+        std::printf("FAILURE %llu\n%s\n",
+                    static_cast<unsigned long long>(reported),
+                    failing.minimal_summary().c_str());
+        if (!args.artifacts.empty()) write_artifact(args.artifacts, failing);
+      });
+  std::printf(
+      "targets=%zu cases=%llu failures=%llu inconclusive=%llu\n",
+      targets.size(), static_cast<unsigned long long>(stats.cases_run),
+      static_cast<unsigned long long>(stats.failures),
+      static_cast<unsigned long long>(stats.inconclusive));
+  if (args.mutants) {
+    // Inverted gate: success means every seeded bug was caught.  A mutant
+    // counts as detected when any of its targets (one per knob combo)
+    // produced a failure.
+    std::set<std::string> mutant_names;
+    for (const FuzzTarget& target : targets) {
+      mutant_names.insert(target.spec.substr(0, target.spec.find(':')));
+    }
+    bool all_detected = true;
+    for (const std::string& name : mutant_names) {
+      bool detected = false;
+      for (const std::string& spec : failing_specs) {
+        if (spec.substr(0, spec.find(':')) == name) detected = true;
+      }
+      std::printf("mutant %s: %s\n", name.c_str(),
+                  detected ? "DETECTED" : "ESCAPED");
+      if (!detected) all_detected = false;
+    }
+    return all_detected ? 0 : 1;
+  }
+  return stats.failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Args args = parse_args(argc, argv);
+    if (args.help) {
+      std::printf(
+          "usage: fuzz_psnap [--budget-ms=N] [--iters=N] [--base-seed=N]\n"
+          "                  [--impls=<substring>|help] [--mutants]\n"
+          "                  [--max-failures=N] [--no-shrink] [--no-corpus]\n"
+          "                  [--artifacts=<dir>] [--replay=<token>] "
+          "[--list]\n");
+      return 0;
+    }
+    return run(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fuzz_psnap: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,48 @@
+// Offline auditor for JSONL execution traces (runtime/trace.h).
+//
+//   build/tools/trace_audit <trace.jsonl> [more.jsonl ...]
+//
+// Parses each artifact and replays the audit checks: per-pid epoch
+// regressions, torn batches (begin/end pairing and entry counts),
+// grow-block watermark violations, and index bounds.  Exit 0 when every
+// file audits clean, 1 on any violation, 2 on unreadable/malformed input.
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "runtime/trace.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_audit <trace.jsonl> [...]\n");
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "trace_audit: cannot open %s\n", argv[i]);
+      return 2;
+    }
+    try {
+      psnap::runtime::TraceArtifact artifact =
+          psnap::runtime::parse_jsonl(in);
+      psnap::runtime::TraceAuditReport report =
+          psnap::runtime::audit_trace(artifact);
+      std::printf("%s: impl=%s events=%llu emitted=%llu %s\n", argv[i],
+                  artifact.impl.c_str(),
+                  static_cast<unsigned long long>(report.events_checked),
+                  static_cast<unsigned long long>(artifact.emitted),
+                  report.ok ? "OK" : "VIOLATIONS");
+      for (const std::string& v : report.violations) {
+        std::printf("  %s\n", v.c_str());
+        all_ok = false;
+      }
+      if (!report.ok) all_ok = false;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace_audit: %s: %s\n", argv[i], e.what());
+      return 2;
+    }
+  }
+  return all_ok ? 0 : 1;
+}
