@@ -72,7 +72,10 @@ namespace {
 
 // Specs to compare: either every registered implementation, or the comma-
 // separated --impls list (each entry a registry spec, so ablation options
-// like "fig3_cas:cas=false" work from the command line).
+// like "fig3_cas:cas=false" work from the command line).  Specs themselves
+// use commas between options ("fig3_cas:shards=4,affinity=segment"), so a
+// token only STARTS a new spec when it looks like a name -- contains a ':'
+// or no '=' at all; bare key=value tokens continue the previous spec.
 std::vector<std::string> impl_specs(const std::string& impls_flag) {
   std::vector<std::string> specs;
   if (impls_flag.empty()) {
@@ -85,11 +88,47 @@ std::vector<std::string> impl_specs(const std::string& impls_flag) {
     while (pos <= impls_flag.size()) {
       std::size_t comma = impls_flag.find(',', pos);
       if (comma == std::string::npos) comma = impls_flag.size();
-      if (comma > pos) specs.push_back(impls_flag.substr(pos, comma - pos));
+      if (comma > pos) {
+        std::string token = impls_flag.substr(pos, comma - pos);
+        const bool starts_spec =
+            token.find(':') != std::string::npos ||
+            token.find('=') == std::string::npos;
+        if (!starts_spec && !specs.empty()) {
+          specs.back() += "," + token;
+        } else {
+          specs.push_back(std::move(token));
+        }
+      }
       pos = comma + 1;
     }
   }
   return specs;
+}
+
+// Builds a spec's snapshot with an ingest-knob sink, so the universal
+// reclaim=/shards=/affinity= options work from --impls (with the
+// registry's did-you-mean diagnostics for typos).  affinity=segment
+// registers workers shard-affine, which draws pids from blocks spanning
+// the FULL registry capacity -- the object is then sized to it (the
+// adaptive watermark keeps per-pid walks bounded by the live range, and
+// the default path keeps its historical sizing so trajectory numbers
+// stay comparable).
+struct BuiltSnapshot {
+  std::unique_ptr<core::PartialSnapshot> snap;
+  registry::IngestKnobs knobs;
+  std::uint32_t affinity_shards = 1;  // for bench::run_workers_affine
+};
+
+BuiltSnapshot make_bench_snapshot(const std::string& spec, std::uint32_t m,
+                                  std::uint32_t max_threads) {
+  BuiltSnapshot built;
+  built.snap = registry::make_snapshot(spec, m, max_threads, &built.knobs);
+  if (built.knobs.affinity == "segment") {
+    built.snap = registry::make_snapshot(
+        spec, m, exec::ThreadRegistry::kMaxCapacity, &built.knobs);
+    built.affinity_shards = std::max(1u, built.snap->reclaim_shards());
+  }
+  return built;
 }
 
 // Mixed workload: each worker runs an OpStream for a fixed duration.
@@ -104,10 +143,12 @@ struct MixedResult {
 MixedResult mixed_throughput(const std::string& spec, std::uint32_t m,
                              std::uint32_t r, std::uint32_t workers,
                              double update_fraction, double seconds) {
-  auto snap = registry::make_snapshot(spec, m, workers);
+  BuiltSnapshot built = make_bench_snapshot(spec, m, workers);
+  auto& snap = built.snap;
   std::atomic<std::uint64_t> total_ops{0};
   std::vector<bench::LatencySampler> samplers(workers);
-  bench::run_workers(workers, [&](std::uint32_t w, bench::WorkerStats&) {
+  bench::run_workers_affine(workers, built.affinity_shards,
+                            [&](std::uint32_t w, bench::WorkerStats&) {
     workload::OpMix mix;
     mix.update_fraction = update_fraction;
     mix.scan_r = r;
@@ -212,7 +253,8 @@ ChurnResult churn_throughput(const std::string& spec, std::uint32_t m0,
                              double seconds) {
   constexpr std::uint32_t kGrowStep = 16;
   const std::uint32_t m_cap = m0 * 16;
-  auto snap = registry::make_snapshot(spec, m0, workers + 1);
+  BuiltSnapshot built = make_bench_snapshot(spec, m0, workers + 1);
+  auto& snap = built.snap;
   std::atomic<std::uint64_t> total_ops{0};
   std::atomic<bool> stop{false};
 
@@ -236,8 +278,9 @@ ChurnResult churn_throughput(const std::string& spec, std::uint32_t m0,
       std::uint64_t ops = 0;
       bench::StopAfter stop_after(seconds);
       while (!stop_after.expired()) {
-        // One registered life per burst: join, operate, leave.
-        exec::ThreadHandle pid;
+        // One registered life per burst: join, operate, leave (affine to
+        // the worker's shard when affinity=segment is in the spec).
+        bench::WorkerPid pid(w, built.affinity_shards);
         for (int burst = 0; burst < 256; ++burst) {
           std::uint32_t m = snap->num_components();
           if (rng.next_double() < 0.3) {
@@ -292,7 +335,8 @@ void table_churn(const std::vector<std::string>& specs,
 double zipf_churn_throughput(const std::string& spec, std::uint32_t m,
                              std::uint32_t r, std::uint32_t workers,
                              double theta, double seconds) {
-  auto snap = registry::make_snapshot(spec, m, workers);
+  BuiltSnapshot built = make_bench_snapshot(spec, m, workers);
+  auto& snap = built.snap;
   std::atomic<std::uint64_t> total_ops{0};
 
   std::vector<std::thread> threads;
@@ -304,13 +348,11 @@ double zipf_churn_throughput(const std::string& spec, std::uint32_t m,
       std::vector<std::uint32_t> idx;
       std::vector<std::uint64_t> out;
       std::uint64_t ops = 0;
-      std::optional<exec::ThreadHandle> pid;
-      pid.emplace();
+      bench::WorkerPid pid(w, built.affinity_shards);
       bench::StopAfter stop_after(seconds);
       while (!stop_after.expired()) {
         if (rng.next_double() < churn_probability) {
-          pid.reset();    // hand the pid back...
-          pid.emplace();  // ...and re-register (lowest free pid)
+          pid.rebind();  // hand the pid back, re-register (lowest free)
         }
         for (int burst = 0; burst < 64; ++burst) {
           if (rng.next_double() < 0.3) {
@@ -372,7 +414,8 @@ GrowResult grow_throughput(const std::string& spec, std::uint32_t m0,
   // directory out of its envelope; the rate uses the growers' own last-
   // add timestamps, so hitting the ceiling early does not skew it.
   constexpr std::uint32_t kMCap = 1u << 18;
-  auto snap = registry::make_snapshot(spec, m0, workers + kGrowers);
+  BuiltSnapshot built = make_bench_snapshot(spec, m0, workers + kGrowers);
+  auto& snap = built.snap;
   std::atomic<bool> stop{false};
   const auto t0 = std::chrono::steady_clock::now();
   std::atomic<std::int64_t> last_add_ns{0};
@@ -400,7 +443,7 @@ GrowResult grow_throughput(const std::string& spec, std::uint32_t m0,
   std::vector<std::thread> threads;
   for (std::uint32_t w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
-      exec::ThreadHandle pid;
+      bench::WorkerPid pid(w, built.affinity_shards);
       Xoshiro256 rng(w + 5);
       std::vector<std::uint32_t> idx;
       std::vector<std::uint64_t> out;
@@ -462,7 +505,8 @@ void table_grow(const std::vector<std::string>& specs, std::uint32_t workers,
 double ingest_throughput(const std::string& spec, std::uint32_t m,
                          std::uint32_t k, bool coalesce,
                          std::uint32_t workers, double seconds) {
-  auto snap = registry::make_snapshot(spec, m, workers + 2);
+  BuiltSnapshot built = make_bench_snapshot(spec, m, workers + 2);
+  auto& snap = built.snap;
   std::atomic<bool> stop{false};
   // Resident scanner: with an announced scan always in flight, helping is
   // live, and each singleton update pays the getSet + embedded-scan cost
@@ -477,7 +521,8 @@ double ingest_throughput(const std::string& spec, std::uint32_t m,
     while (!stop.load(std::memory_order_acquire)) snap->scan(idx, out);
   });
   std::atomic<std::uint64_t> total_writes{0};
-  bench::run_workers(workers, [&](std::uint32_t w, bench::WorkerStats&) {
+  bench::run_workers_affine(workers, built.affinity_shards,
+                            [&](std::uint32_t w, bench::WorkerStats&) {
     Xoshiro256 rng(w + 3);
     std::uint64_t writes = 0;
     bench::StopAfter stop_after(seconds);
@@ -529,7 +574,8 @@ void table_batched_ingest(const std::vector<std::string>& specs,
   for (const std::string& spec : specs) {
     bool batched = false;
     {
-      auto probe = registry::make_snapshot(spec, 4, 2);
+      registry::IngestKnobs probe_knobs;
+      auto probe = registry::make_snapshot(spec, 4, 2, &probe_knobs);
       batched =
           probe->batch_atomicity() != core::BatchAtomicity::kUnsupported;
     }
@@ -649,14 +695,16 @@ void table_ingest_amortization(double seconds, bench::JsonReport& report) {
 int trace_profile(const std::string& spec, std::uint32_t workers,
                   double seconds, const std::string& path) {
   const std::uint32_t m0 = 48;
-  auto snap = registry::make_snapshot(spec, m0, workers + 2);
+  BuiltSnapshot built = make_bench_snapshot(spec, m0, workers + 2);
+  auto& snap = built.snap;
   runtime::TraceSink sink(exec::ThreadRegistry::kMaxCapacity, 2048);
   runtime::TracingSnapshot traced(*snap, sink);
   const bool versioned = traced.value_plane() == "versioned";
   const bool batched =
       traced.batch_atomicity() != core::BatchAtomicity::kUnsupported;
 
-  bench::run_workers(workers, [&](std::uint32_t w, bench::WorkerStats&) {
+  bench::run_workers_affine(workers, built.affinity_shards,
+                            [&](std::uint32_t w, bench::WorkerStats&) {
     Xoshiro256 rng(w + 17);
     bench::StopAfter stop_after(seconds);
     std::vector<std::uint64_t> out;

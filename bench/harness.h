@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -153,14 +154,53 @@ std::uint64_t measured_steps(Fn&& op) {
   return exec::ctx().steps.total - before;
 }
 
+// Registers one worker thread's pid for the enclosing scope.  With
+// affinity_shards > 1 the pid is shard-affine (ThreadRegistry's
+// affinity=segment mode): worker w lands in shard w % affinity_shards's
+// pid block, so its EBR slot / pool free list / announcement register sit
+// in the tables of the segment it writes.  affinity_shards <= 1 is the
+// plain lowest-free registration every bench used before.
+class WorkerPid {
+ public:
+  WorkerPid(std::uint32_t w, std::uint32_t affinity_shards)
+      : w_(w), shards_(affinity_shards) {
+    acquire();
+  }
+
+  // Churn: hand the pid back and re-register (same shard preference).
+  void rebind() {
+    handle_.reset();
+    acquire();
+  }
+
+ private:
+  void acquire() {
+    if (shards_ > 1) {
+      handle_.emplace(exec::ThreadRegistry::process_wide(), w_ % shards_,
+                      shards_);
+    } else {
+      handle_.emplace();
+    }
+  }
+
+  std::uint32_t w_;
+  std::uint32_t shards_;
+  std::optional<exec::ThreadHandle> handle_;
+};
+
 // Runs `workers` threads; worker w executes body(w, stats) with a
 // dynamically registered pid installed (exec::ThreadHandle).  The pids are
 // the lowest free ones in the process-wide registry -- with no other
 // holders, exactly {0..workers-1}, though not necessarily in thread order;
 // `w` remains the worker's stable identity for seeds and sharding.
 // Returns merged stats.
-inline WorkerStats run_workers(
-    std::uint32_t workers,
+//
+// run_workers_affine registers worker w shard-affine in shard
+// w % affinity_shards (the registry's affinity=segment knob); pair it with
+// a body that directs worker w's updates at component segments of the same
+// shard so pid-keyed reclamation state stays segment-local.
+inline WorkerStats run_workers_affine(
+    std::uint32_t workers, std::uint32_t affinity_shards,
     const std::function<void(std::uint32_t, WorkerStats&)>& body) {
   std::vector<WorkerStats> stats(workers);
   std::vector<std::thread> threads;
@@ -169,7 +209,7 @@ inline WorkerStats run_workers(
   std::atomic<bool> go{false};
   for (std::uint32_t w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
-      exec::ThreadHandle pid;
+      WorkerPid pid(w, affinity_shards);
       ready.fetch_add(1);
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       Timer timer;
@@ -183,6 +223,12 @@ inline WorkerStats run_workers(
   WorkerStats merged;
   for (const auto& s : stats) merged.merge(s);
   return merged;
+}
+
+inline WorkerStats run_workers(
+    std::uint32_t workers,
+    const std::function<void(std::uint32_t, WorkerStats&)>& body) {
+  return run_workers_affine(workers, /*affinity_shards=*/1, body);
 }
 
 // Convenience: keep-running flag + fixed-duration stop for mixed loops.

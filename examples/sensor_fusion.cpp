@@ -126,12 +126,29 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<psnap::core::PartialSnapshot> array_ptr;
+  psnap::registry::IngestKnobs knobs;
   try {
     // Capacity: one pid per concurrent fusion reader plus the sensor
     // threads (reader generations recycle pids, so the flood never needs
-    // more than one generation's worth at a time).
+    // more than one generation's worth at a time).  The knob sink makes
+    // the universal reclaim=/shards=/affinity= options usable from
+    // --impl; affinity=segment draws pids from shard blocks spanning the
+    // full registry capacity, so the array is sized to it in that mode.
     array_ptr = psnap::registry::make_snapshot(
-        flags.get_string("impl"), sensors0, /*max_threads=*/readers + 6);
+        flags.get_string("impl"), sensors0, /*max_threads=*/readers + 6,
+        &knobs);
+    if (knobs.affinity == "segment") {
+      array_ptr = psnap::registry::make_snapshot(
+          flags.get_string("impl"), sensors0,
+          psnap::exec::ThreadRegistry::kMaxCapacity, &knobs);
+    }
+    if (knobs.batching_requested()) {
+      std::fprintf(stderr,
+                   "sensor_fusion publishes frames itself; use "
+                   "--publish=batch instead of batch=/coalesce_window= "
+                   "ingest knobs\n");
+      return 1;
+    }
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
@@ -166,13 +183,33 @@ int main(int argc, char** argv) {
   // singleton threads may straddle two adjacent frames.
   const std::uint64_t allowed_spread =
       batch_publish && tier == psnap::core::BatchAtomicity::kAtomic ? 0 : 1;
-  std::printf("value plane: %s (%s payloads), publish: %s (%s)\n",
-              std::string(array.value_plane()).c_str(),
-              blob ? "struct SensorReading" : "packed u64", publish.c_str(),
-              tier == psnap::core::BatchAtomicity::kAtomic    ? "atomic"
-              : tier == psnap::core::BatchAtomicity::kAmortized
-                  ? "amortized"
-                  : "per-component");
+  // affinity=segment registers every worker shard-affine; with fewer than
+  // one segment of sensors the only shard is 0, but the mode still
+  // exercises the affine registration path end to end.
+  const std::uint32_t affinity_shards =
+      knobs.affinity == "segment"
+          ? std::max(1u, array_ptr->reclaim_shards())
+          : 1;
+  auto registered_pid = [affinity_shards](std::uint32_t shard) {
+    if (affinity_shards > 1) {
+      return psnap::exec::ThreadHandle(
+          psnap::exec::ThreadRegistry::process_wide(),
+          shard % affinity_shards, affinity_shards);
+    }
+    return psnap::exec::ThreadHandle();
+  };
+  std::printf(
+      "value plane: %s (%s payloads), publish: %s (%s), reclaim: %s "
+      "(%u shard%s, affinity=%s)\n",
+      std::string(array.value_plane()).c_str(),
+      blob ? "struct SensorReading" : "packed u64", publish.c_str(),
+      tier == psnap::core::BatchAtomicity::kAtomic    ? "atomic"
+      : tier == psnap::core::BatchAtomicity::kAmortized
+          ? "amortized"
+          : "per-component",
+      std::string(array_ptr->reclaim_plane()).c_str(),
+      static_cast<unsigned>(array_ptr->reclaim_shards()),
+      array_ptr->reclaim_shards() == 1 ? "" : "s", knobs.affinity.c_str());
 
   // Sensor threads: groups of sensors share a thread (the protocol cost is
   // per process, not per component).  All advance epoch in lock-step via a
@@ -198,7 +235,7 @@ int main(int argc, char** argv) {
     // tiers) no scan can straddle two frames.  No barrier needed: the
     // batch IS the epoch boundary.
     sensor_threads.emplace_back([&] {
-      psnap::exec::ThreadHandle pid;
+      auto pid = registered_pid(0);
       std::vector<SensorReading> frame;
       std::vector<psnap::core::BlobBatchEntry> blob_entries;
       std::vector<psnap::core::BatchEntry> entries;
@@ -230,7 +267,7 @@ int main(int argc, char** argv) {
   } else {
     for (std::uint32_t t = 0; t < kSensorThreads; ++t) {
       sensor_threads.emplace_back([&, t] {
-        psnap::exec::ThreadHandle pid;
+        auto pid = registered_pid(t);
         while (!stop) {
           std::uint64_t e = epoch.load(std::memory_order_acquire);
           if (e > readings) break;
@@ -276,7 +313,8 @@ int main(int argc, char** argv) {
   };
 
   auto reader_life = [&](std::uint64_t seed, bool contiguous) {
-    psnap::exec::ThreadHandle pid;  // this life's registration
+    auto pid = registered_pid(  // this life's registration
+        static_cast<std::uint32_t>(seed));
     reader_lives.fetch_add(1);
     psnap::Xoshiro256 rng(seed);
     std::vector<std::uint32_t> subset;

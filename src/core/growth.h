@@ -34,13 +34,20 @@
 
 namespace psnap::core {
 
+// Components per storage segment.  Doubles as the sharded reclamation
+// plane's shard-mapping unit (reclaim::ShardedEbr groups whole segments
+// into shards), so the reclamation topology follows the same boundaries
+// that make growth reader-safe.
+inline constexpr std::uint32_t kComponentSegmentSize = 1024;
+
 // Grow-only storage for per-component state: stable addresses forever (a
 // concurrent reader's pointer is never invalidated by growth), two loads
 // on the hot path (segment directory + slot).  Capacity 4M components,
 // the same envelope as Figure 2's slot array.
 template <class T>
 using ComponentStorage =
-    segarray::SegmentedArray<T, 1024, (std::size_t{1} << 12)>;
+    segarray::SegmentedArray<T, kComponentSegmentSize,
+                             (std::size_t{1} << 12)>;
 
 // Grow-only storage for per-pid state (announcement registers, publication
 // counters, active-set flags).  Pids are dense -- the thread registry

@@ -147,6 +147,25 @@ class PartialSnapshot {
   // unchanged.
   virtual std::string_view value_plane() const { return "u64"; }
 
+  // ---- The reclamation plane (reclaim/) ----
+  //
+  // How published records are reclaimed, chosen at construction (registry
+  // option reclaim=ebr|hp on the implementations that support both):
+  // "ebr" pins an epoch per operation (cheap, but a stalled reader delays
+  // every later retirement in its domain -- or its shard, with shards>1);
+  // "hp" protects individual records with hazard pointers (a stalled
+  // reader delays at most the handful of records it protects).  Purely an
+  // engineering axis: the protocol's step counts and linearizability are
+  // identical on either plane.
+  virtual std::string_view reclaim_plane() const { return "ebr"; }
+  // Number of independent reclamation domains (EBR sharding; 1 everywhere
+  // except fig3_cas instances built with shards=k).
+  virtual std::uint32_t reclaim_shards() const { return 1; }
+  // Retired-but-not-yet-freed records, aggregated over the instance's
+  // domains.  Quiescent-read observability for the RCL bench and tests; 0
+  // for implementations that do not expose it.
+  virtual std::uint64_t reclaim_outstanding() const { return 0; }
+
   // Sets component i to an arbitrary byte payload, atomically, on behalf
   // of exec::ctx().pid.  Blob plane only: the u64 plane (the default
   // implementation here) throws std::logic_error.

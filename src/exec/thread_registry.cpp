@@ -13,19 +13,26 @@ ThreadRegistry::ThreadRegistry(std::uint32_t max_threads)
   for (auto& w : words_) w.store(0, std::memory_order_relaxed);
 }
 
-std::uint32_t ThreadRegistry::try_acquire() {
-  // Lowest-free-bit scan with CAS claim.  Restarting from word 0 after a
-  // lost race keeps allocation dense (the lowest free pid wins), which is
-  // what bounds per-pid walks by the high watermark rather than capacity.
+std::uint32_t ThreadRegistry::try_acquire_in(std::uint32_t lo,
+                                             std::uint32_t hi) {
+  // Lowest-free-bit scan with CAS claim.  Restarting from the range's
+  // first word after a lost race keeps allocation dense (the lowest free
+  // pid wins), which is what bounds per-pid walks by the high watermark
+  // rather than capacity.
+  PSNAP_ASSERT(lo < hi && hi <= capacity_);
   while (true) {
     bool raced = false;
-    for (std::uint32_t w = 0; w * kBitsPerWord < capacity_; ++w) {
+    for (std::uint32_t w = lo / kBitsPerWord; w * kBitsPerWord < hi; ++w) {
       std::uint64_t word = words_[w].load(std::memory_order_relaxed);
       while (true) {
         std::uint64_t free_mask = ~word;
-        if (w * kBitsPerWord + kBitsPerWord > capacity_) {
-          // Mask off bits beyond capacity in the last word.
-          std::uint32_t valid = capacity_ - w * kBitsPerWord;
+        if (w * kBitsPerWord < lo) {
+          // Mask off bits below the range in its first word.
+          free_mask &= ~0ull << (lo - w * kBitsPerWord);
+        }
+        if (w * kBitsPerWord + kBitsPerWord > hi) {
+          // Mask off bits beyond the range in its last word.
+          std::uint32_t valid = hi - w * kBitsPerWord;
           free_mask &= (valid == kBitsPerWord) ? ~0ull
                                                : ((1ull << valid) - 1);
         }
@@ -56,8 +63,39 @@ std::uint32_t ThreadRegistry::try_acquire() {
   }
 }
 
+std::uint32_t ThreadRegistry::try_acquire() {
+  return try_acquire_in(0, capacity_);
+}
+
 std::uint32_t ThreadRegistry::acquire() {
   std::uint32_t pid = try_acquire();
+  PSNAP_ASSERT_MSG(pid != kInvalidPid,
+                   "ThreadRegistry capacity exhausted (all pids live)");
+  return pid;
+}
+
+std::uint32_t ThreadRegistry::try_acquire_affine(std::uint32_t shard,
+                                                 std::uint32_t num_shards) {
+  PSNAP_ASSERT(num_shards > 0 && shard < num_shards);
+  if (num_shards == 1) return try_acquire();
+  // Even split of the capacity; the tail shard absorbs the remainder.
+  // With more shards than pids the low shards get empty blocks and fall
+  // straight through to the global scan.
+  std::uint32_t lo = shard * (capacity_ / num_shards);
+  std::uint32_t hi = shard + 1 == num_shards
+                         ? capacity_
+                         : (shard + 1) * (capacity_ / num_shards);
+  if (lo < hi) {
+    std::uint32_t pid = try_acquire_in(lo, hi);
+    if (pid != kInvalidPid) return pid;
+  }
+  // Block full: affinity is a hint, not a limit.
+  return try_acquire();
+}
+
+std::uint32_t ThreadRegistry::acquire_affine(std::uint32_t shard,
+                                             std::uint32_t num_shards) {
+  std::uint32_t pid = try_acquire_affine(shard, num_shards);
   PSNAP_ASSERT_MSG(pid != kInvalidPid,
                    "ThreadRegistry capacity exhausted (all pids live)");
   return pid;
@@ -99,6 +137,19 @@ ThreadHandle::ThreadHandle(ThreadRegistry& registry)
     // it, exactly as ScopedPid guarantees for manually assigned pids.
     // (Objects bounded by watermark_of(the local registry), e.g. in
     // bench_adaptive_collect, are unaffected.)
+    ThreadRegistry::process_wide().note_pid_in_use(pid_);
+  }
+  ctx().pid = pid_;
+}
+
+ThreadHandle::ThreadHandle(ThreadRegistry& registry, std::uint32_t shard,
+                           std::uint32_t num_shards)
+    : registry_(registry),
+      pid_(registry.acquire_affine(shard, num_shards)),
+      saved_(ctx().pid) {
+  PSNAP_ASSERT_MSG(saved_ == kInvalidPid,
+                   "thread already has a pid; ThreadHandle must not nest");
+  if (&registry != &ThreadRegistry::process_wide()) {
     ThreadRegistry::process_wide().note_pid_in_use(pid_);
   }
   ctx().pid = pid_;

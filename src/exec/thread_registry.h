@@ -38,16 +38,17 @@
 #include <atomic>
 #include <cstdint>
 
+#include "exec/capacity.h"
 #include "exec/exec.h"
 
 namespace psnap::exec {
 
 class ThreadRegistry {
  public:
-  // Capacity ceiling shared with the EBR pid-keyed slot range
-  // (reclaim::EbrDomain::kPidSlots); a registry can be smaller, never
-  // larger.
-  static constexpr std::uint32_t kMaxCapacity = 192;
+  // Capacity ceiling shared with the reclamation layer's pid-keyed slot
+  // range (reclaim::kPidSlots; see exec/capacity.h for the one
+  // definition); a registry can be smaller, never larger.
+  static constexpr std::uint32_t kMaxCapacity = kMaxPidCapacity;
 
   explicit ThreadRegistry(std::uint32_t max_threads = kMaxCapacity);
 
@@ -60,6 +61,20 @@ class ThreadRegistry {
   // so running out is a usage error, not an expected condition).
   std::uint32_t acquire();
   void release(std::uint32_t pid);
+
+  // Shard-affine acquisition (the sharded reclamation plane's
+  // affinity=segment mode): prefers the lowest free pid inside shard
+  // `shard`'s contiguous pid block -- the capacity split evenly over
+  // num_shards -- so a thread that mostly writes one component segment
+  // gets a pid whose EBR slot, pool free list, and announcement register
+  // all land in that shard's tables.  Falls back to the global
+  // lowest-free scan when the block is full (affinity is a performance
+  // hint, never a capacity limit).  Returns kInvalidPid only when the
+  // whole registry is full.
+  std::uint32_t try_acquire_affine(std::uint32_t shard,
+                                   std::uint32_t num_shards);
+  // Asserting form, like acquire().
+  std::uint32_t acquire_affine(std::uint32_t shard, std::uint32_t num_shards);
 
   std::uint32_t max_threads() const { return capacity_; }
   // Live pids right now.
@@ -100,6 +115,10 @@ class ThreadRegistry {
  private:
   static constexpr std::uint32_t kBitsPerWord = 64;
 
+  // Lowest free pid in [lo, hi), or kInvalidPid; the body of try_acquire
+  // (the full range) and the affine preference pass (one shard's block).
+  std::uint32_t try_acquire_in(std::uint32_t lo, std::uint32_t hi);
+
   std::uint32_t capacity_;
   std::atomic<std::uint64_t> words_[kMaxCapacity / kBitsPerWord];
   std::atomic<std::uint32_t> active_{0};
@@ -113,6 +132,10 @@ class ThreadHandle {
  public:
   explicit ThreadHandle(ThreadRegistry& registry);
   ThreadHandle() : ThreadHandle(ThreadRegistry::process_wide()) {}
+  // Shard-affine form (acquire_affine): the pid lands in shard `shard`'s
+  // block when one is free there.
+  ThreadHandle(ThreadRegistry& registry, std::uint32_t shard,
+               std::uint32_t num_shards);
   ~ThreadHandle();
 
   ThreadHandle(const ThreadHandle&) = delete;

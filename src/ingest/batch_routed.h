@@ -47,6 +47,15 @@ class BatchRouted final : public core::PartialSnapshot {
   std::string_view value_plane() const override {
     return inner_->value_plane();
   }
+  std::string_view reclaim_plane() const override {
+    return inner_->reclaim_plane();
+  }
+  std::uint32_t reclaim_shards() const override {
+    return inner_->reclaim_shards();
+  }
+  std::uint64_t reclaim_outstanding() const override {
+    return inner_->reclaim_outstanding();
+  }
 
   std::uint32_t add_components(std::uint32_t count) override {
     return inner_->add_components(count);

@@ -81,33 +81,38 @@ std::uint32_t EbrDomain::slot_for_this_thread() {
   return 0;  // unreachable
 }
 
-EbrDomain::Guard::Guard(EbrDomain& domain)
-    : domain_(domain), slot_(domain.slot_for_this_thread()) {
-  Slot& slot = domain_.slots_[slot_];
-  outermost_ = (slot.depth == 0);
+std::uint32_t EbrDomain::enter() {
+  std::uint32_t slot_index = slot_for_this_thread();
+  Slot& slot = slots_[slot_index];
   ++slot.depth;
-  if (!outermost_) return;
+  if (slot.depth > 1) return slot_index;  // reentrant: already pinned
   // Publish the pinned epoch; re-check so we never pin an epoch that has
   // already been left behind (the classic EBR entry protocol).
-  std::uint64_t e = domain_.global_epoch_.load(std::memory_order_seq_cst);
+  std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
   while (true) {
     slot.epoch.store(e, std::memory_order_seq_cst);
-    std::uint64_t e2 = domain_.global_epoch_.load(std::memory_order_seq_cst);
+    std::uint64_t e2 = global_epoch_.load(std::memory_order_seq_cst);
     if (e2 == e) break;
     e = e2;
   }
+  return slot_index;
 }
 
-EbrDomain::Guard::~Guard() {
-  Slot& slot = domain_.slots_[slot_];
+void EbrDomain::exit(std::uint32_t slot_index) {
+  Slot& slot = slots_[slot_index];
   PSNAP_ASSERT(slot.depth > 0);
   --slot.depth;
-  if (!outermost_) return;
+  if (slot.depth > 0) return;
   slot.epoch.store(kIdle, std::memory_order_seq_cst);
   if (slot.retired.size() >= kReclaimThreshold) {
-    domain_.try_reclaim();
+    try_reclaim();
   }
 }
+
+EbrDomain::Guard::Guard(EbrDomain& domain)
+    : domain_(domain), slot_(domain.enter()) {}
+
+EbrDomain::Guard::~Guard() { domain_.exit(slot_); }
 
 void EbrDomain::retire_raw(void* node, void* ctx, RecycleFn fn) {
   PSNAP_ASSERT(node != nullptr);

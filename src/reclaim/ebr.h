@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/padding.h"
+#include "reclaim/slots.h"
 
 namespace psnap::reclaim {
 
@@ -35,10 +36,12 @@ class EbrDomain {
   // acquire CAS pair in the registry orders the hand-off, so a pid's
   // retired list simply transfers to the slot's next holder.  Threads
   // without a pid (direct reclaim tests, bookkeeping threads) fall back to
-  // sticky CAS-claimed slots in [kPidSlots, kTotalSlots).
-  static constexpr std::uint32_t kPidSlots = 192;
-  static constexpr std::uint32_t kAnonSlots = 32;
-  static constexpr std::uint32_t kTotalSlots = kPidSlots + kAnonSlots;
+  // sticky CAS-claimed slots in [kPidSlots, kTotalSlots).  The layout is
+  // the shared one in reclaim/slots.h, derived from the thread registry's
+  // capacity constant; the aliases below are kept for existing callers.
+  static constexpr std::uint32_t kPidSlots = reclaim::kPidSlots;
+  static constexpr std::uint32_t kAnonSlots = reclaim::kAnonSlots;
+  static constexpr std::uint32_t kTotalSlots = reclaim::kTotalSlots;
 
   EbrDomain();
   // Precondition: no thread is pinned and no operation is in flight.
@@ -60,10 +63,18 @@ class EbrDomain {
    private:
     EbrDomain& domain_;
     std::uint32_t slot_;
-    bool outermost_;
   };
 
   Guard pin() { return Guard(*this); }
+
+  // Non-RAII pin protocol, for holders that pin a DYNAMIC set of domains
+  // (reclaim::ShardedEbr's multi-shard guard; a deliberately parked
+  // reader).  enter() runs the Guard entry protocol and returns the
+  // caller's slot; every enter() must be matched by an exit(slot) on the
+  // same thread.  Reentrant like Guard: nested enters on the same thread
+  // are depth-counted no-ops.
+  std::uint32_t enter();
+  void exit(std::uint32_t slot);
 
   // Grace-period callback: receives the node, the context registered with
   // it, the domain, and the EBR slot index that held the retired node (so

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/assert.h"
+#include "exec/exec.h"
 
 namespace psnap::reclaim {
 
@@ -14,19 +15,27 @@ std::uint64_t next_domain_id() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Per-thread cache for ANONYMOUS slots only (see reclaim/ebr.cpp, which
+// uses the identical layout): domain id -> slot index.
 std::unordered_map<std::uint64_t, std::uint32_t>& slot_cache() {
   thread_local std::unordered_map<std::uint64_t, std::uint32_t> cache;
   return cache;
 }
 
+// Floor for the adaptive scan threshold: below this, scans would run so
+// often their O(claimed * K) walk dominates.
+constexpr std::size_t kMinScanThreshold = 64;
+
 }  // namespace
 
-HazardDomain::HazardDomain() : domain_id_(next_domain_id()), slots_(kMaxThreads) {}
+HazardDomain::HazardDomain()
+    : domain_id_(next_domain_id()), slots_(kTotalSlots) {}
 
 HazardDomain::~HazardDomain() {
-  for (Slot& slot : slots_) {
+  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+    Slot& slot = slots_[s];
     for (RetiredNode& node : slot.retired) {
-      node.deleter(node.ptr);
+      node.fn(node.ptr, node.ctx, s);
       freed_.fetch_add(1, std::memory_order_relaxed);
     }
     slot.retired.clear();
@@ -34,18 +43,35 @@ HazardDomain::~HazardDomain() {
 }
 
 std::uint32_t HazardDomain::slot_for_this_thread() {
+  // Registered threads: the slot is the pid (shared layout with
+  // EbrDomain; see reclaim/slots.h for why).
+  std::uint32_t pid = exec::ctx().pid;
+  if (pid != exec::kInvalidPid) {
+    PSNAP_ASSERT_MSG(pid < kPidSlots, "pid exceeds the hazard pid-slot range");
+    Slot& slot = slots_[pid];
+    if (!slot.in_use.load(std::memory_order_relaxed)) {
+      // Only the pid's current holder stores here, so the plain store
+      // cannot race another writer; never cleared (a slot that held
+      // retired nodes stays scannable).
+      slot.in_use.store(true, std::memory_order_release);
+      claimed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return pid;
+  }
+  // Anonymous threads: sticky CAS-claimed slots above the pid range.
   auto& cache = slot_cache();
   auto it = cache.find(domain_id_);
   if (it != cache.end()) return it->second;
-  for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
+  for (std::uint32_t i = kPidSlots; i < kTotalSlots; ++i) {
     bool expected = false;
     if (slots_[i].in_use.compare_exchange_strong(expected, true,
                                                  std::memory_order_acq_rel)) {
+      claimed_.fetch_add(1, std::memory_order_relaxed);
       cache.emplace(domain_id_, i);
       return i;
     }
   }
-  PSNAP_ASSERT_MSG(false, "HazardDomain thread capacity exhausted");
+  PSNAP_ASSERT_MSG(false, "HazardDomain anonymous-thread capacity exhausted");
   return 0;  // unreachable
 }
 
@@ -62,6 +88,12 @@ void* HazardDomain::protect_raw(const std::atomic<void*>& src,
   }
 }
 
+void HazardDomain::set(std::uint32_t index, const void* p) {
+  PSNAP_ASSERT(index < kHazardsPerThread);
+  slots_[slot_for_this_thread()].hazards[index].store(
+      const_cast<void*>(p), std::memory_order_seq_cst);
+}
+
 void HazardDomain::clear(std::uint32_t index) {
   PSNAP_ASSERT(index < kHazardsPerThread);
   slots_[slot_for_this_thread()].hazards[index].store(
@@ -73,21 +105,29 @@ void HazardDomain::clear_all() {
   for (auto& h : slot.hazards) h.store(nullptr, std::memory_order_seq_cst);
 }
 
-void HazardDomain::retire_raw(void* node, void (*deleter)(void*)) {
+void HazardDomain::retire_raw(void* node, void* ctx, RecycleFn fn) {
   PSNAP_ASSERT(node != nullptr);
   Slot& slot = slots_[slot_for_this_thread()];
-  slot.retired.push_back(RetiredNode{node, deleter});
+  slot.retired.push_back(RetiredNode{node, ctx, fn});
   retired_.fetch_add(1, std::memory_order_relaxed);
-  // Michael's bound: scan when the local list exceeds twice the global
-  // hazard capacity, giving amortized O(1) and bounded garbage.
-  if (slot.retired.size() >= 2 * kMaxThreads * kHazardsPerThread) {
+  // Michael's amortized bound, scaled to the slots actually claimed
+  // rather than the full capacity (see the claimed_ comment in the
+  // header): scan when the local list exceeds twice the live hazard
+  // capacity, giving amortized O(1) and garbage bounded by
+  // O(claimed^2 * K) across all threads.
+  std::size_t threshold =
+      2 * std::size_t{claimed_.load(std::memory_order_relaxed)} *
+      kHazardsPerThread;
+  if (slot.retired.size() >= std::max(threshold, kMinScanThreshold)) {
     scan_and_free();
   }
 }
 
 void HazardDomain::scan_and_free() {
-  std::vector<void*> protected_ptrs;
-  protected_ptrs.reserve(kMaxThreads * kHazardsPerThread);
+  std::uint32_t my_slot = slot_for_this_thread();
+  Slot& mine = slots_[my_slot];
+  std::vector<void*>& protected_ptrs = mine.scan_scratch;
+  protected_ptrs.clear();
   for (Slot& slot : slots_) {
     if (!slot.in_use.load(std::memory_order_acquire)) continue;
     for (auto& h : slot.hazards) {
@@ -97,7 +137,6 @@ void HazardDomain::scan_and_free() {
   }
   std::sort(protected_ptrs.begin(), protected_ptrs.end());
 
-  Slot& mine = slots_[slot_for_this_thread()];
   std::size_t kept = 0;
   for (std::size_t i = 0; i < mine.retired.size(); ++i) {
     RetiredNode& node = mine.retired[i];
@@ -105,7 +144,7 @@ void HazardDomain::scan_and_free() {
                            node.ptr)) {
       mine.retired[kept++] = node;
     } else {
-      node.deleter(node.ptr);
+      node.fn(node.ptr, node.ctx, my_slot);
       freed_.fetch_add(1, std::memory_order_relaxed);
     }
   }

@@ -1,56 +1,72 @@
-// Typed free-list pooling on top of epoch-based reclamation.
+// Typed free-list pooling on top of the reclamation substrates.
 //
 // The snapshot algorithms publish one immutable heap record per update and
-// one announcement per scan-shape change.  With plain EBR those nodes are
-// `delete`d after their grace period and the next operation `new`s a fresh
-// one -- two allocator round-trips on every hot-path operation, and (for
-// Record) the loss of the embedded view vector's grown capacity each time.
+// one announcement per scan-shape change.  With plain reclamation those
+// nodes are `delete`d after their grace period and the next operation
+// `new`s a fresh one -- two allocator round-trips on every hot-path
+// operation, and (for Record) the loss of the embedded view vector's grown
+// capacity each time.
 //
 // A Pool<T> replaces delete/new with recycle/acquire:
 //
 //   * recycle(domain, node) retires the node through the domain exactly
-//     like EbrDomain::retire, but when the grace period expires the node is
-//     pushed onto a free list instead of deleted.  Nodes are NOT destroyed:
-//     a recycled Record keeps its view vector's capacity, so re-filling it
-//     on the next acquire allocates nothing.
+//     like the domain's own retire, but when the grace period expires the
+//     node is pushed onto a free list instead of deleted.  Nodes are NOT
+//     destroyed: a recycled Record keeps its view vector's capacity, so
+//     re-filling it on the next acquire allocates nothing.
 //   * acquire(domain) pops the calling thread's free list, falling back to
 //     `new T()` only while the pool is still warming up.
 //
-// Free lists are per-thread (indexed by the domain's EBR slot), which makes
-// every list owner-thread-only: recycled nodes surface on the thread that
-// retired them (EBR frees a slot's nodes from that slot's owner), and
-// acquire pops the caller's own list.  No atomics, no cross-thread free
-// list, and therefore no Treiber-stack ABA problem to solve.  The flux is
-// balanced in steady state because each update acquires exactly one record
-// and retires exactly one (the one it replaced).
+// Free lists are per (shard, thread-slot).  Thread slots use the shared
+// reclaim/slots.h layout -- a registered thread resolves to the SAME slot
+// index in every EbrDomain and HazardDomain -- so one Pool serves all of a
+// ShardedEbr's domains (and the hp plane): nodes retired through shard s
+// surface on the retiring thread's list for shard s, and acquire(d, s)
+// pops that same list.  Every list stays owner-thread-only: no atomics, no
+// cross-thread free list, and therefore no Treiber-stack ABA problem to
+// solve.  The flux is balanced in steady state because each update
+// acquires exactly one record and retires exactly one (the one it
+// replaced).
 //
 // ABA / tag-uniqueness: recycling reuses ADDRESSES no earlier than delete
-// would have handed them back to malloc -- only after the grace period --
-// so the algorithms' pointer-identity arguments (records observed while
-// EBR-pinned are never reused under the reader's feet) are unchanged.  The
-// paper's (pid, counter) content-uniqueness argument is also unchanged:
-// counters increase monotonically per process, so a recycled Record is
-// always republished with a tag no prior record carried.
-// tests/reclaim/pool_test.cpp drives this under the sim scheduler.
+// would have handed them back to malloc -- only after the grace period (or
+// hazard scan) -- so the algorithms' pointer-identity arguments (records
+// observed while protected are never reused under the reader's feet) are
+// unchanged.  The paper's (pid, counter) content-uniqueness argument is
+// also unchanged: counters increase monotonically per process, so a
+// recycled Record is always republished with a tag no prior record
+// carried.  tests/reclaim/pool_test.cpp drives this under the sim
+// scheduler.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/padding.h"
 #include "reclaim/ebr.h"
+#include "reclaim/hazard.h"
 
 namespace psnap::reclaim {
 
 template <class T>
 class Pool {
  public:
-  Pool() : lists_(EbrDomain::kTotalSlots) {}
+  // One bank of per-thread free lists per reclamation shard.  Owners that
+  // reclaim through a single domain (the default everywhere) use the
+  // one-bank default and never pass a shard index.
+  explicit Pool(std::uint32_t shards = 1)
+      : lists_(std::size_t{shards} * kTotalSlots), shard_ctx_(shards) {
+    PSNAP_ASSERT(shards >= 1);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      shard_ctx_[s] = ShardCtx{this, s * kTotalSlots};
+    }
+  }
 
-  // Precondition (same as ~EbrDomain): quiescent.  The domain whose nodes
-  // recycle into this pool must be destroyed FIRST -- its destructor
+  // Precondition (same as the domains'): quiescent.  The domain whose
+  // nodes recycle into this pool must be destroyed FIRST -- its destructor
   // flushes outstanding retired nodes into these lists -- so declare the
-  // Pool before the EbrDomain in the owning class.
+  // Pool before the domain in the owning class.
   ~Pool() {
     for (auto& padded : lists_) {
       for (void* p : padded.value.free) delete static_cast<T*>(p);
@@ -63,17 +79,22 @@ class Pool {
   // Owns a node from acquisition until publication.  On unwind (CAS
   // failure, injected halt before the publishing store) the node returns
   // to the acquiring thread's free list, skipping the grace period: no
-  // other thread ever saw the pointer.  The thread slot is resolved once
-  // at acquisition and cached, so the acquire/unwind round trip costs one
-  // slot lookup, not three.  Single-operation scope on one thread; not
-  // movable or copyable.
+  // other thread ever saw the pointer.  The flat list index is resolved
+  // once at acquisition and cached, so the acquire/unwind round trip costs
+  // one slot lookup, not three.  Single-operation scope on one thread;
+  // movable (so a plane-dispatch helper can return one) but not copyable.
   class Handle {
    public:
     ~Handle() {
-      if (node_ != nullptr) pool_.put_at(slot_, node_);
+      if (node_ != nullptr) pool_.put_at(index_, node_);
+    }
+    Handle(Handle&& other) noexcept
+        : pool_(other.pool_), index_(other.index_), node_(other.node_) {
+      other.node_ = nullptr;
     }
     Handle(const Handle&) = delete;
     Handle& operator=(const Handle&) = delete;
+    Handle& operator=(Handle&&) = delete;
 
     T* get() const { return node_; }
     T* operator->() const { return node_; }
@@ -86,20 +107,22 @@ class Pool {
 
    private:
     friend class Pool;
-    Handle(Pool& pool, std::uint32_t slot, T* node)
-        : pool_(pool), slot_(slot), node_(node) {}
+    Handle(Pool& pool, std::size_t index, T* node)
+        : pool_(pool), index_(index), node_(node) {}
 
     Pool& pool_;
-    std::uint32_t slot_;
+    std::size_t index_;
     T* node_;
   };
 
   // Pops a recycled node, or heap-allocates while warming up.  The node is
   // whatever state its previous life left it in; callers overwrite every
-  // field before publication.
-  Handle acquire(EbrDomain& domain) {
-    std::uint32_t slot = domain.thread_slot();
-    PerThread& mine = lists_[slot].value;
+  // field before publication.  Domain is EbrDomain or HazardDomain (both
+  // expose the shared thread_slot()).
+  template <class Domain>
+  Handle acquire(Domain& domain, std::uint32_t shard = 0) {
+    std::size_t index = flat_index(shard, domain.thread_slot());
+    PerThread& mine = lists_[index].value;
     T* node;
     if (!mine.free.empty()) {
       node = static_cast<T*>(mine.free.back());
@@ -109,27 +132,40 @@ class Pool {
       ++mine.fresh;
       node = new T();
     }
-    return Handle(*this, slot, node);
+    return Handle(*this, index, node);
   }
 
   // Returns a node that was never published: it skips the grace period
-  // and is immediately reusable (see Handle; exposed for the EBR flush
-  // path and tests).
-  void put_local(EbrDomain& domain, T* node) {
-    put_at(domain.thread_slot(), node);
+  // and is immediately reusable (see Handle; exposed for tests).
+  template <class Domain>
+  void put_local(Domain& domain, T* node, std::uint32_t shard = 0) {
+    put_at(flat_index(shard, domain.thread_slot()), node);
   }
 
-  // Retires a *published* node: it joins the free list once the domain's
-  // grace period guarantees no pinned reader still references it.
-  void recycle(EbrDomain& domain, T* node) {
-    // The callback files the node under its retiring slot's list --
-    // supplied by EBR, so the flushing thread (possibly the domain's
-    // destructor running on a thread that owns no slot) never has to
-    // claim one.
-    domain.retire_raw(node, this,
-                      [](void* p, void* ctx, EbrDomain&, std::uint32_t slot) {
-                        static_cast<Pool*>(ctx)->put_at(slot,
-                                                        static_cast<T*>(p));
+  // Retires a *published* node through an EBR domain: it joins the free
+  // list once the grace period guarantees no pinned reader still
+  // references it.  `shard` names the bank this domain feeds (pass the
+  // ShardedEbr shard index; 0 for a lone domain).
+  void recycle(EbrDomain& domain, T* node, std::uint32_t shard = 0) {
+    // The callback files the node under its retiring slot's list in this
+    // shard's bank.  The slot is supplied by EBR, so the flushing thread
+    // (possibly the domain's destructor running on a thread that owns no
+    // slot) never has to claim one; the bank base rides in ctx.
+    domain.retire_raw(
+        node, &shard_ctx_[shard],
+        [](void* p, void* ctx, EbrDomain&, std::uint32_t slot) {
+          auto* sc = static_cast<ShardCtx*>(ctx);
+          sc->pool->put_at(sc->base + slot, static_cast<T*>(p));
+        });
+  }
+
+  // Retires a *published* node through a hazard domain: it joins the free
+  // list once a hazard scan proves no published hazard covers it.
+  void recycle_hp(HazardDomain& domain, T* node, std::uint32_t shard = 0) {
+    domain.retire_raw(node, &shard_ctx_[shard],
+                      [](void* p, void* ctx, std::uint32_t slot) {
+                        auto* sc = static_cast<ShardCtx*>(ctx);
+                        sc->pool->put_at(sc->base + slot, static_cast<T*>(p));
                       });
   }
 
@@ -157,11 +193,25 @@ class Pool {
     std::uint64_t fresh = 0;
   };
 
-  void put_at(std::uint32_t slot, T* node) {
-    lists_[slot].value.free.push_back(node);
+  // Stable per-shard retire context: the recycle callbacks receive only a
+  // slot index, so the bank base must ride in ctx.  The vector is sized in
+  // the constructor and never resized, so the addresses stay valid for the
+  // pool's lifetime.
+  struct ShardCtx {
+    Pool* pool;
+    std::uint32_t base;
+  };
+
+  std::size_t flat_index(std::uint32_t shard, std::uint32_t slot) const {
+    return std::size_t{shard} * kTotalSlots + slot;
+  }
+
+  void put_at(std::size_t index, T* node) {
+    lists_[index].value.free.push_back(node);
   }
 
   std::vector<CachelinePadded<PerThread>> lists_;
+  std::vector<ShardCtx> shard_ctx_;
 };
 
 }  // namespace psnap::reclaim

@@ -1,0 +1,30 @@
+#include "reclaim/sharded_ebr.h"
+
+#include "common/assert.h"
+
+namespace psnap::reclaim {
+
+ShardedEbr::ShardedEbr(std::uint32_t shards, std::uint32_t segment_components)
+    : shards_(shards), segment_components_(segment_components) {
+  PSNAP_ASSERT_MSG(shards >= 1 && shards <= kMaxShards,
+                   "ShardedEbr shard count out of range");
+  PSNAP_ASSERT(segment_components > 0);
+  domains_.reserve(shards_);
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    domains_.push_back(std::make_unique<EbrDomain>());
+  }
+}
+
+std::uint64_t ShardedEbr::retired_count() const {
+  std::uint64_t total = 0;
+  for (const auto& d : domains_) total += d->retired_count();
+  return total;
+}
+
+std::uint64_t ShardedEbr::freed_count() const {
+  std::uint64_t total = 0;
+  for (const auto& d : domains_) total += d->freed_count();
+  return total;
+}
+
+}  // namespace psnap::reclaim

@@ -29,6 +29,7 @@
 #include "core/register_psnap.h"
 #include "exec/pid_bound.h"
 #include "ingest/batch_routed.h"
+#include "reclaim/sharded_ebr.h"
 #include "registry/registry.h"
 
 namespace psnap::registry {
@@ -63,6 +64,41 @@ bool blob_plane(const Options& options, std::string_view def) {
 
 bool versioned_plane(const Options& options, std::string_view def) {
   return options.get_string("value", def) == "versioned";
+}
+
+// The fig3 reclamation knobs (core/cas_psnap.h): reclaim=ebr|hp selects
+// the plane (the registry has already validated it against the entry's
+// `reclaims` list; `def_reclaim` is that list's first entry) and
+// shards=<k> the EBR domain count.  The plane/shard combination rules the
+// constructor would assert are checked here so a bad spec throws instead.
+void apply_reclaim_options(core::CasSnapshotOptions& impl,
+                           const Options& options, bool versioned,
+                           std::string_view def_reclaim) {
+  impl.use_hp = options.get_string("reclaim", def_reclaim) == "hp";
+  std::uint64_t shards = options.get_uint("shards", 1);
+  if (shards == 0 || shards > reclaim::ShardedEbr::kMaxShards) {
+    throw std::invalid_argument(
+        "option 'shards' expects 1.." +
+        std::to_string(reclaim::ShardedEbr::kMaxShards) + ", got " +
+        std::to_string(shards));
+  }
+  impl.reclaim_shards = static_cast<std::uint32_t>(shards);
+  if (impl.use_hp && !impl.use_cas) {
+    throw std::invalid_argument(
+        "reclaim=hp requires the CAS publication path (cas=true)");
+  }
+  if (impl.use_hp && impl.reclaim_shards > 1) {
+    throw std::invalid_argument(
+        "shards>1 is an EBR-plane knob; hazard pointers already confine "
+        "a stalled reader to the records it protects (drop shards= or "
+        "use reclaim=ebr)");
+  }
+  if (versioned && impl.reclaim_shards > 1) {
+    throw std::invalid_argument(
+        "shards>1 is not supported on the versioned plane (batch "
+        "descriptors and version stamps share one domain; use reclaim=hp "
+        "for tail-latency isolation instead)");
+  }
 }
 
 // Resolves the fig1 nested active-set spec ("as=name;k=v...") and the
@@ -122,15 +158,16 @@ std::unique_ptr<core::PartialSnapshot> make_fig1(std::uint32_t m,
                                                          initial, bound);
 }
 
-std::unique_ptr<core::PartialSnapshot> make_fig3(std::uint32_t m,
-                                                 std::uint32_t n,
-                                                 const Options& options,
-                                                 std::string_view def,
-                                                 bool use_cas) {
+std::unique_ptr<core::PartialSnapshot> make_fig3(
+    std::uint32_t m, std::uint32_t n, const Options& options,
+    std::string_view def, bool use_cas,
+    std::string_view def_reclaim = "ebr") {
   core::CasPartialSnapshot::Options impl;
   impl.use_cas = use_cas;
   impl.active_set = faicas_options(options, n);
   impl.bound = impl.active_set.bound;
+  apply_reclaim_options(impl, options, versioned_plane(options, def),
+                        def_reclaim);
   std::uint64_t initial = options.get_uint("initial", 0);
   if (versioned_plane(options, def)) {
     return std::make_unique<core::CasPartialSnapshotVersioned>(m, n, impl,
@@ -249,12 +286,13 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
                      "(Theorem 3, the paper's headline algorithm)",
       .options_help =
           "cas=<bool>,coalesce=<bool>,publish=<bool>,max_joins=<u64>,"
-          "initial=<u64>,adaptive=<bool>",
+          "initial=<u64>,adaptive=<bool>,reclaim=<ebr|hp>,shards=<u32>",
       .is_wait_free = true,
       .is_local = true,
       .counts_steps = true,
       .sim_safe = true,
       .values = "u64,blob,versioned",
+      .reclaims = "ebr,hp",
       .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
@@ -269,12 +307,13 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
                      "(counts_steps=false; wall-clock benches only)",
       .options_help =
           "coalesce=<bool>,publish=<bool>,max_joins=<u64>,initial=<u64>,"
-          "adaptive=<bool>",
+          "adaptive=<bool>,reclaim=<ebr|hp>,shards=<u32>",
       .is_wait_free = true,
       .is_local = true,
       .counts_steps = false,
       .sim_safe = false,
       .values = "u64,blob,versioned",
+      .reclaims = "ebr,hp",
       .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n,
@@ -282,6 +321,8 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
             core::CasPartialSnapshotFast::Options impl;
             impl.active_set = faicas_options(options, n);
             impl.bound = impl.active_set.bound;
+            apply_reclaim_options(impl, options,
+                                  versioned_plane(options, "u64"), "ebr");
             std::uint64_t initial = options.get_uint("initial", 0);
             if (versioned_plane(options, "u64")) {
               return std::make_unique<core::CasPartialSnapshotVersionedFast>(
@@ -302,12 +343,13 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
                      "fig3_cas:value=blob)",
       .options_help =
           "coalesce=<bool>,publish=<bool>,max_joins=<u64>,initial=<u64>,"
-          "adaptive=<bool>",
+          "adaptive=<bool>,reclaim=<ebr|hp>,shards=<u32>",
       .is_wait_free = true,
       .is_local = true,
       .counts_steps = true,
       .sim_safe = true,
       .values = "blob",
+      .reclaims = "ebr,hp",
       .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
@@ -322,16 +364,66 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
                      "fig3_cas:value=versioned)",
       .options_help =
           "coalesce=<bool>,publish=<bool>,max_joins=<u64>,initial=<u64>,"
-          "adaptive=<bool>",
+          "adaptive=<bool>,reclaim=<ebr|hp>,shards=<u32>",
       .is_wait_free = true,
       .is_local = true,
       .counts_steps = true,
       .sim_safe = true,
       .values = "versioned",
+      .reclaims = "ebr,hp",
       .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
             return make_fig3(m, n, options, "versioned", /*use_cas=*/true);
+          },
+  });
+  // Canned hazard-pointer twins: the same fig3 construction with
+  // reclaim=hp as its default plane, registered first-class so every
+  // registry-driven suite (DFS/random linearizability, validity, crash,
+  // growth, churn, allocation, fuzz enumeration) exercises the hp
+  // protocol automatically, with zero per-suite wiring.
+  registry.add(SnapshotInfo{
+      .name = "fig3_cas_hp",
+      .description = "Figure 3 reclaiming through hazard pointers instead "
+                     "of epochs: a parked scanner delays only the records "
+                     "it protects (sim-covered twin of "
+                     "fig3_cas:reclaim=hp)",
+      .options_help =
+          "coalesce=<bool>,publish=<bool>,max_joins=<u64>,initial=<u64>,"
+          "adaptive=<bool>",
+      .is_wait_free = true,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .values = "u64",
+      .reclaims = "hp",
+      .supports_batch = true,
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            return make_fig3(m, n, options, "u64", /*use_cas=*/true, "hp");
+          },
+  });
+  registry.add(SnapshotInfo{
+      .name = "fig3_cas_versioned_hp",
+      .description = "the versioned read plane reclaiming through hazard "
+                     "pointers: scans protect a depth-2 chain window and "
+                     "restart past it, so this twin is lock-free, not "
+                     "wait-free (twin of "
+                     "fig3_cas_versioned:reclaim=hp)",
+      .options_help =
+          "coalesce=<bool>,publish=<bool>,max_joins=<u64>,initial=<u64>,"
+          "adaptive=<bool>",
+      .is_wait_free = false,
+      .is_local = true,
+      .counts_steps = true,
+      .sim_safe = true,
+      .values = "versioned",
+      .reclaims = "hp",
+      .supports_batch = true,
+      .make =
+          [](std::uint32_t m, std::uint32_t n, const Options& options) {
+            return make_fig3(m, n, options, "versioned", /*use_cas=*/true,
+                             "hp");
           },
   });
   registry.add(SnapshotInfo{
@@ -508,12 +600,13 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
                      "announcement/helping path at k=1)",
       .options_help =
           "cas=<bool>,coalesce=<bool>,publish=<bool>,max_joins=<u64>,"
-          "initial=<u64>,adaptive=<bool>",
+          "initial=<u64>,adaptive=<bool>,reclaim=<ebr|hp>,shards=<u32>",
       .is_wait_free = true,
       .is_local = true,
       .counts_steps = true,
       .sim_safe = true,
       .values = "u64,blob",
+      .reclaims = "ebr,hp",
       .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {
@@ -530,12 +623,13 @@ void register_builtin_snapshots(SnapshotRegistry& registry) {
                      "so this twin is lock-free, not wait-free",
       .options_help =
           "coalesce=<bool>,publish=<bool>,max_joins=<u64>,initial=<u64>,"
-          "adaptive=<bool>",
+          "adaptive=<bool>,reclaim=<ebr|hp>,shards=<u32>",
       .is_wait_free = false,
       .is_local = true,
       .counts_steps = true,
       .sim_safe = true,
       .values = "versioned",
+      .reclaims = "ebr,hp",
       .supports_batch = true,
       .make =
           [](std::uint32_t m, std::uint32_t n, const Options& options) {

@@ -126,6 +126,11 @@ Options Options::parse(std::string_view spec) {
 }
 
 const Options::Entry* Options::find(std::string_view key) const {
+  // Record the key whether or not it is present: the set of keys callers
+  // ASKED about is check_consumed's "did you mean" candidate pool.
+  bool seen = false;
+  for (const std::string& q : queried_) seen = seen || q == key;
+  if (!seen) queried_.emplace_back(key);
   for (const Entry& entry : entries_) {
     if (entry.key == key) {
       entry.consumed = true;
@@ -175,9 +180,24 @@ std::string Options::get_string(std::string_view key,
 
 void Options::check_consumed() const {
   for (const Entry& entry : entries_) {
-    if (!entry.consumed) {
-      throw std::invalid_argument("unknown option '" + entry.key + "'");
+    if (entry.consumed) continue;
+    std::string message = "unknown option '" + entry.key + "'";
+    // Suggest the closest key anything asked about, under the same
+    // distance budget as the registry's name diagnostics.
+    std::string best;
+    std::size_t best_distance = ~std::size_t{0};
+    for (const std::string& q : queried_) {
+      std::size_t d = edit_distance(entry.key, q);
+      if (d < best_distance) {
+        best_distance = d;
+        best = q;
+      }
     }
+    std::size_t budget = entry.key.size() < 6 ? 2 : entry.key.size() / 3;
+    if (!best.empty() && best_distance <= budget) {
+      message += "; did you mean '" + best + "'?";
+    }
+    throw std::invalid_argument(message);
   }
 }
 
@@ -247,6 +267,18 @@ std::unique_ptr<core::PartialSnapshot> SnapshotRegistry::make(
         "' does not support value=" + plane + " (supported: " +
         info->values + ")\nknown implementations:\n" + snapshot_catalogue());
   }
+  // The reclamation plane gets the same central treatment (the catalogue
+  // lists each entry's planes as {reclaim=...}).  The option is peeked,
+  // not consumed on the entry's behalf: hp-capable factories re-read it.
+  std::string reclaim = options.get_string(
+      "reclaim", default_reclaim_plane(info->reclaims));
+  if (!reclaim_plane_supported(info->reclaims, reclaim)) {
+    throw std::invalid_argument(
+        "snapshot implementation '" + info->name +
+        "' does not support reclaim=" + reclaim + " (supported: " +
+        info->reclaims + ")\nknown implementations:\n" +
+        snapshot_catalogue());
+  }
   // Universal ingest knobs, validated here so an unsupported combo fails
   // with the catalogue, but ACTED on by the caller: batching is a
   // property of how writes are fed to the object, so only entry points
@@ -256,14 +288,22 @@ std::unique_ptr<core::PartialSnapshot> SnapshotRegistry::make(
   const bool has_batch = options.contains("batch");
   const bool has_window = options.contains("coalesce_window") ||
                           options.contains("coalesce_window_us");
-  if ((has_batch || has_window) && knobs == nullptr) {
+  const bool has_affinity = options.contains("affinity");
+  if ((has_batch || has_window || has_affinity) && knobs == nullptr) {
     throw std::invalid_argument(
         "spec '" + std::string(spec) + "' sets " +
-        (has_batch ? "batch=" : "coalesce_window=") +
+        (has_batch ? "batch="
+                   : has_window ? "coalesce_window=" : "affinity=") +
         " but this entry point feeds writes one at a time and cannot "
         "honor ingest knobs");
   }
   if (knobs != nullptr) {
+    knobs->affinity = options.get_string("affinity", knobs->affinity);
+    if (knobs->affinity != "none" && knobs->affinity != "segment") {
+      throw std::invalid_argument(
+          "option 'affinity' expects none|segment, got '" +
+          knobs->affinity + "'");
+    }
     knobs->batch = get_u32_option(options, "batch", knobs->batch);
     knobs->coalesce_window =
         get_u32_option(options, "coalesce_window", knobs->coalesce_window);
@@ -380,6 +420,15 @@ std::string_view default_value_plane(std::string_view values) {
   return values.substr(0, values.find(','));
 }
 
+bool reclaim_plane_supported(std::string_view reclaims,
+                             std::string_view plane) {
+  return value_plane_supported(reclaims, plane);
+}
+
+std::string_view default_reclaim_plane(std::string_view reclaims) {
+  return default_value_plane(reclaims);
+}
+
 std::string closest_snapshot_name(std::string_view name) {
   return closest_name(name, SnapshotRegistry::instance().all());
 }
@@ -412,13 +461,17 @@ std::string snapshot_catalogue() {
       out << " [" << info->options_help << "]";
     }
     out << " {value=" << info->values << "}";
+    out << " {reclaim=" << info->reclaims << "}";
     if (info->supports_batch) out << " (batch)";
     out << "\n";
   }
-  out << "  (every spec also accepts m0=<u32>, max_threads=<u32> and "
-         "value=<plane> from the listed {value=...} set; entries marked "
-         "(batch) additionally accept batch=<k>, coalesce_window=<w>, and "
-         "coalesce_window_us=<t> at batch-aware entry points)\n";
+  out << "  (every spec also accepts m0=<u32>, max_threads=<u32>, "
+         "value=<plane> from the listed {value=...} set, and "
+         "reclaim=<plane> from the listed {reclaim=...} set; entries "
+         "marked (batch) additionally accept batch=<k>, "
+         "coalesce_window=<w>, and coalesce_window_us=<t> at batch-aware "
+         "entry points, which also honor affinity=none|segment for "
+         "shard-affine worker placement)\n";
   return out.str();
 }
 

@@ -56,7 +56,10 @@ class Options {
   std::string get_string(std::string_view key,
                          std::string_view def) const;
 
-  // Throws std::invalid_argument naming any key no get_* ever asked for.
+  // Throws std::invalid_argument naming any key no get_* ever asked for,
+  // with a "did you mean" suggestion drawn from the keys that WERE asked
+  // about (so a typo'd option names its likely intent, mirroring the
+  // registry's unknown-name diagnostics).
   void check_consumed() const;
 
   // Presence check; counts as consumption (used for universal keys the
@@ -73,6 +76,9 @@ class Options {
   };
   const Entry* find(std::string_view key) const;
   std::vector<Entry> entries_;
+  // Every key a get_*/contains call asked about, present or not: the
+  // candidate pool for check_consumed's "did you mean".
+  mutable std::vector<std::string> queried_;
 };
 
 // ---------------------------------------------------------------------------
@@ -116,6 +122,12 @@ struct SnapshotInfo {
   // calling the factory, so an unsupported combo fails with the full
   // catalogue rather than inside the factory.
   std::string values = "u64";
+  // Comma-separated reclamation planes this entry accepts for the
+  // universal reclaim=<plane> option (reclaim/; "ebr" and/or "hp"); the
+  // FIRST is the default.  Validated centrally like `values`, so
+  // reclaim=hp on an entry without a hazard-pointer path fails with the
+  // catalogue.
+  std::string reclaims = "ebr";
   // Implements update_batch()/update_batch_blob() (false for the fig1
   // register constructions, whose base-class defaults throw).  Gates the
   // universal batch=/coalesce_window= ingest knobs: a spec asking for
@@ -143,6 +155,12 @@ struct IngestKnobs {
   // (the Coalescer's wall-clock staleness bound); 0 disables the
   // deadline.
   std::uint64_t coalesce_window_us = 0;
+  // Worker placement (universal spec option affinity=none|segment):
+  // "segment" asks the caller's thread harness to register workers with
+  // segment-affine pids (exec::ThreadRegistry), aligning each writer's
+  // components with one reclamation shard.  Like batching, this describes
+  // how the CALLER drives the object, so it rides in the knobs.
+  std::string affinity = "none";
 
   bool batching_requested() const {
     return batch > 1 || coalesce_window > 0 || coalesce_window_us > 0;
@@ -252,6 +270,11 @@ std::unique_ptr<activeset::ActiveSet> make_active_set(
 // plane list whose first entry is the default).
 bool value_plane_supported(std::string_view values, std::string_view plane);
 std::string_view default_value_plane(std::string_view values);
+
+// Same contract for SnapshotInfo::reclaims (reclaim=ebr|hp).
+bool reclaim_plane_supported(std::string_view reclaims,
+                             std::string_view plane);
+std::string_view default_reclaim_plane(std::string_view reclaims);
 
 // Closest registered name by edit distance (for "did you mean"
 // diagnostics); empty when nothing is plausibly close.

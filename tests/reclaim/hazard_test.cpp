@@ -6,6 +6,9 @@
 #include <thread>
 #include <vector>
 
+#include "exec/exec.h"
+#include "reclaim/slots.h"
+
 namespace psnap::reclaim {
 namespace {
 
@@ -106,14 +109,110 @@ TEST(Hazard, MultipleIndicesIndependent) {
   EXPECT_EQ(domain.outstanding(), 0u);
 }
 
-TEST(Hazard, RetirePressureTriggersAutomaticScan) {
+TEST(Hazard, AdaptiveRetirePressureTriggersAutomaticScan) {
   Node::live = 0;
   HazardDomain domain;
-  // Exceed the 2 * capacity threshold; an automatic scan must have fired.
-  constexpr int kNodes =
-      2 * int(HazardDomain::kMaxThreads * HazardDomain::kHazardsPerThread) + 64;
-  for (int i = 0; i < kNodes; ++i) domain.retire(new Node);
-  EXPECT_LT(domain.outstanding(), std::uint64_t(kNodes));
+  // With one claimed slot the adaptive threshold bottoms out at the floor
+  // (64), not Michael's fixed 2 * kTotalSlots * K (~1800) -- a
+  // single-thread workload must not be able to pile up thousands of nodes
+  // before the first automatic scan.
+  for (int i = 0; i < 200; ++i) domain.retire(new Node);
+  EXPECT_LT(domain.outstanding(), 200u);
+}
+
+TEST(Hazard, RegisteredThreadUsesItsPidSlot) {
+  // Shared slot layout with EbrDomain: a registered thread's slot IS its
+  // pid, so one Pool keyed by these indices serves both substrates.
+  HazardDomain domain;
+  {
+    exec::ScopedPid pid(7);
+    EXPECT_EQ(domain.thread_slot(), 7u);
+  }
+  // Without a pid the thread falls back to a sticky anonymous slot above
+  // the pid range.
+  std::uint32_t anon = domain.thread_slot();
+  EXPECT_GE(anon, kPidSlots);
+  EXPECT_LT(anon, kTotalSlots);
+  EXPECT_EQ(domain.thread_slot(), anon);  // sticky
+}
+
+TEST(Hazard, SetPlusCallerValidationProtects) {
+  // The raw set() + caller-side validation style used by the snapshot's
+  // protect_component: publish, re-read, and the pointer is protected.
+  Node::live = 0;
+  HazardDomain domain;
+  std::atomic<Node*> src{new Node};
+  Node* p = src.load();
+  domain.set(0, p);
+  ASSERT_EQ(src.load(), p);  // validation succeeded: p is protected
+  domain.retire(p);
+  domain.scan_and_free();
+  EXPECT_EQ(Node::live.load(), 1);
+  domain.clear(0);
+  domain.scan_and_free();
+  EXPECT_EQ(Node::live.load(), 0);
+}
+
+TEST(Hazard, RecycleCallbackReceivesRetiringSlot) {
+  // The slot-carrying retire_raw contract reclaim::Pool depends on: the
+  // callback is told WHICH per-thread list the node belongs to, whether it
+  // runs from a scan on the retiring thread or from the destructor on a
+  // thread that owns no slot.
+  static std::vector<std::uint32_t> seen_slots;
+  seen_slots.clear();
+  Node* a = new Node;
+  Node* b = new Node;
+  {
+    HazardDomain domain;
+    std::uint32_t my_slot;
+    {
+      exec::ScopedPid pid(3);
+      my_slot = domain.thread_slot();
+      auto fn = [](void* p, void*, std::uint32_t slot) {
+        seen_slots.push_back(slot);
+        delete static_cast<Node*>(p);
+      };
+      domain.retire_raw(a, nullptr, fn);
+      domain.retire_raw(b, nullptr, fn);
+      domain.scan_and_free();  // frees both from slot 3, on the owner
+    }
+    EXPECT_EQ(my_slot, 3u);
+  }
+  ASSERT_EQ(seen_slots.size(), 2u);
+  EXPECT_EQ(seen_slots[0], 3u);
+  EXPECT_EQ(seen_slots[1], 3u);
+  EXPECT_EQ(Node::live.load(), 0);
+}
+
+TEST(Hazard, ParkedReaderBlocksOnlyProtectedRecords) {
+  // THE property that distinguishes hp from EBR, and the reason the
+  // registry grew a reclaim=hp plane: a reader parked on specific records
+  // does not stall reclamation of anything else.  Under EBR the same
+  // parked reader would pin its entry epoch and freeze every later
+  // retirement in the domain.
+  Node::live = 0;
+  HazardDomain domain;
+  std::atomic<Node*> held{new Node};
+  Node* parked = domain.protect(held, 0);  // the parked reader's record
+
+  // A writer churns through many other records while the reader stays
+  // parked; every one of them must be reclaimed promptly.
+  std::thread writer([&] {
+    for (int i = 0; i < 500; ++i) domain.retire(new Node);
+    domain.scan_and_free();
+  });
+  writer.join();
+
+  // Everything except the one protected record is gone.
+  EXPECT_EQ(domain.outstanding(), 0u);
+  EXPECT_EQ(Node::live.load(), 1);
+
+  domain.retire(parked);
+  domain.scan_and_free();
+  EXPECT_EQ(Node::live.load(), 1);  // still parked
+  domain.clear(0);
+  domain.scan_and_free();
+  EXPECT_EQ(Node::live.load(), 0);
 }
 
 }  // namespace

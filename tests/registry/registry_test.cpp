@@ -410,6 +410,128 @@ TEST(SnapshotRegistry, DefaultPlaneIsTheFirstListed) {
 }
 
 // ---------------------------------------------------------------------------
+// Reclamation planes (reclaim= / shards=).
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotRegistry, ReclaimPlaneOptionSelectsThePlane) {
+  exec::ScopedPid pid(0);
+  for (const char* spec :
+       {"fig3_cas:reclaim=hp", "fig3_cas_fast:reclaim=hp", "fig3_cas_hp",
+        "fig3_cas:value=blob,reclaim=hp",
+        "fig3_cas:value=versioned,reclaim=hp", "fig3_cas_versioned_hp",
+        "fig3_cas_versioned_batch:reclaim=hp"}) {
+    auto snap = make_snapshot(spec, 4, 2);
+    EXPECT_EQ(snap->reclaim_plane(), "hp") << spec;
+    EXPECT_EQ(snap->reclaim_shards(), 1u) << spec;
+    snap->update(1, 77);
+    EXPECT_EQ(snap->scan({1, 0}), (std::vector<std::uint64_t>{77, 0}))
+        << spec;
+  }
+  // The default plane is EBR, one shard; shards=k shards it.
+  auto def = make_snapshot("fig3_cas", 4, 2);
+  EXPECT_EQ(def->reclaim_plane(), "ebr");
+  EXPECT_EQ(def->reclaim_shards(), 1u);
+  auto sharded = make_snapshot("fig3_cas:shards=4", 4, 2);
+  EXPECT_EQ(sharded->reclaim_plane(), "ebr");
+  EXPECT_EQ(sharded->reclaim_shards(), 4u);
+  sharded->update(1, 5);
+  EXPECT_EQ(sharded->scan({1, 3}), (std::vector<std::uint64_t>{5, 0}));
+}
+
+TEST(SnapshotRegistry, UnsupportedReclaimPlaneFailsWithTheFullCatalogue) {
+  // reclaim=hp on an entry without a hazard-pointer path fails centrally,
+  // naming the supported set and printing the catalogue (whose lines list
+  // every entry's {reclaim=...} planes).
+  try {
+    make_snapshot("fig1_register:reclaim=hp", 4, 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("does not support reclaim=hp"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("supported: ebr"), std::string::npos) << message;
+    EXPECT_NE(message.find("known implementations"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("{reclaim=ebr,hp}"), std::string::npos)
+        << message;
+  }
+  // The canned hp twins accept ONLY the hp plane.
+  try {
+    make_snapshot("fig3_cas_hp:reclaim=ebr", 4, 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("does not support reclaim=ebr"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("supported: hp"), std::string::npos) << message;
+  }
+  // Combination rules fail loudly at construction, not deep in a workload:
+  // shards out of range, hp with the write ablation, hp with sharding,
+  // sharding on the versioned plane.
+  EXPECT_THROW(make_snapshot("fig3_cas:shards=0", 4, 2),
+               std::invalid_argument);
+  EXPECT_THROW(make_snapshot("fig3_cas:shards=17", 4, 2),
+               std::invalid_argument);
+  EXPECT_THROW(make_snapshot("fig3_cas:cas=false,reclaim=hp", 4, 2),
+               std::invalid_argument);
+  EXPECT_THROW(make_snapshot("fig3_cas:reclaim=hp,shards=2", 4, 2),
+               std::invalid_argument);
+  EXPECT_THROW(make_snapshot("fig3_cas:value=versioned,shards=2", 4, 2),
+               std::invalid_argument);
+}
+
+TEST(SnapshotRegistry, CatalogueListsPerImplementationReclaimPlanes) {
+  std::string catalogue = snapshot_catalogue();
+  for (const SnapshotInfo* info : SnapshotRegistry::instance().all()) {
+    EXPECT_NE(catalogue.find("{reclaim=" + info->reclaims + "}"),
+              std::string::npos)
+        << info->name << " reclaim planes missing from catalogue";
+  }
+  EXPECT_NE(catalogue.find("reclaim=<plane>"), std::string::npos);
+}
+
+TEST(SnapshotRegistry, DefaultReclaimPlaneIsTheFirstListed) {
+  EXPECT_TRUE(reclaim_plane_supported("ebr,hp", "ebr"));
+  EXPECT_TRUE(reclaim_plane_supported("ebr,hp", "hp"));
+  EXPECT_FALSE(reclaim_plane_supported("ebr", "hp"));
+  EXPECT_FALSE(reclaim_plane_supported("hp", "ebr"));
+  EXPECT_EQ(default_reclaim_plane("ebr,hp"), "ebr");
+  EXPECT_EQ(default_reclaim_plane("hp"), "hp");
+  // Capability field vs instance, for every entry.
+  exec::ScopedPid pid(0);
+  for (const SnapshotInfo* info : SnapshotRegistry::instance().all()) {
+    auto snap = test::make_snapshot(*info, 4, 2);
+    EXPECT_EQ(snap->reclaim_plane(), default_reclaim_plane(info->reclaims))
+        << info->name;
+  }
+}
+
+TEST(SnapshotRegistry, UnknownOptionSuggestsTheClosestQueriedKey) {
+  // A typo'd option names its likely intent: the candidate pool is the
+  // keys the registry and the factory actually asked about.
+  try {
+    make_snapshot("fig3_cas:reclam=hp", 4, 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("unknown option 'reclam'"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("did you mean 'reclaim'"), std::string::npos)
+        << message;
+  }
+  try {
+    make_snapshot("fig3_cas:adaptve=false", 4, 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'adaptive'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Ingest knobs (batch= / coalesce_window=) and the batch capability flag.
 // ---------------------------------------------------------------------------
 
@@ -436,6 +558,26 @@ TEST(SnapshotRegistry, IngestKnobsParseThroughTheSpec) {
   auto grown = make_snapshot("fig3_cas:m0=8,batch=4", 4, 2, &mixed);
   EXPECT_EQ(grown->num_components(), 8u);
   EXPECT_EQ(mixed.batch, 4u);
+}
+
+TEST(SnapshotRegistry, AffinityKnobParsesThroughTheSpec) {
+  // affinity=segment rides in the ingest knobs (it describes worker
+  // placement, a caller-side concern) and composes with the reclaim
+  // shape options.
+  IngestKnobs knobs;
+  auto snap =
+      make_snapshot("fig3_cas:affinity=segment,shards=2", 4, 2, &knobs);
+  EXPECT_EQ(knobs.affinity, "segment");
+  EXPECT_EQ(snap->reclaim_shards(), 2u);
+  IngestKnobs defaults;
+  make_snapshot("fig3_cas", 4, 2, &defaults);
+  EXPECT_EQ(defaults.affinity, "none");
+  // A caller without a knobs sink cannot honor it; a bad value fails.
+  EXPECT_THROW(make_snapshot("fig3_cas:affinity=segment", 4, 2),
+               std::invalid_argument);
+  IngestKnobs bad;
+  EXPECT_THROW(make_snapshot("fig3_cas:affinity=wat", 4, 2, &bad),
+               std::invalid_argument);
 }
 
 TEST(SnapshotRegistry, IngestKnobsRejectUnsupportedCombos) {
